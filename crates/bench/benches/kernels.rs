@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks for the substrate kernels and the paper's
+//! efficiency claims.
+//!
+//! The headline timing claim (§3.3): computing all second derivatives
+//! takes "approximately the same amount of time and memory as
+//! conventional gradient computation", versus the finite-difference
+//! route that needs two forward passes *per weight*. The
+//! `second_derivative` group measures all three on the same network.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use swim_cim::device::DeviceConfig;
+use swim_cim::mapping::WeightMapper;
+use swim_cim::writeverify::write_verify;
+use swim_core::select::{build_ranking, Strategy};
+use swim_nn::finite_diff::hessian_diag_fd;
+use swim_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential};
+use swim_nn::loss::SoftmaxCrossEntropy;
+use swim_nn::Network;
+use swim_tensor::linalg::matmul;
+use swim_tensor::{Prng, Tensor};
+
+fn small_cnn(rng: &mut Prng) -> Network {
+    let mut seq = Sequential::new();
+    seq.push(Conv2d::new(1, 8, 3, 1, 1, rng));
+    seq.push(Relu::new());
+    seq.push(MaxPool2d::new(2));
+    seq.push(Flatten::new());
+    seq.push(Linear::new(8 * 14 * 14, 10, rng));
+    Network::new("bench-cnn", seq)
+}
+
+/// §3.3 claim: second-derivative pass ≈ gradient pass ≪ finite
+/// difference.
+fn bench_second_derivative(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(1);
+    let mut net = small_cnn(&mut rng);
+    let x = Tensor::randn(&[8, 1, 28, 28], &mut rng);
+    let y: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let loss = SoftmaxCrossEntropy::new();
+
+    let mut group = c.benchmark_group("second_derivative");
+    group.sample_size(20);
+    group.bench_function("gradient_pass", |b| {
+        b.iter(|| {
+            net.zero_grads();
+            black_box(net.accumulate_gradients(&loss, &x, &y));
+        })
+    });
+    group.bench_function("hessian_diag_pass", |b| {
+        b.iter(|| {
+            net.zero_hess();
+            black_box(net.accumulate_hessian(&loss, &x, &y));
+        })
+    });
+    // Finite difference on a *much smaller* net (2 forwards per weight);
+    // normalize per-weight when comparing.
+    let mut tiny_rng = Prng::seed_from_u64(2);
+    let mut tiny = Sequential::new();
+    tiny.push(Flatten::new());
+    tiny.push(Linear::new(16, 8, &mut tiny_rng));
+    tiny.push(Relu::new());
+    tiny.push(Linear::new(8, 4, &mut tiny_rng));
+    let mut tiny_net = Network::new("tiny", tiny);
+    let tx = Tensor::randn(&[8, 1, 4, 4], &mut tiny_rng);
+    let ty: Vec<usize> = (0..8).map(|i| i % 4).collect();
+    group.bench_function("finite_difference_160_weights", |b| {
+        b.iter(|| black_box(hessian_diag_fd(&mut tiny_net, &loss, &tx, &ty, 1e-2)))
+    });
+    group.finish();
+}
+
+fn bench_write_verify(c: &mut Criterion) {
+    let cfg = DeviceConfig::rram();
+    let mut group = c.benchmark_group("write_verify");
+    group.bench_function("single_device", |b| {
+        let mut rng = Prng::seed_from_u64(3);
+        b.iter(|| black_box(write_verify(7.0, &cfg, &mut rng)))
+    });
+    group.bench_function("map_10k_weights_unverified", |b| {
+        let mapper = WeightMapper::new(4, cfg);
+        let codes: Vec<i32> = (0..10_000).map(|i| (i % 16) as i32).collect();
+        let mut rng = Prng::seed_from_u64(4);
+        b.iter(|| black_box(mapper.program(&codes, None, &mut rng)))
+    });
+    group.bench_function("map_10k_weights_verified", |b| {
+        let mapper = WeightMapper::new(4, cfg);
+        let codes: Vec<i32> = (0..10_000).map(|i| (i % 16) as i32).collect();
+        let sel = vec![true; 10_000];
+        let mut rng = Prng::seed_from_u64(5);
+        b.iter(|| black_box(mapper.program(&codes, Some(&sel), &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(6);
+    let n = 100_000; // LeNet-scale ranking
+    let sens: Vec<f32> = (0..n).map(|_| rng.uniform_f32()).collect();
+    let mags: Vec<f32> = (0..n).map(|_| rng.uniform_f32()).collect();
+    let mut group = c.benchmark_group("selection");
+    group.bench_function("swim_ranking_100k", |b| {
+        b.iter(|| black_box(build_ranking(Strategy::Swim, &sens, &mags, None)))
+    });
+    group.bench_function("random_ranking_100k", |b| {
+        b.iter_batched(
+            || Prng::seed_from_u64(7),
+            |mut r| black_box(build_ranking(Strategy::Random, &sens, &mags, Some(&mut r))),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(8);
+    let a = Tensor::randn(&[128, 128], &mut rng);
+    let b_t = Tensor::randn(&[128, 128], &mut rng);
+    let mut group = c.benchmark_group("tensor");
+    group.bench_function("matmul_128", |bch| {
+        bch.iter(|| black_box(matmul(&a, &b_t)))
+    });
+    let img = Tensor::randn(&[3, 32, 32], &mut rng);
+    let geom = swim_tensor::conv::ConvGeometry {
+        in_channels: 3,
+        in_h: 32,
+        in_w: 32,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    group.bench_function("im2col_3x32x32_k3", |bch| {
+        bch.iter(|| black_box(swim_tensor::conv::im2col(&img, &geom)))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // One full SWIM iteration unit: program a 100k-weight model with a 10%
+    // selection and evaluate nothing (programming only) — the inner loop
+    // of every Monte Carlo point in Table 1 / Fig. 2.
+    let cfg = DeviceConfig::rram();
+    let mapper = WeightMapper::new(4, cfg);
+    let mut rng = Prng::seed_from_u64(9);
+    let codes: Vec<i32> = (0..100_000).map(|_| rng.below(16) as i32).collect();
+    let sel: Vec<bool> = (0..100_000).map(|i| i % 10 == 0).collect();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("program_lenet_scale_10pct_selected", |b| {
+        b.iter(|| black_box(mapper.program(&codes, Some(&sel), &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_second_derivative,
+    bench_write_verify,
+    bench_selection,
+    bench_tensor_kernels,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 2a regeneration: ConvNet on the CIFAR-10 substitute.
+//!
+//! ```text
+//! cargo run --release -p swim-bench --bin fig2a [--width 0.25] [--runs 15] [--csv]
+//! ```
+//!
+//! Default width 0.25 keeps the run CPU-friendly; `--width 1.0` builds
+//! the paper-scale (~5.4M-weight) ConvNet.
+
+use swim_bench::fig2::{run_panel, Fig2Panel};
+use swim_bench::prep::Scenario;
+
+fn main() {
+    run_panel(&Fig2Panel {
+        name: "Fig. 2a",
+        paper_note: "all methods except SWIM drop >10% at NWC = 0.1; SWIM stays within 2.5% \
+                     and has the smallest std",
+        scenario: |args| Scenario::ConvnetCifar { width: args.get_f32("width", 0.25) },
+        default_samples: 2000,
+        default_epochs: 5,
+    });
+}

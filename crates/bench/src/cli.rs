@@ -1,0 +1,154 @@
+//! Minimal `--flag value` argument parsing for the experiment binaries.
+//!
+//! Hand-rolled (a dozen lines) rather than pulling in an argument-parsing
+//! dependency; every binary shares the same small flag set.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags.
+///
+/// # Example
+///
+/// ```
+/// use swim_bench::cli::Args;
+///
+/// let args = Args::parse_from(["--runs", "500", "--quick"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_usize("runs", 100), 500);
+/// assert!(args.has("quick"));
+/// assert_eq!(args.get_f64("sigma", 0.1), 0.1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable entry point).
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut pending: Option<String> = None;
+        for arg in args {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some(flag) = pending.take() {
+                    out.flags.push(flag);
+                }
+                pending = Some(name.to_string());
+            } else if let Some(name) = pending.take() {
+                out.values.insert(name, arg);
+            } else {
+                eprintln!("warning: ignoring stray argument `{arg}`");
+            }
+        }
+        if let Some(flag) = pending {
+            out.flags.push(flag);
+        }
+        out
+    }
+
+    /// Whether a bare `--name` flag was present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// `--name value` as `usize`, with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value does not parse.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// `--name value` as `u64`, with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value does not parse.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// `--name value` as `f64`, with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value does not parse.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// `--name value` as `f32`, with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value does not parse.
+    pub fn get_f32(&self, name: &str, default: f32) -> f32 {
+        self.get_f64(name, default as f64) as f32
+    }
+}
+
+/// Prints the standard flag reference shared by the experiment binaries.
+pub fn print_common_help(binary: &str, extra: &[(&str, &str)]) {
+    println!("usage: cargo run --release -p swim-bench --bin {binary} [flags]");
+    println!("  --runs N      Monte Carlo runs (default varies; paper used 3000)");
+    println!("  --threads N   worker threads (default: all cores)");
+    println!("  --samples N   dataset size (train+test)");
+    println!("  --seed N      base RNG seed");
+    println!("  --csv         also print CSV blocks");
+    println!("  --quick       tiny smoke-test configuration");
+    for (flag, desc) in extra {
+        println!("  {flag:<13} {desc}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> Args {
+        Args::parse_from(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = parse(&["--runs", "30", "--csv", "--sigma", "0.15"]);
+        assert_eq!(a.get_usize("runs", 1), 30);
+        assert!(a.has("csv"));
+        assert!(!a.has("quick"));
+        assert!((a.get_f64("sigma", 0.0) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]);
+        assert_eq!(a.get_usize("runs", 7), 7);
+        assert_eq!(a.get_f32("width", 0.25), 0.25);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["--quick"]);
+        assert!(a.has("quick"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        parse(&["--runs", "abc"]).get_usize("runs", 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! The four-method sweep driver behind Table 1 and Fig. 2.
+//!
+//! Runs SWIM, magnitude, and random selective write-verify plus the
+//! in-situ training baseline over the same NWC grid with the same Monte
+//! Carlo budget, and renders the paper-shaped tables.
+
+use crate::prep::Prepared;
+use swim_core::insitu::{insitu_training, InsituConfig};
+use swim_core::montecarlo::{nwc_sweep, parallel_map, SweepConfig, SweepPoint};
+use swim_core::report::{fmt_mean_std, Table};
+use swim_core::select::Strategy;
+use swim_nn::loss::SoftmaxCrossEntropy;
+use swim_tensor::stats::Running;
+use swim_tensor::Prng;
+
+/// Statistics of the in-situ baseline at one NWC checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct InsituStats {
+    /// The checkpoint's normalized write cycles.
+    pub nwc: f64,
+    /// Accuracy statistics over runs (percent).
+    pub accuracy: Running,
+}
+
+/// Accuracy-vs-NWC curves for all four methods.
+#[derive(Debug, Clone)]
+pub struct MethodCurves {
+    /// SWIM (second-derivative selection).
+    pub swim: Vec<SweepPoint>,
+    /// Magnitude-based selection baseline.
+    pub magnitude: Vec<SweepPoint>,
+    /// Random selection baseline.
+    pub random: Vec<SweepPoint>,
+    /// In-situ training baseline.
+    pub insitu: Vec<InsituStats>,
+}
+
+/// Configuration of a full four-method comparison.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Write-verified weight fractions (≈ NWC grid).
+    pub fractions: Vec<f64>,
+    /// Monte Carlo runs per method/point.
+    pub runs: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// In-situ learning rate.
+    pub insitu_lr: f32,
+    /// In-situ mini-batch size.
+    pub insitu_batch: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            fractions: vec![0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0],
+            runs: 25,
+            threads: swim_core::montecarlo::num_threads(),
+            eval_batch: 256,
+            seed: 0,
+            // Small steps: each on-device update rewrites every weight
+            // with fresh programming noise, so aggressive learning rates
+            // hurt more than they help (visible as an accuracy dip at
+            // low NWC).
+            insitu_lr: 0.005,
+            insitu_batch: 32,
+        }
+    }
+}
+
+/// Runs all four methods on a prepared scenario.
+///
+/// Sensitivities are computed once from the training split (SWIM's
+/// "single pass"); the three write-verify methods share the same
+/// Monte Carlo seeds so their comparison is paired; in-situ training
+/// runs its own Monte Carlo with per-run RNG forks.
+pub fn run_all_methods(prepared: &mut Prepared, cfg: &DriverConfig) -> MethodCurves {
+    let loss = SoftmaxCrossEntropy::new();
+    eprintln!("[driver] computing sensitivities (single second-derivative pass)...");
+    let sens = prepared.model.sensitivities(&loss, &prepared.train, cfg.eval_batch);
+    let mags = prepared.model.magnitudes();
+
+    let sweep_cfg = SweepConfig {
+        fractions: cfg.fractions.clone(),
+        runs: cfg.runs,
+        threads: cfg.threads,
+        eval_batch: cfg.eval_batch,
+        seed: cfg.seed,
+    };
+    let mut curves = Vec::new();
+    for strategy in Strategy::all() {
+        eprintln!("[driver] sweeping {} ({} runs)...", strategy.name(), cfg.runs);
+        curves.push(nwc_sweep(
+            &prepared.model,
+            strategy,
+            &sens,
+            &mags,
+            &prepared.test,
+            &sweep_cfg,
+        ));
+    }
+    let random = curves.pop().expect("three strategies swept");
+    let magnitude = curves.pop().expect("three strategies swept");
+    let swim = curves.pop().expect("three strategies swept");
+
+    eprintln!("[driver] in-situ training baseline ({} runs)...", cfg.runs);
+    let record_at = cfg.fractions.clone();
+    let insitu_cfg = InsituConfig {
+        lr: cfg.insitu_lr,
+        batch_size: cfg.insitu_batch,
+        eval_batch: cfg.eval_batch,
+        record_at,
+    };
+    let base = Prng::seed_from_u64(cfg.seed.wrapping_add(0x5157_494D));
+    let model = &prepared.model;
+    let train = &prepared.train;
+    let test = &prepared.test;
+    let per_run: Vec<Vec<swim_core::insitu::InsituPoint>> =
+        parallel_map(cfg.runs, cfg.threads, &base, |_, mut rng| {
+            let mut local = model.clone();
+            insitu_training(&mut local, &loss, train, test, &insitu_cfg, &mut rng)
+        });
+    let insitu = (0..cfg.fractions.len())
+        .map(|i| {
+            let mut accuracy = Running::new();
+            let mut nwc = Running::new();
+            for run in &per_run {
+                accuracy.push(100.0 * run[i].accuracy);
+                nwc.push(run[i].nwc);
+            }
+            InsituStats { nwc: nwc.mean(), accuracy }
+        })
+        .collect();
+
+    MethodCurves { swim, magnitude, random, insitu }
+}
+
+impl MethodCurves {
+    /// Renders the Table-1-shaped block: one row per method, one column
+    /// per NWC point, `mean ± std` cells.
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut headers: Vec<String> = vec!["Method".to_string()];
+        for p in &self.swim {
+            headers.push(format!("NWC {:.1}", p.fraction));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(title, &header_refs);
+        let rows: [(&str, Box<dyn Fn(usize) -> String>); 4] = [
+            ("SWIM", Box::new(|i| fmt_mean_std(&self.swim[i].accuracy))),
+            ("Magnitude", Box::new(|i| fmt_mean_std(&self.magnitude[i].accuracy))),
+            ("Random", Box::new(|i| fmt_mean_std(&self.random[i].accuracy))),
+            ("In-situ", Box::new(|i| fmt_mean_std(&self.insitu[i].accuracy))),
+        ];
+        for (name, cell) in rows {
+            let mut row = vec![name.to_string()];
+            for i in 0..self.swim.len() {
+                row.push(cell(i));
+            }
+            table.push_row_owned(row);
+        }
+        table
+    }
+
+    /// Renders a CSV with one line per (method, NWC point) — the Fig. 2
+    /// series format.
+    pub fn to_csv(&self, label: &str) -> String {
+        let mut t = Table::new(
+            label,
+            &["method", "nwc", "accuracy_mean", "accuracy_std"],
+        );
+        let mut push = |name: &str, nwc: f64, acc: &Running| {
+            t.push_row_owned(vec![
+                name.to_string(),
+                format!("{nwc:.4}"),
+                format!("{:.4}", acc.mean()),
+                format!("{:.4}", acc.std()),
+            ]);
+        };
+        for p in &self.swim {
+            push("SWIM", p.nwc, &p.accuracy);
+        }
+        for p in &self.magnitude {
+            push("Magnitude", p.nwc, &p.accuracy);
+        }
+        for p in &self.random {
+            push("Random", p.nwc, &p.accuracy);
+        }
+        for p in &self.insitu {
+            push("In-situ", p.nwc, &p.accuracy);
+        }
+        t.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::{prepare, PrepConfig, Scenario};
+    use swim_cim::DeviceConfig;
+
+    #[test]
+    fn driver_smoke_test() {
+        let prep_cfg = PrepConfig { samples: 400, epochs: 1, ..Default::default() };
+        let mut prepared = prepare(
+            Scenario::LenetMnist,
+            DeviceConfig::rram().with_sigma(0.15),
+            &prep_cfg,
+        );
+        let cfg = DriverConfig {
+            fractions: vec![0.0, 0.5, 1.0],
+            runs: 3,
+            threads: 4,
+            eval_batch: 80,
+            ..Default::default()
+        };
+        let curves = run_all_methods(&mut prepared, &cfg);
+        assert_eq!(curves.swim.len(), 3);
+        assert_eq!(curves.insitu.len(), 3);
+        let table = curves.to_table("smoke");
+        assert_eq!(table.len(), 4);
+        let csv = curves.to_csv("smoke");
+        assert!(csv.lines().count() > 10);
+    }
+}

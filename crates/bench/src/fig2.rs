@@ -1,0 +1,94 @@
+//! Shared driver for the three Fig. 2 panels.
+
+use crate::cli::Args;
+use crate::driver::{run_all_methods, DriverConfig};
+use crate::prep::{prepare, PrepConfig, Scenario};
+use crate::speedup::nwc_to_reach;
+use swim_cim::DeviceConfig;
+use swim_core::montecarlo::num_threads;
+
+/// Defaults for one Fig. 2 panel.
+pub struct Fig2Panel {
+    /// Output label (e.g. `"Fig. 2a"`).
+    pub name: &'static str,
+    /// Paper description of this panel.
+    pub paper_note: &'static str,
+    /// Scenario builder from the CLI width/classes.
+    pub scenario: fn(&Args) -> Scenario,
+    /// Default dataset size.
+    pub default_samples: usize,
+    /// Default training epochs.
+    pub default_epochs: usize,
+}
+
+/// Runs a Fig. 2 panel end to end: prepare → sweep all methods → print
+/// table, optional CSV series, and the NWC = 0.1 comparison the paper
+/// highlights.
+pub fn run_panel(panel: &Fig2Panel) {
+    let args = Args::parse();
+    if args.has("help") {
+        crate::cli::print_common_help(
+            "fig2*",
+            &[
+                ("--width X", "model width factor (1.0 = paper scale)"),
+                ("--classes N", "classes for the Tiny-ImageNet panel"),
+                ("--sigma X", "device variation (default 0.1, as in the paper)"),
+            ],
+        );
+        return;
+    }
+    let quick = args.has("quick");
+    let runs = args.get_usize("runs", if quick { 4 } else { 15 });
+    let samples = args.get_usize("samples", if quick { 400 } else { panel.default_samples });
+    let epochs = args.get_usize("epochs", if quick { 1 } else { panel.default_epochs });
+    let threads = args.get_usize("threads", num_threads());
+    let sigma = args.get_f64("sigma", 0.1);
+    let seed = args.get_u64("seed", 1);
+    // Deeper nets need a gentler rate than LeNet's 0.05 default.
+    let lr = args.get_f32("lr", 0.01);
+
+    let scenario = (panel.scenario)(&args);
+    println!("SWIM reproduction — {}: {}", panel.name, scenario.name());
+    println!("paper: {}\n", panel.paper_note);
+
+    let device = DeviceConfig::rram().with_sigma(sigma);
+    let prep_cfg = PrepConfig { samples, epochs, seed, lr, ..Default::default() };
+    let mut prepared = prepare(scenario, device, &prep_cfg);
+    println!(
+        "float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
+        prepared.float_accuracy, prepared.quant_accuracy
+    );
+
+    let cfg = DriverConfig { runs, threads, seed, ..Default::default() };
+    let curves = run_all_methods(&mut prepared, &cfg);
+    println!("{}", curves.to_table(&format!("{} accuracy vs NWC", panel.name)).render());
+    if args.has("csv") {
+        println!("{}", curves.to_csv(panel.name));
+    }
+
+    // The paper's headline comparison: the accuracy retained at NWC = 0.1
+    // versus writing-verifying everything.
+    let full = curves.swim.last().expect("nonempty sweep").accuracy.mean();
+    println!("shape checks vs the paper:");
+    let at = |pts: &[swim_core::montecarlo::SweepPoint]| {
+        pts.iter()
+            .find(|p| (p.fraction - 0.1).abs() < 1e-9)
+            .map(|p| p.accuracy.mean())
+    };
+    if let (Some(s), Some(m), Some(r)) =
+        (at(&curves.swim), at(&curves.magnitude), at(&curves.random))
+    {
+        println!(
+            "  at NWC=0.1: SWIM {s:.2}% vs Magnitude {m:.2}% vs Random {r:.2}% (full WV {full:.2}%)"
+        );
+        println!(
+            "  SWIM drop at NWC=0.1: {:.2} points; ordering SWIM>=Magnitude>=Random {}",
+            full - s,
+            if s >= m - 0.3 && m >= r - 0.3 { "holds" } else { "VIOLATED" }
+        );
+    }
+    let target = full - 0.5;
+    if let Some(nwc) = nwc_to_reach(&curves.swim, target) {
+        println!("  SWIM reaches (full-WV − 0.5%) at NWC {nwc:.2} — paper: ~0.1 for ResNet-18");
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness shared by the table/figure regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation section has a binary
+//! under `src/bin/` that regenerates it on the synthetic-data substrate
+//! (see DESIGN.md §6 for the full index):
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig1_correlation` | Fig. 1a/1b — accuracy drop vs magnitude / second derivative |
+//! | `table1` | Table 1 — LeNet, σ ∈ {0.1, 0.15, 0.2}, 4 methods × NWC grid |
+//! | `fig2a` | Fig. 2a — ConvNet / CIFAR-10-like |
+//! | `fig2b` | Fig. 2b — ResNet-18 / CIFAR-10-like |
+//! | `fig2c` | Fig. 2c — ResNet-18 / Tiny-ImageNet-like |
+//! | `calibration` | §4.1 — write-verify cycle/residual statistics |
+//! | `ablation` | granularity p sweep + tie-break ablation (DESIGN.md) |
+//!
+//! This library provides the pieces they share: a tiny flag parser
+//! ([`cli`]), dataset/model preparation with training ([`prep`]), the
+//! accuracy-target → NWC speed-up arithmetic ([`speedup`]), and the
+//! method-sweep driver ([`driver`]).
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod driver;
+pub mod prep;
+pub mod speedup;
+pub mod fig2;

@@ -1,0 +1,194 @@
+//! Model + dataset preparation for the experiment binaries.
+//!
+//! Each paper experiment starts from a model "trained to converge …
+//! before mapping to nvCiM" (§4.2). These helpers generate the synthetic
+//! dataset, train the corresponding architecture, and report the clean
+//! accuracies the paper quotes alongside each table/figure.
+
+use swim_cim::DeviceConfig;
+use swim_core::QuantizedModel;
+use swim_data::{synthetic_cifar, synthetic_mnist, synthetic_tiny_imagenet, Dataset};
+use swim_nn::loss::SoftmaxCrossEntropy;
+use swim_nn::models::{ConvNetConfig, LeNetConfig, ResNet18Config, ResNetStem};
+use swim_nn::train::{fit, TrainConfig};
+use swim_nn::Network;
+
+/// A trained, quantized, device-bound experiment setup.
+pub struct Prepared {
+    /// The quantized model bound to the device configuration.
+    pub model: QuantizedModel,
+    /// Training split (used for sensitivity computation and Alg. 1 reads).
+    pub train: Dataset,
+    /// Held-out evaluation split.
+    pub test: Dataset,
+    /// Accuracy of the un-quantized trained network on `test` (percent).
+    pub float_accuracy: f64,
+    /// Accuracy of the quantized clean model on `test` (percent) — the
+    /// paper's "accuracy without device variation".
+    pub quant_accuracy: f64,
+}
+
+/// Scenario descriptor for [`prepare`].
+#[derive(Debug, Clone, Copy)]
+pub enum Scenario {
+    /// LeNet on the MNIST substitute (paper §4.3; 4-bit).
+    LenetMnist,
+    /// ConvNet on the CIFAR-10 substitute (paper §4.4; 6-bit).
+    ConvnetCifar {
+        /// Channel-width multiplier (1.0 = paper-scale).
+        width: f32,
+    },
+    /// ResNet-18 on the CIFAR-10 substitute (paper §4.4; 6-bit).
+    Resnet18Cifar {
+        /// Channel-width multiplier (1.0 = paper-scale).
+        width: f32,
+    },
+    /// ResNet-18 on the Tiny-ImageNet substitute (paper §4.5; 6-bit).
+    Resnet18Tiny {
+        /// Channel-width multiplier (1.0 = paper-scale).
+        width: f32,
+        /// Number of classes (paper: 200).
+        classes: usize,
+    },
+}
+
+impl Scenario {
+    /// Weight/activation bit width the paper uses for this scenario.
+    pub fn weight_bits(&self) -> u32 {
+        match self {
+            Scenario::LenetMnist => 4,
+            _ => 6,
+        }
+    }
+
+    /// Short name used in output headers.
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::LenetMnist => "LeNet / MNIST-substitute (4-bit)".into(),
+            Scenario::ConvnetCifar { width } => {
+                format!("ConvNet(w={width}) / CIFAR-10-substitute (6-bit)")
+            }
+            Scenario::Resnet18Cifar { width } => {
+                format!("ResNet-18(w={width}) / CIFAR-10-substitute (6-bit)")
+            }
+            Scenario::Resnet18Tiny { width, classes } => {
+                format!("ResNet-18(w={width}) / Tiny-ImageNet-substitute ({classes} classes, 6-bit)")
+            }
+        }
+    }
+}
+
+/// Training budget for [`prepare`].
+#[derive(Debug, Clone, Copy)]
+pub struct PrepConfig {
+    /// Total samples generated (split 80/20 train/test).
+    pub samples: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Seed for data generation, initialization, and training shuffles.
+    pub seed: u64,
+}
+
+impl Default for PrepConfig {
+    fn default() -> Self {
+        PrepConfig { samples: 2500, epochs: 6, lr: 0.05, batch: 32, seed: 1 }
+    }
+}
+
+fn build_network(scenario: &Scenario, seed: u64) -> Network {
+    match scenario {
+        Scenario::LenetMnist => LeNetConfig::paper().build(seed),
+        Scenario::ConvnetCifar { width } => ConvNetConfig::reduced(*width).build(seed),
+        Scenario::Resnet18Cifar { width } => ResNet18Config::reduced(*width).build(seed),
+        Scenario::Resnet18Tiny { width, classes } => ResNet18Config {
+            num_classes: *classes,
+            stem: ResNetStem::TinyImageNet,
+            width_factor: *width,
+            ..ResNet18Config::paper_tiny_imagenet()
+        }
+        .build(seed),
+    }
+}
+
+fn build_dataset(scenario: &Scenario, samples: usize, seed: u64) -> Dataset {
+    match scenario {
+        Scenario::LenetMnist => synthetic_mnist(samples, seed),
+        Scenario::ConvnetCifar { .. } | Scenario::Resnet18Cifar { .. } => {
+            synthetic_cifar(samples, seed)
+        }
+        Scenario::Resnet18Tiny { classes, .. } => {
+            synthetic_tiny_imagenet(samples, *classes, seed)
+        }
+    }
+}
+
+/// Generates data, trains the scenario's network, and binds it to the
+/// device configuration.
+///
+/// Prints one progress line per stage so long-running binaries show
+/// life; returns everything an experiment needs.
+pub fn prepare(scenario: Scenario, device: DeviceConfig, cfg: &PrepConfig) -> Prepared {
+    let t0 = std::time::Instant::now();
+    let data = build_dataset(&scenario, cfg.samples, cfg.seed);
+    let (train, test) = data.split(0.8);
+    eprintln!(
+        "[prep] {}: {} train / {} test samples",
+        scenario.name(),
+        train.len(),
+        test.len()
+    );
+
+    let mut net = build_network(&scenario, cfg.seed.wrapping_add(41));
+    let tc = TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch,
+        lr: cfg.lr,
+        seed: cfg.seed.wrapping_add(97),
+        ..Default::default()
+    };
+    let history = fit(&mut net, &SoftmaxCrossEntropy::new(), train.images(), train.labels(), &tc);
+    let float_accuracy = 100.0 * net.accuracy(test.images(), test.labels(), 256);
+    eprintln!(
+        "[prep] trained {} epochs (final loss {:.4}); float accuracy {:.2}% ({:?})",
+        cfg.epochs,
+        history.final_loss(),
+        float_accuracy,
+        t0.elapsed()
+    );
+
+    let mut model = QuantizedModel::new(net, scenario.weight_bits(), device);
+    let quant_accuracy = 100.0 * model.clean_accuracy(&test, 256);
+    eprintln!("[prep] quantized ({}-bit) accuracy {:.2}%", scenario.weight_bits(), quant_accuracy);
+
+    Prepared { model, train, test, float_accuracy, quant_accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_prep_learns() {
+        let cfg = PrepConfig { samples: 600, epochs: 2, ..Default::default() };
+        let prepared = prepare(Scenario::LenetMnist, DeviceConfig::rram(), &cfg);
+        // Better than chance (10%) after even a short budget.
+        assert!(prepared.quant_accuracy > 30.0, "accuracy {}", prepared.quant_accuracy);
+        assert_eq!(prepared.model.mapper().slicing().weight_bits(), 4);
+        assert_eq!(prepared.train.len(), 480);
+        assert_eq!(prepared.test.len(), 120);
+    }
+
+    #[test]
+    fn scenario_bit_widths() {
+        assert_eq!(Scenario::LenetMnist.weight_bits(), 4);
+        assert_eq!(Scenario::ConvnetCifar { width: 0.1 }.weight_bits(), 6);
+        assert_eq!(
+            Scenario::Resnet18Tiny { width: 0.1, classes: 20 }.weight_bits(),
+            6
+        );
+    }
+}

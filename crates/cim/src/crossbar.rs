@@ -1,0 +1,239 @@
+//! Crossbar array tile: analog matrix–vector multiplication.
+//!
+//! A crossbar stores a weight matrix as device conductances at the
+//! crosspoints of word lines and bit lines (paper §2.1): input
+//! activations are applied as voltages on the rows, and each column's
+//! current is the dot product of the inputs with that column's
+//! conductances. Signed weights use *differential* column pairs
+//! (`G⁺ − G⁻`); the column current is digitized by an ADC of configurable
+//! resolution.
+//!
+//! The SWIM experiments perturb weights in the network's own value domain
+//! (mathematically identical, per Eq. 16); this tile model exists so the
+//! substrate is a usable CiM library in its own right, and is
+//! cross-checked against the weight-domain model in the tests.
+
+use crate::device::DeviceConfig;
+use crate::mapping::{ProgramSummary, WeightMapper};
+use swim_quant::QuantizedTensor;
+use swim_tensor::{Prng, Tensor};
+
+/// Crossbar tile configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarConfig {
+    /// Device model.
+    pub device: DeviceConfig,
+    /// Weight magnitude bits (`M`).
+    pub weight_bits: u32,
+    /// ADC resolution in bits; `None` keeps column outputs analog
+    /// (float) — useful for isolating programming-noise effects.
+    pub adc_bits: Option<u32>,
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        CrossbarConfig { device: DeviceConfig::rram(), weight_bits: 4, adc_bits: None }
+    }
+}
+
+/// A programmed crossbar tile holding an `[rows_out, cols_in]` weight
+/// matrix as differential conductance pairs.
+///
+/// # Example
+///
+/// ```
+/// use swim_cim::crossbar::{Crossbar, CrossbarConfig};
+/// use swim_quant::QuantizedTensor;
+/// use swim_tensor::{Prng, Tensor};
+///
+/// let w = Tensor::from_vec(vec![0.5, -0.5, 1.0, 0.0], &[2, 2])?;
+/// let q = QuantizedTensor::quantize(&w, 4);
+/// let mut rng = Prng::seed_from_u64(0);
+/// let cfg = CrossbarConfig::default();
+/// let (xbar, _) = Crossbar::program(&q, &cfg, None, &mut rng);
+/// let y = xbar.matvec(&Tensor::from_vec(vec![1.0, 1.0], &[2])?);
+/// // y ~ W x up to quantization + programming noise.
+/// assert!((y.data()[0] - 0.0).abs() < 1.0);
+/// # Ok::<(), swim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    /// Effective signed conductance per crosspoint (G⁺ − G⁻), in weight
+    /// units (codes × scale).
+    weights: Vec<f32>,
+    rows_out: usize,
+    cols_in: usize,
+    config: CrossbarConfig,
+}
+
+impl Crossbar {
+    /// Programs a quantized `[out, in]` weight matrix onto a tile.
+    ///
+    /// `selection` optionally write-verifies a subset of the weights
+    /// (flat row-major indices), exactly as in the selective write-verify
+    /// experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the selection mask length
+    /// mismatches.
+    pub fn program(
+        weights: &QuantizedTensor,
+        config: &CrossbarConfig,
+        selection: Option<&[bool]>,
+        rng: &mut Prng,
+    ) -> (Crossbar, ProgramSummary) {
+        assert_eq!(weights.shape().len(), 2, "crossbar expects a rank-2 weight matrix");
+        let mapper = WeightMapper::new(config.weight_bits, config.device);
+        let (noisy_codes, summary) = mapper.program(weights.codes(), selection, rng);
+        let scale = weights.params().scale();
+        let values: Vec<f32> = noisy_codes.iter().map(|&c| c as f32 * scale).collect();
+        (
+            Crossbar {
+                weights: values,
+                rows_out: weights.shape()[0],
+                cols_in: weights.shape()[1],
+                config: *config,
+            },
+            summary,
+        )
+    }
+
+    /// Output dimension (number of differential column pairs).
+    pub fn rows_out(&self) -> usize {
+        self.rows_out
+    }
+
+    /// Input dimension (number of word lines).
+    pub fn cols_in(&self) -> usize {
+        self.cols_in
+    }
+
+    /// The effective programmed weights (after noise), row-major.
+    pub fn effective_weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Analog matrix–vector product `y = W_programmed · x`, with optional
+    /// ADC quantization of each column output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 1 of length `cols_in`.
+    pub fn matvec(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 1, "crossbar input must be rank 1");
+        assert_eq!(
+            x.shape()[0],
+            self.cols_in,
+            "crossbar expected input length {}, got {}",
+            self.cols_in,
+            x.shape()[0]
+        );
+        let xd = x.data();
+        let mut out = vec![0.0f32; self.rows_out];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.weights[r * self.cols_in..(r + 1) * self.cols_in];
+            let mut acc = 0.0f64;
+            for (&w, &v) in row.iter().zip(xd) {
+                acc += w as f64 * v as f64;
+            }
+            *o = acc as f32;
+        }
+        let mut y = Tensor::from_vec(out, &[self.rows_out]).expect("sized output");
+        if let Some(bits) = self.config.adc_bits {
+            y = swim_quant::fake_quant(&y, bits);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_matrix(rng: &mut Prng, m: usize, n: usize) -> Tensor {
+        Tensor::randn(&[m, n], rng)
+    }
+
+    #[test]
+    fn noiseless_crossbar_matches_gemm() {
+        let mut rng = Prng::seed_from_u64(1);
+        let w = random_matrix(&mut rng, 6, 5);
+        let q = QuantizedTensor::quantize(&w, 8);
+        let cfg = CrossbarConfig {
+            device: DeviceConfig::rram().with_sigma(0.0),
+            weight_bits: 8,
+            adc_bits: None,
+        };
+        let (xbar, _) = Crossbar::program(&q, &cfg, None, &mut rng);
+        let x = Tensor::randn(&[5], &mut rng);
+        let y = xbar.matvec(&x);
+        let expected = swim_tensor::linalg::matvec(&q.dequantize(), &x);
+        assert!(y.allclose(&expected, 1e-4));
+    }
+
+    #[test]
+    fn write_verified_tile_is_more_accurate() {
+        let mut rng = Prng::seed_from_u64(2);
+        let w = random_matrix(&mut rng, 8, 8);
+        let q = QuantizedTensor::quantize(&w, 4);
+        let cfg = CrossbarConfig::default();
+        let all = vec![true; 64];
+        let ideal = q.dequantize();
+
+        let mut err_raw = 0.0f64;
+        let mut err_wv = 0.0f64;
+        for trial in 0..20 {
+            let mut rng_a = Prng::seed_from_u64(100 + trial);
+            let mut rng_b = Prng::seed_from_u64(100 + trial);
+            let (raw, _) = Crossbar::program(&q, &cfg, None, &mut rng_a);
+            let (wv, _) = Crossbar::program(&q, &cfg, Some(&all), &mut rng_b);
+            for i in 0..64 {
+                err_raw += (raw.effective_weights()[i] - ideal.data()[i]).powi(2) as f64;
+                err_wv += (wv.effective_weights()[i] - ideal.data()[i]).powi(2) as f64;
+            }
+        }
+        assert!(err_wv < err_raw * 0.5, "wv {err_wv} raw {err_raw}");
+    }
+
+    #[test]
+    fn adc_quantizes_outputs() {
+        let mut rng = Prng::seed_from_u64(3);
+        let w = random_matrix(&mut rng, 4, 4);
+        let q = QuantizedTensor::quantize(&w, 6);
+        let cfg = CrossbarConfig {
+            device: DeviceConfig::rram().with_sigma(0.0),
+            weight_bits: 6,
+            adc_bits: Some(3),
+        };
+        let (xbar, _) = Crossbar::program(&q, &cfg, None, &mut rng);
+        let y = xbar.matvec(&Tensor::ones(&[4]));
+        // 3-bit symmetric grid: at most 15 distinct values.
+        let max = y.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        let step = max / 7.0;
+        for &v in y.data() {
+            let k = (v / step).round();
+            assert!((v - k * step).abs() < 1e-5, "{v} not on ADC grid");
+        }
+    }
+
+    #[test]
+    fn summary_counts_all_weights() {
+        let mut rng = Prng::seed_from_u64(4);
+        let w = random_matrix(&mut rng, 3, 4);
+        let q = QuantizedTensor::quantize(&w, 4);
+        let (_, summary) = Crossbar::program(&q, &CrossbarConfig::default(), None, &mut rng);
+        assert_eq!(summary.total_weights, 12);
+        assert_eq!(summary.verified_weights, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn matvec_checks_input_size() {
+        let mut rng = Prng::seed_from_u64(5);
+        let w = random_matrix(&mut rng, 2, 3);
+        let q = QuantizedTensor::quantize(&w, 4);
+        let (xbar, _) = Crossbar::program(&q, &CrossbarConfig::default(), None, &mut rng);
+        xbar.matvec(&Tensor::zeros(&[5]));
+    }
+}

@@ -1,0 +1,134 @@
+//! Conductance drift (retention) — a further variation source.
+//!
+//! PCM (and to a lesser degree RRAM) conductances decay after
+//! programming following the empirical power law
+//! `g(t) = g(t₀) · (t/t₀)^(−ν)` with a device-to-device random drift
+//! exponent ν. The paper scopes itself to programming-time temporal
+//! variation but notes the framework "can also be extended to other
+//! sources of variations" (§2.1); this module provides that extension
+//! for the retention axis, letting experiments ask how long a
+//! write-verified mapping *stays* accurate and when re-programming is
+//! warranted.
+
+use swim_tensor::Prng;
+
+/// Power-law drift model with normally distributed per-device exponents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Mean drift exponent ν (PCM literature: ~0.03–0.1; RRAM ≈ 0.005).
+    pub nu_mean: f64,
+    /// Device-to-device std of the exponent.
+    pub nu_std: f64,
+    /// Normalization time t₀ (seconds) at which the programmed value is
+    /// exact.
+    pub t0: f64,
+}
+
+impl DriftModel {
+    /// A PCM-like preset (pronounced drift).
+    pub fn pcm() -> Self {
+        DriftModel { nu_mean: 0.05, nu_std: 0.015, t0: 1.0 }
+    }
+
+    /// An RRAM-like preset (mild drift).
+    pub fn rram() -> Self {
+        DriftModel { nu_mean: 0.005, nu_std: 0.002, t0: 1.0 }
+    }
+
+    /// Samples one device's drift exponent (clamped at 0: conductance
+    /// does not spontaneously increase in this model).
+    pub fn sample_exponent(&self, rng: &mut Prng) -> f64 {
+        rng.normal(self.nu_mean, self.nu_std).max(0.0)
+    }
+
+    /// Value of a device programmed to `g0` at `t0`, observed at time
+    /// `t` seconds, with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `t0` is not positive.
+    pub fn decay(&self, g0: f64, nu: f64, t: f64) -> f64 {
+        assert!(t > 0.0 && self.t0 > 0.0, "times must be positive");
+        g0 * (t / self.t0).powf(-nu)
+    }
+
+    /// Applies drift to a whole conductance vector at time `t`, sampling
+    /// a fresh exponent per device.
+    pub fn apply(&self, conductances: &mut [f64], t: f64, rng: &mut Prng) {
+        for g in conductances.iter_mut() {
+            let nu = self.sample_exponent(rng);
+            *g = self.decay(*g, nu, t);
+        }
+    }
+
+    /// Mean multiplicative decay factor at time `t` (first-order: using
+    /// the mean exponent).
+    pub fn mean_factor(&self, t: f64) -> f64 {
+        (t / self.t0).powf(-self.nu_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_drift_at_t0() {
+        let m = DriftModel::pcm();
+        assert_eq!(m.decay(7.0, 0.05, m.t0), 7.0);
+    }
+
+    #[test]
+    fn conductance_decays_monotonically() {
+        let m = DriftModel::pcm();
+        let g1 = m.decay(10.0, 0.05, 10.0);
+        let g2 = m.decay(10.0, 0.05, 1000.0);
+        let g3 = m.decay(10.0, 0.05, 100_000.0);
+        assert!(10.0 > g1 && g1 > g2 && g2 > g3);
+        assert!(g3 > 0.0);
+    }
+
+    #[test]
+    fn pcm_drifts_faster_than_rram() {
+        let t = 86_400.0; // one day
+        assert!(DriftModel::pcm().mean_factor(t) < DriftModel::rram().mean_factor(t));
+    }
+
+    #[test]
+    fn apply_shifts_population_down() {
+        let m = DriftModel::pcm();
+        let mut rng = Prng::seed_from_u64(1);
+        let mut g = vec![8.0f64; 10_000];
+        m.apply(&mut g, 3600.0, &mut rng);
+        let mean = g.iter().sum::<f64>() / g.len() as f64;
+        let expected = 8.0 * m.mean_factor(3600.0);
+        // Jensen gap is small at these exponents.
+        assert!((mean - expected).abs() < 0.05 * expected, "mean {mean} vs {expected}");
+        assert!(g.iter().all(|&v| v > 0.0 && v <= 8.0));
+    }
+
+    #[test]
+    fn exponents_never_negative() {
+        let m = DriftModel { nu_mean: 0.0, nu_std: 0.05, t0: 1.0 };
+        let mut rng = Prng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(m.sample_exponent(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = DriftModel::pcm();
+        let mut a = vec![5.0f64; 16];
+        let mut b = vec![5.0f64; 16];
+        m.apply(&mut a, 100.0, &mut Prng::seed_from_u64(3));
+        m.apply(&mut b, 100.0, &mut Prng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_time() {
+        DriftModel::pcm().decay(1.0, 0.05, 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Programming whole weight tensors onto devices.
+//!
+//! [`WeightMapper`] is the bridge between the network world (quantized
+//! signed weight codes) and the device world (K-bit conductance levels):
+//! each code's magnitude is bit-sliced ([`DeviceSlicing`], Eqs. 14–15),
+//! every slice is programmed — with or without write-verify per a
+//! selection mask — and the (noisy) weight code is reconstructed. Pulse
+//! counts are accumulated exactly, which is what the paper's
+//! *normalized write cycles* metric is computed from.
+
+use crate::device::DeviceConfig;
+use crate::writeverify::{program_once, write_verify};
+use swim_quant::DeviceSlicing;
+use swim_tensor::Prng;
+
+/// Aggregate result of programming a weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramSummary {
+    /// Pulses spent on write-verified weights.
+    pub verify_pulses: u64,
+    /// Pulses spent on plain (unverified) programming.
+    ///
+    /// The paper treats the initial bulk write as free (it happens in
+    /// parallel, NWC = 0 means "no write-verify"); the count is reported
+    /// separately so callers can choose either accounting.
+    pub bulk_pulses: u64,
+    /// Number of weights that were write-verified.
+    pub verified_weights: u64,
+    /// Total number of weights programmed.
+    pub total_weights: u64,
+}
+
+impl ProgramSummary {
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &ProgramSummary) {
+        self.verify_pulses += other.verify_pulses;
+        self.bulk_pulses += other.bulk_pulses;
+        self.verified_weights += other.verified_weights;
+        self.total_weights += other.total_weights;
+    }
+}
+
+/// Programs quantized weight codes onto bit-sliced NVM devices.
+///
+/// # Example
+///
+/// ```
+/// use swim_cim::device::DeviceConfig;
+/// use swim_cim::mapping::WeightMapper;
+/// use swim_tensor::Prng;
+///
+/// let mapper = WeightMapper::new(4, DeviceConfig::rram());
+/// let codes = vec![3, -7, 0, 15];
+/// let mut rng = Prng::seed_from_u64(1);
+/// // Write-verify only the second weight.
+/// let (noisy, summary) = mapper.program(&codes, Some(&[false, true, false, false]), &mut rng);
+/// assert_eq!(noisy.len(), 4);
+/// assert_eq!(summary.verified_weights, 1);
+/// assert!((noisy[1] - -7.0).abs() <= mapper.config().level_margin());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightMapper {
+    slicing: DeviceSlicing,
+    config: DeviceConfig,
+}
+
+impl WeightMapper {
+    /// Creates a mapper for `weight_bits`-bit magnitudes on devices of
+    /// `config.device_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit widths are inconsistent (see
+    /// [`DeviceSlicing::new`]).
+    pub fn new(weight_bits: u32, config: DeviceConfig) -> Self {
+        config.validate();
+        WeightMapper {
+            slicing: DeviceSlicing::new(weight_bits, config.device_bits),
+            config,
+        }
+    }
+
+    /// The bit-slicing in use.
+    pub fn slicing(&self) -> DeviceSlicing {
+        self.slicing
+    }
+
+    /// The device configuration in use.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Effective std of the weight-code error for a *single uncorrected
+    /// write*, in weight-code units: `σ·(2^K−1)·√(Σ_i 2^{2iK})` (Eq. 16
+    /// with σ expressed as a fraction of device full scale).
+    pub fn weight_code_sigma(&self) -> f64 {
+        self.config.level_sigma() * self.slicing.std_amplification()
+    }
+
+    /// Programs one signed weight code; returns the reconstructed noisy
+    /// code and the pulses spent.
+    pub fn program_weight(
+        &self,
+        code: i32,
+        verify: bool,
+        rng: &mut Prng,
+    ) -> (f64, u64) {
+        let max_code = (1i64 << self.slicing.weight_bits()) - 1;
+        assert!(
+            (code as i64).abs() <= max_code,
+            "code {code} does not fit in {} bits",
+            self.slicing.weight_bits()
+        );
+        let sign = if code < 0 { -1.0 } else { 1.0 };
+        let levels = self.slicing.slice(code.unsigned_abs());
+        let mut pulses = 0u64;
+        let noisy: Vec<f64> = levels
+            .iter()
+            .map(|&level| {
+                let outcome = if verify {
+                    write_verify(level as f64, &self.config, rng)
+                } else {
+                    program_once(level as f64, &self.config, rng)
+                };
+                pulses += outcome.pulses;
+                outcome.value
+            })
+            .collect();
+        (sign * self.slicing.reconstruct(&noisy), pulses)
+    }
+
+    /// Programs a slice of signed weight codes.
+    ///
+    /// `selection[i] == true` write-verifies weight `i`; `None` programs
+    /// everything without verification. Returns the noisy codes and the
+    /// pulse accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection` is provided with a different length than
+    /// `codes`.
+    pub fn program(
+        &self,
+        codes: &[i32],
+        selection: Option<&[bool]>,
+        rng: &mut Prng,
+    ) -> (Vec<f64>, ProgramSummary) {
+        if let Some(sel) = selection {
+            assert_eq!(sel.len(), codes.len(), "selection mask length mismatch");
+        }
+        let mut summary = ProgramSummary { total_weights: codes.len() as u64, ..Default::default() };
+        let noisy = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &code)| {
+                let verify = selection.map(|s| s[i]).unwrap_or(false);
+                let (value, pulses) = self.program_weight(code, verify, rng);
+                if verify {
+                    summary.verify_pulses += pulses;
+                    summary.verified_weights += 1;
+                } else {
+                    summary.bulk_pulses += pulses;
+                }
+                value
+            })
+            .collect();
+        (noisy, summary)
+    }
+
+    /// Pulses needed to write-verify *all* `codes` — the NWC = 1.0
+    /// denominator. Simulated exactly with its own RNG stream so the
+    /// denominator does not perturb the experiment's noise draws.
+    pub fn write_verify_all_cost(&self, codes: &[i32], rng: &mut Prng) -> u64 {
+        let all = vec![true; codes.len()];
+        let (_, summary) = self.program(codes, Some(&all), rng);
+        summary.verify_pulses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper() -> WeightMapper {
+        WeightMapper::new(4, DeviceConfig::rram())
+    }
+
+    #[test]
+    fn verified_weights_land_within_margin() {
+        let m = mapper();
+        let mut rng = Prng::seed_from_u64(1);
+        for code in [-15i32, -3, 0, 7, 15] {
+            let (value, pulses) = m.program_weight(code, true, &mut rng);
+            assert!(
+                (value - code as f64).abs() <= m.config().level_margin() + 1e-12,
+                "code {code} -> {value}"
+            );
+            assert!(pulses >= 1);
+        }
+    }
+
+    #[test]
+    fn unverified_error_has_eq16_sigma() {
+        // 8-bit weights on 4-bit devices: sigma_w = sigma * sqrt(1+2^8).
+        let m = WeightMapper::new(8, DeviceConfig::rram());
+        let mut rng = Prng::seed_from_u64(2);
+        let n = 40_000;
+        let codes = vec![100i32; n];
+        let (noisy, summary) = m.program(&codes, None, &mut rng);
+        let mean: f64 = noisy.iter().map(|&v| v - 100.0).sum::<f64>() / n as f64;
+        let var: f64 =
+            noisy.iter().map(|&v| (v - 100.0 - mean).powi(2)).sum::<f64>() / n as f64;
+        let expected = m.weight_code_sigma();
+        assert!((var.sqrt() - expected).abs() < 0.05 * expected, "std {} vs {expected}", var.sqrt());
+        // Two devices per weight, one pulse each.
+        assert_eq!(summary.bulk_pulses, 2 * n as u64);
+    }
+
+    #[test]
+    fn sign_is_preserved() {
+        let m = mapper();
+        let mut rng = Prng::seed_from_u64(3);
+        let (pos, _) = m.program_weight(9, true, &mut rng);
+        let (neg, _) = m.program_weight(-9, true, &mut rng);
+        assert!(pos > 0.0);
+        assert!(neg < 0.0);
+    }
+
+    #[test]
+    fn selection_mask_controls_cost() {
+        let m = mapper();
+        let mut rng = Prng::seed_from_u64(4);
+        let codes: Vec<i32> = (0..1000).map(|i| (i % 16) as i32).collect();
+        let half: Vec<bool> = (0..1000).map(|i| i < 500).collect();
+        let (_, s) = m.program(&codes, Some(&half), &mut rng);
+        assert_eq!(s.verified_weights, 500);
+        assert_eq!(s.total_weights, 1000);
+        assert_eq!(s.bulk_pulses, 500); // 1 device per 4-bit weight
+        assert!(s.verify_pulses > s.bulk_pulses); // verify costs ~10x
+    }
+
+    #[test]
+    fn write_verify_all_cost_scales_linearly() {
+        let m = mapper();
+        let mut rng = Prng::seed_from_u64(5);
+        let codes: Vec<i32> = (0..20_000).map(|i| (i % 16) as i32).collect();
+        let c_full = m.write_verify_all_cost(&codes, &mut rng) as f64;
+        let c_half = m.write_verify_all_cost(&codes[..10_000], &mut rng) as f64;
+        let ratio = c_full / c_half;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio {ratio}");
+        // And the per-weight cost sits at the paper's ~10 cycles.
+        let per_weight = c_full / 20_000.0;
+        assert!((8.0..12.0).contains(&per_weight), "per-weight cost {per_weight}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_code() {
+        let m = mapper();
+        m.program_weight(16, false, &mut Prng::seed_from_u64(6));
+    }
+
+    #[test]
+    fn summary_merge_adds() {
+        let mut a = ProgramSummary {
+            verify_pulses: 10,
+            bulk_pulses: 5,
+            verified_weights: 2,
+            total_weights: 7,
+        };
+        a.merge(&ProgramSummary {
+            verify_pulses: 1,
+            bulk_pulses: 2,
+            verified_weights: 3,
+            total_weights: 4,
+        });
+        assert_eq!(a.verify_pulses, 11);
+        assert_eq!(a.bulk_pulses, 7);
+        assert_eq!(a.verified_weights, 5);
+        assert_eq!(a.total_weights, 11);
+    }
+}

@@ -1,0 +1,166 @@
+//! Correlated (spatial) variation — the extension the paper sketches.
+//!
+//! §2.1: "Spatial variations result from fabrication defects and have
+//! both local and global correlations … The proposed framework can also
+//! be extended to other sources of variations with modification." This
+//! module provides that extension: a three-component noise model
+//!
+//! ```text
+//! Δg_i = global + local[region(i)] + iid_i
+//! ```
+//!
+//! with one chip-wide offset, one offset per contiguous *region* of
+//! devices (modelling per-tile/per-column process gradients), and the
+//! temporal i.i.d. term of the base model. The sum remains Gaussian per
+//! device, so the SWIM pipeline runs unchanged on top; what changes is
+//! the error *correlation*, which write-verify (applied per device)
+//! still corrects — making SWIM's selection equally applicable.
+
+use swim_tensor::Prng;
+
+/// Parameters of the correlated variation model, each a standard
+/// deviation as a fraction of device full scale (matching
+/// [`crate::device::DeviceConfig`] conventions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedVariation {
+    /// Chip-wide (global) offset std.
+    pub global_sigma: f64,
+    /// Per-region offset std (fabrication gradients).
+    pub local_sigma: f64,
+    /// Per-device i.i.d. std (the base temporal model).
+    pub device_sigma: f64,
+    /// Devices per correlated region (e.g. one crossbar tile's worth).
+    pub region_size: usize,
+}
+
+impl CorrelatedVariation {
+    /// A spatial profile with mild global and local components on top of
+    /// the paper's temporal σ.
+    pub fn with_defaults(device_sigma: f64) -> Self {
+        CorrelatedVariation {
+            global_sigma: 0.25 * device_sigma,
+            local_sigma: 0.5 * device_sigma,
+            device_sigma,
+            region_size: 128 * 128,
+        }
+    }
+
+    /// Total per-device noise variance (fractions of full scale).
+    pub fn total_variance(&self) -> f64 {
+        self.global_sigma.powi(2) + self.local_sigma.powi(2) + self.device_sigma.powi(2)
+    }
+
+    /// Samples a noise vector for `n` devices (fractions of full scale):
+    /// one global draw, one draw per `region_size` block, and an i.i.d.
+    /// draw per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_size` is zero.
+    pub fn sample(&self, n: usize, rng: &mut Prng) -> Vec<f64> {
+        assert!(self.region_size > 0, "region_size must be positive");
+        let global = rng.normal(0.0, self.global_sigma);
+        let regions = n.div_ceil(self.region_size);
+        let locals: Vec<f64> = (0..regions)
+            .map(|_| rng.normal(0.0, self.local_sigma))
+            .collect();
+        (0..n)
+            .map(|i| global + locals[i / self.region_size] + rng.normal(0.0, self.device_sigma))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_tensor::stats::{pearson, Running};
+
+    fn model() -> CorrelatedVariation {
+        CorrelatedVariation {
+            global_sigma: 0.05,
+            local_sigma: 0.08,
+            device_sigma: 0.1,
+            region_size: 100,
+        }
+    }
+
+    #[test]
+    fn variance_decomposition() {
+        let m = model();
+        // Across many independent chips, per-device variance must equal
+        // the sum of the three component variances.
+        let mut acc = Running::new();
+        let mut rng = Prng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = m.sample(50, &mut rng);
+            for x in v {
+                acc.push(x);
+            }
+        }
+        let expected = m.total_variance();
+        assert!(
+            (acc.variance() - expected).abs() < 0.05 * expected,
+            "variance {} vs {expected}",
+            acc.variance()
+        );
+    }
+
+    #[test]
+    fn within_region_correlation_exceeds_across() {
+        let m = model();
+        let mut rng = Prng::seed_from_u64(2);
+        // Sample many chips; check device 0 correlates more with device 1
+        // (same region) than with device 150 (different region).
+        let mut d0 = Vec::new();
+        let mut d1 = Vec::new();
+        let mut d150 = Vec::new();
+        for _ in 0..3000 {
+            let v = m.sample(200, &mut rng);
+            d0.push(v[0]);
+            d1.push(v[1]);
+            d150.push(v[150]);
+        }
+        let same = pearson(&d0, &d1);
+        let cross = pearson(&d0, &d150);
+        // Theoretical: same = (g²+l²)/total ≈ 0.47 ; cross = g²/total ≈ 0.13.
+        assert!(same > cross + 0.15, "same {same} cross {cross}");
+        assert!(same > 0.3, "same-region correlation too weak: {same}");
+    }
+
+    #[test]
+    fn zero_components_reduce_to_iid() {
+        let m = CorrelatedVariation {
+            global_sigma: 0.0,
+            local_sigma: 0.0,
+            device_sigma: 0.1,
+            region_size: 10,
+        };
+        let mut rng = Prng::seed_from_u64(3);
+        let mut d0 = Vec::new();
+        let mut d1 = Vec::new();
+        for _ in 0..3000 {
+            let v = m.sample(10, &mut rng);
+            d0.push(v[0]);
+            d1.push(v[1]);
+        }
+        assert!(pearson(&d0, &d1).abs() < 0.08);
+    }
+
+    #[test]
+    fn defaults_scale_with_device_sigma() {
+        let m = CorrelatedVariation::with_defaults(0.1);
+        assert!(m.total_variance() > 0.01);
+        assert_eq!(m.device_sigma, 0.1);
+        let larger = CorrelatedVariation::with_defaults(0.2);
+        assert!(larger.total_variance() > m.total_variance());
+    }
+
+    #[test]
+    fn sample_length_and_determinism() {
+        let m = model();
+        let a = m.sample(257, &mut Prng::seed_from_u64(4));
+        let b = m.sample(257, &mut Prng::seed_from_u64(4));
+        assert_eq!(a.len(), 257);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,212 @@
+//! Single-device programming: write-without-verify and write-verify.
+//!
+//! The model follows paper §4.1: every program operation lands at
+//! `N(target, σ²)`. Write-verify then *reads* the device (reads are
+//! essentially free relative to writes, §3.1), compares against the
+//! desired value, and re-programs the difference until within the margin.
+//! Each correction of magnitude `e` is a train of `⌈e / pulse_step⌉`
+//! bounded-amplitude pulses — the two-step SET/RESET pulse behaviour of
+//! the multilevel write-verify scheme in the paper's ref \[8\] — and every
+//! pulse counts toward programming time.
+
+use crate::device::DeviceConfig;
+use swim_tensor::stats::Running;
+use swim_tensor::Prng;
+
+/// Result of programming one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramOutcome {
+    /// Conductance actually left on the device, in level units.
+    pub value: f64,
+    /// Total programming pulses spent.
+    pub pulses: u64,
+}
+
+/// Programs a device once, without verification (the parallel bulk-write
+/// used for unselected weights; 1 pulse).
+pub fn program_once(target: f64, cfg: &DeviceConfig, rng: &mut Prng) -> ProgramOutcome {
+    cfg.validate();
+    ProgramOutcome { value: rng.normal(target, cfg.level_sigma()), pulses: 1 }
+}
+
+/// Programs a device with the iterative write-verify loop.
+///
+/// Loop: program (noisy), read (free), and if `|g − target| > margin`
+/// re-program the difference with a pulse train of
+/// `⌈|g − target| / pulse_step⌉` pulses. Terminates when the value is
+/// within the margin or `max_verify_iters` is reached (the value is then
+/// still the best achieved).
+///
+/// The returned [`ProgramOutcome::value`] is guaranteed within the margin
+/// except in the (astronomically unlikely, bounded) iteration-cap case.
+pub fn write_verify(target: f64, cfg: &DeviceConfig, rng: &mut Prng) -> ProgramOutcome {
+    cfg.validate();
+    // Initial bulk program: one pulse.
+    let sigma = cfg.level_sigma();
+    let margin = cfg.level_margin();
+    let step = cfg.level_pulse_step();
+    let mut value = rng.normal(target, sigma);
+    let mut pulses = 1u64;
+    for _ in 0..cfg.max_verify_iters {
+        let err = value - target;
+        if err.abs() <= margin {
+            break;
+        }
+        // Correction pulse train: bounded-amplitude pulses, each with its
+        // own stochastic landing; modelled as re-programming the
+        // difference and costing ceil(|err|/pulse_step) pulses.
+        let train = (err.abs() / step).ceil().max(1.0) as u64;
+        pulses += train;
+        value = rng.normal(target, sigma);
+    }
+    ProgramOutcome { value, pulses }
+}
+
+/// Monte Carlo statistics of the write-verify loop (used by the §4.1
+/// calibration experiment and tests).
+///
+/// Error statistics are reported as *fractions of device full scale* so
+/// they compare directly against the paper's numbers (raw σ = 0.1,
+/// post-write-verify σ ≈ 0.03).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteVerifyStats {
+    /// Mean pulses per write-verified device.
+    pub avg_pulses: f64,
+    /// Std of the residual error after write-verify, relative to full
+    /// scale.
+    pub residual_std: f64,
+    /// Std of the error without write-verify, relative to full scale
+    /// (should be ≈ σ).
+    pub raw_std: f64,
+    /// Fraction of devices that needed no correction at all.
+    pub first_try_rate: f64,
+}
+
+/// Measures [`WriteVerifyStats`] over `samples` devices with random
+/// targets in `[0, 2^K − 1]`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn measure_stats(cfg: &DeviceConfig, samples: usize, rng: &mut Prng) -> WriteVerifyStats {
+    assert!(samples > 0, "samples must be positive");
+    cfg.validate();
+    let levels = (1u32 << cfg.device_bits) - 1;
+    let mut pulses = Running::new();
+    let mut residual = Running::new();
+    let mut raw = Running::new();
+    let mut first_try = 0usize;
+    for _ in 0..samples {
+        let target = rng.below(levels as usize + 1) as f64;
+        let outcome = write_verify(target, cfg, rng);
+        pulses.push(outcome.pulses as f64);
+        residual.push(outcome.value - target);
+        if outcome.pulses == 1 {
+            first_try += 1;
+        }
+        raw.push(program_once(target, cfg, rng).value - target);
+    }
+    let fs = cfg.full_scale();
+    WriteVerifyStats {
+        avg_pulses: pulses.mean(),
+        residual_std: residual.std() / fs,
+        raw_std: raw.std() / fs,
+        first_try_rate: first_try as f64 / samples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_verify_lands_within_margin() {
+        let cfg = DeviceConfig::rram();
+        let mut rng = Prng::seed_from_u64(1);
+        for target in [0.0, 3.0, 7.5, 15.0] {
+            for _ in 0..100 {
+                let o = write_verify(target, &cfg, &mut rng);
+                assert!(
+                    (o.value - target).abs() <= cfg.level_margin(),
+                    "target {target} landed at {}",
+                    o.value
+                );
+                assert!(o.pulses >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_exact_single_pulse() {
+        let cfg = DeviceConfig::rram().with_sigma(0.0);
+        let mut rng = Prng::seed_from_u64(2);
+        let o = write_verify(9.0, &cfg, &mut rng);
+        assert_eq!(o.value, 9.0);
+        assert_eq!(o.pulses, 1);
+    }
+
+    #[test]
+    fn calibration_matches_paper_section_4_1() {
+        // Paper: ~10 average cycles per weight and residual sigma ~0.03
+        // after write-verify, at sigma = 0.1.
+        let cfg = DeviceConfig::rram();
+        let mut rng = Prng::seed_from_u64(3);
+        let stats = measure_stats(&cfg, 40_000, &mut rng);
+        assert!(
+            (8.0..12.0).contains(&stats.avg_pulses),
+            "avg pulses {} outside the paper's ~10",
+            stats.avg_pulses
+        );
+        assert!(
+            (0.025..0.040).contains(&stats.residual_std),
+            "residual std {} outside the paper's ~0.03",
+            stats.residual_std
+        );
+        assert!((stats.raw_std - 0.1).abs() < 0.005, "raw std {}", stats.raw_std);
+    }
+
+    #[test]
+    fn higher_sigma_costs_more_pulses() {
+        let mut rng = Prng::seed_from_u64(4);
+        let lo = measure_stats(&DeviceConfig::rram().with_sigma(0.1), 5_000, &mut rng);
+        let hi = measure_stats(&DeviceConfig::rram().with_sigma(0.2), 5_000, &mut rng);
+        assert!(hi.avg_pulses > lo.avg_pulses);
+    }
+
+    #[test]
+    fn first_try_rate_matches_gaussian_mass() {
+        // P(|N(0, 0.1^2)| <= 0.06) = erf(0.6/sqrt(2)) ~ 0.4515
+        let cfg = DeviceConfig::rram();
+        let mut rng = Prng::seed_from_u64(5);
+        let stats = measure_stats(&cfg, 50_000, &mut rng);
+        assert!(
+            (stats.first_try_rate - 0.4515).abs() < 0.02,
+            "first-try rate {}",
+            stats.first_try_rate
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = DeviceConfig::rram();
+        let a = write_verify(5.0, &cfg, &mut Prng::seed_from_u64(6));
+        let b = write_verify(5.0, &cfg, &mut Prng::seed_from_u64(6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iteration_cap_terminates() {
+        // Pathological config: margin far below sigma would loop for a
+        // long time; the cap must bound it.
+        let cfg = DeviceConfig {
+            sigma: 1.0,
+            verify_margin: 1e-6,
+            pulse_step: 0.01,
+            max_verify_iters: 5,
+            device_bits: 4,
+        };
+        let mut rng = Prng::seed_from_u64(7);
+        let o = write_verify(3.0, &cfg, &mut rng);
+        assert!(o.pulses < 5_000);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the device programming model.
+
+use proptest::prelude::*;
+use swim_cim::device::DeviceConfig;
+use swim_cim::mapping::WeightMapper;
+use swim_cim::writeverify::{program_once, write_verify};
+use swim_tensor::Prng;
+
+proptest! {
+    /// Write-verify always lands within the margin (the loop's defining
+    /// invariant), for any target and reasonable sigma.
+    #[test]
+    fn write_verify_within_margin(
+        target in 0.0f64..15.0,
+        sigma in 0.01f64..0.3,
+        seed in 0u64..500,
+    ) {
+        let cfg = DeviceConfig::rram().with_sigma(sigma);
+        let mut rng = Prng::seed_from_u64(seed);
+        let o = write_verify(target, &cfg, &mut rng);
+        prop_assert!((o.value - target).abs() <= cfg.level_margin() + 1e-12);
+        prop_assert!(o.pulses >= 1);
+    }
+
+    /// A single unverified program is exactly one pulse.
+    #[test]
+    fn program_once_is_one_pulse(target in 0.0f64..15.0, seed in 0u64..500) {
+        let cfg = DeviceConfig::rram();
+        let mut rng = Prng::seed_from_u64(seed);
+        prop_assert_eq!(program_once(target, &cfg, &mut rng).pulses, 1);
+    }
+
+    /// Programming a weight preserves its sign, verified or not.
+    #[test]
+    fn mapper_preserves_sign(code in -15i32..=15, verify in any::<bool>(), seed in 0u64..300) {
+        prop_assume!(code != 0);
+        let m = WeightMapper::new(4, DeviceConfig::rram());
+        let mut rng = Prng::seed_from_u64(seed);
+        let (value, _) = m.program_weight(code, verify, &mut rng);
+        // Noise can flip very small magnitudes; verified writes cannot.
+        if verify {
+            prop_assert_eq!(value.signum() as i32, code.signum());
+        }
+    }
+
+    /// The verified reconstruction error of a multi-device weight is
+    /// bounded by margin × Σ 2^{iK}.
+    #[test]
+    fn sliced_verify_error_bounded(code in 0i32..=255, seed in 0u64..300) {
+        let m = WeightMapper::new(8, DeviceConfig::rram());
+        let mut rng = Prng::seed_from_u64(seed);
+        let (value, _) = m.program_weight(code, true, &mut rng);
+        let bound = m.config().level_margin() * (1.0 + 16.0);
+        prop_assert!((value - code as f64).abs() <= bound + 1e-9);
+    }
+
+    /// Pulse accounting is exact: totals equal the sum over weights.
+    #[test]
+    fn pulse_accounting_consistent(seed in 0u64..100, n in 1usize..100) {
+        let m = WeightMapper::new(4, DeviceConfig::rram());
+        let codes: Vec<i32> = (0..n).map(|i| (i % 16) as i32).collect();
+        let sel: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+
+        let mut rng_a = Prng::seed_from_u64(seed);
+        let (_, summary) = m.program(&codes, Some(&sel), &mut rng_a);
+
+        let mut rng_b = Prng::seed_from_u64(seed);
+        let mut verify_pulses = 0u64;
+        let mut bulk_pulses = 0u64;
+        for (i, &c) in codes.iter().enumerate() {
+            let (_, p) = m.program_weight(c, sel[i], &mut rng_b);
+            if sel[i] {
+                verify_pulses += p;
+            } else {
+                bulk_pulses += p;
+            }
+        }
+        prop_assert_eq!(summary.verify_pulses, verify_pulses);
+        prop_assert_eq!(summary.bulk_pulses, bulk_pulses);
+        prop_assert_eq!(summary.verified_weights as usize, sel.iter().filter(|&&s| s).count());
+    }
+
+    /// Zero sigma: programming is exact and costs exactly one pulse per
+    /// device regardless of verification.
+    #[test]
+    fn zero_sigma_exact(code in -255i32..=255, verify in any::<bool>(), seed in 0u64..50) {
+        let m = WeightMapper::new(8, DeviceConfig::rram().with_sigma(0.0));
+        let mut rng = Prng::seed_from_u64(seed);
+        let (value, pulses) = m.program_weight(code, verify, &mut rng);
+        prop_assert_eq!(value, code as f64);
+        prop_assert_eq!(pulses, 2); // two devices for 8-bit weights
+    }
+}

@@ -1,0 +1,271 @@
+//! Deterministic parallel Monte Carlo harness.
+//!
+//! The paper reports every number as mean ± std over 3,000 Monte Carlo
+//! runs. This module parallelizes such replication across threads while
+//! keeping results *independent of the schedule*: run `r` always draws
+//! from the forked stream `base.fork(r)`, so `--threads 1` and
+//! `--threads 32` produce bit-identical statistics.
+
+use crate::model::QuantizedModel;
+use crate::select::{build_ranking, mask_top_fraction, Strategy};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use swim_data::Dataset;
+use swim_tensor::stats::Running;
+use swim_tensor::Prng;
+
+/// Runs `f(run_index, rng)` for `runs` independent runs across
+/// `threads` worker threads, preserving result order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero (use 1 for serial execution).
+pub fn parallel_map<T, F>(runs: usize, threads: usize, base: &Prng, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Prng) -> T + Sync,
+{
+    assert!(threads > 0, "threads must be positive");
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..runs).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(runs.max(1)) {
+            scope.spawn(|| loop {
+                let r = next.fetch_add(1, Ordering::Relaxed);
+                if r >= runs {
+                    break;
+                }
+                let out = f(r, base.fork(r as u64));
+                results.lock().expect("no panics while holding lock")[r] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined all threads")
+        .into_iter()
+        .map(|o| o.expect("every run index was processed"))
+        .collect()
+}
+
+/// One point of an accuracy-vs-NWC sweep: statistics over all runs at a
+/// target selection fraction.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Fraction of weights selected for write-verify.
+    pub fraction: f64,
+    /// Measured normalized write cycles (mean over runs).
+    pub nwc: f64,
+    /// Accuracy statistics over the Monte Carlo runs (in percent).
+    pub accuracy: Running,
+}
+
+/// Configuration of an accuracy-vs-NWC sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Selection fractions to evaluate (the paper's NWC grid).
+    pub fractions: Vec<f64>,
+    /// Monte Carlo runs (paper: 3,000).
+    pub runs: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            fractions: vec![0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0],
+            runs: 100,
+            threads: num_threads(),
+            eval_batch: 256,
+            seed: 0,
+        }
+    }
+}
+
+/// Available parallelism, defaulting to 1 when undetectable.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Sweeps accuracy versus NWC for one selection strategy.
+///
+/// For `Swim`/`Magnitude` the ranking is computed once (it is a
+/// deterministic property of the trained model); for `Random` a fresh
+/// ranking is drawn inside each run, exactly as the paper's baseline
+/// re-selects randomly each time.
+///
+/// Returned accuracies are percentages (0–100) to match the paper's
+/// tables.
+///
+/// # Panics
+///
+/// Panics if `sensitivities`/`magnitudes` lengths mismatch the model.
+pub fn nwc_sweep(
+    model: &QuantizedModel,
+    strategy: Strategy,
+    sensitivities: &[f32],
+    magnitudes: &[f32],
+    eval: &Dataset,
+    config: &SweepConfig,
+) -> Vec<SweepPoint> {
+    assert_eq!(sensitivities.len(), model.weight_count(), "sensitivities length mismatch");
+    assert_eq!(magnitudes.len(), model.weight_count(), "magnitudes length mismatch");
+    for &f in &config.fractions {
+        assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+    }
+
+    let base = Prng::seed_from_u64(config.seed);
+    let denom = model.write_verify_all_cost(&mut base.fork(u64::MAX)) as f64;
+    let fixed_ranking = match strategy {
+        Strategy::Random => None,
+        s => Some(build_ranking(s, sensitivities, magnitudes, None)),
+    };
+
+    // Each run returns (accuracy %, measured NWC) per fraction.
+    let per_run: Vec<Vec<(f64, f64)>> =
+        parallel_map(config.runs, config.threads, &base, |_, mut rng| {
+            let ranking = match &fixed_ranking {
+                Some(r) => r.clone(),
+                None => build_ranking(strategy, sensitivities, magnitudes, Some(&mut rng)),
+            };
+            let mut network = model.network_clone();
+            config
+                .fractions
+                .iter()
+                .map(|&fraction| {
+                    let mask = mask_top_fraction(&ranking, fraction);
+                    let (weights, summary) = model.program_weights(Some(&mask), &mut rng);
+                    network.set_device_weights(&weights);
+                    let acc =
+                        network.accuracy(eval.images(), eval.labels(), config.eval_batch);
+                    (100.0 * acc, summary.verify_pulses as f64 / denom)
+                })
+                .collect()
+        });
+
+    config
+        .fractions
+        .iter()
+        .enumerate()
+        .map(|(fi, &fraction)| {
+            let mut accuracy = Running::new();
+            let mut nwc = Running::new();
+            for run in &per_run {
+                accuracy.push(run[fi].0);
+                nwc.push(run[fi].1);
+            }
+            SweepPoint { fraction, nwc: nwc.mean(), accuracy }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_cim::DeviceConfig;
+    use swim_nn::layers::{Flatten, Linear, Relu, Sequential};
+    use swim_nn::loss::SoftmaxCrossEntropy;
+    use swim_nn::Network;
+    use swim_tensor::Tensor;
+
+    #[test]
+    fn parallel_map_is_schedule_independent() {
+        let base = Prng::seed_from_u64(5);
+        let serial = parallel_map(16, 1, &base, |r, mut rng| (r, rng.next_u64()));
+        let parallel = parallel_map(16, 8, &base, |r, mut rng| (r, rng.next_u64()));
+        assert_eq!(serial, parallel);
+        // Results arrive in run order.
+        for (i, (r, _)) in serial.iter().enumerate() {
+            assert_eq!(i, *r);
+        }
+    }
+
+    #[test]
+    fn parallel_map_distinct_streams() {
+        let base = Prng::seed_from_u64(6);
+        let outs = parallel_map(8, 4, &base, |_, mut rng| rng.next_u64());
+        let mut dedup = outs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), outs.len());
+    }
+
+    fn trained() -> (QuantizedModel, Dataset) {
+        let mut rng = Prng::seed_from_u64(40);
+        let mut seq = Sequential::new();
+        seq.push(Flatten::new());
+        seq.push(Linear::new(8, 12, &mut rng));
+        seq.push(Relu::new());
+        seq.push(Linear::new(12, 2, &mut rng));
+        let mut net = Network::new("t", seq);
+        let n = 60;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let cls = i % 2;
+            let c = if cls == 0 { -1.0f32 } else { 1.0 };
+            for _ in 0..8 {
+                xs.push(c + rng.normal_f32(0.0, 0.5));
+            }
+            ys.push(cls);
+        }
+        let images = Tensor::from_vec(xs, &[n, 1, 2, 4]).unwrap();
+        let data = Dataset::new(images, ys, 2).unwrap();
+        let cfg = swim_nn::train::TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.1,
+            ..Default::default()
+        };
+        swim_nn::train::fit(&mut net, &SoftmaxCrossEntropy::new(), data.images(), data.labels(), &cfg);
+        let model = QuantizedModel::new(net, 4, DeviceConfig::rram().with_sigma(0.4));
+        (model, data)
+    }
+
+    #[test]
+    fn sweep_monotone_nwc_and_deterministic() {
+        let (mut model, data) = trained();
+        let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let mags = model.magnitudes();
+        let cfg = SweepConfig {
+            fractions: vec![0.0, 0.5, 1.0],
+            runs: 8,
+            threads: 4,
+            eval_batch: 64,
+            seed: 7,
+        };
+        let sweep = nwc_sweep(&model, Strategy::Swim, &sens, &mags, &data, &cfg);
+        assert_eq!(sweep.len(), 3);
+        assert!(sweep[0].nwc < 1e-9);
+        assert!(sweep[1].nwc > 0.3 && sweep[1].nwc < 0.7);
+        assert!((sweep[2].nwc - 1.0).abs() < 0.1);
+        // Full verification should be at least as accurate as none.
+        assert!(sweep[2].accuracy.mean() >= sweep[0].accuracy.mean() - 2.0);
+
+        let again = nwc_sweep(&model, Strategy::Swim, &sens, &mags, &data, &cfg);
+        assert_eq!(sweep[1].accuracy.mean(), again[1].accuracy.mean());
+    }
+
+    #[test]
+    fn random_strategy_varies_across_runs_but_not_seeds() {
+        let (mut model, data) = trained();
+        let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let mags = model.magnitudes();
+        let cfg = SweepConfig {
+            fractions: vec![0.5],
+            runs: 6,
+            threads: 2,
+            eval_batch: 64,
+            seed: 8,
+        };
+        let a = nwc_sweep(&model, Strategy::Random, &sens, &mags, &data, &cfg);
+        let b = nwc_sweep(&model, Strategy::Random, &sens, &mags, &data, &cfg);
+        assert_eq!(a[0].accuracy.mean(), b[0].accuracy.mean());
+        assert!(a[0].accuracy.std() >= 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Text-table and CSV reporting for the experiment binaries.
+//!
+//! The regeneration binaries print their results in the same row/column
+//! structure as the paper's tables and figures; this module provides the
+//! aligned-text renderer and a CSV emitter (our own formatter — the
+//! workspace deliberately avoids a serialization dependency for what is
+//! a few dozen lines of formatting).
+
+use swim_tensor::stats::Running;
+
+/// `mean ± std` in the paper's Table 1 format (two decimals).
+///
+/// # Example
+///
+/// ```
+/// use swim_core::report::fmt_mean_std;
+/// use swim_tensor::stats::Running;
+///
+/// let mut acc = Running::new();
+/// for x in [98.4, 98.6] {
+///     acc.push(x);
+/// }
+/// assert_eq!(fmt_mean_std(&acc), "98.50 ± 0.10");
+/// ```
+pub fn fmt_mean_std(stats: &Running) -> String {
+    format!("{:.2} ± {:.2}", stats.mean(), stats.std())
+}
+
+/// A simple aligned text table with optional CSV export.
+///
+/// # Example
+///
+/// ```
+/// use swim_core::report::Table;
+///
+/// let mut t = Table::new("demo", &["method", "accuracy"]);
+/// t.push_row(&["SWIM", "98.5"]);
+/// let text = t.render();
+/// assert!(text.contains("SWIM"));
+/// assert!(t.to_csv().starts_with("method,accuracy"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[c];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[c] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders RFC-4180-style CSV (quoting cells containing commas or
+    /// quotes).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", &["a", "long_header"]);
+        t.push_row(&["xxxxxx", "1"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header line and row line put column 2 at the same offset.
+        let h = lines[1];
+        let r = lines[3];
+        assert_eq!(h.find("long_header").unwrap(), r.find('1').unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", &["x"]);
+        t.push_row(&["a,b"]);
+        t.push_row(&["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn mean_std_format() {
+        let mut r = Running::new();
+        r.push(1.0);
+        r.push(3.0);
+        assert_eq!(fmt_mean_std(&r), "2.00 ± 1.00");
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = Table::new("empty", &["h1", "h2"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains("h1"));
+    }
+}

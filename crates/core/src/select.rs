@@ -1,0 +1,202 @@
+//! Weight-selection strategies for selective write-verify.
+
+use swim_tensor::Prng;
+
+/// Which metric orders the weights for write-verify (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// SWIM: descending second derivative, magnitude tie-break (§3.2).
+    Swim,
+    /// Baseline: descending absolute weight value.
+    Magnitude,
+    /// Baseline: uniformly random order (fresh per Monte Carlo run).
+    Random,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's presentation order.
+    pub fn all() -> [Strategy; 3] {
+        [Strategy::Swim, Strategy::Magnitude, Strategy::Random]
+    }
+
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Swim => "SWIM",
+            Strategy::Magnitude => "Magnitude",
+            Strategy::Random => "Random",
+        }
+    }
+}
+
+/// Builds a ranking (most-important-first weight indices) for a strategy.
+///
+/// * `Swim` sorts by `sensitivities` descending, breaking ties by
+///   `magnitudes` descending ("when two weights have the same second
+///   derivative, we use their magnitudes as the tie-breaker", §3.2);
+/// * `Magnitude` sorts by `magnitudes` descending;
+/// * `Random` shuffles uniformly — it requires `rng` and panics without
+///   one.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, or `Random` is requested
+/// without an RNG.
+///
+/// # Example
+///
+/// ```
+/// use swim_core::select::{build_ranking, Strategy};
+///
+/// let sens = vec![0.1, 0.9, 0.1];
+/// let mags = vec![0.5, 0.1, 0.8];
+/// let r = build_ranking(Strategy::Swim, &sens, &mags, None);
+/// assert_eq!(r, vec![1, 2, 0]); // highest sensitivity, then |w| tie-break
+/// ```
+pub fn build_ranking(
+    strategy: Strategy,
+    sensitivities: &[f32],
+    magnitudes: &[f32],
+    rng: Option<&mut Prng>,
+) -> Vec<usize> {
+    assert_eq!(
+        sensitivities.len(),
+        magnitudes.len(),
+        "sensitivity and magnitude vectors must be parallel"
+    );
+    let n = sensitivities.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    match strategy {
+        Strategy::Swim => {
+            idx.sort_by(|&a, &b| {
+                match sensitivities[b]
+                    .partial_cmp(&sensitivities[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                {
+                    std::cmp::Ordering::Equal => magnitudes[b]
+                        .partial_cmp(&magnitudes[a])
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                    other => other,
+                }
+            });
+        }
+        Strategy::Magnitude => {
+            idx.sort_by(|&a, &b| {
+                magnitudes[b]
+                    .partial_cmp(&magnitudes[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        Strategy::Random => {
+            let rng = rng.expect("Random strategy requires an RNG");
+            rng.shuffle(&mut idx);
+        }
+    }
+    idx
+}
+
+/// Converts the top `fraction` of a ranking into a boolean selection
+/// mask over flat weight indices.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use swim_core::select::mask_top_fraction;
+///
+/// let ranking = vec![2, 0, 1];
+/// let mask = mask_top_fraction(&ranking, 1.0 / 3.0);
+/// assert_eq!(mask, vec![false, false, true]);
+/// ```
+pub fn mask_top_fraction(ranking: &[usize], fraction: f64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let k = (ranking.len() as f64 * fraction).round() as usize;
+    mask_top_k(ranking, k)
+}
+
+/// Converts the top `k` entries of a ranking into a selection mask.
+///
+/// # Panics
+///
+/// Panics if `k > ranking.len()`.
+pub fn mask_top_k(ranking: &[usize], k: usize) -> Vec<bool> {
+    assert!(k <= ranking.len(), "k {k} exceeds ranking length {}", ranking.len());
+    let mut mask = vec![false; ranking.len()];
+    for &i in &ranking[..k] {
+        mask[i] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swim_sorts_by_sensitivity() {
+        let sens = vec![0.5, 2.0, 1.0];
+        let mags = vec![1.0, 1.0, 1.0];
+        assert_eq!(build_ranking(Strategy::Swim, &sens, &mags, None), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn swim_tie_breaks_by_magnitude() {
+        let sens = vec![1.0, 1.0, 1.0];
+        let mags = vec![0.2, 0.9, 0.5];
+        assert_eq!(build_ranking(Strategy::Swim, &sens, &mags, None), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn magnitude_ignores_sensitivity() {
+        let sens = vec![9.0, 0.0, 5.0];
+        let mags = vec![0.1, 0.9, 0.5];
+        assert_eq!(build_ranking(Strategy::Magnitude, &sens, &mags, None), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn random_is_permutation_and_seed_dependent() {
+        let sens = vec![0.0; 100];
+        let mags = vec![0.0; 100];
+        let mut rng_a = Prng::seed_from_u64(1);
+        let a = build_ranking(Strategy::Random, &sens, &mags, Some(&mut rng_a));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        let mut rng_b = Prng::seed_from_u64(2);
+        let b = build_ranking(Strategy::Random, &sens, &mags, Some(&mut rng_b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an RNG")]
+    fn random_without_rng_panics() {
+        build_ranking(Strategy::Random, &[0.0], &[0.0], None);
+    }
+
+    #[test]
+    fn mask_fraction_boundaries() {
+        let ranking = vec![3, 1, 0, 2];
+        assert_eq!(mask_top_fraction(&ranking, 0.0), vec![false; 4]);
+        assert_eq!(mask_top_fraction(&ranking, 1.0), vec![true; 4]);
+        let half = mask_top_fraction(&ranking, 0.5);
+        assert_eq!(half, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn mask_counts() {
+        let ranking: Vec<usize> = (0..10).collect();
+        for k in 0..=10 {
+            let mask = mask_top_k(&ranking, k);
+            assert_eq!(mask.iter().filter(|&&m| m).count(), k);
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Swim.name(), "SWIM");
+        assert_eq!(Strategy::all().len(), 3);
+    }
+}

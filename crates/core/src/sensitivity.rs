@@ -1,0 +1,228 @@
+//! Per-weight perturbation studies — the Fig. 1 correlation experiment.
+//!
+//! The paper motivates SWIM by showing (Fig. 1) that a weight's
+//! *magnitude* barely predicts the accuracy drop its variation causes,
+//! while its *second derivative* predicts it strongly (Pearson r ≈ 0.83).
+//! [`correlation_study`] reproduces that experiment: perturb one weight
+//! at a time with the device-variation Gaussian, Monte Carlo the accuracy
+//! drop, and correlate the drops against both metrics.
+
+use crate::model::QuantizedModel;
+use swim_data::Dataset;
+use swim_tensor::stats::pearson;
+use swim_tensor::Prng;
+
+/// One weight's row in the correlation study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightImpact {
+    /// Flat weight index.
+    pub index: usize,
+    /// `|w|` of the clean quantized weight.
+    pub magnitude: f64,
+    /// SWIM sensitivity (diagonal second derivative).
+    pub sensitivity: f64,
+    /// Mean accuracy drop (percentage points) over the Monte Carlo runs.
+    pub accuracy_drop: f64,
+}
+
+/// Result of [`correlation_study`].
+#[derive(Debug, Clone)]
+pub struct CorrelationStudy {
+    /// Per-weight rows (one per probed weight).
+    pub impacts: Vec<WeightImpact>,
+    /// Pearson correlation between magnitude and accuracy drop
+    /// (paper Fig. 1a: weak).
+    pub magnitude_correlation: f64,
+    /// Pearson correlation between second derivative and accuracy drop
+    /// (paper Fig. 1b: strong, ≈0.83).
+    pub sensitivity_correlation: f64,
+}
+
+/// Configuration for the correlation study.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelationConfig {
+    /// Number of weights to probe (sampled across the sensitivity
+    /// range so both tails are represented).
+    pub probes: usize,
+    /// Monte Carlo runs per probed weight (paper: 100).
+    pub runs: usize,
+    /// Evaluation batch size.
+    pub batch: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        CorrelationConfig { probes: 150, runs: 30, batch: 128, seed: 0 }
+    }
+}
+
+/// Runs the Fig. 1 experiment on a trained, quantized model.
+///
+/// For each probed weight: add `N(0, σ_w²)` (the Eq. 16 weight-value
+/// sigma) to that weight only, evaluate accuracy on `eval`, repeat
+/// `runs` times, and record the mean drop versus the clean accuracy.
+///
+/// Probes are stratified over the sensitivity ranking so the study spans
+/// the full range rather than sampling the (dominant) low-sensitivity
+/// mass.
+///
+/// # Panics
+///
+/// Panics if `probes`, `runs`, or `batch` is zero, or `probes` exceeds
+/// the weight count.
+pub fn correlation_study(
+    model: &mut QuantizedModel,
+    sensitivities: &[f32],
+    eval: &Dataset,
+    config: &CorrelationConfig,
+) -> CorrelationStudy {
+    assert!(config.probes > 0 && config.runs > 0 && config.batch > 0, "config must be positive");
+    let n = model.weight_count();
+    assert!(config.probes <= n, "cannot probe {} of {n} weights", config.probes);
+    assert_eq!(sensitivities.len(), n, "sensitivity vector length mismatch");
+
+    let clean_acc = model.clean_accuracy(eval, config.batch);
+    let sigmas = model.weight_value_sigmas();
+    let clean = model.clean_weights().to_vec();
+    let mags = model.magnitudes();
+
+    // Probe selection: half the probes cover the top of the sensitivity
+    // ranking densely (where single-weight perturbations produce a
+    // measurable accuracy signal), half stride across the remainder so
+    // the low-sensitivity mass is represented. A uniform stride would
+    // spend almost every probe on weights whose true accuracy impact is
+    // below the Monte Carlo noise floor, washing the correlation out.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        sensitivities[b]
+            .partial_cmp(&sensitivities[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let top = config.probes / 2;
+    let rest = config.probes - top;
+    let mut probes: Vec<usize> = order.iter().take(top).copied().collect();
+    if rest > 0 && n > top {
+        let stride = ((n - top) / rest).max(1);
+        probes.extend(order[top..].iter().step_by(stride).take(rest).copied());
+    }
+
+    let mut rng = Prng::seed_from_u64(config.seed);
+    let mut impacts = Vec::with_capacity(probes.len());
+    let mut weights = clean.clone();
+    for &w_idx in &probes {
+        let mut drop_acc = 0.0f64;
+        for _ in 0..config.runs {
+            weights[w_idx] = clean[w_idx] + rng.normal_f32(0.0, sigmas[w_idx]);
+            model.network_mut().set_device_weights(&weights);
+            let acc = model
+                .network_mut()
+                .accuracy(eval.images(), eval.labels(), config.batch);
+            // Signed drop: clamping at zero would bias every
+            // zero-impact weight upward by the Monte Carlo noise floor.
+            drop_acc += clean_acc - acc;
+        }
+        weights[w_idx] = clean[w_idx];
+        impacts.push(WeightImpact {
+            index: w_idx,
+            magnitude: mags[w_idx] as f64,
+            sensitivity: sensitivities[w_idx] as f64,
+            accuracy_drop: 100.0 * drop_acc / config.runs as f64,
+        });
+    }
+    model.restore_clean();
+
+    let drops: Vec<f64> = impacts.iter().map(|i| i.accuracy_drop).collect();
+    let mags_v: Vec<f64> = impacts.iter().map(|i| i.magnitude).collect();
+    let sens_v: Vec<f64> = impacts.iter().map(|i| i.sensitivity).collect();
+    CorrelationStudy {
+        magnitude_correlation: pearson(&mags_v, &drops),
+        sensitivity_correlation: pearson(&sens_v, &drops),
+        impacts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_cim::DeviceConfig;
+    use swim_nn::layers::{Flatten, Linear, Relu, Sequential};
+    use swim_nn::loss::SoftmaxCrossEntropy;
+    use swim_nn::Network;
+    use swim_tensor::Tensor;
+
+    fn trained_toy() -> (QuantizedModel, Dataset) {
+        let mut rng = Prng::seed_from_u64(10);
+        let mut seq = Sequential::new();
+        seq.push(Flatten::new());
+        seq.push(Linear::new(8, 16, &mut rng));
+        seq.push(Relu::new());
+        seq.push(Linear::new(16, 2, &mut rng));
+        let mut net = Network::new("toy", seq);
+
+        // Learnable blobs in 8 dims.
+        let n = 64;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let cls = i % 2;
+            let c = if cls == 0 { -1.0f32 } else { 1.0 };
+            for _ in 0..8 {
+                xs.push(c + rng.normal_f32(0.0, 0.4));
+            }
+            ys.push(cls);
+        }
+        let images = Tensor::from_vec(xs, &[n, 1, 2, 4]).unwrap();
+        let data = Dataset::new(images, ys, 2).unwrap();
+        let cfg = swim_nn::train::TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.1,
+            ..Default::default()
+        };
+        swim_nn::train::fit(
+            &mut net,
+            &SoftmaxCrossEntropy::new(),
+            data.images(),
+            data.labels(),
+            &cfg,
+        );
+        let model = QuantizedModel::new(net, 4, DeviceConfig::rram());
+        (model, data)
+    }
+
+    #[test]
+    fn study_produces_correlations_in_range() {
+        let (mut model, data) = trained_toy();
+        let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let cfg = CorrelationConfig { probes: 30, runs: 8, batch: 64, seed: 1 };
+        let study = correlation_study(&mut model, &sens, &data, &cfg);
+        assert_eq!(study.impacts.len(), 30);
+        assert!((-1.0..=1.0).contains(&study.magnitude_correlation));
+        assert!((-1.0..=1.0).contains(&study.sensitivity_correlation));
+        // Drops are small signed percentages (noise can make them
+        // slightly negative for zero-impact weights).
+        assert!(study.impacts.iter().all(|i| i.accuracy_drop.abs() <= 100.0));
+    }
+
+    #[test]
+    fn clean_weights_restored_after_study() {
+        let (mut model, data) = trained_toy();
+        let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let before = model.clean_weights().to_vec();
+        let cfg = CorrelationConfig { probes: 10, runs: 3, batch: 64, seed: 2 };
+        correlation_study(&mut model, &sens, &data, &cfg);
+        assert_eq!(model.network_mut().device_weights(), before);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut model_a, data) = trained_toy();
+        let sens = model_a.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let cfg = CorrelationConfig { probes: 10, runs: 3, batch: 64, seed: 3 };
+        let a = correlation_study(&mut model_a, &sens, &data, &cfg);
+        let b = correlation_study(&mut model_a, &sens, &data, &cfg);
+        assert_eq!(a.sensitivity_correlation, b.sensitivity_correlation);
+    }
+}

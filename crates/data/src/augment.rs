@@ -1,0 +1,188 @@
+//! Dataset augmentation: translation, horizontal flip, and noise.
+//!
+//! The paper trains its models with standard augmentation pipelines
+//! (implied by its PyTorch setup); these utilities provide the same for
+//! the synthetic substitutes, improving the trained substrate models'
+//! robustness — which matters for the experiments, because SWIM's
+//! premise is a *converged* model whose curvature is meaningful.
+
+use crate::dataset::Dataset;
+use swim_tensor::{Prng, Tensor};
+
+/// Augmentation configuration; each transform is applied independently
+/// per image with its own probability/magnitude.
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentConfig {
+    /// Maximum absolute translation in pixels (uniform in ±max, applied
+    /// with zero padding).
+    pub max_translate: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f64,
+    /// Std of additive Gaussian pixel noise (0 disables).
+    pub noise_std: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig { max_translate: 2, flip_prob: 0.5, noise_std: 0.02 }
+    }
+}
+
+/// Returns an augmented copy of `data` (labels unchanged), deterministic
+/// given the RNG state.
+///
+/// # Example
+///
+/// ```
+/// use swim_data::augment::{augment, AugmentConfig};
+/// use swim_data::digits::synthetic_mnist;
+/// use swim_tensor::Prng;
+///
+/// let data = synthetic_mnist(20, 0);
+/// let mut rng = Prng::seed_from_u64(1);
+/// let aug = augment(&data, &AugmentConfig::default(), &mut rng);
+/// assert_eq!(aug.len(), data.len());
+/// assert_eq!(aug.labels(), data.labels());
+/// ```
+pub fn augment(data: &Dataset, config: &AugmentConfig, rng: &mut Prng) -> Dataset {
+    let shape = data.images().shape().to_vec();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let plane = h * w;
+    let img_len = c * plane;
+    let src = data.images().data();
+    let mut out = vec![0.0f32; src.len()];
+
+    for i in 0..n {
+        let dx = if config.max_translate > 0 {
+            rng.below(2 * config.max_translate + 1) as isize - config.max_translate as isize
+        } else {
+            0
+        };
+        let dy = if config.max_translate > 0 {
+            rng.below(2 * config.max_translate + 1) as isize - config.max_translate as isize
+        } else {
+            0
+        };
+        let flip = rng.uniform() < config.flip_prob;
+        for ch in 0..c {
+            let src_plane = &src[i * img_len + ch * plane..i * img_len + (ch + 1) * plane];
+            let dst_plane =
+                &mut out[i * img_len + ch * plane..i * img_len + (ch + 1) * plane];
+            for y in 0..h {
+                let sy = y as isize - dy;
+                if sy < 0 || sy >= h as isize {
+                    continue;
+                }
+                for x in 0..w {
+                    let mut sx = x as isize - dx;
+                    if flip {
+                        sx = w as isize - 1 - sx;
+                    }
+                    if sx < 0 || sx >= w as isize {
+                        continue;
+                    }
+                    dst_plane[y * w + x] = src_plane[sy as usize * w + sx as usize];
+                }
+            }
+        }
+        if config.noise_std > 0.0 {
+            for v in &mut out[i * img_len..(i + 1) * img_len] {
+                *v = (*v + rng.normal_f32(0.0, config.noise_std)).clamp(0.0, 1.0);
+            }
+        }
+    }
+    let images = Tensor::from_vec(out, &shape).expect("same shape as input");
+    Dataset::new(images, data.labels().to_vec(), data.num_classes())
+        .expect("labels unchanged")
+}
+
+/// Concatenates a dataset with `copies` augmented variants of itself —
+/// a quick way to expand a small synthetic training set.
+///
+/// # Panics
+///
+/// Panics if `copies` is zero.
+pub fn expand(data: &Dataset, copies: usize, config: &AugmentConfig, rng: &mut Prng) -> Dataset {
+    assert!(copies > 0, "copies must be positive");
+    let shape = data.images().shape().to_vec();
+    let n = shape[0];
+    let img_len: usize = shape[1..].iter().product();
+    let mut all = Vec::with_capacity((copies + 1) * n * img_len);
+    all.extend_from_slice(data.images().data());
+    let mut labels = data.labels().to_vec();
+    for _ in 0..copies {
+        let aug = augment(data, config, rng);
+        all.extend_from_slice(aug.images().data());
+        labels.extend_from_slice(data.labels());
+    }
+    let mut out_shape = shape;
+    out_shape[0] = (copies + 1) * n;
+    let images = Tensor::from_vec(all, &out_shape).expect("sized to shape");
+    Dataset::new(images, labels, data.num_classes()).expect("labels sized")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digits::synthetic_mnist;
+
+    #[test]
+    fn preserves_shape_and_labels() {
+        let data = synthetic_mnist(30, 1);
+        let mut rng = Prng::seed_from_u64(2);
+        let aug = augment(&data, &AugmentConfig::default(), &mut rng);
+        assert_eq!(aug.images().shape(), data.images().shape());
+        assert_eq!(aug.labels(), data.labels());
+    }
+
+    #[test]
+    fn identity_config_is_identity() {
+        let data = synthetic_mnist(10, 3);
+        let cfg = AugmentConfig { max_translate: 0, flip_prob: 0.0, noise_std: 0.0 };
+        let mut rng = Prng::seed_from_u64(4);
+        let aug = augment(&data, &cfg, &mut rng);
+        assert_eq!(aug.images(), data.images());
+    }
+
+    #[test]
+    fn translation_moves_mass_not_creates_it() {
+        let data = synthetic_mnist(10, 5);
+        let cfg = AugmentConfig { max_translate: 3, flip_prob: 0.0, noise_std: 0.0 };
+        let mut rng = Prng::seed_from_u64(6);
+        let aug = augment(&data, &cfg, &mut rng);
+        // Translation with zero padding can only reduce total intensity.
+        assert!(aug.images().sum() <= data.images().sum() + 1e-3);
+        assert!(aug.images().sum() > 0.0);
+    }
+
+    #[test]
+    fn flip_is_involution_without_other_transforms() {
+        let data = synthetic_mnist(4, 7);
+        let cfg = AugmentConfig { max_translate: 0, flip_prob: 1.0, noise_std: 0.0 };
+        let mut rng = Prng::seed_from_u64(8);
+        let once = augment(&data, &cfg, &mut rng);
+        let mut rng = Prng::seed_from_u64(8);
+        let twice = augment(&once, &cfg, &mut rng);
+        assert!(twice.images().allclose(data.images(), 1e-6));
+    }
+
+    #[test]
+    fn expand_multiplies_samples() {
+        let data = synthetic_mnist(10, 9);
+        let mut rng = Prng::seed_from_u64(10);
+        let big = expand(&data, 3, &AugmentConfig::default(), &mut rng);
+        assert_eq!(big.len(), 40);
+        assert_eq!(&big.labels()[..10], data.labels());
+        // Originals are preserved verbatim at the front.
+        assert_eq!(&big.images().data()[..data.images().len()], data.images().data());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = synthetic_mnist(6, 11);
+        let cfg = AugmentConfig::default();
+        let a = augment(&data, &cfg, &mut Prng::seed_from_u64(12));
+        let b = augment(&data, &cfg, &mut Prng::seed_from_u64(12));
+        assert_eq!(a.images(), b.images());
+    }
+}

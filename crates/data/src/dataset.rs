@@ -1,0 +1,195 @@
+//! Labeled image dataset container.
+
+use swim_tensor::{Prng, Tensor};
+
+/// A labeled image classification dataset: images `[N, C, H, W]` plus
+/// integer labels.
+///
+/// # Example
+///
+/// ```
+/// use swim_data::Dataset;
+/// use swim_tensor::Tensor;
+///
+/// let images = Tensor::zeros(&[4, 1, 2, 2]);
+/// let ds = Dataset::new(images, vec![0, 1, 0, 1], 2)?;
+/// assert_eq!(ds.len(), 4);
+/// let (a, b) = ds.split(0.5);
+/// assert_eq!(a.len(), 2);
+/// assert_eq!(b.len(), 2);
+/// # Ok::<(), swim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset after validating label/image consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`swim_tensor::TensorError::LengthMismatch`] if the label
+    /// count differs from the image count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is `>= num_classes` or the image tensor is not
+    /// rank 4.
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, swim_tensor::TensorError> {
+        assert_eq!(images.rank(), 4, "images must be [N, C, H, W]");
+        if images.shape()[0] != labels.len() {
+            return Err(swim_tensor::TensorError::LengthMismatch {
+                len: labels.len(),
+                shape: images.shape().to_vec(),
+            });
+        }
+        assert!(num_classes > 0, "num_classes must be positive");
+        for &l in &labels {
+            assert!(l < num_classes, "label {l} out of range for {num_classes} classes");
+        }
+        Ok(Dataset { images, labels, num_classes })
+    }
+
+    /// The image tensor `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per image.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes in the label space.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Splits into (first, second) parts at `fraction` of the samples.
+    ///
+    /// Generators interleave classes, so a contiguous split remains
+    /// class-balanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn split(&self, fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        let cut = (self.len() as f64 * fraction).round() as usize;
+        let first = Dataset {
+            images: self.images.slice_axis0(0, cut),
+            labels: self.labels[..cut].to_vec(),
+            num_classes: self.num_classes,
+        };
+        let second = Dataset {
+            images: self.images.slice_axis0(cut, self.len()),
+            labels: self.labels[cut..].to_vec(),
+            num_classes: self.num_classes,
+        };
+        (first, second)
+    }
+
+    /// A copy containing only the first `n` samples (or all, if fewer).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            images: self.images.slice_axis0(0, n),
+            labels: self.labels[..n].to_vec(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// A randomly shuffled copy (deterministic given the rng state).
+    pub fn shuffled(&self, rng: &mut Prng) -> Dataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        Dataset {
+            images: self.images.gather_axis0(&order),
+            labels: order.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn(&[6, 1, 2, 2], |i| i as f32);
+        Dataset::new(images, vec![0, 1, 2, 0, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let images = Tensor::zeros(&[3, 1, 2, 2]);
+        assert!(Dataset::new(images, vec![0, 1], 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn construction_validates_labels() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        let _ = Dataset::new(images, vec![0, 5], 2);
+    }
+
+    #[test]
+    fn split_preserves_all_samples() {
+        let ds = tiny();
+        let (a, b) = ds.split(0.5);
+        assert_eq!(a.len() + b.len(), ds.len());
+        assert_eq!(a.images().shape()[0], 3);
+        // Data is preserved in order.
+        assert_eq!(a.images().data()[0], 0.0);
+        assert_eq!(b.images().data()[0], 12.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let ds = tiny();
+        let mut rng = Prng::seed_from_u64(1);
+        let sh = ds.shuffled(&mut rng);
+        assert_eq!(sh.len(), ds.len());
+        let mut hist = sh.class_histogram();
+        hist.sort_unstable();
+        assert_eq!(hist, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn take_truncates() {
+        let ds = tiny();
+        assert_eq!(ds.take(4).len(), 4);
+        assert_eq!(ds.take(100).len(), 6);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(tiny().class_histogram(), vec![2, 2, 2]);
+    }
+}

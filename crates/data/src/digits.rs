@@ -1,0 +1,167 @@
+//! MNIST substitute: rendered digit glyphs with jitter and noise.
+//!
+//! Each sample renders a 5×7 digit bitmap into a 28×28 canvas with random
+//! scale, translation, stroke intensity, per-pixel Gaussian noise, and
+//! salt-and-pepper dropout — enough intra-class variation that a LeNet
+//! must learn genuine shape features, while remaining a learnable task on
+//! a CPU budget.
+
+use crate::dataset::Dataset;
+use swim_tensor::{Prng, Tensor};
+
+/// Classic 5×7 bitmaps for the digits 0–9 (row-major, top to bottom).
+const GLYPHS: [[u8; 7]; 10] = [
+    // Each row is 5 bits, MSB = leftmost pixel.
+    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110], // 0
+    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110], // 1
+    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111], // 2
+    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110], // 3
+    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010], // 4
+    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110], // 5
+    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110], // 6
+    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000], // 7
+    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110], // 8
+    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100], // 9
+];
+
+const SIDE: usize = 28;
+
+/// Renders one digit into a `SIDE × SIDE` buffer.
+fn render_digit(buf: &mut [f32], digit: usize, rng: &mut Prng) {
+    debug_assert_eq!(buf.len(), SIDE * SIDE);
+    let glyph = &GLYPHS[digit];
+    // Random scale: each glyph pixel becomes a sx × sy block.
+    let sx = 2.6 + rng.uniform() as f32 * 1.4; // 2.6..4.0
+    let sy = 2.2 + rng.uniform() as f32 * 1.0; // 2.2..3.2
+    let gw = 5.0 * sx;
+    let gh = 7.0 * sy;
+    let max_ox = (SIDE as f32 - gw).max(0.0);
+    let max_oy = (SIDE as f32 - gh).max(0.0);
+    let ox = rng.uniform() as f32 * max_ox;
+    let oy = rng.uniform() as f32 * max_oy;
+    let intensity = 0.75 + rng.uniform_f32() * 0.25;
+    // Slight shear for intra-class variety.
+    let shear = (rng.uniform() as f32 - 0.5) * 0.3;
+
+    for py in 0..SIDE {
+        for px in 0..SIDE {
+            let y = (py as f32 - oy) / sy;
+            let x = (px as f32 - ox - shear * (py as f32 - oy)) / sx;
+            if (0.0..7.0).contains(&y) && (0.0..5.0).contains(&x) {
+                let gy = y as usize;
+                let gx = x as usize;
+                if (glyph[gy] >> (4 - gx)) & 1 == 1 {
+                    buf[py * SIDE + px] = intensity;
+                }
+            }
+        }
+    }
+}
+
+/// Generates `n` MNIST-like samples (1×28×28, 10 balanced classes).
+///
+/// Classes are interleaved (`label = i % 10`) so contiguous splits stay
+/// balanced. Deterministic given `seed`. Pixel values are roughly in
+/// `[0, 1]` with additive noise.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Example
+///
+/// ```
+/// use swim_data::digits::synthetic_mnist;
+///
+/// let a = synthetic_mnist(20, 1);
+/// let b = synthetic_mnist(20, 1);
+/// assert_eq!(a.images(), b.images()); // deterministic
+/// ```
+pub fn synthetic_mnist(n: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "sample count must be positive");
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut data = vec![0.0f32; n * SIDE * SIDE];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = i % 10;
+        labels.push(digit);
+        let buf = &mut data[i * SIDE * SIDE..(i + 1) * SIDE * SIDE];
+        render_digit(buf, digit, &mut rng);
+        // Additive pixel noise + sparse dropout.
+        for v in buf.iter_mut() {
+            *v += rng.normal_f32(0.0, 0.08);
+            if rng.uniform() < 0.01 {
+                *v = rng.uniform_f32();
+            }
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+    let images = Tensor::from_vec(data, &[n, 1, SIDE, SIDE]).expect("sized to shape");
+    Dataset::new(images, labels, 10).expect("labels sized to images")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_classes() {
+        let ds = synthetic_mnist(50, 0);
+        assert_eq!(ds.images().shape(), &[50, 1, 28, 28]);
+        assert_eq!(ds.num_classes(), 10);
+        assert_eq!(ds.class_histogram(), vec![5; 10]);
+    }
+
+    #[test]
+    fn pixel_range() {
+        let ds = synthetic_mnist(30, 1);
+        assert!(ds.images().min() >= 0.0);
+        assert!(ds.images().max() <= 1.0);
+        // Digits are drawn: mean intensity clearly above pure noise.
+        assert!(ds.images().mean() > 0.02);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(synthetic_mnist(10, 3).images(), synthetic_mnist(10, 3).images());
+    }
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(synthetic_mnist(10, 3).images(), synthetic_mnist(10, 4).images());
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean image of class 1 (thin vertical bar) should differ
+        // substantially from class 0 (ring).
+        let ds = synthetic_mnist(200, 5);
+        let mut mean0 = vec![0.0f64; 28 * 28];
+        let mut mean1 = vec![0.0f64; 28 * 28];
+        let (mut n0, mut n1) = (0usize, 0usize);
+        for i in 0..ds.len() {
+            let img = &ds.images().data()[i * 784..(i + 1) * 784];
+            match ds.labels()[i] {
+                0 => {
+                    for (m, &v) in mean0.iter_mut().zip(img) {
+                        *m += v as f64;
+                    }
+                    n0 += 1;
+                }
+                1 => {
+                    for (m, &v) in mean1.iter_mut().zip(img) {
+                        *m += v as f64;
+                    }
+                    n1 += 1;
+                }
+                _ => {}
+            }
+        }
+        let dist: f64 = mean0
+            .iter()
+            .zip(&mean1)
+            .map(|(&a, &b)| (a / n0 as f64 - b / n1 as f64).powi(2))
+            .sum();
+        assert!(dist > 1.0, "class means too similar: {dist}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Finite-difference Hessian diagonal (paper Eq. 6) — the slow oracle.
+//!
+//! The paper motivates its single-pass recursion by noting that the
+//! straightforward estimate
+//!
+//! ```text
+//! ∂²f/∂w² ≈ (f(w + Δ) − 2 f(w) + f(w − Δ)) / Δ²
+//! ```
+//!
+//! needs *two extra forward passes per weight* — two million passes for a
+//! million-weight model. We implement it anyway: it is the ground truth
+//! that the fast `second_backward` recursion is validated against in the
+//! test suite, and the `second_derivative` criterion bench quantifies the
+//! speedup the paper claims.
+
+use crate::loss::Loss;
+use crate::network::Network;
+use swim_tensor::Tensor;
+
+/// Central-difference estimate of `∂²f/∂w²` for every *device-mapped*
+/// weight.
+///
+/// Cost: `2·n_weights + 1` forward passes. Use small networks only.
+///
+/// # Panics
+///
+/// Panics if `delta` is not finite and positive.
+pub fn hessian_diag_fd(
+    network: &mut Network,
+    loss: &dyn Loss,
+    input: &Tensor,
+    targets: &[usize],
+    delta: f32,
+) -> Vec<f64> {
+    assert!(delta.is_finite() && delta > 0.0, "delta must be positive");
+    let weights = network.device_weights();
+    let f0 = network.evaluate_loss(loss, input, targets, input.shape()[0].max(1));
+    let mut out = Vec::with_capacity(weights.len());
+    let mut perturbed = weights.clone();
+    for i in 0..weights.len() {
+        perturbed[i] = weights[i] + delta;
+        network.set_device_weights(&perturbed);
+        let fp = network.evaluate_loss(loss, input, targets, input.shape()[0].max(1));
+        perturbed[i] = weights[i] - delta;
+        network.set_device_weights(&perturbed);
+        let fm = network.evaluate_loss(loss, input, targets, input.shape()[0].max(1));
+        perturbed[i] = weights[i];
+        out.push((fp - 2.0 * f0 + fm) / (delta as f64 * delta as f64));
+    }
+    network.set_device_weights(&weights);
+    out
+}
+
+/// Central-difference gradient for every device-mapped weight (first
+/// order), used by gradient-checking tests.
+///
+/// # Panics
+///
+/// Panics if `delta` is not finite and positive.
+pub fn gradient_fd(
+    network: &mut Network,
+    loss: &dyn Loss,
+    input: &Tensor,
+    targets: &[usize],
+    delta: f32,
+) -> Vec<f64> {
+    assert!(delta.is_finite() && delta > 0.0, "delta must be positive");
+    let weights = network.device_weights();
+    let mut out = Vec::with_capacity(weights.len());
+    let mut perturbed = weights.clone();
+    for i in 0..weights.len() {
+        perturbed[i] = weights[i] + delta;
+        network.set_device_weights(&perturbed);
+        let fp = network.evaluate_loss(loss, input, targets, input.shape()[0].max(1));
+        perturbed[i] = weights[i] - delta;
+        network.set_device_weights(&perturbed);
+        let fm = network.evaluate_loss(loss, input, targets, input.shape()[0].max(1));
+        perturbed[i] = weights[i];
+        out.push((fp - fm) / (2.0 * delta as f64));
+    }
+    network.set_device_weights(&weights);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu, Sequential};
+    use crate::loss::{L2Loss, SoftmaxCrossEntropy};
+    use swim_tensor::Prng;
+
+    fn small_net(rng: &mut Prng) -> Network {
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(3, 5, rng));
+        seq.push(Relu::new());
+        seq.push(Linear::new(5, 2, rng));
+        Network::new("small", seq)
+    }
+
+    #[test]
+    fn fd_gradient_matches_backprop() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut net = small_net(&mut rng);
+        let x = Tensor::randn(&[6, 3], &mut rng);
+        let y = vec![0, 1, 0, 1, 0, 1];
+        let loss = SoftmaxCrossEntropy::new();
+        net.zero_grads();
+        net.accumulate_gradients(&loss, &x, &y);
+        let analytic = net.device_gradient();
+        let fd = gradient_fd(&mut net, &loss, &x, &y, 1e-2);
+        for (i, (&a, &f)) in analytic.iter().zip(&fd).enumerate() {
+            assert!(
+                (a as f64 - f).abs() < 1e-2 * (1.0 + f.abs()),
+                "w[{i}]: analytic {a} fd {f}"
+            );
+        }
+    }
+
+    /// For the *last* linear layer the paper's recursion is exact (no
+    /// upstream chain-rule approximation), so FD and second_backward must
+    /// agree tightly there.
+    #[test]
+    fn fd_hessian_matches_second_backward_on_last_layer() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut net = small_net(&mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        let y = vec![0, 1, 1, 0];
+        let loss = L2Loss::new();
+        net.zero_hess();
+        net.accumulate_hessian(&loss, &x, &y);
+        let analytic = net.device_hessian();
+        let fd = hessian_diag_fd(&mut net, &loss, &x, &y, 5e-2);
+        // Last layer weights are the final 5*2 = 10 entries of the flat
+        // vector.
+        let n = analytic.len();
+        for i in (n - 10)..n {
+            let a = analytic[i] as f64;
+            let f = fd[i];
+            assert!(
+                (a - f).abs() < 2e-2 * (1.0 + f.abs()),
+                "w[{i}]: analytic {a} fd {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn restores_weights_after_probing() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut net = small_net(&mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        let y = vec![0, 1, 1, 0];
+        let before = net.device_weights();
+        hessian_diag_fd(&mut net, &SoftmaxCrossEntropy::new(), &x, &y, 1e-2);
+        assert_eq!(net.device_weights(), before);
+    }
+}

@@ -1,0 +1,385 @@
+//! 2-D convolution layer, lowered to GEMM via im2col.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{Param, ParamKind};
+use swim_tensor::conv::{col2im, im2col, ConvGeometry};
+use swim_tensor::linalg::{matmul, matmul_at, matmul_bt};
+use swim_tensor::{Prng, Tensor};
+
+/// 2-D convolution `[N, C, H, W] -> [N, F, H', W']`.
+///
+/// The convolution is computed one batch item at a time as
+/// `im2col(x) · Wᵀ`, which "casts it in the same form as FC layers" —
+/// exactly the reduction the paper's §3.3 uses so that the FC second-order
+/// rules (Eq. 8/10) apply unchanged to convolutions. The backward passes
+/// recompute the im2col matrix instead of caching it, trading a little
+/// compute for a large memory saving on wide models.
+///
+/// # Example
+///
+/// ```
+/// use swim_nn::layers::Conv2d;
+/// use swim_nn::layer::{Layer, Mode};
+/// use swim_tensor::{Prng, Tensor};
+///
+/// let mut rng = Prng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let x = Tensor::zeros(&[2, 3, 16, 16]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal initialization (suited to
+    /// the ReLU networks of the paper) and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of channel counts, kernel, or stride are zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let weight = Tensor::from_fn(&[out_channels, in_channels, kernel, kernel], |_| {
+            rng.normal_f32(0.0, std)
+        });
+        Conv2d {
+            weight: Param::new("weight", weight, ParamKind::DeviceWeight),
+            bias: Param::new("bias", Tensor::zeros(&[out_channels]), ParamKind::Digital),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> ConvGeometry {
+        ConvGeometry {
+            in_channels: self.in_channels,
+            in_h: h,
+            in_w: w,
+            kernel_h: self.kernel,
+            kernel_w: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+
+    fn weight_matrix(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let cols = self.in_channels * self.kernel * self.kernel;
+        self.weight
+            .value
+            .map(f)
+            .reshaped(&[self.out_channels, cols])
+    }
+
+    fn cached(&self) -> &Tensor {
+        self.cached_input
+            .as_ref()
+            .expect("backward called before forward")
+    }
+
+    /// Immutable access to the weight parameter (tests, inspection).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects [N, C, H, W] input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "Conv2d expected {} input channels, got {}",
+            self.in_channels,
+            input.shape()[1]
+        );
+        let (n, _, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let geom = self.geometry(h, w);
+        assert!(geom.is_valid(), "kernel does not fit input {geom:?}");
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let wmat = self.weight_matrix(|v| v); // [F, CK²]
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let spatial = oh * ow;
+        for item in 0..n {
+            let image = input.slice_axis0(item, item + 1).reshaped(&[
+                self.in_channels,
+                h,
+                w,
+            ]);
+            let cols = im2col(&image, &geom); // [spatial, CK²]
+            let y = matmul_bt(&cols, &wmat); // [spatial, F]
+            let od = out.data_mut();
+            let base = item * self.out_channels * spatial;
+            let yd = y.data();
+            let bias = self.bias.value.data();
+            for s in 0..spatial {
+                for f in 0..self.out_channels {
+                    od[base + f * spatial + s] = yd[s * self.out_channels + f] + bias[f];
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached().clone();
+        let (n, _, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let geom = self.geometry(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let spatial = oh * ow;
+        let ck2 = self.in_channels * self.kernel * self.kernel;
+        let wmat = self.weight_matrix(|v| v);
+        let mut grad_input = Tensor::zeros(input.shape());
+        let mut wgrad = Tensor::zeros(&[self.out_channels, ck2]);
+        let mut bgrad = vec![0.0f32; self.out_channels];
+
+        for item in 0..n {
+            let image = input.slice_axis0(item, item + 1).reshaped(&[
+                self.in_channels,
+                h,
+                w,
+            ]);
+            let cols = im2col(&image, &geom);
+            // delta for this item in [spatial, F] layout.
+            let gd = grad_output.data();
+            let base = item * self.out_channels * spatial;
+            let mut delta = Tensor::zeros(&[spatial, self.out_channels]);
+            let dd = delta.data_mut();
+            for f in 0..self.out_channels {
+                for s in 0..spatial {
+                    let v = gd[base + f * spatial + s];
+                    dd[s * self.out_channels + f] = v;
+                    bgrad[f] += v;
+                }
+            }
+            // dW += δᵀ · cols  ([F, spatial]·[spatial, CK²])
+            wgrad.add_assign_t(&matmul_at(&delta, &cols));
+            // dX_item = col2im(δ · W)
+            let dcols = matmul(&delta, &wmat); // [spatial, CK²]
+            let dimg = col2im(&dcols, &geom);
+            let gi = grad_input.data_mut();
+            let ibase = item * self.in_channels * h * w;
+            for (dst, &src) in gi[ibase..ibase + self.in_channels * h * w]
+                .iter_mut()
+                .zip(dimg.data())
+            {
+                *dst += src;
+            }
+        }
+        self.weight.grad.add_assign_t(&wgrad.reshaped(&[
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+        ]));
+        for (g, &v) in self.bias.grad.data_mut().iter_mut().zip(&bgrad) {
+            *g += v;
+        }
+        grad_input
+    }
+
+    fn second_backward(&mut self, hess_output: &Tensor) -> Tensor {
+        let input = self.cached().clone();
+        let (n, _, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let geom = self.geometry(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let spatial = oh * ow;
+        let ck2 = self.in_channels * self.kernel * self.kernel;
+        let wmat_sq = self.weight_matrix(|v| v * v);
+        let mut hess_input = Tensor::zeros(input.shape());
+        let mut whess = Tensor::zeros(&[self.out_channels, ck2]);
+        let mut bhess = vec![0.0f32; self.out_channels];
+
+        for item in 0..n {
+            let image = input.slice_axis0(item, item + 1).reshaped(&[
+                self.in_channels,
+                h,
+                w,
+            ]);
+            let cols_sq = im2col(&image, &geom).map(|v| v * v);
+            let hd = hess_output.data();
+            let base = item * self.out_channels * spatial;
+            let mut hdelta = Tensor::zeros(&[spatial, self.out_channels]);
+            let dd = hdelta.data_mut();
+            for f in 0..self.out_channels {
+                for s in 0..spatial {
+                    let v = hd[base + f * spatial + s];
+                    dd[s * self.out_channels + f] = v;
+                    bhess[f] += v;
+                }
+            }
+            // Eq. 8 through im2col: h_W += h_δᵀ · cols²
+            whess.add_assign_t(&matmul_at(&hdelta, &cols_sq));
+            // Eq. 10: h_X = col2im(h_δ · W²)
+            let hcols = matmul(&hdelta, &wmat_sq);
+            let himg = col2im(&hcols, &geom);
+            let gi = hess_input.data_mut();
+            let ibase = item * self.in_channels * h * w;
+            for (dst, &src) in gi[ibase..ibase + self.in_channels * h * w]
+                .iter_mut()
+                .zip(himg.data())
+            {
+                *dst += src;
+            }
+        }
+        self.weight.hess.add_assign_t(&whess.reshaped(&[
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+        ]));
+        for (g, &v) in self.bias.hess.data_mut().iter_mut().zip(&bhess) {
+            *g += v;
+        }
+        hess_input
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Conv2d({}->{}, k{}, s{}, p{})",
+            self.in_channels, self.out_channels, self.kernel, self.stride, self.padding
+        )
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        conv.weight.value.fill(0.0);
+        conv.bias.value = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 2, 3, 3]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 1, 2, 2]), -1.0);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.weight.value.fill(1.0);
+        let x = Tensor::from_fn(&[1, 1, 3, 3], |i| i as f32);
+        let y = conv.forward(&x, Mode::Eval);
+        assert!(y.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn gradcheck_weights_and_input() {
+        // Finite-difference check of the analytic backward pass.
+        let mut rng = Prng::seed_from_u64(5);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 2, 4, 4], &mut rng);
+        // Loss: sum of outputs (so dL/dy = 1 everywhere).
+        let y = conv.forward(&x, Mode::Train);
+        let ones = Tensor::ones(y.shape());
+        let dx = conv.backward(&ones);
+
+        let eps = 1e-2f32;
+        // Check a few weight coordinates.
+        for &i in &[0usize, 7, 20, 53] {
+            let orig = conv.weight.value.data()[i];
+            conv.weight.value.data_mut()[i] = orig + eps;
+            let lp = conv.forward(&x, Mode::Train).sum();
+            conv.weight.value.data_mut()[i] = orig - eps;
+            let lm = conv.forward(&x, Mode::Train).sum();
+            conv.weight.value.data_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let an = conv.weight.grad.data()[i] as f64;
+            assert!((fd - an).abs() < 1e-2 * (1.0 + an.abs()), "w[{i}]: fd {fd} an {an}");
+        }
+        // Check a few input coordinates.
+        for &i in &[0usize, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let lp = conv.forward(&xp, Mode::Train).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lm = conv.forward(&xm, Mode::Train).sum();
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let an = dx.data()[i] as f64;
+            assert!((fd - an).abs() < 1e-2 * (1.0 + an.abs()), "x[{i}]: fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn second_backward_is_nonnegative_for_nonneg_seed() {
+        let mut rng = Prng::seed_from_u64(6);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 1, 5, 5], &mut rng);
+        let y = conv.forward(&x, Mode::Train);
+        let h = Tensor::ones(y.shape());
+        let hx = conv.second_backward(&h);
+        assert!(conv.weight.hess.data().iter().all(|&v| v >= 0.0));
+        assert!(hx.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn stride_two_shapes() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut conv = Conv2d::new(4, 8, 3, 2, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 4, 8, 8]);
+        assert_eq!(conv.forward(&x, Mode::Eval).shape(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Prng::seed_from_u64(8);
+        let mut conv = Conv2d::new(3, 16, 3, 1, 1, &mut rng);
+        // 16*3*3*3 weights + 16 biases
+        assert_eq!(conv.num_params(), 16 * 27 + 16);
+    }
+}

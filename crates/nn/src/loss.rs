@@ -1,0 +1,284 @@
+//! Loss functions with first- and second-derivative seeds.
+//!
+//! The second-order backward recursion starts from `∂²f/∂O²` at the
+//! network output (paper §3.3): for L2 loss the seed is the constant 2;
+//! for softmax cross-entropy it is `p_j (1 − p_j)` (Eq. 11). Both are
+//! divided by the batch size because losses are mean-reduced.
+
+use swim_tensor::Tensor;
+
+/// A classification loss over logits `[N, classes]` and integer targets.
+pub trait Loss {
+    /// Mean loss over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `targets.len()` differs from the batch
+    /// size or a target is out of range.
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> f64;
+
+    /// Gradient of the mean loss with respect to the logits.
+    fn backward(&self, logits: &Tensor, targets: &[usize]) -> Tensor;
+
+    /// Diagonal second derivative of the mean loss with respect to the
+    /// logits — the seed of the SWIM sensitivity recursion.
+    fn second_backward(&self, logits: &Tensor, targets: &[usize]) -> Tensor;
+
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+fn check_targets(logits: &Tensor, targets: &[usize]) -> (usize, usize) {
+    assert_eq!(logits.rank(), 2, "loss expects [N, classes] logits");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(targets.len(), n, "target count {} != batch size {n}", targets.len());
+    for &t in targets {
+        assert!(t < c, "target {t} out of range for {c} classes");
+    }
+    (n, c)
+}
+
+/// Row-wise numerically stable softmax.
+fn softmax(logits: &Tensor) -> Tensor {
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = logits.clone();
+    let od = out.data_mut();
+    for row in 0..n {
+        let r = &mut od[row * c..(row + 1) * c];
+        let max = r.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in r.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in r.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax followed by cross-entropy, the paper's classification loss.
+///
+/// # Example
+///
+/// ```
+/// use swim_nn::loss::{Loss, SoftmaxCrossEntropy};
+/// use swim_tensor::Tensor;
+///
+/// let loss = SoftmaxCrossEntropy::new();
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2])?;
+/// // Confident & correct: loss near zero.
+/// assert!(loss.forward(&logits, &[0]) < 1e-6);
+/// # Ok::<(), swim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+}
+
+impl Loss for SoftmaxCrossEntropy {
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> f64 {
+        let (n, c) = check_targets(logits, targets);
+        let p = softmax(logits);
+        let mut acc = 0.0f64;
+        for (row, &t) in targets.iter().enumerate() {
+            let prob = p.data()[row * c + t].max(1e-12);
+            acc -= (prob as f64).ln();
+        }
+        acc / n as f64
+    }
+
+    fn backward(&self, logits: &Tensor, targets: &[usize]) -> Tensor {
+        let (n, c) = check_targets(logits, targets);
+        let mut g = softmax(logits);
+        let gd = g.data_mut();
+        let inv_n = 1.0 / n as f32;
+        for (row, &t) in targets.iter().enumerate() {
+            gd[row * c + t] -= 1.0;
+        }
+        for v in gd.iter_mut() {
+            *v *= inv_n;
+        }
+        g
+    }
+
+    fn second_backward(&self, logits: &Tensor, targets: &[usize]) -> Tensor {
+        let (n, _) = check_targets(logits, targets);
+        // Eq. 11: h_O = p (1 - p), mean-reduced.
+        let mut h = softmax(logits);
+        let inv_n = 1.0 / n as f32;
+        h.map_inplace(|p| p * (1.0 - p) * inv_n);
+        h
+    }
+
+    fn name(&self) -> &'static str {
+        "softmax-cross-entropy"
+    }
+}
+
+/// Mean squared error against one-hot targets (the paper's "L2 loss").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L2Loss;
+
+impl L2Loss {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        L2Loss
+    }
+}
+
+impl Loss for L2Loss {
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> f64 {
+        let (n, c) = check_targets(logits, targets);
+        let mut acc = 0.0f64;
+        for row in 0..n {
+            for j in 0..c {
+                let y = if targets[row] == j { 1.0 } else { 0.0 };
+                let d = logits.data()[row * c + j] as f64 - y;
+                acc += d * d;
+            }
+        }
+        acc / n as f64
+    }
+
+    fn backward(&self, logits: &Tensor, targets: &[usize]) -> Tensor {
+        let (n, c) = check_targets(logits, targets);
+        let inv_n = 1.0 / n as f32;
+        let mut g = logits.clone();
+        let gd = g.data_mut();
+        for (row, &t) in targets.iter().enumerate() {
+            gd[row * c + t] -= 1.0;
+        }
+        for v in gd.iter_mut() {
+            *v *= 2.0 * inv_n;
+        }
+        g
+    }
+
+    fn second_backward(&self, logits: &Tensor, targets: &[usize]) -> Tensor {
+        let (n, _) = check_targets(logits, targets);
+        // Paper §3.3: for L2 loss, ∂²f/∂O² = 2 (mean-reduced).
+        Tensor::full(logits.shape(), 2.0 / n as f32)
+    }
+
+    fn name(&self) -> &'static str {
+        "l2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_tensor::Prng;
+
+    fn fd_grad(loss: &dyn Loss, logits: &Tensor, targets: &[usize], i: usize) -> f64 {
+        let eps = 1e-3f32;
+        let mut lp = logits.clone();
+        lp.data_mut()[i] += eps;
+        let mut lm = logits.clone();
+        lm.data_mut()[i] -= eps;
+        (loss.forward(&lp, targets) - loss.forward(&lm, targets)) / (2.0 * eps as f64)
+    }
+
+    fn fd_hess(loss: &dyn Loss, logits: &Tensor, targets: &[usize], i: usize) -> f64 {
+        let eps = 1e-2f32;
+        let mut lp = logits.clone();
+        lp.data_mut()[i] += eps;
+        let mut lm = logits.clone();
+        lm.data_mut()[i] -= eps;
+        let f0 = loss.forward(logits, targets);
+        (loss.forward(&lp, targets) - 2.0 * f0 + loss.forward(&lm, targets))
+            / (eps as f64 * eps as f64)
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Prng::seed_from_u64(1);
+        let logits = Tensor::randn(&[4, 7], &mut rng);
+        let p = softmax(&logits);
+        for row in 0..4 {
+            let s: f32 = p.data()[row * 7..(row + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let mut rng = Prng::seed_from_u64(2);
+        let logits = Tensor::randn(&[3, 5], &mut rng);
+        let targets = [0usize, 3, 4];
+        let loss = SoftmaxCrossEntropy::new();
+        let g = loss.backward(&logits, &targets);
+        for &i in &[0usize, 4, 7, 12, 14] {
+            let fd = fd_grad(&loss, &logits, &targets, i);
+            let an = g.data()[i] as f64;
+            assert!((fd - an).abs() < 1e-3, "i={i} fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn ce_hessian_matches_finite_difference() {
+        let mut rng = Prng::seed_from_u64(3);
+        let logits = Tensor::randn(&[2, 4], &mut rng);
+        let targets = [1usize, 2];
+        let loss = SoftmaxCrossEntropy::new();
+        let h = loss.second_backward(&logits, &targets);
+        for i in 0..8 {
+            let fd = fd_hess(&loss, &logits, &targets, i);
+            let an = h.data()[i] as f64;
+            assert!((fd - an).abs() < 5e-3, "i={i} fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn ce_hessian_is_nonnegative() {
+        let mut rng = Prng::seed_from_u64(4);
+        let logits = Tensor::randn(&[8, 10], &mut rng);
+        let targets: Vec<usize> = (0..8).map(|i| i % 10).collect();
+        let h = SoftmaxCrossEntropy::new().second_backward(&logits, &targets);
+        assert!(h.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn l2_gradient_matches_finite_difference() {
+        let mut rng = Prng::seed_from_u64(5);
+        let logits = Tensor::randn(&[2, 3], &mut rng);
+        let targets = [0usize, 2];
+        let loss = L2Loss::new();
+        let g = loss.backward(&logits, &targets);
+        for i in 0..6 {
+            let fd = fd_grad(&loss, &logits, &targets, i);
+            let an = g.data()[i] as f64;
+            assert!((fd - an).abs() < 1e-3, "i={i} fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn l2_hessian_is_constant_two_over_n() {
+        let logits = Tensor::zeros(&[4, 3]);
+        let h = L2Loss::new().second_backward(&logits, &[0, 1, 2, 0]);
+        for &v in h.data() {
+            assert!((v - 0.5).abs() < 1e-7); // 2/4
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_low_ce() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]).unwrap();
+        let l = SoftmaxCrossEntropy::new().forward(&logits, &[0, 1]);
+        assert!(l < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        let logits = Tensor::zeros(&[1, 3]);
+        SoftmaxCrossEntropy::new().forward(&logits, &[3]);
+    }
+}

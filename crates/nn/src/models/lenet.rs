@@ -1,0 +1,130 @@
+//! LeNet for 28×28 grayscale images (the paper's MNIST model).
+
+use crate::layers::{ActQuant, Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential};
+use crate::network::Network;
+use swim_tensor::Prng;
+
+/// Configuration for [`LeNet`](build).
+///
+/// The default reproduces the paper's MNIST network: ~1.0×10⁵
+/// device-mapped weights (the paper reports 1.05×10⁵) with 4-bit
+/// activation quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeNetConfig {
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Activation quantization bit width (`None` disables fake quant).
+    pub act_bits: Option<u32>,
+    /// Width of the first fully connected layer.
+    pub fc1_width: usize,
+}
+
+impl Default for LeNetConfig {
+    fn default() -> Self {
+        LeNetConfig { num_classes: 10, act_bits: Some(4), fc1_width: 200 }
+    }
+}
+
+impl LeNetConfig {
+    /// The paper's setting (4-bit weights and activations, 10 classes).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Builds the network with deterministic initialization.
+    pub fn build(&self, seed: u64) -> Network {
+        build(self, seed)
+    }
+}
+
+/// Builds a LeNet:
+/// `conv(1→6,k5,p2) → pool → conv(6→16,k5) → pool → fc → fc → fc`.
+///
+/// # Example
+///
+/// ```
+/// use swim_nn::models::LeNetConfig;
+///
+/// let mut net = LeNetConfig::default().build(42);
+/// // ~100k device weights, close to the paper's 1.05e5.
+/// let n = net.device_weight_count();
+/// assert!(n > 90_000 && n < 115_000, "{n}");
+/// ```
+pub fn build(config: &LeNetConfig, seed: u64) -> Network {
+    assert!(config.num_classes > 0, "num_classes must be positive");
+    assert!(config.fc1_width > 0, "fc1_width must be positive");
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut seq = Sequential::new();
+
+    seq.push(Conv2d::new(1, 6, 5, 1, 2, &mut rng)); // 28x28 -> 28x28
+    seq.push(Relu::new());
+    if let Some(bits) = config.act_bits {
+        seq.push(ActQuant::unsigned(bits));
+    }
+    seq.push(MaxPool2d::new(2)); // -> 14x14
+
+    seq.push(Conv2d::new(6, 16, 5, 1, 0, &mut rng)); // -> 10x10
+    seq.push(Relu::new());
+    if let Some(bits) = config.act_bits {
+        seq.push(ActQuant::unsigned(bits));
+    }
+    seq.push(MaxPool2d::new(2)); // -> 5x5
+
+    seq.push(Flatten::new()); // 16*5*5 = 400
+    seq.push(Linear::new(400, config.fc1_width, &mut rng));
+    seq.push(Relu::new());
+    if let Some(bits) = config.act_bits {
+        seq.push(ActQuant::unsigned(bits));
+    }
+    seq.push(Linear::new(config.fc1_width, 84, &mut rng));
+    seq.push(Relu::new());
+    if let Some(bits) = config.act_bits {
+        seq.push(ActQuant::unsigned(bits));
+    }
+    seq.push(Linear::new(84, config.num_classes, &mut rng));
+
+    Network::new("lenet", seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use swim_tensor::Tensor;
+
+    #[test]
+    fn forward_shape() {
+        let mut net = LeNetConfig::default().build(0);
+        let x = Tensor::zeros(&[2, 1, 28, 28]);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn weight_count_near_paper() {
+        let mut net = LeNetConfig::paper().build(0);
+        let n = net.device_weight_count();
+        // conv 150+2400, fc 80000+16800+840 = 100190
+        assert_eq!(n, 150 + 2400 + 400 * 200 + 200 * 84 + 84 * 10);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let mut a = LeNetConfig::default().build(5);
+        let mut b = LeNetConfig::default().build(5);
+        assert_eq!(a.device_weights(), b.device_weights());
+        let mut c = LeNetConfig::default().build(6);
+        assert_ne!(a.device_weights(), c.device_weights());
+    }
+
+    #[test]
+    fn quantization_is_optional() {
+        let cfg = LeNetConfig { act_bits: None, ..Default::default() };
+        let mut net = cfg.build(1);
+        assert!(!net.describe().contains("ActQuant"));
+        let mut q = LeNetConfig::default().build(1);
+        assert!(q.describe().contains("ActQuant"));
+        // Same weight count either way.
+        assert_eq!(net.device_weight_count(), q.device_weight_count());
+    }
+}

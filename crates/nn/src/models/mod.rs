@@ -1,0 +1,19 @@
+//! The paper's three evaluation models.
+//!
+//! | Paper model | Dataset | Builder | Device weights (full width) |
+//! |-------------|---------|---------|------------------------------|
+//! | LeNet       | MNIST   | [`LeNetConfig`] | ≈1.0×10⁵ (paper: 1.05×10⁵) |
+//! | ConvNet \[6\] | CIFAR-10 | [`ConvNetConfig`] | ≈5.4×10⁶ (paper: 6.4×10⁶) |
+//! | ResNet-18 \[3\] | CIFAR-10 / Tiny ImageNet | [`ResNet18Config`] | ≈1.11×10⁷ (paper: 1.12×10⁷) |
+//!
+//! Every config exposes `width_factor`-style scaling so the experiment
+//! harness can run the same architectures at CPU-friendly sizes; the
+//! `paper()` constructors give the full-size networks.
+
+mod convnet;
+mod lenet;
+mod resnet;
+
+pub use convnet::{build as build_convnet, ConvNetConfig};
+pub use lenet::{build as build_lenet, LeNetConfig};
+pub use resnet::{build as build_resnet18, ResNet18Config, ResNetStem};

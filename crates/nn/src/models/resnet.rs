@@ -1,0 +1,243 @@
+//! ResNet-18 (basic blocks) for 32×32 and 64×64 inputs.
+
+use crate::layers::{
+    ActQuant, BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu, Residual, Sequential,
+};
+use crate::network::Network;
+use swim_tensor::Prng;
+
+/// Input stem variant.
+///
+/// Both of the paper's ResNet-18 experiments use small images, so the
+/// ImageNet 7×7/stride-2 stem is replaced by the common small-image
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResNetStem {
+    /// 3×3 stride-1 convolution, no pooling — for 32×32 (CIFAR-10).
+    Cifar,
+    /// 3×3 stride-1 convolution followed by 2×2 max pooling — for 64×64
+    /// (Tiny ImageNet), bringing the spatial size back to 32×32.
+    TinyImageNet,
+}
+
+/// Configuration for [`ResNet-18`](build).
+///
+/// At `width_factor = 1.0` and 10 classes the network has ≈1.11×10⁷
+/// device-mapped weights, matching the paper's 1.12×10⁷. Batch-norm
+/// parameters are digital (not write-verify candidates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResNet18Config {
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Activation quantization bit width (`None` disables fake quant).
+    pub act_bits: Option<u32>,
+    /// Multiplier on all channel widths.
+    pub width_factor: f32,
+    /// Input stem variant.
+    pub stem: ResNetStem,
+}
+
+impl Default for ResNet18Config {
+    fn default() -> Self {
+        ResNet18Config {
+            num_classes: 10,
+            act_bits: Some(6),
+            width_factor: 1.0,
+            stem: ResNetStem::Cifar,
+        }
+    }
+}
+
+impl ResNet18Config {
+    /// The paper's CIFAR-10 setting.
+    pub fn paper_cifar() -> Self {
+        Self::default()
+    }
+
+    /// The paper's Tiny-ImageNet setting (200 classes, 64×64 inputs).
+    pub fn paper_tiny_imagenet() -> Self {
+        ResNet18Config {
+            num_classes: 200,
+            stem: ResNetStem::TinyImageNet,
+            ..Self::default()
+        }
+    }
+
+    /// A reduced-width configuration sized for CPU experiments.
+    pub fn reduced(width_factor: f32) -> Self {
+        ResNet18Config { width_factor, ..Self::default() }
+    }
+
+    /// Builds the network with deterministic initialization.
+    pub fn build(&self, seed: u64) -> Network {
+        build(self, seed)
+    }
+
+    fn scaled(&self, base: usize) -> usize {
+        ((base as f32 * self.width_factor).round() as usize).max(4)
+    }
+}
+
+fn conv_bn(
+    seq: &mut Sequential,
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    rng: &mut Prng,
+) {
+    seq.push(Conv2d::new(cin, cout, kernel, stride, padding, rng));
+    seq.push(BatchNorm2d::new(cout));
+}
+
+/// One basic block: `conv-bn-relu-conv-bn` with identity or 1×1
+/// projection shortcut, wrapped in a [`Residual`] (post-add ReLU).
+fn basic_block(
+    cin: usize,
+    cout: usize,
+    stride: usize,
+    act_bits: Option<u32>,
+    rng: &mut Prng,
+) -> Residual {
+    let mut main = Sequential::new();
+    conv_bn(&mut main, cin, cout, 3, stride, 1, rng);
+    main.push(Relu::new());
+    if let Some(bits) = act_bits {
+        main.push(ActQuant::unsigned(bits));
+    }
+    conv_bn(&mut main, cout, cout, 3, 1, 1, rng);
+
+    if stride != 1 || cin != cout {
+        let mut shortcut = Sequential::new();
+        conv_bn(&mut shortcut, cin, cout, 1, stride, 0, rng);
+        Residual::with_shortcut(main, shortcut)
+    } else {
+        Residual::new(main)
+    }
+}
+
+/// Builds a ResNet-18: stem, four stages of two basic blocks
+/// (widths 64/128/256/512 × `width_factor`), global average pooling, and
+/// a linear classifier.
+///
+/// # Example
+///
+/// ```
+/// use swim_nn::models::{ResNet18Config, ResNetStem};
+///
+/// let cfg = ResNet18Config::reduced(0.25);
+/// let mut net = cfg.build(1);
+/// assert!(net.device_weight_count() > 100_000);
+/// ```
+pub fn build(config: &ResNet18Config, seed: u64) -> Network {
+    assert!(config.num_classes > 0, "num_classes must be positive");
+    assert!(
+        config.width_factor > 0.0 && config.width_factor.is_finite(),
+        "width_factor must be positive"
+    );
+    let mut rng = Prng::seed_from_u64(seed);
+    let widths = [
+        config.scaled(64),
+        config.scaled(128),
+        config.scaled(256),
+        config.scaled(512),
+    ];
+
+    let mut seq = Sequential::new();
+    // Stem.
+    conv_bn(&mut seq, 3, widths[0], 3, 1, 1, &mut rng);
+    seq.push(Relu::new());
+    if let Some(bits) = config.act_bits {
+        seq.push(ActQuant::unsigned(bits));
+    }
+    if config.stem == ResNetStem::TinyImageNet {
+        seq.push(MaxPool2d::new(2)); // 64 -> 32
+    }
+
+    // Stages: two blocks each; stages 2-4 downsample at their first block.
+    let mut cin = widths[0];
+    for (stage, &cout) in widths.iter().enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        seq.push(basic_block(cin, cout, stride, config.act_bits, &mut rng));
+        seq.push(basic_block(cout, cout, 1, config.act_bits, &mut rng));
+        cin = cout;
+    }
+
+    seq.push(GlobalAvgPool::new());
+    seq.push(Linear::new(widths[3], config.num_classes, &mut rng));
+
+    let name = match config.stem {
+        ResNetStem::Cifar => "resnet18-cifar",
+        ResNetStem::TinyImageNet => "resnet18-tiny",
+    };
+    Network::new(name, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use swim_tensor::Tensor;
+
+    #[test]
+    fn cifar_forward_shape() {
+        let mut net = ResNet18Config::reduced(0.125).build(0);
+        let x = Tensor::zeros(&[2, 3, 32, 32]);
+        assert_eq!(net.forward(&x, Mode::Eval).shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn tiny_imagenet_forward_shape() {
+        let cfg = ResNet18Config {
+            num_classes: 20,
+            stem: ResNetStem::TinyImageNet,
+            width_factor: 0.125,
+            ..Default::default()
+        };
+        let mut net = cfg.build(0);
+        let x = Tensor::zeros(&[1, 3, 64, 64]);
+        assert_eq!(net.forward(&x, Mode::Eval).shape(), &[1, 20]);
+    }
+
+    #[test]
+    fn full_width_weight_count_matches_paper() {
+        let mut net = ResNet18Config::paper_cifar().build(0);
+        let n = net.device_weight_count();
+        // The paper reports 1.12e7 for its CIFAR ResNet-18.
+        assert!(
+            (10_900_000..11_400_000).contains(&n),
+            "device weights {n} not within expected ResNet-18 range"
+        );
+    }
+
+    #[test]
+    fn backward_through_residuals() {
+        let mut net = ResNet18Config::reduced(0.0625).build(1);
+        let mut rng = Prng::seed_from_u64(9);
+        let x = Tensor::randn(&[2, 3, 32, 32], &mut rng);
+        let y = net.forward(&x, Mode::Train);
+        let g = net.backward(&Tensor::ones(y.shape()));
+        assert_eq!(g.shape(), x.shape());
+        let y2 = net.forward(&x, Mode::Eval);
+        let h = net.second_backward(&Tensor::ones(y2.shape()));
+        assert_eq!(h.shape(), x.shape());
+        assert!(h.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn bn_params_not_device_mapped() {
+        let mut net = ResNet18Config::reduced(0.0625).build(1);
+        let mut digital = 0usize;
+        let mut device = 0usize;
+        net.visit_params(&mut |p| {
+            if p.is_device_mapped() {
+                device += p.len();
+            } else {
+                digital += p.len();
+            }
+        });
+        assert!(device > 0 && digital > 0);
+        assert_eq!(device + digital, net.num_params());
+    }
+}

@@ -1,0 +1,218 @@
+//! Optimizers.
+
+use crate::network::Network;
+use swim_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and L2 weight
+/// decay.
+///
+/// Training from scratch is substrate for the paper (its models are
+/// "trained to converge on GPU before mapping"); the same optimizer also
+/// powers the in-situ training baseline, where each `step` corresponds to
+/// a round of on-device weight-update write pulses.
+///
+/// # Example
+///
+/// ```
+/// use swim_nn::layers::{Linear, Sequential};
+/// use swim_nn::network::Network;
+/// use swim_nn::optim::Sgd;
+/// use swim_nn::loss::{Loss, SoftmaxCrossEntropy};
+/// use swim_tensor::{Prng, Tensor};
+///
+/// let mut rng = Prng::seed_from_u64(0);
+/// let mut seq = Sequential::new();
+/// seq.push(Linear::new(2, 2, &mut rng));
+/// let mut net = Network::new("m", seq);
+/// let mut sgd = Sgd::new(0.1).momentum(0.9);
+/// let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// let before = net.evaluate_loss(&SoftmaxCrossEntropy::new(), &x, &[0, 1], 2);
+/// for _ in 0..20 {
+///     net.zero_grads();
+///     net.accumulate_gradients(&SoftmaxCrossEntropy::new(), &x, &[0, 1]);
+///     sgd.step(&mut net);
+/// }
+/// let after = net.evaluate_loss(&SoftmaxCrossEntropy::new(), &x, &[0, 1], 2);
+/// assert!(after < before);
+/// # Ok::<(), swim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Sets the momentum coefficient (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `[0, 1)`.
+    pub fn momentum(mut self, m: f32) -> Self {
+        assert!((0.0..1.0).contains(&m), "momentum must be in [0, 1)");
+        self.momentum = m;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wd` is negative.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (e.g. for a decay schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update from the accumulated gradients.
+    ///
+    /// Velocity buffers are allocated lazily on first use and keyed by
+    /// parameter visit order, so an optimizer must not be shared across
+    /// networks with different architectures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's parameter count changed since the first
+    /// step.
+    pub fn step(&mut self, network: &mut Network) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        network.visit_params(&mut |p| {
+            if velocity.len() == idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(
+                v.shape(),
+                p.value.shape(),
+                "parameter {} changed shape; optimizer state is stale",
+                p.name
+            );
+            // v = momentum * v - lr * (grad + wd * w)
+            v.scale(momentum);
+            v.axpy(-lr, &p.grad);
+            if wd > 0.0 {
+                v.axpy(-lr * wd, &p.value);
+            }
+            p.value.add_assign_t(v);
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu, Sequential};
+    use crate::loss::SoftmaxCrossEntropy;
+    use swim_tensor::Prng;
+
+    fn toy_problem() -> (Network, Tensor, Vec<usize>) {
+        let mut rng = Prng::seed_from_u64(11);
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(2, 8, &mut rng));
+        seq.push(Relu::new());
+        seq.push(Linear::new(8, 2, &mut rng));
+        let net = Network::new("toy", seq);
+        // Linearly separable blobs.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..32 {
+            let cls = i % 2;
+            let cx = if cls == 0 { -1.0 } else { 1.0 };
+            xs.push(cx + rng.normal_f32(0.0, 0.2));
+            xs.push(cx + rng.normal_f32(0.0, 0.2));
+            ys.push(cls);
+        }
+        let x = Tensor::from_vec(xs, &[32, 2]).unwrap();
+        (net, x, ys)
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let (mut net, x, y) = toy_problem();
+        let loss = SoftmaxCrossEntropy::new();
+        let before = net.evaluate_loss(&loss, &x, &y, 32);
+        let mut sgd = Sgd::new(0.5);
+        for _ in 0..30 {
+            net.zero_grads();
+            net.accumulate_gradients(&loss, &x, &y);
+            sgd.step(&mut net);
+        }
+        let after = net.evaluate_loss(&loss, &x, &y, 32);
+        assert!(after < before * 0.5, "{before} -> {after}");
+        assert!(net.accuracy(&x, &y, 32) > 0.9);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let (mut net_a, x, y) = toy_problem();
+        let mut net_b = net_a.clone();
+        let loss = SoftmaxCrossEntropy::new();
+        let mut plain = Sgd::new(0.05);
+        let mut heavy = Sgd::new(0.05).momentum(0.9);
+        for _ in 0..20 {
+            net_a.zero_grads();
+            net_a.accumulate_gradients(&loss, &x, &y);
+            plain.step(&mut net_a);
+            net_b.zero_grads();
+            net_b.accumulate_gradients(&loss, &x, &y);
+            heavy.step(&mut net_b);
+        }
+        let la = net_a.evaluate_loss(&loss, &x, &y, 32);
+        let lb = net_b.evaluate_loss(&loss, &x, &y, 32);
+        assert!(lb < la, "momentum {lb} should beat plain {la}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let (mut net, x, y) = toy_problem();
+        let loss = SoftmaxCrossEntropy::new();
+        let norm_before: f64 = net.device_weights().iter().map(|&w| (w as f64).powi(2)).sum();
+        let mut sgd = Sgd::new(0.01).weight_decay(10.0);
+        for _ in 0..10 {
+            net.zero_grads();
+            net.accumulate_gradients(&loss, &x, &y);
+            sgd.step(&mut net);
+        }
+        let norm_after: f64 = net.device_weights().iter().map(|&w| (w as f64).powi(2)).sum();
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_lr() {
+        Sgd::new(-0.1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Trainable parameters with gradient and diagonal-Hessian buffers.
+
+use swim_tensor::Tensor;
+
+/// What role a parameter plays in the accelerator mapping.
+///
+/// SWIM only write-verifies weights that physically live on NVM crossbars.
+/// Convolution and fully connected weight matrices are mapped to devices;
+/// biases and batch-norm affine parameters are computed by the digital
+/// periphery and are therefore never candidates for write-verify (they are
+/// also excluded from the paper's weight counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// A weight matrix/kernel mapped onto crossbar devices.
+    DeviceWeight,
+    /// A digitally stored parameter (bias, batch-norm scale/shift).
+    Digital,
+}
+
+/// One trainable tensor together with its first- and second-order
+/// derivative accumulators.
+///
+/// `grad` accumulates `∂f/∂θ` during [`crate::layer::Layer::backward`];
+/// `hess` accumulates the diagonal second derivative `∂²f/∂θ²` during
+/// [`crate::layer::Layer::second_backward`] — the quantity SWIM ranks
+/// weights by (paper Eq. 5).
+///
+/// # Example
+///
+/// ```
+/// use swim_nn::param::{Param, ParamKind};
+/// use swim_tensor::Tensor;
+///
+/// let mut p = Param::new("fc.weight", Tensor::zeros(&[4, 3]), ParamKind::DeviceWeight);
+/// assert_eq!(p.grad.len(), 12);
+/// p.grad.add_scalar(1.0);
+/// p.zero_grad();
+/// assert_eq!(p.grad.sum(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Human-readable, dot-separated name (e.g. `"conv1.weight"`).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// First-order gradient accumulator, same shape as `value`.
+    pub grad: Tensor,
+    /// Diagonal second-derivative accumulator, same shape as `value`.
+    pub hess: Tensor,
+    /// Whether this parameter is mapped to crossbar devices.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed derivative buffers.
+    pub fn new(name: impl Into<String>, value: Tensor, kind: ParamKind) -> Self {
+        let shape = value.shape().to_vec();
+        Param {
+            name: name.into(),
+            grad: Tensor::zeros(&shape),
+            hess: Tensor::zeros(&shape),
+            value,
+            kind,
+        }
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Whether this parameter is mapped to crossbar devices.
+    pub fn is_device_mapped(&self) -> bool {
+        self.kind == ParamKind::DeviceWeight
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Clears the second-derivative accumulator.
+    pub fn zero_hess(&mut self) {
+        self.hess.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_match_value_shape() {
+        let p = Param::new("w", Tensor::zeros(&[2, 3, 4]), ParamKind::DeviceWeight);
+        assert_eq!(p.grad.shape(), &[2, 3, 4]);
+        assert_eq!(p.hess.shape(), &[2, 3, 4]);
+        assert_eq!(p.len(), 24);
+    }
+
+    #[test]
+    fn kind_flags() {
+        let w = Param::new("w", Tensor::zeros(&[1]), ParamKind::DeviceWeight);
+        let b = Param::new("b", Tensor::zeros(&[1]), ParamKind::Digital);
+        assert!(w.is_device_mapped());
+        assert!(!b.is_device_mapped());
+    }
+
+    #[test]
+    fn zeroing_clears_accumulators() {
+        let mut p = Param::new("w", Tensor::ones(&[3]), ParamKind::Digital);
+        p.grad.add_scalar(2.0);
+        p.hess.add_scalar(3.0);
+        p.zero_grad();
+        p.zero_hess();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.hess.sum(), 0.0);
+        assert_eq!(p.value.sum(), 3.0);
+    }
+}

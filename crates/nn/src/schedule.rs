@@ -1,0 +1,181 @@
+//! Learning-rate schedules.
+//!
+//! The training loop in [`crate::train`] uses a simple per-epoch decay;
+//! these schedules provide the step and cosine policies commonly used to
+//! train the paper's larger models (ConvNet, ResNet-18) to convergence.
+
+/// A learning-rate schedule: maps an epoch index to a multiplier on the
+/// base learning rate.
+pub trait LrSchedule {
+    /// Multiplier applied to the base learning rate at `epoch`
+    /// (0-based).
+    fn factor(&self, epoch: usize) -> f32;
+
+    /// Convenience: the absolute learning rate at `epoch`.
+    fn lr_at(&self, base_lr: f32, epoch: usize) -> f32 {
+        base_lr * self.factor(epoch)
+    }
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constant;
+
+impl LrSchedule for Constant {
+    fn factor(&self, _epoch: usize) -> f32 {
+        1.0
+    }
+}
+
+/// Multiply by `gamma` every `step_size` epochs (PyTorch `StepLR`).
+///
+/// # Example
+///
+/// ```
+/// use swim_nn::schedule::{LrSchedule, StepDecay};
+///
+/// let s = StepDecay::new(10, 0.1);
+/// assert_eq!(s.factor(0), 1.0);
+/// assert_eq!(s.factor(10), 0.1);
+/// assert!((s.factor(25) - 0.01).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    step_size: usize,
+    gamma: f32,
+}
+
+impl StepDecay {
+    /// Creates a step schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_size` is zero or `gamma` is not in `(0, 1]`.
+    pub fn new(step_size: usize, gamma: f32) -> Self {
+        assert!(step_size > 0, "step_size must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        StepDecay { step_size, gamma }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.step_size) as i32)
+    }
+}
+
+/// Cosine annealing from 1 to `min_factor` over `total_epochs`.
+///
+/// # Example
+///
+/// ```
+/// use swim_nn::schedule::{CosineAnnealing, LrSchedule};
+///
+/// let s = CosineAnnealing::new(100, 0.0);
+/// assert!((s.factor(0) - 1.0).abs() < 1e-6);
+/// assert!((s.factor(50) - 0.5).abs() < 1e-6);
+/// assert!(s.factor(100) < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnnealing {
+    total_epochs: usize,
+    min_factor: f32,
+}
+
+impl CosineAnnealing {
+    /// Creates a cosine schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs` is zero or `min_factor` is outside
+    /// `[0, 1]`.
+    pub fn new(total_epochs: usize, min_factor: f32) -> Self {
+        assert!(total_epochs > 0, "total_epochs must be positive");
+        assert!((0.0..=1.0).contains(&min_factor), "min_factor must be in [0, 1]");
+        CosineAnnealing { total_epochs, min_factor }
+    }
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_factor + (1.0 - self.min_factor) * cos
+    }
+}
+
+/// Linear warmup wrapped around another schedule: the factor ramps
+/// 0 → 1 over `warmup_epochs`, then delegates.
+#[derive(Debug, Clone, Copy)]
+pub struct Warmup<S> {
+    warmup_epochs: usize,
+    inner: S,
+}
+
+impl<S: LrSchedule> Warmup<S> {
+    /// Wraps `inner` with `warmup_epochs` of linear ramp.
+    pub fn new(warmup_epochs: usize, inner: S) -> Self {
+        Warmup { warmup_epochs, inner }
+    }
+}
+
+impl<S: LrSchedule> LrSchedule for Warmup<S> {
+    fn factor(&self, epoch: usize) -> f32 {
+        if epoch < self.warmup_epochs {
+            (epoch + 1) as f32 / self.warmup_epochs as f32
+        } else {
+            self.inner.factor(epoch - self.warmup_epochs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for e in [0, 5, 100] {
+            assert_eq!(Constant.factor(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decay_plateaus() {
+        let s = StepDecay::new(3, 0.5);
+        assert_eq!(s.factor(0), s.factor(2));
+        assert_eq!(s.factor(3), 0.5);
+        assert_eq!(s.factor(6), 0.25);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = CosineAnnealing::new(20, 0.1);
+        for e in 0..20 {
+            assert!(s.factor(e) >= s.factor(e + 1) - 1e-7);
+        }
+        // Clamps past the horizon.
+        assert!((s.factor(25) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = Warmup::new(4, StepDecay::new(10, 0.1));
+        assert_eq!(s.factor(0), 0.25);
+        assert_eq!(s.factor(3), 1.0);
+        assert_eq!(s.factor(4), 1.0); // inner epoch 0
+        assert_eq!(s.factor(14), 0.1); // inner epoch 10
+    }
+
+    #[test]
+    fn lr_at_multiplies_base() {
+        let s = StepDecay::new(1, 0.5);
+        assert_eq!(s.lr_at(0.2, 1), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        StepDecay::new(1, 1.5);
+    }
+}

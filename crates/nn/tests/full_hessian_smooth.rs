@@ -1,0 +1,150 @@
+//! Validation of the *full* Eq. 9 second-order rule through smooth
+//! activations: unlike ReLU (where `g'' = 0` collapses Eq. 9 to Eq. 10),
+//! tanh/sigmoid need the curvature term `g''·∂f/∂P`, which
+//! `Network::accumulate_hessian_full` supplies by running a first-order
+//! backward pass before the second-order one.
+
+use swim_nn::finite_diff::hessian_diag_fd;
+use swim_nn::layers::{Linear, Sequential, Smooth, SmoothActivation};
+use swim_nn::loss::L2Loss;
+use swim_nn::network::Network;
+use swim_tensor::stats::pearson;
+use swim_tensor::{Prng, Tensor};
+
+/// 1-wide tanh chain: single path per weight, so the recursion with the
+/// curvature term must match finite differences *exactly* (up to FD
+/// error) — and the Gauss-Newton variant must NOT, proving the term
+/// matters.
+#[test]
+fn tanh_chain_needs_curvature_term() {
+    let mut rng = Prng::seed_from_u64(1);
+    let build = |rng: &mut Prng| {
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(1, 1, rng));
+        seq.push(SmoothActivation::new(Smooth::Tanh));
+        seq.push(Linear::new(1, 1, rng));
+        Network::new("chain", seq)
+    };
+    let mut net = build(&mut rng);
+    // Operate away from the origin so tanh'' is materially nonzero.
+    let scaled: Vec<f32> = net.device_weights().iter().map(|&w| w * 3.0 + 0.5).collect();
+    net.set_device_weights(&scaled);
+
+    let x = Tensor::from_vec(vec![0.9, -0.4, 1.3], &[3, 1]).unwrap();
+    let y = vec![0usize, 0, 0];
+    let loss = L2Loss::new();
+
+    let fd = hessian_diag_fd(&mut net, &loss, &x, &y, 5e-3);
+
+    // Full rule.
+    net.zero_hess();
+    net.zero_grads();
+    net.accumulate_hessian_full(&loss, &x, &y);
+    let full = net.device_hessian();
+
+    // Gauss-Newton (no backward first => no cached gradient).
+    let mut gn_net = net.clone();
+    gn_net.zero_hess();
+    // A fresh forward clears the smooth activations' cached gradients.
+    gn_net.accumulate_hessian(&loss, &x, &y);
+    let gn = gn_net.device_hessian();
+
+    let mut full_err = 0.0f64;
+    let mut gn_err = 0.0f64;
+    for i in 0..fd.len() {
+        full_err += (full[i] as f64 - fd[i]).abs();
+        gn_err += (gn[i] as f64 - fd[i]).abs();
+    }
+    // The full rule tracks FD tightly on a single-path chain...
+    assert!(
+        full_err < 0.05 * (1.0 + fd.iter().map(|v| v.abs()).sum::<f64>()),
+        "full-rule error too large: {full_err} (fd {fd:?}, full {full:?})"
+    );
+    // ...and strictly better than Gauss-Newton, which drops g''.
+    assert!(
+        full_err < gn_err,
+        "curvature term did not help: full {full_err} vs GN {gn_err}"
+    );
+}
+
+/// On a wider tanh MLP the diagonal recursion is approximate, but with
+/// the curvature term it must still rank weights consistently with the
+/// finite-difference truth.
+#[test]
+fn tanh_mlp_full_rule_correlates_with_fd() {
+    let mut rng = Prng::seed_from_u64(2);
+    let mut seq = Sequential::new();
+    seq.push(Linear::new(4, 6, &mut rng));
+    seq.push(SmoothActivation::new(Smooth::Tanh));
+    seq.push(Linear::new(6, 2, &mut rng));
+    let mut net = Network::new("mlp", seq);
+    let x = Tensor::randn(&[6, 4], &mut rng);
+    let y = vec![0usize, 1, 0, 1, 0, 1];
+    let loss = L2Loss::new();
+
+    net.zero_hess();
+    net.zero_grads();
+    net.accumulate_hessian_full(&loss, &x, &y);
+    let full: Vec<f64> = net.device_hessian().iter().map(|&v| v as f64).collect();
+    let fd = hessian_diag_fd(&mut net, &loss, &x, &y, 1e-2);
+
+    let r = pearson(&full, &fd);
+    assert!(r > 0.8, "pearson {r}");
+}
+
+/// Sigmoid path: the same chain exactness property.
+#[test]
+fn sigmoid_chain_matches_fd() {
+    let mut rng = Prng::seed_from_u64(3);
+    let mut seq = Sequential::new();
+    seq.push(Linear::new(1, 1, &mut rng));
+    seq.push(SmoothActivation::new(Smooth::Sigmoid));
+    seq.push(Linear::new(1, 1, &mut rng));
+    let mut net = Network::new("chain", seq);
+    let scaled: Vec<f32> = net.device_weights().iter().map(|&w| w * 2.0 + 1.0).collect();
+    net.set_device_weights(&scaled);
+
+    let x = Tensor::from_vec(vec![0.5, -1.0], &[2, 1]).unwrap();
+    let y = vec![0usize, 0];
+    let loss = L2Loss::new();
+
+    let fd = hessian_diag_fd(&mut net, &loss, &x, &y, 5e-3);
+    net.zero_hess();
+    net.zero_grads();
+    net.accumulate_hessian_full(&loss, &x, &y);
+    let full = net.device_hessian();
+    for i in 0..fd.len() {
+        assert!(
+            (full[i] as f64 - fd[i]).abs() < 2e-2 * (1.0 + fd[i].abs()),
+            "w[{i}]: full {} fd {}",
+            full[i],
+            fd[i]
+        );
+    }
+}
+
+/// For a pure-ReLU network, the full rule and the Gauss-Newton rule give
+/// identical Hessian diagonals (g'' = 0): accumulate_hessian_full is a
+/// safe default.
+#[test]
+fn full_rule_equals_plain_on_relu_nets() {
+    let mut rng = Prng::seed_from_u64(4);
+    let mut seq = Sequential::new();
+    seq.push(Linear::new(3, 5, &mut rng));
+    seq.push(swim_nn::layers::Relu::new());
+    seq.push(Linear::new(5, 2, &mut rng));
+    let mut net = Network::new("relu", seq);
+    let x = Tensor::randn(&[4, 3], &mut rng);
+    let y = vec![0usize, 1, 0, 1];
+    let loss = L2Loss::new();
+
+    net.zero_hess();
+    net.accumulate_hessian(&loss, &x, &y);
+    let plain = net.device_hessian();
+
+    net.zero_hess();
+    net.zero_grads();
+    net.accumulate_hessian_full(&loss, &x, &y);
+    let full = net.device_hessian();
+    assert_eq!(plain, full);
+}

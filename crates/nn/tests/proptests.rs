@@ -1,0 +1,168 @@
+//! Property-based tests for layer backward-pass correctness.
+//!
+//! Each property checks a structural invariant that must hold for *any*
+//! input: gradients match finite differences, second derivatives are
+//! non-negative where mathematics requires it, and passes are pure
+//! functions of (weights, input).
+
+use proptest::prelude::*;
+use swim_nn::layers::{
+    AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential, Smooth,
+    SmoothActivation,
+};
+use swim_nn::loss::{L2Loss, Loss, SoftmaxCrossEntropy};
+use swim_nn::{Layer, Mode, Network};
+use swim_tensor::{Prng, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear-layer gradients agree with finite differences for random
+    /// shapes, weights, and inputs.
+    #[test]
+    fn linear_gradcheck(seed in 0u64..500) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n_in = 2 + (seed % 4) as usize;
+        let n_out = 2 + (seed % 3) as usize;
+        let batch = 1 + (seed % 4) as usize;
+        let mut fc = Linear::new(n_in, n_out, &mut rng);
+        let x = Tensor::randn(&[batch, n_in], &mut rng);
+        fc.forward(&x, Mode::Train);
+        let dx = fc.backward(&Tensor::ones(&[batch, n_out]));
+
+        let eps = 1e-2f32;
+        for i in 0..(batch * n_in) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = fc.forward(&xp, Mode::Train).sum();
+            let fm = fc.forward(&xm, Mode::Train).sum();
+            let fd = (fp - fm) / (2.0 * eps as f64);
+            prop_assert!((dx.data()[i] as f64 - fd).abs() < 1e-2 * (1.0 + fd.abs()));
+        }
+    }
+
+    /// ReLU first- and second-order masks agree for any input.
+    #[test]
+    fn relu_masks_agree(values in proptest::collection::vec(-3.0f32..3.0, 1..64)) {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(values.clone(), &[values.len()]).expect("sized");
+        relu.forward(&x, Mode::Train);
+        let g = relu.backward(&Tensor::ones(&[values.len()]));
+        let h = relu.second_backward(&Tensor::ones(&[values.len()]));
+        prop_assert_eq!(g.data(), h.data());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(g.data()[i], if v > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// MaxPool routes exactly the upstream mass it receives (gradient
+    /// mass conservation).
+    #[test]
+    fn maxpool_conserves_mass(seed in 0u64..200) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        pool.forward(&x, Mode::Train);
+        let up = Tensor::randn(&[2, 3, 2, 2], &mut rng);
+        let down = pool.backward(&up);
+        prop_assert!((down.sum() - up.sum()).abs() < 1e-3);
+    }
+
+    /// AvgPool conserves gradient mass too (each window redistributes
+    /// its upstream value).
+    #[test]
+    fn avgpool_conserves_mass(seed in 0u64..200) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::randn(&[1, 2, 4, 4], &mut rng);
+        pool.forward(&x, Mode::Train);
+        let up = Tensor::randn(&[1, 2, 2, 2], &mut rng);
+        let down = pool.backward(&up);
+        prop_assert!((down.sum() - up.sum()).abs() < 1e-3);
+    }
+
+    /// Second derivatives of device weights are non-negative for convex
+    /// losses through any ReLU CNN (every term in Eq. 8/10 is a square
+    /// times a non-negative seed).
+    #[test]
+    fn hessian_diag_nonnegative(seed in 0u64..100) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut seq = Sequential::new();
+        seq.push(Conv2d::new(1, 2, 3, 1, 1, &mut rng));
+        seq.push(Relu::new());
+        seq.push(MaxPool2d::new(2));
+        seq.push(Flatten::new());
+        seq.push(Linear::new(2 * 3 * 3, 3, &mut rng));
+        let mut net = Network::new("p", seq);
+        let x = Tensor::randn(&[3, 1, 6, 6], &mut rng);
+        let y = vec![0usize, 1, 2];
+        let loss: &dyn Loss = if seed % 2 == 0 {
+            &SoftmaxCrossEntropy
+        } else {
+            &L2Loss
+        };
+        net.zero_hess();
+        net.accumulate_hessian(loss, &x, &y);
+        for h in net.device_hessian() {
+            prop_assert!(h >= 0.0, "negative diagonal {h}");
+        }
+    }
+
+    /// Forward passes are pure: same weights + same input => same output,
+    /// repeatedly (caches must not leak state into results).
+    #[test]
+    fn forward_is_pure(seed in 0u64..200) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut seq = Sequential::new();
+        seq.push(Conv2d::new(2, 3, 3, 1, 1, &mut rng));
+        seq.push(BatchNorm2d::new(3));
+        seq.push(Relu::new());
+        seq.push(Flatten::new());
+        seq.push(Linear::new(3 * 16, 2, &mut rng));
+        let mut net = Network::new("pure", seq);
+        let x = Tensor::randn(&[2, 2, 4, 4], &mut rng);
+        let y1 = net.forward(&x, Mode::Eval);
+        let y2 = net.forward(&x, Mode::Eval);
+        prop_assert_eq!(y1, y2);
+    }
+
+    /// Smooth activations: derivative identities hold on random inputs.
+    #[test]
+    fn smooth_derivative_identities(v in -3.0f32..3.0) {
+        // tanh' = 1 - tanh²  (checked by finite difference)
+        let mut t = SmoothActivation::new(Smooth::Tanh);
+        let x = Tensor::from_vec(vec![v], &[1]).expect("sized");
+        t.forward(&x, Mode::Train);
+        let g = t.backward(&Tensor::ones(&[1]));
+        let eps = 1e-3f32;
+        let fd = ((v + eps).tanh() - (v - eps).tanh()) / (2.0 * eps);
+        prop_assert!((g.data()[0] - fd).abs() < 1e-3);
+
+        let mut s = SmoothActivation::new(Smooth::Sigmoid);
+        s.forward(&x, Mode::Train);
+        let g = s.backward(&Tensor::ones(&[1]));
+        let sig = |x: f32| 1.0 / (1.0 + (-x).exp());
+        let fd = (sig(v + eps) - sig(v - eps)) / (2.0 * eps);
+        prop_assert!((g.data()[0] - fd).abs() < 1e-3);
+    }
+
+    /// Cloned networks evolve independently (no shared parameter
+    /// storage through the clone).
+    #[test]
+    fn clones_are_independent(seed in 0u64..100) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut seq = Sequential::new();
+        seq.push(Linear::new(3, 3, &mut rng));
+        let mut a = Network::new("a", seq);
+        let mut b = a.clone();
+        let wa = a.device_weights();
+        let mut shifted = wa.clone();
+        for w in &mut shifted {
+            *w += 1.0;
+        }
+        b.set_device_weights(&shifted);
+        prop_assert_eq!(a.device_weights(), wa);
+    }
+}

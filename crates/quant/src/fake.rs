@@ -1,0 +1,120 @@
+//! Straight-through fake quantization.
+//!
+//! Quantization-aware training (the paper trains all models "quantized to
+//! the proper data precision ... following \[4\]") runs the forward pass on
+//! quantize-then-dequantize values while gradients flow through unchanged
+//! (the straight-through estimator). The same operation models the
+//! accelerator's finite-precision activations (ADC/DAC resolution) at
+//! inference time.
+
+use crate::params::QuantParams;
+use swim_tensor::Tensor;
+
+/// Symmetric signed fake quantization: `dequantize(quantize(x))` with
+/// max-abs calibration over the tensor.
+///
+/// Returns the input unchanged (other than cloning) if the tensor is all
+/// zeros.
+///
+/// # Example
+///
+/// ```
+/// use swim_quant::fake_quant;
+/// use swim_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![-1.0, 0.26, 0.9], &[3])?;
+/// let q = fake_quant(&t, 4);
+/// // Values land on the 4-bit grid: multiples of 1.0/15.
+/// let step = 1.0 / 15.0;
+/// for &v in q.data() {
+///     let k = (v / step).round();
+///     assert!((v - k * step).abs() < 1e-6);
+/// }
+/// # Ok::<(), swim_tensor::TensorError>(())
+/// ```
+pub fn fake_quant(t: &Tensor, bits: u32) -> Tensor {
+    let params = QuantParams::from_tensor(t, bits);
+    t.map(|x| params.dequantize(params.quantize(x)))
+}
+
+/// Unsigned fake quantization for non-negative activations (post-ReLU):
+/// codes span `[0, 2^bits − 1]` over `[0, max(t)]`.
+///
+/// Negative inputs are clamped to zero, matching ReLU-domain ADC behaviour.
+pub fn fake_quant_unsigned(t: &Tensor, bits: u32) -> Tensor {
+    let max = t.max().max(0.0);
+    if max == 0.0 {
+        return t.map(|x| x.max(0.0));
+    }
+    let levels = ((1u32 << bits) - 1) as f32;
+    let scale = max / levels;
+    t.map(|x| {
+        let code = (x.max(0.0) / scale).round().min(levels);
+        code * scale
+    })
+}
+
+/// Fake quantization with externally fixed parameters (used when the
+/// calibration tensor differs from the tensor being quantized, e.g.
+/// activation ranges calibrated on a held-out batch).
+pub fn fake_quant_with(t: &Tensor, params: QuantParams) -> Tensor {
+    t.map(|x| params.dequantize(params.quantize(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_tensor::Prng;
+
+    #[test]
+    fn idempotent() {
+        let mut rng = Prng::seed_from_u64(3);
+        let t = Tensor::randn(&[100], &mut rng);
+        let q1 = fake_quant(&t, 4);
+        let q2 = fake_quant(&q1, 4);
+        assert!(q1.allclose(&q2, 1e-6));
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let mut rng = Prng::seed_from_u64(4);
+        let t = Tensor::randn(&[256], &mut rng);
+        let q = fake_quant(&t, 6);
+        let params = QuantParams::from_tensor(&t, 6);
+        for (&a, &b) in t.data().iter().zip(q.data()) {
+            assert!((a - b).abs() <= params.half_step() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn preserves_zero_and_extremes() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]).unwrap();
+        let q = fake_quant(&t, 4);
+        assert_eq!(q.data()[0], 0.0);
+        assert!((q.data()[1] - 1.0).abs() < 1e-6);
+        assert!((q.data()[2] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsigned_clamps_negatives() {
+        let t = Tensor::from_vec(vec![-0.5, 0.5, 1.0], &[3]).unwrap();
+        let q = fake_quant_unsigned(&t, 4);
+        assert_eq!(q.data()[0], 0.0);
+        assert!((q.data()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsigned_all_zero_passthrough() {
+        let t = Tensor::zeros(&[4]);
+        let q = fake_quant_unsigned(&t, 4);
+        assert_eq!(q.data(), t.data());
+    }
+
+    #[test]
+    fn with_params_uses_external_scale() {
+        let params = QuantParams::new(4, 0.1);
+        let t = Tensor::from_vec(vec![0.24], &[1]).unwrap();
+        let q = fake_quant_with(&t, params);
+        assert!((q.data()[0] - 0.2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,143 @@
+//! Quantized tensors: integer codes plus shared scale.
+
+use crate::params::QuantParams;
+use swim_tensor::Tensor;
+
+/// A tensor quantized to signed integer codes with a shared scale.
+///
+/// This is the form in which weights travel from the training world
+/// (`swim-nn`) into the device world (`swim-cim`): each code's magnitude is
+/// bit-sliced onto NVM devices and the sign selects the positive or
+/// negative crossbar column.
+///
+/// # Example
+///
+/// ```
+/// use swim_quant::QuantizedTensor;
+/// use swim_tensor::Tensor;
+///
+/// let w = Tensor::from_vec(vec![0.5, -0.25, 1.0, 0.0], &[2, 2])?;
+/// let q = QuantizedTensor::quantize(&w, 4);
+/// let back = q.dequantize();
+/// assert!(back.allclose(&w, q.params().half_step() + 1e-6));
+/// # Ok::<(), swim_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    codes: Vec<i32>,
+    shape: Vec<usize>,
+    params: QuantParams,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor with max-abs calibration at the given bit width.
+    pub fn quantize(t: &Tensor, bits: u32) -> Self {
+        let params = QuantParams::from_tensor(t, bits);
+        Self::quantize_with(t, params)
+    }
+
+    /// Quantizes a tensor with explicit parameters.
+    pub fn quantize_with(t: &Tensor, params: QuantParams) -> Self {
+        let codes = t.data().iter().map(|&x| params.quantize(x)).collect();
+        QuantizedTensor { codes, shape: t.shape().to_vec(), params }
+    }
+
+    /// Reconstructs the real-valued tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.codes.iter().map(|&c| self.params.dequantize(c)).collect();
+        Tensor::from_vec(data, &self.shape).expect("codes sized to shape")
+    }
+
+    /// The signed integer codes in row-major order.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Mutable access to the codes (used by device write-back).
+    pub fn codes_mut(&mut self) -> &mut [i32] {
+        &mut self.codes
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Quantization parameters shared by every element.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Mean squared quantization error against the original tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` has a different number of elements.
+    pub fn mse(&self, original: &Tensor) -> f64 {
+        assert_eq!(original.len(), self.codes.len(), "element count mismatch");
+        let n = self.codes.len().max(1);
+        self.codes
+            .iter()
+            .zip(original.data())
+            .map(|(&c, &x)| {
+                let e = (self.params.dequantize(c) - x) as f64;
+                e * e
+            })
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_tensor::Prng;
+
+    #[test]
+    fn round_trip_error_bounded() {
+        let mut rng = Prng::seed_from_u64(8);
+        let t = Tensor::randn(&[64], &mut rng);
+        for bits in [4u32, 6, 8] {
+            let q = QuantizedTensor::quantize(&t, bits);
+            let back = q.dequantize();
+            assert!(back.allclose(&t, q.params().half_step() + 1e-6), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let mut rng = Prng::seed_from_u64(9);
+        let t = Tensor::randn(&[512], &mut rng);
+        let e4 = QuantizedTensor::quantize(&t, 4).mse(&t);
+        let e6 = QuantizedTensor::quantize(&t, 6).mse(&t);
+        let e8 = QuantizedTensor::quantize(&t, 8).mse(&t);
+        assert!(e4 > e6 && e6 > e8, "{e4} {e6} {e8}");
+    }
+
+    #[test]
+    fn codes_preserve_sign() {
+        let t = Tensor::from_vec(vec![-0.5, 0.5], &[2]).unwrap();
+        let q = QuantizedTensor::quantize(&t, 4);
+        assert!(q.codes()[0] < 0);
+        assert!(q.codes()[1] > 0);
+        assert_eq!(q.codes()[0].abs(), q.codes()[1]);
+    }
+
+    #[test]
+    fn shape_survives() {
+        let t = Tensor::zeros(&[3, 4, 5]);
+        let q = QuantizedTensor::quantize(&t, 4);
+        assert_eq!(q.shape(), &[3, 4, 5]);
+        assert_eq!(q.dequantize().shape(), &[3, 4, 5]);
+    }
+}

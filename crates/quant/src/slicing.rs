@@ -1,0 +1,217 @@
+//! Sign-magnitude bit-slicing of weight codes onto K-bit devices.
+//!
+//! Implements Eqs. 14–16 of the paper: an `M`-bit magnitude code is split
+//! little-endian into `⌈M/K⌉` device levels of `K` bits each. Device `i`
+//! carries significance `2^{iK}`, so independent per-device programming
+//! noise of variance `σ²` accumulates to weight-code variance
+//! `σ² Σ_i 2^{2iK}`.
+
+/// Mapping between an `M`-bit weight magnitude and a stack of `K`-bit
+/// devices.
+///
+/// The paper's footnote assumes `M` is a multiple of `K`; this
+/// implementation generalizes to any `M` by letting the most significant
+/// device hold `M mod K` bits when the division is not exact (e.g. 6-bit
+/// weights on 4-bit devices use one 4-bit and one 2-bit device), which is
+/// how the paper's CIFAR-10 setting (M = 6, K = 4) is realizable at all.
+///
+/// # Example
+///
+/// ```
+/// use swim_quant::DeviceSlicing;
+///
+/// let s = DeviceSlicing::new(8, 4);
+/// let levels = s.slice(0xA7);
+/// assert_eq!(levels, vec![0x7, 0xA]); // little-endian nibbles
+/// assert_eq!(s.reconstruct(&[7.0, 10.0]), 167.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSlicing {
+    weight_bits: u32,
+    device_bits: u32,
+}
+
+impl DeviceSlicing {
+    /// Creates a slicing of `weight_bits`-bit magnitudes onto
+    /// `device_bits`-bit devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bit count is 0, `weight_bits > 24`, or
+    /// `device_bits > weight_bits`.
+    pub fn new(weight_bits: u32, device_bits: u32) -> Self {
+        assert!(weight_bits >= 1 && weight_bits <= 24, "weight_bits out of range");
+        assert!(device_bits >= 1, "device_bits must be positive");
+        assert!(
+            device_bits <= weight_bits,
+            "device_bits {device_bits} exceeds weight_bits {weight_bits}"
+        );
+        DeviceSlicing { weight_bits, device_bits }
+    }
+
+    /// Magnitude bits per weight (`M`).
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Bits per device (`K`).
+    pub fn device_bits(&self) -> u32 {
+        self.device_bits
+    }
+
+    /// Number of devices per weight, `⌈M/K⌉`.
+    pub fn num_devices(&self) -> usize {
+        self.weight_bits.div_ceil(self.device_bits) as usize
+    }
+
+    /// Number of levels device `i` can hold (`2^K`, except a possibly
+    /// narrower most-significant device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_devices()`.
+    pub fn device_levels(&self, i: usize) -> u32 {
+        let bits = self.device_bits_at(i);
+        1u32 << bits
+    }
+
+    fn device_bits_at(&self, i: usize) -> u32 {
+        assert!(i < self.num_devices(), "device index {i} out of range");
+        let rem = self.weight_bits % self.device_bits;
+        if rem != 0 && i == self.num_devices() - 1 {
+            rem
+        } else {
+            self.device_bits
+        }
+    }
+
+    /// Significance of device `i`: its contribution per level, `2^{iK}`.
+    pub fn significance(&self, i: usize) -> f64 {
+        assert!(i < self.num_devices(), "device index {i} out of range");
+        ((1u64 << (i as u32 * self.device_bits)) as f64).max(1.0)
+    }
+
+    /// The Eq. 16 variance amplification factor `Σ_i 2^{2iK}`.
+    ///
+    /// Per-device programming noise of variance `σ²` becomes weight-code
+    /// noise of variance `σ²` times this factor.
+    pub fn variance_amplification(&self) -> f64 {
+        (0..self.num_devices())
+            .map(|i| {
+                let s = self.significance(i);
+                s * s
+            })
+            .sum()
+    }
+
+    /// Standard-deviation amplification `√(Σ_i 2^{2iK})`.
+    pub fn std_amplification(&self) -> f64 {
+        self.variance_amplification().sqrt()
+    }
+
+    /// Splits a magnitude code into per-device levels, least significant
+    /// device first (Eq. 15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude` does not fit in `weight_bits`.
+    pub fn slice(&self, magnitude: u32) -> Vec<u32> {
+        assert!(
+            magnitude < (1u32 << self.weight_bits),
+            "magnitude {magnitude} does not fit in {} bits",
+            self.weight_bits
+        );
+        let mask = (1u32 << self.device_bits) - 1;
+        (0..self.num_devices())
+            .map(|i| (magnitude >> (i as u32 * self.device_bits)) & mask)
+            .collect()
+    }
+
+    /// Reconstructs a weight-code magnitude from (possibly noisy, hence
+    /// fractional) device conductances: `Σ_i g_i · 2^{iK}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level count differs from [`Self::num_devices`].
+    pub fn reconstruct(&self, levels: &[f64]) -> f64 {
+        assert_eq!(
+            levels.len(),
+            self.num_devices(),
+            "expected {} device levels, got {}",
+            self.num_devices(),
+            levels.len()
+        );
+        levels
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| g * self.significance(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division_slices() {
+        let s = DeviceSlicing::new(8, 4);
+        assert_eq!(s.num_devices(), 2);
+        assert_eq!(s.slice(0x00), vec![0, 0]);
+        assert_eq!(s.slice(0xFF), vec![0xF, 0xF]);
+        assert_eq!(s.slice(0x3C), vec![0xC, 0x3]);
+    }
+
+    #[test]
+    fn inexact_division_narrow_top_device() {
+        // The paper's CIFAR configuration: 6-bit weights, 4-bit devices.
+        let s = DeviceSlicing::new(6, 4);
+        assert_eq!(s.num_devices(), 2);
+        assert_eq!(s.device_levels(0), 16);
+        assert_eq!(s.device_levels(1), 4); // 2-bit top device
+        assert_eq!(s.slice(63), vec![15, 3]);
+    }
+
+    #[test]
+    fn slice_reconstruct_round_trip() {
+        for (m, k) in [(4u32, 4u32), (6, 4), (8, 4), (6, 3), (8, 2), (4, 1)] {
+            let s = DeviceSlicing::new(m, k);
+            for mag in 0..(1u32 << m) {
+                let levels: Vec<f64> = s.slice(mag).iter().map(|&l| l as f64).collect();
+                let back = s.reconstruct(&levels);
+                assert_eq!(back, mag as f64, "M={m} K={k} mag={mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn variance_amplification_matches_eq16() {
+        assert_eq!(DeviceSlicing::new(4, 4).variance_amplification(), 1.0);
+        assert_eq!(DeviceSlicing::new(8, 4).variance_amplification(), 1.0 + 256.0);
+        // M=12, K=4: 1 + 2^8 + 2^16
+        assert_eq!(
+            DeviceSlicing::new(12, 4).variance_amplification(),
+            1.0 + 256.0 + 65536.0
+        );
+    }
+
+    #[test]
+    fn single_device_case() {
+        let s = DeviceSlicing::new(4, 4);
+        assert_eq!(s.num_devices(), 1);
+        assert_eq!(s.slice(9), vec![9]);
+        assert_eq!(s.std_amplification(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_magnitude_panics() {
+        DeviceSlicing::new(4, 4).slice(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn device_wider_than_weight_panics() {
+        DeviceSlicing::new(4, 8);
+    }
+}

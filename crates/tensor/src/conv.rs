@@ -1,0 +1,306 @@
+//! im2col / col2im lowering for convolution.
+//!
+//! The SWIM paper's second-derivative backpropagation (§3.3) relies on
+//! convolution layers being "cast in the same form as FC layers". That is
+//! literally how this workspace implements them: [`im2col`] unrolls input
+//! patches into a matrix so a convolution becomes one GEMM, and [`col2im`]
+//! scatters column-space gradients back to image space for the backward
+//! passes (first *and* second order — the second-order pass pushes squared
+//! quantities through the identical index mapping).
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Vertical and horizontal stride.
+    pub stride: usize,
+    /// Symmetric zero padding on each border.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output height after the convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output width after the convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    /// Rows of the im2col matrix: one per output spatial position.
+    pub fn col_rows(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Columns of the im2col matrix: one per kernel element.
+    pub fn col_cols(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Validates that the geometry produces at least one output position.
+    ///
+    /// Returns `false` when the kernel (after padding) does not fit in the
+    /// input.
+    pub fn is_valid(&self) -> bool {
+        self.in_h + 2 * self.padding >= self.kernel_h
+            && self.in_w + 2 * self.padding >= self.kernel_w
+            && self.stride > 0
+            && self.kernel_h > 0
+            && self.kernel_w > 0
+    }
+}
+
+/// Unrolls one image `[C, H, W]` into a patch matrix
+/// `[outH*outW, C*kh*kw]`.
+///
+/// Out-of-bounds (padding) taps contribute zeros.
+///
+/// # Panics
+///
+/// Panics if `image` is not rank 3 or does not match `geom`.
+///
+/// # Example
+///
+/// ```
+/// use swim_tensor::{Tensor, conv::{ConvGeometry, im2col}};
+///
+/// let geom = ConvGeometry {
+///     in_channels: 1, in_h: 3, in_w: 3,
+///     kernel_h: 2, kernel_w: 2, stride: 1, padding: 0,
+/// };
+/// let img = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+/// let cols = im2col(&img, &geom);
+/// assert_eq!(cols.shape(), &[4, 4]);
+/// // First patch is the top-left 2x2 block.
+/// assert_eq!(&cols.data()[..4], &[0.0, 1.0, 3.0, 4.0]);
+/// ```
+pub fn im2col(image: &Tensor, geom: &ConvGeometry) -> Tensor {
+    assert_eq!(image.rank(), 3, "im2col expects a [C, H, W] image");
+    assert_eq!(
+        image.shape(),
+        &[geom.in_channels, geom.in_h, geom.in_w],
+        "image does not match geometry"
+    );
+    assert!(geom.is_valid(), "invalid convolution geometry {geom:?}");
+
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let cols = geom.col_cols();
+    let mut out = vec![0.0f32; out_h * out_w * cols];
+    let data = image.data();
+    let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
+
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            let base = row * cols;
+            let origin_y = (oy * geom.stride) as isize - geom.padding as isize;
+            let origin_x = (ox * geom.stride) as isize - geom.padding as isize;
+            let mut col = 0usize;
+            for c in 0..geom.in_channels {
+                let cbase = c * geom.in_h * geom.in_w;
+                for ky in 0..geom.kernel_h {
+                    let y = origin_y + ky as isize;
+                    for kx in 0..geom.kernel_w {
+                        let x = origin_x + kx as isize;
+                        if y >= 0 && y < ih && x >= 0 && x < iw {
+                            out[base + col] = data[cbase + y as usize * geom.in_w + x as usize];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[out_h * out_w, cols]).expect("im2col shape is consistent")
+}
+
+/// Scatters a patch matrix `[outH*outW, C*kh*kw]` back into an image
+/// `[C, H, W]`, accumulating overlapping contributions.
+///
+/// This is the adjoint of [`im2col`]: positions that fell in the padding
+/// are dropped.
+///
+/// # Panics
+///
+/// Panics if `cols` is not rank 2 or does not match `geom`.
+pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Tensor {
+    assert_eq!(cols.rank(), 2, "col2im expects a rank-2 patch matrix");
+    assert_eq!(
+        cols.shape(),
+        &[geom.col_rows(), geom.col_cols()],
+        "patch matrix does not match geometry"
+    );
+
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let ncols = geom.col_cols();
+    let mut image = vec![0.0f32; geom.in_channels * geom.in_h * geom.in_w];
+    let data = cols.data();
+    let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
+
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            let base = row * ncols;
+            let origin_y = (oy * geom.stride) as isize - geom.padding as isize;
+            let origin_x = (ox * geom.stride) as isize - geom.padding as isize;
+            let mut col = 0usize;
+            for c in 0..geom.in_channels {
+                let cbase = c * geom.in_h * geom.in_w;
+                for ky in 0..geom.kernel_h {
+                    let y = origin_y + ky as isize;
+                    for kx in 0..geom.kernel_w {
+                        let x = origin_x + kx as isize;
+                        if y >= 0 && y < ih && x >= 0 && x < iw {
+                            image[cbase + y as usize * geom.in_w + x as usize] += data[base + col];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(image, &[geom.in_channels, geom.in_h, geom.in_w])
+        .expect("col2im shape is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::matmul;
+    use crate::rng::Prng;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> ConvGeometry {
+        ConvGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            kernel_h: k,
+            kernel_w: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    /// Direct (definition-level) convolution for cross-checking.
+    fn naive_conv(image: &Tensor, weight: &Tensor, g: &ConvGeometry) -> Tensor {
+        let out_c = weight.shape()[0];
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = Tensor::zeros(&[out_c, oh, ow]);
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for c in 0..g.in_channels {
+                        for ky in 0..g.kernel_h {
+                            for kx in 0..g.kernel_w {
+                                let y = (oy * g.stride + ky) as isize - g.padding as isize;
+                                let x = (ox * g.stride + kx) as isize - g.padding as isize;
+                                if y >= 0 && (y as usize) < g.in_h && x >= 0 && (x as usize) < g.in_w
+                                {
+                                    let iv = image.at(&[c, y as usize, x as usize]);
+                                    let wv = weight.at(&[oc, c, ky, kx]);
+                                    acc += iv * wv;
+                                }
+                            }
+                        }
+                    }
+                    *out.at_mut(&[oc, oy, ox]) = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn geometry_output_sizes() {
+        let g = geom(3, 32, 32, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+        let g = geom(1, 28, 28, 5, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (24, 24));
+        let g = geom(16, 8, 8, 2, 2, 0);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn invalid_geometry_detected() {
+        assert!(!geom(1, 2, 2, 5, 1, 0).is_valid());
+        assert!(geom(1, 2, 2, 5, 1, 2).is_valid());
+        let mut g = geom(1, 4, 4, 3, 1, 0);
+        g.stride = 0;
+        assert!(!g.is_valid());
+    }
+
+    #[test]
+    fn im2col_then_gemm_matches_naive_conv() {
+        let mut rng = Prng::seed_from_u64(10);
+        for (g, oc) in [
+            (geom(1, 6, 6, 3, 1, 0), 2),
+            (geom(3, 8, 8, 3, 1, 1), 4),
+            (geom(2, 7, 7, 3, 2, 1), 3),
+            (geom(4, 5, 5, 1, 1, 0), 2),
+        ] {
+            let image = Tensor::randn(&[g.in_channels, g.in_h, g.in_w], &mut rng);
+            let weight =
+                Tensor::randn(&[oc, g.in_channels, g.kernel_h, g.kernel_w], &mut rng);
+            let cols = im2col(&image, &g);
+            let wmat = weight
+                .clone()
+                .reshaped(&[oc, g.col_cols()]);
+            // GEMM result: [rows, oc] -> transpose to [oc, rows] -> reshape.
+            let gemm = matmul(&cols, &wmat.transposed());
+            let gemm = gemm.transposed().reshaped(&[oc, g.out_h(), g.out_w()]);
+            let naive = naive_conv(&image, &weight, &g);
+            assert!(
+                gemm.allclose(&naive, 1e-4),
+                "mismatch for geometry {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> must hold for the backward pass
+        // to be a correct gradient.
+        let mut rng = Prng::seed_from_u64(11);
+        let g = geom(2, 6, 6, 3, 2, 1);
+        let x = Tensor::randn(&[2, 6, 6], &mut rng);
+        let y = Tensor::randn(&[g.col_rows(), g.col_cols()], &mut rng);
+        let lhs = im2col(&x, &g).dot(&y);
+        let rhs = x.dot(&col2im(&y, &g));
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let img = Tensor::ones(&[1, 2, 2]);
+        let cols = im2col(&img, &g);
+        // Top-left output position: only bottom-right 2x2 of the kernel
+        // overlaps the image.
+        let first_patch = &cols.data()[..9];
+        assert_eq!(first_patch, &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn stride_skips_positions() {
+        let g = geom(1, 4, 4, 2, 2, 0);
+        let img = Tensor::from_fn(&[1, 4, 4], |i| i as f32);
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.shape(), &[4, 4]);
+        // Second patch starts at column 2 of row 0.
+        assert_eq!(&cols.data()[4..8], &[2.0, 3.0, 6.0, 7.0]);
+    }
+}

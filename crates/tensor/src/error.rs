@@ -1,0 +1,111 @@
+//! Error types shared by the tensor crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// Most hot-path tensor methods panic on shape mismatch (the mismatch is a
+/// programming error, and layers validate their configuration up front);
+/// the fallible constructors and reshape entry points return this type so
+/// callers building tensors from external data can recover.
+///
+/// # Example
+///
+/// ```
+/// use swim_tensor::{Tensor, TensorError};
+///
+/// let err = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).unwrap_err();
+/// assert!(matches!(err, TensorError::LengthMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data length does not match the product of the shape dimensions.
+    LengthMismatch {
+        /// Number of elements provided.
+        len: usize,
+        /// Shape requested.
+        shape: Vec<usize>,
+    },
+    /// Two tensors were expected to have identical shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// A reshape would change the number of elements.
+    ReshapeMismatch {
+        /// Element count of the source tensor.
+        len: usize,
+        /// Shape requested.
+        shape: Vec<usize>,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Rank expected by the operation.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// An index was out of bounds for the given dimension.
+    IndexOutOfBounds {
+        /// Axis on which the index was out of range.
+        axis: usize,
+        /// Offending index.
+        index: usize,
+        /// Dimension size along that axis.
+        size: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, shape } => {
+                write!(f, "data length {len} does not match shape {shape:?}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::ReshapeMismatch { len, shape } => {
+                write!(f, "cannot reshape {len} elements into {shape:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, found rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { axis, index, size } => {
+                write!(f, "index {index} out of bounds for axis {axis} of size {size}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::LengthMismatch { len: 3, shape: vec![2, 2] },
+            TensorError::ShapeMismatch { left: vec![1], right: vec![2] },
+            TensorError::ReshapeMismatch { len: 4, shape: vec![3] },
+            TensorError::RankMismatch { expected: 2, actual: 3 },
+            TensorError::IndexOutOfBounds { axis: 0, index: 5, size: 4 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,253 @@
+//! Matrix products.
+//!
+//! Fully connected layers, and convolutions lowered through
+//! [`crate::conv::im2col`], reduce to the three GEMM variants here. The
+//! kernels use an `i-k-j` loop order so the innermost loop streams over
+//! contiguous rows, which the compiler auto-vectorizes; accumulation is in
+//! `f32` (matching the precision a CiM accelerator's digital periphery
+//! would use).
+
+use crate::tensor::Tensor;
+
+/// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the inner dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use swim_tensor::{Tensor, linalg::matmul};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &i), a);
+/// # Ok::<(), swim_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul: left operand must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul: right operand must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb}");
+
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent")
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`, without materializing `Aᵀ`.
+///
+/// Used by backpropagation to form weight gradients (`∂f/∂W = δᵀ·P` style
+/// products).
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_at: left operand must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul_at: right operand must be rank 2");
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul_at: inner dimensions {k} vs {kb}");
+
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_at output shape is consistent")
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`, without materializing `Bᵀ`.
+///
+/// Used by backpropagation to push gradients through a layer
+/// (`∂f/∂P = δ·W` style products).
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_bt: left operand must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul_bt: right operand must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, kb) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul_bt: inner dimensions {k} vs {kb}");
+
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_bt output shape is consistent")
+}
+
+/// Matrix–vector product `y = A · x` for `A: [m, n]`, `x: [n]`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatch.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matvec: matrix must be rank 2");
+    assert_eq!(x.rank(), 1, "matvec: vector must be rank 1");
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    assert_eq!(n, x.shape()[0], "matvec: dimensions {n} vs {}", x.shape()[0]);
+    let ad = a.data();
+    let xd = x.data();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &ad[i * n..(i + 1) * n];
+        let mut acc = 0.0f32;
+        for (&a, &b) in row.iter().zip(xd) {
+            acc += a * b;
+        }
+        *o = acc;
+    }
+    Tensor::from_vec(out, &[m]).expect("matvec output shape is consistent")
+}
+
+/// Outer product `C = x · yᵀ` for vectors `x: [m]`, `y: [n]`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 1.
+pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 1, "outer: left operand must be rank 1");
+    assert_eq!(y.rank(), 1, "outer: right operand must be rank 1");
+    let (m, n) = (x.shape()[0], y.shape()[0]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let xv = x.data()[i];
+        for j in 0..n {
+            out[i * n + j] = xv * y.data()[j];
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("outer output shape is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[[i, p]] * b[[p, j]];
+                }
+                out[[i, j]] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(matmul(&a, &eye), a);
+        assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = Prng::seed_from_u64(2);
+        let a = Tensor::randn(&[7, 5], &mut rng);
+        let b = Tensor::randn(&[5, 9], &mut rng);
+        assert!(matmul(&a, &b).allclose(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_at_equals_transpose_then_matmul() {
+        let mut rng = Prng::seed_from_u64(3);
+        let a = Tensor::randn(&[6, 4], &mut rng);
+        let b = Tensor::randn(&[6, 5], &mut rng);
+        let expected = matmul(&a.transposed(), &b);
+        assert!(matmul_at(&a, &b).allclose(&expected, 1e-4));
+    }
+
+    #[test]
+    fn matmul_bt_equals_matmul_with_transpose() {
+        let mut rng = Prng::seed_from_u64(4);
+        let a = Tensor::randn(&[3, 8], &mut rng);
+        let b = Tensor::randn(&[5, 8], &mut rng);
+        let expected = matmul(&a, &b.transposed());
+        assert!(matmul_bt(&a, &b).allclose(&expected, 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Prng::seed_from_u64(5);
+        let a = Tensor::randn(&[4, 6], &mut rng);
+        let x = Tensor::randn(&[6], &mut rng);
+        let as_mat = x.clone().reshaped(&[6, 1]);
+        let expected = matmul(&a, &as_mat).reshaped(&[4]);
+        assert!(matvec(&a, &x).allclose(&expected, 1e-5));
+    }
+
+    #[test]
+    fn outer_rank_one_structure() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let y = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = outer(&x, &y);
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    fn zero_sized_matmul() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[0, 2]);
+    }
+}

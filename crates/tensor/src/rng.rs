@@ -1,0 +1,317 @@
+//! Deterministic, splittable pseudo-random number generation.
+//!
+//! Every experiment in the SWIM reproduction is a Monte Carlo simulation of
+//! device programming noise; the paper reports statistics over 3,000 runs.
+//! Reproducibility therefore demands a generator whose stream is stable
+//! across program runs, platforms, and dependency upgrades. [`Prng`]
+//! implements xoshiro256++ (public-domain algorithm by Blackman & Vigna)
+//! seeded through SplitMix64, with:
+//!
+//! * [`Prng::normal`] — Gaussian sampling via the polar Box–Muller method,
+//!   used by the device variation model (paper Eq. 16);
+//! * [`Prng::fork`] — independent child streams so Monte Carlo runs can be
+//!   farmed out to threads while remaining deterministic regardless of
+//!   scheduling order.
+
+/// Deterministic xoshiro256++ pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use swim_tensor::Prng;
+///
+/// let mut a = Prng::seed_from_u64(42);
+/// let mut b = Prng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Forked streams are independent of the parent's subsequent draws.
+/// let mut child = a.fork(0);
+/// let x: f64 = child.normal(0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prng {
+    state: [u64; 4],
+    /// Cached second output of the last Box–Muller pair.
+    spare_normal: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The full 256-bit state is expanded from the seed with SplitMix64, as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng { state, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output of xoshiro256++.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn uniform_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform_range requires lo <= hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below requires n > 0");
+        let n = n as u64;
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Gaussian sample with the given mean and standard deviation.
+    ///
+    /// Uses the polar Box–Muller transform; the second value of each pair is
+    /// cached, so consecutive calls cost one transform per two samples.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return mean + std_dev * z;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some(v * factor);
+                return mean + std_dev * (u * factor);
+            }
+        }
+    }
+
+    /// Gaussian sample as `f32`.
+    pub fn normal_f32(&mut self, mean: f32, std_dev: f32) -> f32 {
+        self.normal(mean as f64, std_dev as f64) as f32
+    }
+
+    /// Creates an independent child generator.
+    ///
+    /// The child stream is a pure function of the parent's *current* state
+    /// and `stream`, so forking the same parent with distinct stream ids
+    /// yields decorrelated generators; the parent's own stream is not
+    /// advanced.
+    pub fn fork(&self, stream: u64) -> Prng {
+        // Mix the parent state with the stream id through SplitMix64 to
+        // decorrelate children from each other and from the parent.
+        let mut sm = self
+            .state
+            .iter()
+            .fold(stream.wrapping_mul(0xA076_1D64_78BD_642F), |acc, &s| {
+                acc.rotate_left(17) ^ s.wrapping_mul(0xE703_7ED1_A0B4_28DB)
+            });
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng { state, spare_normal: None }
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `[0, n)` (a uniform sample without
+    /// replacement), in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        // Partial Fisher-Yates over an index vector.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Prng::seed_from_u64(123);
+        let mut b = Prng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = Prng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Prng::seed_from_u64(5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn normal_tail_fractions() {
+        // ~4.55% of mass lies beyond 2 sigma for a Gaussian.
+        let mut rng = Prng::seed_from_u64(17);
+        let n = 200_000;
+        let beyond = (0..n)
+            .filter(|_| rng.normal(0.0, 1.0).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        assert!((beyond - 0.0455).abs() < 0.005, "tail {beyond}");
+    }
+
+    #[test]
+    fn below_is_unbiased_small_n() {
+        let mut rng = Prng::seed_from_u64(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..90_000 {
+            counts[rng.below(3)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 30_000).abs() < 1_500, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fork_streams_decorrelated() {
+        let parent = Prng::seed_from_u64(99);
+        let mut c0 = parent.fork(0);
+        let mut c1 = parent.fork(1);
+        let matches = (0..64).filter(|_| c0.next_u64() == c1.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let parent = Prng::seed_from_u64(4);
+        let mut a = parent.fork(10);
+        let mut b = parent.fork(10);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Prng::seed_from_u64(21);
+        let sample = rng.sample_indices(50, 20);
+        assert_eq!(sample.len(), 20);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn below_zero_panics() {
+        Prng::seed_from_u64(0).below(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Tensor shapes and row-major stride arithmetic.
+
+use std::fmt;
+
+/// The extents of a tensor along each axis, in row-major order.
+///
+/// `Shape` is a thin, validated wrapper over a `Vec<usize>` providing the
+/// stride arithmetic shared by every indexing operation in the crate.
+///
+/// # Example
+///
+/// ```
+/// use swim_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]), 23);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    ///
+    /// A zero-length slice denotes a scalar; zero-sized dimensions are
+    /// permitted (the tensor is then empty).
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of axes (the tensor's rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements: the product of all extents.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides: element distance between consecutive indices on
+    /// each axis.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != rank` or any index is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.0.len(),
+            "index rank {} does not match shape rank {}",
+            idx.len(),
+            self.0.len()
+        );
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.0.len()).rev() {
+            let i = idx[axis];
+            let d = self.0[axis];
+            assert!(i < d, "index {i} out of bounds for axis {axis} of size {d}");
+            off += i * stride;
+            stride *= d;
+        }
+        off
+    }
+
+    /// Whether two shapes have identical extents.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 0, 0]), 12);
+        assert_eq!(s.offset(&[0, 2, 1]), 9);
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        let s = Shape::new(&[3, 0, 2]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_checks_bounds() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_checks_rank() {
+        Shape::new(&[2, 2]).offset(&[0]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions() {
+        let from_slice: Shape = (&[1usize, 2][..]).into();
+        let from_vec: Shape = vec![1usize, 2].into();
+        assert!(from_slice.same_as(&from_vec));
+    }
+}

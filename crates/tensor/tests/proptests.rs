@@ -1,0 +1,146 @@
+//! Property-based tests for tensor algebra invariants.
+
+use proptest::prelude::*;
+use swim_tensor::conv::{im2col, ConvGeometry};
+use swim_tensor::linalg::{matmul, matmul_at, matmul_bt};
+use swim_tensor::stats::{pearson, spearman, Running};
+use swim_tensor::{Prng, Tensor};
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, &[r, c]).expect("sized to shape"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in tensor_strategy(6)) {
+        let b = a.map(|x| x * 0.5 - 1.0);
+        prop_assert!((&a + &b).allclose(&(&b + &a), 1e-6));
+    }
+
+    #[test]
+    fn add_sub_round_trips(a in tensor_strategy(6)) {
+        let b = a.map(|x| x.sin() * 3.0);
+        let back = &(&a + &b) - &b;
+        prop_assert!(back.allclose(&a, 1e-4));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor_strategy(5)) {
+        let b = a.map(|x| x + 1.0);
+        let mut lhs = &a + &b;
+        lhs.scale(2.0);
+        let mut a2 = a.clone();
+        a2.scale(2.0);
+        let mut b2 = b.clone();
+        b2.scale(2.0);
+        prop_assert!(lhs.allclose(&(&a2 + &b2), 1e-4));
+    }
+
+    #[test]
+    fn transpose_involution(a in tensor_strategy(8)) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(a in tensor_strategy(5)) {
+        let n = a.shape()[1];
+        let eye = Tensor::from_fn(&[n, n], |i| if i / n == i % n { 1.0 } else { 0.0 });
+        prop_assert!(matmul(&a, &eye).allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_transpose_variants_consistent(seed in 0u64..1000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let m = 2 + (seed % 5) as usize;
+        let k = 2 + (seed % 3) as usize;
+        let n = 2 + (seed % 4) as usize;
+        let a = Tensor::randn(&[k, m], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let fast = matmul_at(&a, &b);
+        let slow = matmul(&a.transposed(), &b);
+        prop_assert!(fast.allclose(&slow, 1e-4));
+
+        let c = Tensor::randn(&[m, k], &mut rng);
+        let d = Tensor::randn(&[n, k], &mut rng);
+        let fast = matmul_bt(&c, &d);
+        let slow = matmul(&c, &d.transposed());
+        prop_assert!(fast.allclose(&slow, 1e-4));
+    }
+
+    #[test]
+    fn sum_axis0_matches_total(a in tensor_strategy(7)) {
+        let total: f64 = a.sum_axis0().sum();
+        prop_assert!((total - a.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(seed in 0u64..300) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let c = 1 + (seed % 3) as usize;
+        let h = 4 + (seed % 4) as usize;
+        let k = 1 + (seed % 3) as usize;
+        let pad = (seed % 2) as usize;
+        let stride = 1 + (seed % 2) as usize;
+        let geom = ConvGeometry {
+            in_channels: c, in_h: h, in_w: h,
+            kernel_h: k, kernel_w: k, stride, padding: pad,
+        };
+        prop_assume!(geom.is_valid());
+        let x = Tensor::randn(&[c, h, h], &mut rng);
+        let y = Tensor::randn(&[geom.col_rows(), geom.col_cols()], &mut rng);
+        let lhs = im2col(&x, &geom).dot(&y);
+        let rhs = x.dot(&swim_tensor::conv::col2im(&y, &geom));
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn running_stats_match_direct(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let mut acc = Running::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((acc.mean() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_bounded(
+        xs in proptest::collection::vec(-10.0f64..10.0, 3..30),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x - x).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_map(
+        xs in proptest::collection::vec(-5.0f64..5.0, 3..30),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&x| x.tanh()).collect();
+        let direct = spearman(&xs, &xs);
+        let mapped = spearman(&xs, &ys);
+        prop_assert!((direct - mapped).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prng_normal_is_finite(seed in 0u64..5000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = rng.normal(0.0, 2.0);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn sample_indices_always_distinct(seed in 0u64..1000, n in 1usize..40) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let k = n / 2;
+        let mut s = rng.sample_indices(n, k);
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+    }
+}
