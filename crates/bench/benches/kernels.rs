@@ -1,14 +1,25 @@
-//! Criterion micro-benchmarks for the substrate kernels and the paper's
-//! efficiency claims.
+//! Micro-benchmarks for the substrate kernels and the paper's efficiency
+//! claims, on a hand-rolled Criterion-style harness (the build
+//! environment is offline, so no external bench framework).
 //!
-//! The headline timing claim (§3.3): computing all second derivatives
-//! takes "approximately the same amount of time and memory as
-//! conventional gradient computation", versus the finite-difference
-//! route that needs two forward passes *per weight*. The
-//! `second_derivative` group measures all three on the same network.
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p swim-bench --bench kernels [-- <filter> [--quick]]
+//! ```
+//!
+//! Groups:
+//!
+//! * `gemm` — naive `i-k-j` vs blocked register-tiled vs threaded GEMM on
+//!   256×256×256 (plus layer-shaped cases), reporting speedups;
+//! * `second_derivative` — §3.3 claim: the single-pass Hessian diagonal
+//!   costs about one gradient pass, vs per-weight finite differences;
+//! * `write_verify` — device programming with exact pulse accounting;
+//! * `selection` — ranking 100k weights (LeNet scale);
+//! * `end_to_end` — one Monte Carlo programming unit.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use swim_cim::device::DeviceConfig;
 use swim_cim::mapping::WeightMapper;
 use swim_cim::writeverify::write_verify;
@@ -17,8 +28,117 @@ use swim_nn::finite_diff::hessian_diag_fd;
 use swim_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential};
 use swim_nn::loss::SoftmaxCrossEntropy;
 use swim_nn::Network;
-use swim_tensor::linalg::matmul;
+use swim_tensor::linalg::{matmul, matmul_reference, matmul_with_threads};
 use swim_tensor::{Prng, Tensor};
+
+/// One measured entry: median wall time over the sample runs.
+struct Sample {
+    name: String,
+    median: Duration,
+}
+
+struct Harness {
+    filter: Option<String>,
+    samples_per_entry: usize,
+    results: Vec<Sample>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        // Cargo passes --bench; ignore flags, treat the first bare token
+        // as a substring filter.
+        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+        Harness { filter, samples_per_entry: if quick { 5 } else { 11 }, results: Vec::new() }
+    }
+
+    fn skip(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    /// Times `f`, returning the median of the sample runs (robust to
+    /// scheduler noise on shared machines).
+    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Option<Duration> {
+        if self.skip(name) {
+            return None;
+        }
+        black_box(f()); // warm-up: page in inputs, train caches
+        let mut times: Vec<Duration> = (0..self.samples_per_entry)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        println!("  {name:<44} {:>12}", format_duration(median));
+        self.results.push(Sample { name: name.to_string(), median });
+        Some(median)
+    }
+
+    fn group(&self, title: &str) {
+        println!("\n{title}");
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The headline GEMM comparison: naive reference vs blocked vs threaded,
+/// on the acceptance shape 256³ and two layer-shaped products.
+fn bench_gemm(h: &mut Harness) {
+    h.group("gemm (naive i-k-j vs blocked vs threaded)");
+    let mut rng = Prng::seed_from_u64(8);
+    let threads = swim_tensor::linalg::gemm_threads();
+
+    for &(m, k, n, label) in &[
+        (256usize, 256usize, 256usize, "256x256x256"),
+        (64, 1152, 400, "conv_im2col_64x1152x400"),
+        (512, 800, 128, "fc_backward_512x800x128"),
+    ] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let naive = h.bench(&format!("gemm/{label}/naive"), || matmul_reference(&a, &b));
+        let blocked =
+            h.bench(&format!("gemm/{label}/blocked_1thread"), || matmul_with_threads(&a, &b, 1));
+        let auto = h.bench(&format!("gemm/{label}/threaded_{threads}"), || matmul(&a, &b));
+        if let (Some(naive), Some(blocked), Some(auto)) = (naive, blocked, auto) {
+            println!(
+                "  {:<44} blocked {:.2}x, threaded {:.2}x vs naive",
+                format!("gemm/{label}/speedup"),
+                naive.as_secs_f64() / blocked.as_secs_f64().max(1e-12),
+                naive.as_secs_f64() / auto.as_secs_f64().max(1e-12),
+            );
+            // Blocked and threaded paths must agree with the reference
+            // to FMA-rounding tolerance (and bit-for-bit with each
+            // other) — the determinism contract is part of what this
+            // bench guards. Only when the entries actually ran.
+            let reference = matmul_reference(&a, &b);
+            let blocked = matmul(&a, &b);
+            assert_eq!(
+                blocked.data(),
+                matmul_with_threads(&a, &b, 4).data(),
+                "{label}: thread count changed the result"
+            );
+            assert!(
+                blocked.allclose(&reference, 1e-2),
+                "{label}: blocked kernel diverged from reference"
+            );
+        }
+    }
+}
 
 fn small_cnn(rng: &mut Prng) -> Network {
     let mut seq = Sequential::new();
@@ -32,27 +152,23 @@ fn small_cnn(rng: &mut Prng) -> Network {
 
 /// §3.3 claim: second-derivative pass ≈ gradient pass ≪ finite
 /// difference.
-fn bench_second_derivative(c: &mut Criterion) {
+fn bench_second_derivative(h: &mut Harness) {
+    h.group("second_derivative (§3.3 single-pass claim)");
     let mut rng = Prng::seed_from_u64(1);
     let mut net = small_cnn(&mut rng);
     let x = Tensor::randn(&[8, 1, 28, 28], &mut rng);
     let y: Vec<usize> = (0..8).map(|i| i % 10).collect();
     let loss = SoftmaxCrossEntropy::new();
 
-    let mut group = c.benchmark_group("second_derivative");
-    group.sample_size(20);
-    group.bench_function("gradient_pass", |b| {
-        b.iter(|| {
-            net.zero_grads();
-            black_box(net.accumulate_gradients(&loss, &x, &y));
-        })
+    h.bench("second_derivative/gradient_pass", || {
+        net.zero_grads();
+        net.accumulate_gradients(&loss, &x, &y)
     });
-    group.bench_function("hessian_diag_pass", |b| {
-        b.iter(|| {
-            net.zero_hess();
-            black_box(net.accumulate_hessian(&loss, &x, &y));
-        })
+    h.bench("second_derivative/hessian_diag_pass", || {
+        net.zero_hess();
+        net.accumulate_hessian(&loss, &x, &y)
     });
+
     // Finite difference on a *much smaller* net (2 forwards per weight);
     // normalize per-weight when comparing.
     let mut tiny_rng = Prng::seed_from_u64(2);
@@ -64,101 +180,73 @@ fn bench_second_derivative(c: &mut Criterion) {
     let mut tiny_net = Network::new("tiny", tiny);
     let tx = Tensor::randn(&[8, 1, 4, 4], &mut tiny_rng);
     let ty: Vec<usize> = (0..8).map(|i| i % 4).collect();
-    group.bench_function("finite_difference_160_weights", |b| {
-        b.iter(|| black_box(hessian_diag_fd(&mut tiny_net, &loss, &tx, &ty, 1e-2)))
+    h.bench("second_derivative/finite_difference_160_weights", || {
+        hessian_diag_fd(&mut tiny_net, &loss, &tx, &ty, 1e-2)
     });
-    group.finish();
 }
 
-fn bench_write_verify(c: &mut Criterion) {
+fn bench_write_verify(h: &mut Harness) {
+    h.group("write_verify");
     let cfg = DeviceConfig::rram();
-    let mut group = c.benchmark_group("write_verify");
-    group.bench_function("single_device", |b| {
-        let mut rng = Prng::seed_from_u64(3);
-        b.iter(|| black_box(write_verify(7.0, &cfg, &mut rng)))
+    let mut rng = Prng::seed_from_u64(3);
+    h.bench("write_verify/single_device", || write_verify(7.0, &cfg, &mut rng));
+
+    let mapper = WeightMapper::new(4, cfg);
+    let codes: Vec<i32> = (0..10_000).map(|i| i % 16).collect();
+    let mut rng = Prng::seed_from_u64(4);
+    h.bench("write_verify/map_10k_weights_unverified", || mapper.program(&codes, None, &mut rng));
+    let sel = vec![true; 10_000];
+    let mut rng = Prng::seed_from_u64(5);
+    h.bench("write_verify/map_10k_weights_verified", || {
+        mapper.program(&codes, Some(&sel), &mut rng)
     });
-    group.bench_function("map_10k_weights_unverified", |b| {
-        let mapper = WeightMapper::new(4, cfg);
-        let codes: Vec<i32> = (0..10_000).map(|i| (i % 16) as i32).collect();
-        let mut rng = Prng::seed_from_u64(4);
-        b.iter(|| black_box(mapper.program(&codes, None, &mut rng)))
-    });
-    group.bench_function("map_10k_weights_verified", |b| {
-        let mapper = WeightMapper::new(4, cfg);
-        let codes: Vec<i32> = (0..10_000).map(|i| (i % 16) as i32).collect();
-        let sel = vec![true; 10_000];
-        let mut rng = Prng::seed_from_u64(5);
-        b.iter(|| black_box(mapper.program(&codes, Some(&sel), &mut rng)))
-    });
-    group.finish();
 }
 
-fn bench_selection(c: &mut Criterion) {
+fn bench_selection(h: &mut Harness) {
+    h.group("selection");
     let mut rng = Prng::seed_from_u64(6);
     let n = 100_000; // LeNet-scale ranking
     let sens: Vec<f32> = (0..n).map(|_| rng.uniform_f32()).collect();
     let mags: Vec<f32> = (0..n).map(|_| rng.uniform_f32()).collect();
-    let mut group = c.benchmark_group("selection");
-    group.bench_function("swim_ranking_100k", |b| {
-        b.iter(|| black_box(build_ranking(Strategy::Swim, &sens, &mags, None)))
+    h.bench("selection/swim_ranking_100k", || build_ranking(Strategy::Swim, &sens, &mags, None));
+    h.bench("selection/random_ranking_100k", || {
+        let mut r = Prng::seed_from_u64(7);
+        build_ranking(Strategy::Random, &sens, &mags, Some(&mut r))
     });
-    group.bench_function("random_ranking_100k", |b| {
-        b.iter_batched(
-            || Prng::seed_from_u64(7),
-            |mut r| black_box(build_ranking(Strategy::Random, &sens, &mags, Some(&mut r))),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
 }
 
-fn bench_tensor_kernels(c: &mut Criterion) {
-    let mut rng = Prng::seed_from_u64(8);
-    let a = Tensor::randn(&[128, 128], &mut rng);
-    let b_t = Tensor::randn(&[128, 128], &mut rng);
-    let mut group = c.benchmark_group("tensor");
-    group.bench_function("matmul_128", |bch| {
-        bch.iter(|| black_box(matmul(&a, &b_t)))
-    });
-    let img = Tensor::randn(&[3, 32, 32], &mut rng);
-    let geom = swim_tensor::conv::ConvGeometry {
-        in_channels: 3,
-        in_h: 32,
-        in_w: 32,
-        kernel_h: 3,
-        kernel_w: 3,
-        stride: 1,
-        padding: 1,
-    };
-    group.bench_function("im2col_3x32x32_k3", |bch| {
-        bch.iter(|| black_box(swim_tensor::conv::im2col(&img, &geom)))
-    });
-    group.finish();
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end(h: &mut Harness) {
+    h.group("end_to_end");
     // One full SWIM iteration unit: program a 100k-weight model with a 10%
-    // selection and evaluate nothing (programming only) — the inner loop
-    // of every Monte Carlo point in Table 1 / Fig. 2.
+    // selection — the inner loop of every Monte Carlo point in Table 1 /
+    // Fig. 2.
     let cfg = DeviceConfig::rram();
     let mapper = WeightMapper::new(4, cfg);
     let mut rng = Prng::seed_from_u64(9);
     let codes: Vec<i32> = (0..100_000).map(|_| rng.below(16) as i32).collect();
     let sel: Vec<bool> = (0..100_000).map(|i| i % 10 == 0).collect();
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(20);
-    group.bench_function("program_lenet_scale_10pct_selected", |b| {
-        b.iter(|| black_box(mapper.program(&codes, Some(&sel), &mut rng)))
+    h.bench("end_to_end/program_lenet_scale_10pct_selected", || {
+        mapper.program(&codes, Some(&sel), &mut rng)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_second_derivative,
-    bench_write_verify,
-    bench_selection,
-    bench_tensor_kernels,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    println!(
+        "kernels bench — {} samples/entry, gemm threads = {}",
+        h.samples_per_entry,
+        swim_tensor::linalg::gemm_threads()
+    );
+    bench_gemm(&mut h);
+    bench_second_derivative(&mut h);
+    bench_write_verify(&mut h);
+    bench_selection(&mut h);
+    bench_end_to_end(&mut h);
+
+    println!("\n{} entries measured; slowest:", h.results.len());
+    let mut by_time: Vec<&Sample> = h.results.iter().collect();
+    by_time.sort_by_key(|s| std::cmp::Reverse(s.median));
+    for s in by_time.iter().take(3) {
+        println!("  {:<44} {:>12}", s.name, format_duration(s.median));
+    }
+}

@@ -16,7 +16,7 @@ use swim_bench::cli::Args;
 use swim_bench::prep::{prepare, PrepConfig, Scenario};
 use swim_cim::DeviceConfig;
 use swim_core::algorithm::{selective_write_verify, Alg1Config};
-use swim_core::montecarlo::{nwc_sweep, num_threads, SweepConfig};
+use swim_core::montecarlo::{num_threads, nwc_sweep, SweepConfig};
 use swim_core::report::{fmt_mean_std, Table};
 use swim_core::select::{build_ranking, Strategy};
 use swim_nn::loss::SoftmaxCrossEntropy;
@@ -36,6 +36,7 @@ fn main() {
     let samples = args.get_usize("samples", if quick { 500 } else { 1500 });
     let epochs = args.get_usize("epochs", if quick { 2 } else { 5 });
     let threads = args.get_usize("threads", num_threads());
+    let _ = swim_bench::cli::apply_gemm_flags(&args, threads);
     let sigma = args.get_f64("sigma", 0.15);
     let seed = args.get_u64("seed", 1);
 
@@ -91,14 +92,10 @@ fn main() {
 
     // ------------------------------------------- 2. tie-break ablation
     let no_tiebreak = vec![0.0f32; mags.len()];
-    let sweep_cfg = SweepConfig {
-        fractions: vec![0.05, 0.1, 0.3],
-        runs,
-        threads,
-        eval_batch: 256,
-        seed,
-    };
-    let with_tb = nwc_sweep(&prepared.model, Strategy::Swim, &sens, &mags, &prepared.test, &sweep_cfg);
+    let sweep_cfg =
+        SweepConfig { fractions: vec![0.05, 0.1, 0.3], runs, threads, eval_batch: 256, seed };
+    let with_tb =
+        nwc_sweep(&prepared.model, Strategy::Swim, &sens, &mags, &prepared.test, &sweep_cfg);
     let without_tb =
         nwc_sweep(&prepared.model, Strategy::Swim, &sens, &no_tiebreak, &prepared.test, &sweep_cfg);
     let mut table = Table::new(
@@ -129,9 +126,7 @@ fn main() {
     );
     let full_ranking_order = {
         let mut idx: Vec<usize> = (0..sens.len()).collect();
-        idx.sort_by(|&a, &b| {
-            sens[b].partial_cmp(&sens[a]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        idx.sort_by(|&a, &b| sens[b].partial_cmp(&sens[a]).unwrap_or(std::cmp::Ordering::Equal));
         // Rank position of each weight under the full-data sensitivities.
         let mut rank = vec![0.0f64; sens.len()];
         for (pos, &w) in idx.iter().enumerate() {
@@ -147,9 +142,7 @@ fn main() {
         let sub_rank = {
             let mut idx: Vec<usize> = (0..sub_sens.len()).collect();
             idx.sort_by(|&a, &b| {
-                sub_sens[b]
-                    .partial_cmp(&sub_sens[a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                sub_sens[b].partial_cmp(&sub_sens[a]).unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut rank = vec![0.0f64; sub_sens.len()];
             for (pos, &w) in idx.iter().enumerate() {

@@ -35,6 +35,9 @@ fn main() {
     let runs = args.get_usize("runs", if quick { 8 } else { 30 });
     let samples = args.get_usize("samples", if quick { 600 } else { 2500 });
     let epochs = args.get_usize("epochs", if quick { 2 } else { 6 });
+    // Fig. 1 has no Monte Carlo fan-out during training/sensitivity, so
+    // let the matrix kernels use every core unless told otherwise.
+    let _ = swim_bench::cli::apply_gemm_flags(&args, 1);
     let sigma = args.get_f64("sigma", 0.1);
     let seed = args.get_u64("seed", 1);
 
@@ -46,9 +49,7 @@ fn main() {
     let mut prepared = prepare(Scenario::LenetMnist, device, &prep_cfg);
 
     eprintln!("[fig1] computing sensitivities...");
-    let sens = prepared
-        .model
-        .sensitivities(&SoftmaxCrossEntropy::new(), &prepared.train, 128);
+    let sens = prepared.model.sensitivities(&SoftmaxCrossEntropy::new(), &prepared.train, 128);
 
     eprintln!("[fig1] perturbing {probes} weights x {runs} Monte Carlo runs...");
     let study_cfg = CorrelationConfig { probes, runs, batch: 256, seed: seed.wrapping_add(9) };
@@ -78,10 +79,8 @@ fn main() {
         println!("({} scatter rows suppressed; pass --csv to print them)\n", table.len());
     }
 
-    let mut summary = Table::new(
-        "Fig. 1 correlation summary",
-        &["series", "Pearson r (measured)", "paper"],
-    );
+    let mut summary =
+        Table::new("Fig. 1 correlation summary", &["series", "Pearson r (measured)", "paper"]);
     summary.push_row_owned(vec![
         "1a: |w| vs accuracy drop".into(),
         format!("{:.3}", study.magnitude_correlation),

@@ -37,6 +37,7 @@ fn main() {
     let threads = args.get_usize("threads", num_threads());
     let seed = args.get_u64("seed", 1);
     let sigmas: Vec<f64> = if quick { vec![0.15] } else { vec![0.1, 0.15, 0.2] };
+    let (gemm_threads, gemm_block) = swim_bench::cli::apply_gemm_flags(&args, threads);
 
     println!("SWIM reproduction — Table 1: LeNet / MNIST-substitute, 4-bit");
     println!(
@@ -53,7 +54,8 @@ fn main() {
             prepared.float_accuracy, prepared.quant_accuracy
         );
 
-        let cfg = DriverConfig { runs, threads, seed, ..Default::default() };
+        let cfg =
+            DriverConfig { runs, threads, gemm_threads, gemm_block, seed, ..Default::default() };
         let curves = run_all_methods(&mut prepared, &cfg);
         let table = curves.to_table(&format!("Table 1 block, sigma = {sigma}"));
         println!("{}", table.render());
@@ -84,9 +86,7 @@ fn main() {
             ("In-situ", &insitu_points),
         ] {
             let (nwc_text, speed_text) = match nwc_to_reach(pts, target) {
-                Some(nwc) if nwc > 0.0 => {
-                    (format!("{nwc:.2}"), format!("{:.1}x", 1.0 / nwc))
-                }
+                Some(nwc) if nwc > 0.0 => (format!("{nwc:.2}"), format!("{:.1}x", 1.0 / nwc)),
                 Some(_) => ("0.00".into(), "inf".into()),
                 None => ("not reached ≤ 1.0".into(), "-".into()),
             };
@@ -97,11 +97,7 @@ fn main() {
         // The paper's §4.3 comparison style: the NWC each *baseline*
         // needs to attain the accuracy SWIM reaches at NWC = 0.1
         // (paper: magnitude ~0.5, random ~0.9, in-situ ~0.9 → 5x/9x/9x).
-        if let Some(swim_01) = curves
-            .swim
-            .iter()
-            .find(|p| (p.fraction - 0.1).abs() < 1e-9)
-        {
+        if let Some(swim_01) = curves.swim.iter().find(|p| (p.fraction - 0.1).abs() < 1e-9) {
             let target = swim_01.accuracy.mean();
             let mut equal = Table::new(
                 format!("NWC to attain SWIM@0.1's accuracy ({target:.2}%)"),
@@ -114,9 +110,7 @@ fn main() {
                 ("In-situ", &insitu_points),
             ] {
                 let (nwc_text, speed_text) = match nwc_to_reach(pts, target) {
-                    Some(nwc) if nwc > 0.0 => {
-                        (format!("{nwc:.2}"), format!("{:.1}x", nwc / 0.1))
-                    }
+                    Some(nwc) if nwc > 0.0 => (format!("{nwc:.2}"), format!("{:.1}x", nwc / 0.1)),
                     Some(_) => ("0.00".into(), "-".into()),
                     None => ("not reached ≤ 1.0".into(), ">10x".into()),
                 };

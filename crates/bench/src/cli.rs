@@ -106,7 +106,10 @@ impl Args {
 pub fn print_common_help(binary: &str, extra: &[(&str, &str)]) {
     println!("usage: cargo run --release -p swim-bench --bin {binary} [flags]");
     println!("  --runs N      Monte Carlo runs (default varies; paper used 3000)");
-    println!("  --threads N   worker threads (default: all cores)");
+    println!("  --threads N   Monte Carlo worker threads (default: all cores)");
+    println!("  --gemm-threads N  threads inside each matrix product (default: 1 when");
+    println!("                the Monte Carlo level is already parallel, else all cores)");
+    println!("  --gemm-block N    GEMM cache-block width in columns (default: auto)");
     println!("  --samples N   dataset size (train+test)");
     println!("  --seed N      base RNG seed");
     println!("  --csv         also print CSV blocks");
@@ -114,6 +117,26 @@ pub fn print_common_help(binary: &str, extra: &[(&str, &str)]) {
     for (flag, desc) in extra {
         println!("  {flag:<13} {desc}");
     }
+}
+
+/// Applies the `--gemm-threads` / `--gemm-block` knobs to the tensor
+/// kernels.
+///
+/// The two parallelism levels compete for the same cores: when the Monte
+/// Carlo harness already fans `mc_threads` workers out, nested GEMM
+/// threading oversubscribes, so the default keeps each product serial in
+/// that case and lets GEMM use every core otherwise (single-run phases
+/// like training and sensitivity analysis). Either knob is a pure
+/// performance setting — results are bit-identical for every value.
+/// Returns the resolved `(gemm_threads, gemm_block)` pair so callers
+/// building a `DriverConfig` reuse one policy instead of re-deriving it.
+pub fn apply_gemm_flags(args: &Args, mc_threads: usize) -> (usize, usize) {
+    let default_gemm_threads = if mc_threads > 1 { 1 } else { 0 };
+    let gemm_threads = args.get_usize("gemm-threads", default_gemm_threads);
+    let gemm_block = args.get_usize("gemm-block", 0);
+    swim_tensor::linalg::set_gemm_threads(gemm_threads);
+    swim_tensor::linalg::set_gemm_block_cols(gemm_block);
+    (gemm_threads, gemm_block)
 }
 
 #[cfg(test)]

@@ -42,8 +42,14 @@ pub struct DriverConfig {
     pub fractions: Vec<f64>,
     /// Monte Carlo runs per method/point.
     pub runs: usize,
-    /// Worker threads.
+    /// Monte Carlo worker threads.
     pub threads: usize,
+    /// Threads inside each matrix product (0 = all cores). Keep at 1
+    /// when `threads > 1`: the Monte Carlo level already saturates the
+    /// machine, and nested GEMM threading would oversubscribe it.
+    pub gemm_threads: usize,
+    /// GEMM cache-block width in columns (0 = automatic).
+    pub gemm_block: usize,
     /// Evaluation batch size.
     pub eval_batch: usize,
     /// Base seed.
@@ -60,6 +66,8 @@ impl Default for DriverConfig {
             fractions: vec![0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0],
             runs: 25,
             threads: swim_core::montecarlo::num_threads(),
+            gemm_threads: if swim_core::montecarlo::num_threads() > 1 { 1 } else { 0 },
+            gemm_block: 0,
             eval_batch: 256,
             seed: 0,
             // Small steps: each on-device update rewrites every weight
@@ -79,6 +87,8 @@ impl Default for DriverConfig {
 /// Monte Carlo seeds so their comparison is paired; in-situ training
 /// runs its own Monte Carlo with per-run RNG forks.
 pub fn run_all_methods(prepared: &mut Prepared, cfg: &DriverConfig) -> MethodCurves {
+    swim_tensor::linalg::set_gemm_threads(cfg.gemm_threads);
+    swim_tensor::linalg::set_gemm_block_cols(cfg.gemm_block);
     let loss = SoftmaxCrossEntropy::new();
     eprintln!("[driver] computing sensitivities (single second-derivative pass)...");
     let sens = prepared.model.sensitivities(&loss, &prepared.train, cfg.eval_batch);
@@ -94,14 +104,7 @@ pub fn run_all_methods(prepared: &mut Prepared, cfg: &DriverConfig) -> MethodCur
     let mut curves = Vec::new();
     for strategy in Strategy::all() {
         eprintln!("[driver] sweeping {} ({} runs)...", strategy.name(), cfg.runs);
-        curves.push(nwc_sweep(
-            &prepared.model,
-            strategy,
-            &sens,
-            &mags,
-            &prepared.test,
-            &sweep_cfg,
-        ));
+        curves.push(nwc_sweep(&prepared.model, strategy, &sens, &mags, &prepared.test, &sweep_cfg));
     }
     let random = curves.pop().expect("three strategies swept");
     let magnitude = curves.pop().expect("three strategies swept");
@@ -149,7 +152,8 @@ impl MethodCurves {
         }
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(title, &header_refs);
-        let rows: [(&str, Box<dyn Fn(usize) -> String>); 4] = [
+        type CellFn<'a> = Box<dyn Fn(usize) -> String + 'a>;
+        let rows: [(&str, CellFn); 4] = [
             ("SWIM", Box::new(|i| fmt_mean_std(&self.swim[i].accuracy))),
             ("Magnitude", Box::new(|i| fmt_mean_std(&self.magnitude[i].accuracy))),
             ("Random", Box::new(|i| fmt_mean_std(&self.random[i].accuracy))),
@@ -168,10 +172,7 @@ impl MethodCurves {
     /// Renders a CSV with one line per (method, NWC point) — the Fig. 2
     /// series format.
     pub fn to_csv(&self, label: &str) -> String {
-        let mut t = Table::new(
-            label,
-            &["method", "nwc", "accuracy_mean", "accuracy_std"],
-        );
+        let mut t = Table::new(label, &["method", "nwc", "accuracy_mean", "accuracy_std"]);
         let mut push = |name: &str, nwc: f64, acc: &Running| {
             t.push_row_owned(vec![
                 name.to_string(),
@@ -205,11 +206,8 @@ mod tests {
     #[test]
     fn driver_smoke_test() {
         let prep_cfg = PrepConfig { samples: 400, epochs: 1, ..Default::default() };
-        let mut prepared = prepare(
-            Scenario::LenetMnist,
-            DeviceConfig::rram().with_sigma(0.15),
-            &prep_cfg,
-        );
+        let mut prepared =
+            prepare(Scenario::LenetMnist, DeviceConfig::rram().with_sigma(0.15), &prep_cfg);
         let cfg = DriverConfig {
             fractions: vec![0.0, 0.5, 1.0],
             runs: 3,

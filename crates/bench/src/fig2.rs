@@ -42,6 +42,7 @@ pub fn run_panel(panel: &Fig2Panel) {
     let samples = args.get_usize("samples", if quick { 400 } else { panel.default_samples });
     let epochs = args.get_usize("epochs", if quick { 1 } else { panel.default_epochs });
     let threads = args.get_usize("threads", num_threads());
+    let (gemm_threads, gemm_block) = crate::cli::apply_gemm_flags(&args, threads);
     let sigma = args.get_f64("sigma", 0.1);
     let seed = args.get_u64("seed", 1);
     // Deeper nets need a gentler rate than LeNet's 0.05 default.
@@ -59,7 +60,7 @@ pub fn run_panel(panel: &Fig2Panel) {
         prepared.float_accuracy, prepared.quant_accuracy
     );
 
-    let cfg = DriverConfig { runs, threads, seed, ..Default::default() };
+    let cfg = DriverConfig { runs, threads, gemm_threads, gemm_block, seed, ..Default::default() };
     let curves = run_all_methods(&mut prepared, &cfg);
     println!("{}", curves.to_table(&format!("{} accuracy vs NWC", panel.name)).render());
     if args.has("csv") {
@@ -71,9 +72,7 @@ pub fn run_panel(panel: &Fig2Panel) {
     let full = curves.swim.last().expect("nonempty sweep").accuracy.mean();
     println!("shape checks vs the paper:");
     let at = |pts: &[swim_core::montecarlo::SweepPoint]| {
-        pts.iter()
-            .find(|p| (p.fraction - 0.1).abs() < 1e-9)
-            .map(|p| p.accuracy.mean())
+        pts.iter().find(|p| (p.fraction - 0.1).abs() < 1e-9).map(|p| p.accuracy.mean())
     };
     if let (Some(s), Some(m), Some(r)) =
         (at(&curves.swim), at(&curves.magnitude), at(&curves.random))

@@ -23,6 +23,6 @@
 
 pub mod cli;
 pub mod driver;
+pub mod fig2;
 pub mod prep;
 pub mod speedup;
-pub mod fig2;

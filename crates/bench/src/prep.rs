@@ -72,7 +72,9 @@ impl Scenario {
                 format!("ResNet-18(w={width}) / CIFAR-10-substitute (6-bit)")
             }
             Scenario::Resnet18Tiny { width, classes } => {
-                format!("ResNet-18(w={width}) / Tiny-ImageNet-substitute ({classes} classes, 6-bit)")
+                format!(
+                    "ResNet-18(w={width}) / Tiny-ImageNet-substitute ({classes} classes, 6-bit)"
+                )
             }
         }
     }
@@ -120,9 +122,7 @@ fn build_dataset(scenario: &Scenario, samples: usize, seed: u64) -> Dataset {
         Scenario::ConvnetCifar { .. } | Scenario::Resnet18Cifar { .. } => {
             synthetic_cifar(samples, seed)
         }
-        Scenario::Resnet18Tiny { classes, .. } => {
-            synthetic_tiny_imagenet(samples, *classes, seed)
-        }
+        Scenario::Resnet18Tiny { classes, .. } => synthetic_tiny_imagenet(samples, *classes, seed),
     }
 }
 
@@ -135,12 +135,7 @@ pub fn prepare(scenario: Scenario, device: DeviceConfig, cfg: &PrepConfig) -> Pr
     let t0 = std::time::Instant::now();
     let data = build_dataset(&scenario, cfg.samples, cfg.seed);
     let (train, test) = data.split(0.8);
-    eprintln!(
-        "[prep] {}: {} train / {} test samples",
-        scenario.name(),
-        train.len(),
-        test.len()
-    );
+    eprintln!("[prep] {}: {} train / {} test samples", scenario.name(), train.len(), test.len());
 
     let mut net = build_network(&scenario, cfg.seed.wrapping_add(41));
     let tc = TrainConfig {
@@ -186,9 +181,6 @@ mod tests {
     fn scenario_bit_widths() {
         assert_eq!(Scenario::LenetMnist.weight_bits(), 4);
         assert_eq!(Scenario::ConvnetCifar { width: 0.1 }.weight_bits(), 6);
-        assert_eq!(
-            Scenario::Resnet18Tiny { width: 0.1, classes: 20 }.weight_bits(),
-            6
-        );
+        assert_eq!(Scenario::Resnet18Tiny { width: 0.1, classes: 20 }.weight_bits(), 6);
     }
 }

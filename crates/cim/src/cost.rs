@@ -33,11 +33,7 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel {
-            effective_pulse_time: 5e-3,
-            pulse_energy: 10e-12,
-            bulk_parallelism: 128.0,
-        }
+        CostModel { effective_pulse_time: 5e-3, pulse_energy: 10e-12, bulk_parallelism: 128.0 }
     }
 }
 

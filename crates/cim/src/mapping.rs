@@ -74,10 +74,7 @@ impl WeightMapper {
     /// [`DeviceSlicing::new`]).
     pub fn new(weight_bits: u32, config: DeviceConfig) -> Self {
         config.validate();
-        WeightMapper {
-            slicing: DeviceSlicing::new(weight_bits, config.device_bits),
-            config,
-        }
+        WeightMapper { slicing: DeviceSlicing::new(weight_bits, config.device_bits), config }
     }
 
     /// The bit-slicing in use.
@@ -99,12 +96,7 @@ impl WeightMapper {
 
     /// Programs one signed weight code; returns the reconstructed noisy
     /// code and the pulses spent.
-    pub fn program_weight(
-        &self,
-        code: i32,
-        verify: bool,
-        rng: &mut Prng,
-    ) -> (f64, u64) {
+    pub fn program_weight(&self, code: i32, verify: bool, rng: &mut Prng) -> (f64, u64) {
         let max_code = (1i64 << self.slicing.weight_bits()) - 1;
         assert!(
             (code as i64).abs() <= max_code,
@@ -148,7 +140,8 @@ impl WeightMapper {
         if let Some(sel) = selection {
             assert_eq!(sel.len(), codes.len(), "selection mask length mismatch");
         }
-        let mut summary = ProgramSummary { total_weights: codes.len() as u64, ..Default::default() };
+        let mut summary =
+            ProgramSummary { total_weights: codes.len() as u64, ..Default::default() };
         let noisy = codes
             .iter()
             .enumerate()
@@ -208,10 +201,13 @@ mod tests {
         let codes = vec![100i32; n];
         let (noisy, summary) = m.program(&codes, None, &mut rng);
         let mean: f64 = noisy.iter().map(|&v| v - 100.0).sum::<f64>() / n as f64;
-        let var: f64 =
-            noisy.iter().map(|&v| (v - 100.0 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = noisy.iter().map(|&v| (v - 100.0 - mean).powi(2)).sum::<f64>() / n as f64;
         let expected = m.weight_code_sigma();
-        assert!((var.sqrt() - expected).abs() < 0.05 * expected, "std {} vs {expected}", var.sqrt());
+        assert!(
+            (var.sqrt() - expected).abs() < 0.05 * expected,
+            "std {} vs {expected}",
+            var.sqrt()
+        );
         // Two devices per weight, one pulse each.
         assert_eq!(summary.bulk_pulses, 2 * n as u64);
     }
@@ -230,7 +226,7 @@ mod tests {
     fn selection_mask_controls_cost() {
         let m = mapper();
         let mut rng = Prng::seed_from_u64(4);
-        let codes: Vec<i32> = (0..1000).map(|i| (i % 16) as i32).collect();
+        let codes: Vec<i32> = (0..1000).map(|i| i % 16).collect();
         let half: Vec<bool> = (0..1000).map(|i| i < 500).collect();
         let (_, s) = m.program(&codes, Some(&half), &mut rng);
         assert_eq!(s.verified_weights, 500);
@@ -243,7 +239,7 @@ mod tests {
     fn write_verify_all_cost_scales_linearly() {
         let m = mapper();
         let mut rng = Prng::seed_from_u64(5);
-        let codes: Vec<i32> = (0..20_000).map(|i| (i % 16) as i32).collect();
+        let codes: Vec<i32> = (0..20_000).map(|i| i % 16).collect();
         let c_full = m.write_verify_all_cost(&codes, &mut rng) as f64;
         let c_half = m.write_verify_all_cost(&codes[..10_000], &mut rng) as f64;
         let ratio = c_full / c_half;

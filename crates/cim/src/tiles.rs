@@ -94,26 +94,19 @@ impl TiledMatrix {
                         }
                     }
                 }
-                let values: Vec<f32> = codes
-                    .iter()
-                    .map(|&c| weights.params().dequantize(c))
-                    .collect();
-                let block =
-                    Tensor::from_vec(values, &[r1 - r0, c1 - c0]).expect("sized block");
+                let values: Vec<f32> =
+                    codes.iter().map(|&c| weights.params().dequantize(c)).collect();
+                let block = Tensor::from_vec(values, &[r1 - r0, c1 - c0]).expect("sized block");
                 let qblock = QuantizedTensor::quantize_with(
                     &block,
                     QuantParams::new(weights.params().bits(), weights.params().scale()),
                 );
-                let (tile, s) =
-                    Crossbar::program(&qblock, config, sel_block.as_deref(), rng);
+                let (tile, s) = Crossbar::program(&qblock, config, sel_block.as_deref(), rng);
                 summary.merge(&s);
                 tiles.push(tile);
             }
         }
-        (
-            TiledMatrix { tiles, tile_rows, tile_cols, tile_size, rows_out, cols_in },
-            summary,
-        )
+        (TiledMatrix { tiles, tile_rows, tile_cols, tile_size, rows_out, cols_in }, summary)
     }
 
     /// The tile grid dimensions `(rows, cols)`.
@@ -190,10 +183,7 @@ mod tests {
             let (tiled, _) = TiledMatrix::program(&q, &noiseless(), t, None, &mut rng);
             let x = Tensor::randn(&[n], &mut rng);
             let dense = swim_tensor::linalg::matvec(&q.dequantize(), &x);
-            assert!(
-                tiled.matvec(&x).allclose(&dense, 1e-3),
-                "mismatch for {m}x{n} tiles of {t}"
-            );
+            assert!(tiled.matvec(&x).allclose(&dense, 1e-3), "mismatch for {m}x{n} tiles of {t}");
         }
     }
 

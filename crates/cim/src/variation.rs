@@ -61,9 +61,7 @@ impl CorrelatedVariation {
         assert!(self.region_size > 0, "region_size must be positive");
         let global = rng.normal(0.0, self.global_sigma);
         let regions = n.div_ceil(self.region_size);
-        let locals: Vec<f64> = (0..regions)
-            .map(|_| rng.normal(0.0, self.local_sigma))
-            .collect();
+        let locals: Vec<f64> = (0..regions).map(|_| rng.normal(0.0, self.local_sigma)).collect();
         (0..n)
             .map(|i| global + locals[i / self.region_size] + rng.normal(0.0, self.device_sigma))
             .collect()

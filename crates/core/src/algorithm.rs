@@ -66,10 +66,7 @@ pub fn selective_write_verify(
 ) -> Alg1Outcome {
     let n = model.weight_count();
     assert_eq!(ranking.len(), n, "ranking length mismatch");
-    assert!(
-        config.granularity > 0.0 && config.granularity <= 1.0,
-        "granularity must be in (0, 1]"
-    );
+    assert!(config.granularity > 0.0 && config.granularity <= 1.0, "granularity must be in (0, 1]");
     assert!(config.max_drop >= 0.0, "max_drop must be non-negative");
     assert!(config.batch > 0, "batch must be positive");
 
@@ -88,9 +85,7 @@ pub fn selective_write_verify(
 
     // NWC = 0 evaluation first: maybe no write-verify is needed at all.
     model.network_mut().set_device_weights(&weights);
-    let mut accuracy = model
-        .network_mut()
-        .accuracy(eval.images(), eval.labels(), config.batch);
+    let mut accuracy = model.network_mut().accuracy(eval.images(), eval.labels(), config.batch);
     if reference_accuracy - accuracy <= config.max_drop {
         met_budget = true;
     } else {
@@ -105,9 +100,7 @@ pub fn selective_write_verify(
             verified += end - start;
             groups += 1;
             model.network_mut().set_device_weights(&weights);
-            accuracy = model
-                .network_mut()
-                .accuracy(eval.images(), eval.labels(), config.batch);
+            accuracy = model.network_mut().accuracy(eval.images(), eval.labels(), config.batch);
             if reference_accuracy - accuracy <= config.max_drop {
                 met_budget = true;
                 break;
@@ -164,7 +157,13 @@ mod tests {
             lr: 0.1,
             ..Default::default()
         };
-        swim_nn::train::fit(&mut net, &SoftmaxCrossEntropy::new(), data.images(), data.labels(), &cfg);
+        swim_nn::train::fit(
+            &mut net,
+            &SoftmaxCrossEntropy::new(),
+            data.images(),
+            data.labels(),
+            &cfg,
+        );
         // High sigma so write-verify is actually needed.
         let model = QuantizedModel::new(net, 4, DeviceConfig::rram().with_sigma(0.5));
         (model, data)

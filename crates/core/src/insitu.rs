@@ -68,10 +68,7 @@ pub fn insitu_training(
 ) -> Vec<InsituPoint> {
     assert!(config.lr > 0.0 && config.lr.is_finite(), "lr must be positive");
     assert!(config.batch_size > 0 && config.eval_batch > 0, "batch sizes must be positive");
-    assert!(
-        config.record_at.windows(2).all(|w| w[0] <= w[1]),
-        "record_at must be ascending"
-    );
+    assert!(config.record_at.windows(2).all(|w| w[0] <= w[1]), "record_at must be ascending");
     assert!(!config.record_at.is_empty(), "record_at must not be empty");
 
     let n_weights = model.weight_count();
@@ -94,9 +91,8 @@ pub fn insitu_training(
 
     // Record the NWC = 0 point(s).
     model.network_mut().set_device_weights(&weights);
-    let mut accuracy = model
-        .network_mut()
-        .accuracy(eval.images(), eval.labels(), config.eval_batch);
+    let mut accuracy =
+        model.network_mut().accuracy(eval.images(), eval.labels(), config.eval_batch);
     while next_record < config.record_at.len() && nwc >= config.record_at[next_record] {
         points.push(InsituPoint { nwc, accuracy });
         next_record += 1;
@@ -135,9 +131,8 @@ pub fn insitu_training(
         // Record any checkpoints crossed by this iteration.
         if nwc >= config.record_at[next_record] {
             model.network_mut().set_device_weights(&weights);
-            accuracy = model
-                .network_mut()
-                .accuracy(eval.images(), eval.labels(), config.eval_batch);
+            accuracy =
+                model.network_mut().accuracy(eval.images(), eval.labels(), config.eval_batch);
             while next_record < config.record_at.len() && nwc >= config.record_at[next_record] {
                 points.push(InsituPoint { nwc, accuracy });
                 next_record += 1;
@@ -184,7 +179,13 @@ mod tests {
             lr: 0.1,
             ..Default::default()
         };
-        swim_nn::train::fit(&mut net, &SoftmaxCrossEntropy::new(), data.images(), data.labels(), &cfg);
+        swim_nn::train::fit(
+            &mut net,
+            &SoftmaxCrossEntropy::new(),
+            data.images(),
+            data.labels(),
+            &cfg,
+        );
         let model = QuantizedModel::new(net, 4, DeviceConfig::rram().with_sigma(0.4));
         (model, data)
     }
@@ -192,20 +193,11 @@ mod tests {
     #[test]
     fn records_all_checkpoints_in_order() {
         let (mut model, data) = trained();
-        let cfg = InsituConfig {
-            record_at: vec![0.0, 0.2, 0.5],
-            eval_batch: 64,
-            ..Default::default()
-        };
+        let cfg =
+            InsituConfig { record_at: vec![0.0, 0.2, 0.5], eval_batch: 64, ..Default::default() };
         let mut rng = Prng::seed_from_u64(1);
-        let curve = insitu_training(
-            &mut model,
-            &SoftmaxCrossEntropy::new(),
-            &data,
-            &data,
-            &cfg,
-            &mut rng,
-        );
+        let curve =
+            insitu_training(&mut model, &SoftmaxCrossEntropy::new(), &data, &data, &cfg, &mut rng);
         assert_eq!(curve.len(), 3);
         assert!(curve.windows(2).all(|w| w[0].nwc <= w[1].nwc));
         assert!(curve[0].nwc == 0.0);
@@ -215,21 +207,11 @@ mod tests {
     #[test]
     fn training_improves_over_unverified_mapping() {
         let (mut model, data) = trained();
-        let cfg = InsituConfig {
-            lr: 0.05,
-            record_at: vec![0.0, 3.0],
-            eval_batch: 64,
-            batch_size: 16,
-        };
+        let cfg =
+            InsituConfig { lr: 0.05, record_at: vec![0.0, 3.0], eval_batch: 64, batch_size: 16 };
         let mut rng = Prng::seed_from_u64(2);
-        let curve = insitu_training(
-            &mut model,
-            &SoftmaxCrossEntropy::new(),
-            &data,
-            &data,
-            &cfg,
-            &mut rng,
-        );
+        let curve =
+            insitu_training(&mut model, &SoftmaxCrossEntropy::new(), &data, &data, &cfg, &mut rng);
         // After 3 NWC (~30 iterations) accuracy should beat the noisy
         // NWC=0 mapping on this easy task.
         assert!(

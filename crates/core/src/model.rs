@@ -272,8 +272,8 @@ mod tests {
         let weights = model.network_mut().device_weights();
         // Every weight must be an exact multiple of its slot scale.
         for slot in model.slots.clone() {
-            for i in slot.offset..slot.offset + slot.len {
-                let k = weights[i] / slot.scale;
+            for (i, &w) in weights.iter().enumerate().skip(slot.offset).take(slot.len) {
+                let k = w / slot.scale;
                 assert!((k - k.round()).abs() < 1e-4, "w[{i}] not on grid");
             }
         }

@@ -8,8 +8,9 @@
 
 use crate::model::QuantizedModel;
 use crate::select::{build_ranking, mask_top_fraction, Strategy};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
 use swim_data::Dataset;
 use swim_tensor::stats::Running;
 use swim_tensor::Prng;
@@ -17,35 +18,102 @@ use swim_tensor::Prng;
 /// Runs `f(run_index, rng)` for `runs` independent runs across
 /// `threads` worker threads, preserving result order.
 ///
+/// Workers pull *chunks* of the result vector from a queue and write
+/// into their disjoint slices directly — there is no shared lock on the
+/// results, so replication throughput scales with cores. Run `r` always
+/// draws from `base.fork(r)`, so the output is bit-identical for every
+/// `threads` setting.
+///
+/// `runs == 0` returns an empty vector without spawning any workers.
+///
 /// # Panics
 ///
-/// Panics if `threads` is zero (use 1 for serial execution).
+/// Panics if `threads` is zero (use 1 for serial execution), or if `f`
+/// panics for some run — in that case the panic is propagated with the
+/// offending run index and the worker's panic message.
 pub fn parallel_map<T, F>(runs: usize, threads: usize, base: &Prng, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, Prng) -> T + Sync,
 {
     assert!(threads > 0, "threads must be positive");
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..runs).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
+    if runs == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(runs);
+    if workers == 1 {
+        return (0..runs)
+            .map(|r| {
+                std::panic::catch_unwind(AssertUnwindSafe(|| f(r, base.fork(r as u64))))
+                    .unwrap_or_else(|payload| {
+                        panic!("parallel_map: run {r} panicked: {}", panic_detail(payload.as_ref()))
+                    })
+            })
+            .collect();
+    }
+
+    let mut slots: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    // Chunks several times smaller than a fair share keep the queue
+    // balancing uneven run times without lock traffic per run.
+    let chunk = (runs / (workers * 4)).max(1);
+    let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+
+    let (tx, rx) = mpsc::channel();
+    for (ci, slice) in slots.chunks_mut(chunk).enumerate() {
+        tx.send((ci * chunk, slice)).expect("receiver alive");
+    }
+    drop(tx);
+    let queue = Mutex::new(rx);
+
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(runs.max(1)) {
+        for _ in 0..workers {
             scope.spawn(|| loop {
-                let r = next.fetch_add(1, Ordering::Relaxed);
-                if r >= runs {
+                if abort.load(Ordering::Relaxed) {
                     break;
                 }
-                let out = f(r, base.fork(r as u64));
-                results.lock().expect("no panics while holding lock")[r] = Some(out);
+                let next = queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv();
+                let Ok((start, slice)) = next else { break };
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    let r = start + offset;
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| f(r, base.fork(r as u64)))) {
+                        Ok(value) => *slot = Some(value),
+                        Err(payload) => {
+                            let mut guard =
+                                first_panic.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                            // Keep the lowest run index for a stable message.
+                            match &*guard {
+                                Some((held, _)) if *held <= r => {}
+                                _ => *guard = Some((r, payload)),
+                            }
+                            abort.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
             });
         }
     });
-    results
-        .into_inner()
-        .expect("scope joined all threads")
-        .into_iter()
-        .map(|o| o.expect("every run index was processed"))
-        .collect()
+
+    // The receiver still holds borrows of `slots` chunks that were never
+    // claimed (abort path); drop it before consuming the results.
+    drop(queue);
+
+    if let Some((r, payload)) =
+        first_panic.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+    {
+        panic!("parallel_map: run {r} panicked: {}", panic_detail(payload.as_ref()));
+    }
+    slots.into_iter().map(|slot| slot.expect("every run index was processed")).collect()
+}
+
+/// Renders a caught panic payload for the rethrown message.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// One point of an accuracy-vs-NWC sweep: statistics over all runs at a
@@ -141,8 +209,7 @@ pub fn nwc_sweep(
                     let mask = mask_top_fraction(&ranking, fraction);
                     let (weights, summary) = model.program_weights(Some(&mask), &mut rng);
                     network.set_device_weights(&weights);
-                    let acc =
-                        network.accuracy(eval.images(), eval.labels(), config.eval_batch);
+                    let acc = network.accuracy(eval.images(), eval.labels(), config.eval_batch);
                     (100.0 * acc, summary.verify_pulses as f64 / denom)
                 })
                 .collect()
@@ -186,6 +253,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_zero_runs_returns_empty() {
+        let base = Prng::seed_from_u64(1);
+        let out: Vec<u64> = parallel_map(0, 1, &base, |_, mut rng| rng.next_u64());
+        assert!(out.is_empty());
+        // Must not spawn a worker (and certainly not panic) when there
+        // are more threads than runs.
+        let out: Vec<u64> = parallel_map(0, 8, &base, |_, mut rng| rng.next_u64());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "run 3 panicked: boom at 3")]
+    fn parallel_map_propagates_panic_with_run_index() {
+        let base = Prng::seed_from_u64(2);
+        let _ = parallel_map(8, 4, &base, |r, _| {
+            if r == 3 {
+                panic!("boom at {r}");
+            }
+            r
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_map: run 5 panicked: worker exploded")]
+    fn parallel_map_propagates_panic_serially_too() {
+        let base = Prng::seed_from_u64(3);
+        let _ = parallel_map(8, 1, &base, |r, _| {
+            assert!(r != 5, "worker exploded");
+            r
+        });
+    }
+
+    #[test]
+    fn parallel_map_more_threads_than_runs() {
+        let base = Prng::seed_from_u64(4);
+        let serial: Vec<u64> = parallel_map(3, 1, &base, |_, mut rng| rng.next_u64());
+        let wide: Vec<u64> = parallel_map(3, 64, &base, |_, mut rng| rng.next_u64());
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
     fn parallel_map_distinct_streams() {
         let base = Prng::seed_from_u64(6);
         let outs = parallel_map(8, 4, &base, |_, mut rng| rng.next_u64());
@@ -222,7 +330,13 @@ mod tests {
             lr: 0.1,
             ..Default::default()
         };
-        swim_nn::train::fit(&mut net, &SoftmaxCrossEntropy::new(), data.images(), data.labels(), &cfg);
+        swim_nn::train::fit(
+            &mut net,
+            &SoftmaxCrossEntropy::new(),
+            data.images(),
+            data.labels(),
+            &cfg,
+        );
         let model = QuantizedModel::new(net, 4, DeviceConfig::rram().with_sigma(0.4));
         (model, data)
     }
@@ -256,13 +370,8 @@ mod tests {
         let (mut model, data) = trained();
         let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
         let mags = model.magnitudes();
-        let cfg = SweepConfig {
-            fractions: vec![0.5],
-            runs: 6,
-            threads: 2,
-            eval_batch: 64,
-            seed: 8,
-        };
+        let cfg =
+            SweepConfig { fractions: vec![0.5], runs: 6, threads: 2, eval_batch: 64, seed: 8 };
         let a = nwc_sweep(&model, Strategy::Random, &sens, &mags, &data, &cfg);
         let b = nwc_sweep(&model, Strategy::Random, &sens, &mags, &data, &cfg);
         assert_eq!(a[0].accuracy.mean(), b[0].accuracy.mean());

@@ -82,9 +82,7 @@ pub fn build_ranking(
         }
         Strategy::Magnitude => {
             idx.sort_by(|&a, &b| {
-                magnitudes[b]
-                    .partial_cmp(&magnitudes[a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                magnitudes[b].partial_cmp(&magnitudes[a]).unwrap_or(std::cmp::Ordering::Equal)
             });
         }
         Strategy::Random => {

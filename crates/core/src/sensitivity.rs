@@ -96,9 +96,7 @@ pub fn correlation_study(
     // below the Monte Carlo noise floor, washing the correlation out.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        sensitivities[b]
-            .partial_cmp(&sensitivities[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        sensitivities[b].partial_cmp(&sensitivities[a]).unwrap_or(std::cmp::Ordering::Equal)
     });
     let top = config.probes / 2;
     let rest = config.probes - top;
@@ -116,9 +114,7 @@ pub fn correlation_study(
         for _ in 0..config.runs {
             weights[w_idx] = clean[w_idx] + rng.normal_f32(0.0, sigmas[w_idx]);
             model.network_mut().set_device_weights(&weights);
-            let acc = model
-                .network_mut()
-                .accuracy(eval.images(), eval.labels(), config.batch);
+            let acc = model.network_mut().accuracy(eval.images(), eval.labels(), config.batch);
             // Signed drop: clamping at zero would bias every
             // zero-impact weight upward by the Monte Carlo noise floor.
             drop_acc += clean_acc - acc;

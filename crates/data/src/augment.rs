@@ -66,8 +66,7 @@ pub fn augment(data: &Dataset, config: &AugmentConfig, rng: &mut Prng) -> Datase
         let flip = rng.uniform() < config.flip_prob;
         for ch in 0..c {
             let src_plane = &src[i * img_len + ch * plane..i * img_len + (ch + 1) * plane];
-            let dst_plane =
-                &mut out[i * img_len + ch * plane..i * img_len + (ch + 1) * plane];
+            let dst_plane = &mut out[i * img_len + ch * plane..i * img_len + (ch + 1) * plane];
             for y in 0..h {
                 let sy = y as isize - dy;
                 if sy < 0 || sy >= h as isize {
@@ -92,8 +91,7 @@ pub fn augment(data: &Dataset, config: &AugmentConfig, rng: &mut Prng) -> Datase
         }
     }
     let images = Tensor::from_vec(out, &shape).expect("same shape as input");
-    Dataset::new(images, data.labels().to_vec(), data.num_classes())
-        .expect("labels unchanged")
+    Dataset::new(images, data.labels().to_vec(), data.num_classes()).expect("labels unchanged")
 }
 
 /// Concatenates a dataset with `copies` augmented variants of itself —

@@ -157,11 +157,8 @@ mod tests {
                 _ => {}
             }
         }
-        let dist: f64 = mean0
-            .iter()
-            .zip(&mean1)
-            .map(|(&a, &b)| (a / n0 as f64 - b / n1 as f64).powi(2))
-            .sum();
+        let dist: f64 =
+            mean0.iter().zip(&mean1).map(|(&a, &b)| (a / n0 as f64 - b / n1 as f64).powi(2)).sum();
         assert!(dist > 1.0, "class means too similar: {dist}");
     }
 }

@@ -168,7 +168,7 @@ mod tests {
         // Any two classes should differ in mean image.
         let ds = synthetic_tiny_imagenet(60, 6, 4);
         let plane = 3 * 64 * 64;
-        let mut means = vec![0.0f64; 6];
+        let mut means = [0.0f64; 6];
         let mut counts = vec![0usize; 6];
         for i in 0..ds.len() {
             let c = ds.labels()[i];

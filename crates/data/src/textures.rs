@@ -66,9 +66,8 @@ fn render(buf: &mut [f32], class: usize, rng: &mut Prng) {
             // Oriented grating.
             let u = cos_o * xf - sin_o * yf;
             let v = sin_o * xf + cos_o * yf;
-            let tex = 0.5
-                + 0.5
-                    * (std::f32::consts::TAU * (r.freq_x * u + r.freq_y * v) + phase).sin();
+            let tex =
+                0.5 + 0.5 * (std::f32::consts::TAU * (r.freq_x * u + r.freq_y * v) + phase).sin();
             // Shape mask.
             let inside = match r.shape {
                 0 => {
@@ -76,9 +75,7 @@ fn render(buf: &mut [f32], class: usize, rng: &mut Prng) {
                     let dy = y as f32 - cy;
                     dx * dx + dy * dy < radius * radius
                 }
-                1 => {
-                    (x as f32 - cx).abs() < radius && (y as f32 - cy).abs() < radius
-                }
+                1 => (x as f32 - cx).abs() < radius && (y as f32 - cy).abs() < radius,
                 _ => ((x as f32 - y as f32) - (cx - cy)).abs() < radius * 0.8,
             };
             let rgb = if inside { r.alt_rgb } else { r.base_rgb };
@@ -150,13 +147,11 @@ mod tests {
         for i in 0..ds.len() {
             let c = ds.labels()[i];
             counts[c] += 1;
-            for ch in 0..3 {
+            for (ch, slot) in means[c].iter_mut().enumerate() {
                 let start = i * 3 * plane + ch * plane;
-                let s: f64 = ds.images().data()[start..start + plane]
-                    .iter()
-                    .map(|&v| v as f64)
-                    .sum();
-                means[c][ch] += s / plane as f64;
+                let s: f64 =
+                    ds.images().data()[start..start + plane].iter().map(|&v| v as f64).sum();
+                *slot += s / plane as f64;
             }
         }
         for (m, &c) in means.iter_mut().zip(&counts) {

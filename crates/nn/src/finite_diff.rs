@@ -109,10 +109,7 @@ mod tests {
         let analytic = net.device_gradient();
         let fd = gradient_fd(&mut net, &loss, &x, &y, 1e-2);
         for (i, (&a, &f)) in analytic.iter().zip(&fd).enumerate() {
-            assert!(
-                (a as f64 - f).abs() < 1e-2 * (1.0 + f.abs()),
-                "w[{i}]: analytic {a} fd {f}"
-            );
+            assert!((a as f64 - f).abs() < 1e-2 * (1.0 + f.abs()), "w[{i}]: analytic {a} fd {f}");
         }
     }
 
@@ -136,10 +133,7 @@ mod tests {
         for i in (n - 10)..n {
             let a = analytic[i] as f64;
             let f = fd[i];
-            assert!(
-                (a - f).abs() < 2e-2 * (1.0 + f.abs()),
-                "w[{i}]: analytic {a} fd {f}"
-            );
+            assert!((a - f).abs() < 2e-2 * (1.0 + f.abs()), "w[{i}]: analytic {a} fd {f}");
         }
     }
 

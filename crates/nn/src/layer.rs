@@ -133,9 +133,7 @@ mod tests {
 
     #[test]
     fn provided_methods_work() {
-        let mut layer = Affine {
-            p: Param::new("shift", Tensor::ones(&[1]), ParamKind::Digital),
-        };
+        let mut layer = Affine { p: Param::new("shift", Tensor::ones(&[1]), ParamKind::Digital) };
         assert_eq!(layer.num_params(), 1);
         let x = Tensor::zeros(&[2, 2]);
         let y = layer.forward(&x, Mode::Eval);

@@ -243,11 +243,7 @@ mod tests {
             };
             let x0 = x.data()[i];
             let fd = (f(x0 + eps) - 2.0 * f(x0) + f(x0 - eps)) / (eps as f64 * eps as f64);
-            assert!(
-                (h.data()[i] as f64 - fd).abs() < 1e-2,
-                "i={i}: {} vs {fd}",
-                h.data()[i]
-            );
+            assert!((h.data()[i] as f64 - fd).abs() < 1e-2, "i={i}: {} vs {fd}", h.data()[i]);
         }
     }
 }

@@ -82,12 +82,7 @@ impl Layer for BatchNorm2d {
             self.channels,
             input.shape()[1]
         );
-        let (n, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let plane = h * w;
         let count = (n * plane) as f32;
 
@@ -96,7 +91,7 @@ impl Layer for BatchNorm2d {
                 let mut mean = vec![0.0f32; c];
                 let mut var = vec![0.0f32; c];
                 let id = input.data();
-                for ch in 0..c {
+                for (ch, slot) in mean.iter_mut().enumerate() {
                     let mut acc = 0.0f64;
                     for item in 0..n {
                         let base = (item * c + ch) * plane;
@@ -104,9 +99,9 @@ impl Layer for BatchNorm2d {
                             acc += v as f64;
                         }
                     }
-                    mean[ch] = (acc / count as f64) as f32;
+                    *slot = (acc / count as f64) as f32;
                 }
-                for ch in 0..c {
+                for (ch, slot) in var.iter_mut().enumerate() {
                     let m = mean[ch] as f64;
                     let mut acc = 0.0f64;
                     for item in 0..n {
@@ -116,7 +111,7 @@ impl Layer for BatchNorm2d {
                             acc += d * d;
                         }
                     }
-                    var[ch] = (acc / count as f64) as f32;
+                    *slot = (acc / count as f64) as f32;
                 }
                 for ch in 0..c {
                     self.running_mean[ch] =
@@ -195,17 +190,15 @@ impl Layer for BatchNorm2d {
                         let base = (item * c + ch) * plane;
                         for p in 0..plane {
                             gi[base + p] = coeff
-                                * (count * gd[base + p]
-                                    - dbeta[ch]
-                                    - xh[base + p] * dgamma[ch]);
+                                * (count * gd[base + p] - dbeta[ch] - xh[base + p] * dgamma[ch]);
                         }
                     }
                 }
             }
             Mode::Eval => {
                 // Affine backward: dx = γ·inv_std·dy
-                for ch in 0..c {
-                    let coeff = gamma[ch] * cache.inv_std[ch];
+                for (ch, (&g, &inv)) in gamma.iter().zip(&cache.inv_std).enumerate() {
+                    let coeff = g * inv;
                     for item in 0..n {
                         let base = (item * c + ch) * plane;
                         for p in 0..plane {

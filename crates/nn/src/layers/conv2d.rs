@@ -88,16 +88,11 @@ impl Conv2d {
 
     fn weight_matrix(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let cols = self.in_channels * self.kernel * self.kernel;
-        self.weight
-            .value
-            .map(f)
-            .reshaped(&[self.out_channels, cols])
+        self.weight.value.map(f).reshaped(&[self.out_channels, cols])
     }
 
     fn cached(&self) -> &Tensor {
-        self.cached_input
-            .as_ref()
-            .expect("backward called before forward")
+        self.cached_input.as_ref().expect("backward called before forward")
     }
 
     /// Immutable access to the weight parameter (tests, inspection).
@@ -116,12 +111,7 @@ impl Layer for Conv2d {
             self.in_channels,
             input.shape()[1]
         );
-        let (n, _, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, _, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let geom = self.geometry(h, w);
         assert!(geom.is_valid(), "kernel does not fit input {geom:?}");
         let (oh, ow) = (geom.out_h(), geom.out_w());
@@ -129,11 +119,7 @@ impl Layer for Conv2d {
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
         let spatial = oh * ow;
         for item in 0..n {
-            let image = input.slice_axis0(item, item + 1).reshaped(&[
-                self.in_channels,
-                h,
-                w,
-            ]);
+            let image = input.slice_axis0(item, item + 1).reshaped(&[self.in_channels, h, w]);
             let cols = im2col(&image, &geom); // [spatial, CK²]
             let y = matmul_bt(&cols, &wmat); // [spatial, F]
             let od = out.data_mut();
@@ -152,12 +138,7 @@ impl Layer for Conv2d {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached().clone();
-        let (n, _, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, _, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let geom = self.geometry(h, w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let spatial = oh * ow;
@@ -168,11 +149,7 @@ impl Layer for Conv2d {
         let mut bgrad = vec![0.0f32; self.out_channels];
 
         for item in 0..n {
-            let image = input.slice_axis0(item, item + 1).reshaped(&[
-                self.in_channels,
-                h,
-                w,
-            ]);
+            let image = input.slice_axis0(item, item + 1).reshaped(&[self.in_channels, h, w]);
             let cols = im2col(&image, &geom);
             // delta for this item in [spatial, F] layout.
             let gd = grad_output.data();
@@ -193,9 +170,8 @@ impl Layer for Conv2d {
             let dimg = col2im(&dcols, &geom);
             let gi = grad_input.data_mut();
             let ibase = item * self.in_channels * h * w;
-            for (dst, &src) in gi[ibase..ibase + self.in_channels * h * w]
-                .iter_mut()
-                .zip(dimg.data())
+            for (dst, &src) in
+                gi[ibase..ibase + self.in_channels * h * w].iter_mut().zip(dimg.data())
             {
                 *dst += src;
             }
@@ -214,12 +190,7 @@ impl Layer for Conv2d {
 
     fn second_backward(&mut self, hess_output: &Tensor) -> Tensor {
         let input = self.cached().clone();
-        let (n, _, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, _, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let geom = self.geometry(h, w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let spatial = oh * ow;
@@ -230,11 +201,7 @@ impl Layer for Conv2d {
         let mut bhess = vec![0.0f32; self.out_channels];
 
         for item in 0..n {
-            let image = input.slice_axis0(item, item + 1).reshaped(&[
-                self.in_channels,
-                h,
-                w,
-            ]);
+            let image = input.slice_axis0(item, item + 1).reshaped(&[self.in_channels, h, w]);
             let cols_sq = im2col(&image, &geom).map(|v| v * v);
             let hd = hess_output.data();
             let base = item * self.out_channels * spatial;
@@ -254,9 +221,8 @@ impl Layer for Conv2d {
             let himg = col2im(&hcols, &geom);
             let gi = hess_input.data_mut();
             let ibase = item * self.in_channels * h * w;
-            for (dst, &src) in gi[ibase..ibase + self.in_channels * h * w]
-                .iter_mut()
-                .zip(himg.data())
+            for (dst, &src) in
+                gi[ibase..ibase + self.in_channels * h * w].iter_mut().zip(himg.data())
             {
                 *dst += src;
             }

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
-use swim_tensor::linalg::{matmul, matmul_at};
+use swim_tensor::linalg::{matmul, matmul_at, matmul_bt};
 use swim_tensor::{Prng, Tensor};
 
 /// Fully connected layer `Y = X · Wᵀ + b`.
@@ -73,9 +73,7 @@ impl Linear {
     }
 
     fn cached(&self) -> &Tensor {
-        self.cached_input
-            .as_ref()
-            .expect("backward called before forward")
+        self.cached_input.as_ref().expect("backward called before forward")
     }
 }
 
@@ -89,7 +87,9 @@ impl Layer for Linear {
             self.in_features,
             input.shape()[1]
         );
-        let mut out = matmul(input, &self.weight.value.transposed());
+        // y = X · Wᵀ through the fused variant: one packed transpose
+        // inside the kernel instead of materializing a Tensor here.
+        let mut out = matmul_bt(input, &self.weight.value);
         let n = out.shape()[0];
         let bias = self.bias.value.data();
         let od = out.data_mut();

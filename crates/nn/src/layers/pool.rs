@@ -46,12 +46,7 @@ impl MaxPool2d {
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 4, "MaxPool2d expects [N, C, H, W] input");
-        let (n, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let k = self.window;
         assert!(h >= k && w >= k, "window {k} larger than input {h}x{w}");
         let (oh, ow) = (h / k, w / k);
@@ -162,12 +157,7 @@ impl AvgPool2d {
 impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 4, "AvgPool2d expects [N, C, H, W] input");
-        let (n, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let k = self.window;
         assert!(h >= k && w >= k, "window {k} larger than input {h}x{w}");
         let (oh, ow) = (h / k, w / k);
@@ -256,12 +246,7 @@ impl GlobalAvgPool {
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 4, "GlobalAvgPool expects [N, C, H, W] input");
-        let (n, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let inv = 1.0 / (h * w) as f32;
         let mut out = Tensor::zeros(&[n, c]);
         let od = out.data_mut();
@@ -301,11 +286,8 @@ mod tests {
     #[test]
     fn maxpool_picks_maximum() {
         let mut pool = MaxPool2d::new(2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0],
-            &[1, 2, 2, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0], &[1, 2, 2, 2])
+            .unwrap();
         let y = pool.forward(&x, Mode::Eval);
         assert_eq!(y.shape(), &[1, 2, 1, 1]);
         assert_eq!(y.data(), &[4.0, -1.0]);

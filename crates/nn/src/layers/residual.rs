@@ -70,11 +70,7 @@ impl Layer for Residual {
         if self.shortcut.is_empty() {
             format!("Residual[{}]", self.main.describe())
         } else {
-            format!(
-                "Residual[{} || {}]",
-                self.main.describe(),
-                self.shortcut.describe()
-            )
+            format!("Residual[{} || {}]", self.main.describe(), self.shortcut.describe())
         }
     }
 

@@ -137,9 +137,9 @@ impl Loss for L2Loss {
     fn forward(&self, logits: &Tensor, targets: &[usize]) -> f64 {
         let (n, c) = check_targets(logits, targets);
         let mut acc = 0.0f64;
-        for row in 0..n {
+        for (row, &target) in targets.iter().enumerate().take(n) {
             for j in 0..c {
-                let y = if targets[row] == j { 1.0 } else { 0.0 };
+                let y = if target == j { 1.0 } else { 0.0 };
                 let d = logits.data()[row * c + j] as f64 - y;
                 acc += d * d;
             }

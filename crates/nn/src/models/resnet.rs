@@ -56,11 +56,7 @@ impl ResNet18Config {
 
     /// The paper's Tiny-ImageNet setting (200 classes, 64×64 inputs).
     pub fn paper_tiny_imagenet() -> Self {
-        ResNet18Config {
-            num_classes: 200,
-            stem: ResNetStem::TinyImageNet,
-            ..Self::default()
-        }
+        ResNet18Config { num_classes: 200, stem: ResNetStem::TinyImageNet, ..Self::default() }
     }
 
     /// A reduced-width configuration sized for CPU experiments.
@@ -137,12 +133,7 @@ pub fn build(config: &ResNet18Config, seed: u64) -> Network {
         "width_factor must be positive"
     );
     let mut rng = Prng::seed_from_u64(seed);
-    let widths = [
-        config.scaled(64),
-        config.scaled(128),
-        config.scaled(256),
-        config.scaled(512),
-    ];
+    let widths = [config.scaled(64), config.scaled(128), config.scaled(256), config.scaled(512)];
 
     let mut seq = Sequential::new();
     // Stem.

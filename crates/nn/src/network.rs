@@ -256,11 +256,7 @@ impl Network {
             let end = (start + batch_size).min(n);
             let batch = images.slice_axis0(start, end);
             let preds = self.predict(&batch);
-            correct += preds
-                .iter()
-                .zip(&labels[start..end])
-                .filter(|(p, t)| p == t)
-                .count();
+            correct += preds.iter().zip(&labels[start..end]).filter(|(p, t)| p == t).count();
             start = end;
         }
         correct as f64 / n as f64

@@ -78,9 +78,7 @@ pub fn fit(
     assert!(config.batch_size > 0, "batch_size must be positive");
 
     let mut rng = Prng::seed_from_u64(config.seed);
-    let mut sgd = Sgd::new(config.lr)
-        .momentum(config.momentum)
-        .weight_decay(config.weight_decay);
+    let mut sgd = Sgd::new(config.lr).momentum(config.momentum).weight_decay(config.weight_decay);
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = TrainHistory::default();
 

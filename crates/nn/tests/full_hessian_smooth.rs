@@ -61,10 +61,7 @@ fn tanh_chain_needs_curvature_term() {
         "full-rule error too large: {full_err} (fd {fd:?}, full {full:?})"
     );
     // ...and strictly better than Gauss-Newton, which drops g''.
-    assert!(
-        full_err < gn_err,
-        "curvature term did not help: full {full_err} vs GN {gn_err}"
-    );
+    assert!(full_err < gn_err, "curvature term did not help: full {full_err} vs GN {gn_err}");
 }
 
 /// On a wider tanh MLP the diagonal recursion is approximate, but with

@@ -33,10 +33,7 @@ fn exact_on_single_path_chain() {
     let fast = net.device_hessian();
     let fd = hessian_diag_fd(&mut net, &loss, &x, &y, 1e-2);
     for (i, (&a, &f)) in fast.iter().zip(&fd).enumerate() {
-        assert!(
-            (a as f64 - f).abs() < 1e-2 * (1.0 + f.abs()),
-            "w[{i}]: fast {a} fd {f}"
-        );
+        assert!((a as f64 - f).abs() < 1e-2 * (1.0 + f.abs()), "w[{i}]: fast {a} fd {f}");
     }
 }
 
@@ -64,10 +61,7 @@ fn exact_on_last_layer_with_cross_entropy() {
     for i in (n - last)..n {
         let a = fast[i] as f64;
         let f = fd[i];
-        assert!(
-            (a - f).abs() < 3e-2 * (1.0 + f.abs()),
-            "w[{i}]: fast {a} fd {f}"
-        );
+        assert!((a - f).abs() < 3e-2 * (1.0 + f.abs()), "w[{i}]: fast {a} fd {f}");
     }
 }
 
@@ -107,12 +101,8 @@ fn strong_rank_correlation_after_training() {
     // Train to good-but-not-saturated convergence: at extreme convergence
     // the true curvature drops below f32 finite-difference resolution and
     // the comparison becomes vacuous.
-    let cfg = swim_nn::train::TrainConfig {
-        epochs: 8,
-        batch_size: 16,
-        lr: 0.05,
-        ..Default::default()
-    };
+    let cfg =
+        swim_nn::train::TrainConfig { epochs: 8, batch_size: 16, lr: 0.05, ..Default::default() };
     swim_nn::train::fit(&mut net, &loss, &x, &y, &cfg);
     assert!(net.accuracy(&x, &y, 16) > 0.9, "training substrate failed");
 
@@ -212,14 +202,11 @@ fn hessian_accumulates_over_batches() {
     let mut net2 = build(&mut Prng::seed_from_u64(6));
     net2.set_device_weights(&weights);
     net2.zero_hess();
-    net2.accumulate_hessian(&loss, &x.slice_axis0(0, 4), &y[..4].to_vec());
-    net2.accumulate_hessian(&loss, &x.slice_axis0(4, 8), &y[4..].to_vec());
+    net2.accumulate_hessian(&loss, &x.slice_axis0(0, 4), &y[..4]);
+    net2.accumulate_hessian(&loss, &x.slice_axis0(4, 8), &y[4..]);
     let halves = net2.device_hessian();
 
     for (i, (&w, &h)) in whole.iter().zip(&halves).enumerate() {
-        assert!(
-            (w - 0.5 * h).abs() < 1e-4 * (1.0 + w.abs()),
-            "w[{i}]: whole {w} halves {h}"
-        );
+        assert!((w - 0.5 * h).abs() < 1e-4 * (1.0 + w.abs()), "w[{i}]: whole {w} halves {h}");
     }
 }

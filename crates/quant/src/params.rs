@@ -40,10 +40,7 @@ impl QuantParams {
     /// and positive.
     pub fn new(bits: u32, scale: f32) -> Self {
         assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
-        assert!(
-            scale.is_finite() && scale > 0.0,
-            "scale must be finite and positive, got {scale}"
-        );
+        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive, got {scale}");
         QuantParams { bits, scale }
     }
 
@@ -53,15 +50,8 @@ impl QuantParams {
     /// An all-zero tensor gets `scale = 1.0` (any scale represents it
     /// exactly).
     pub fn from_tensor(t: &Tensor, bits: u32) -> Self {
-        let max_abs = t
-            .data()
-            .iter()
-            .fold(0.0f32, |acc, &x| acc.max(x.abs()));
-        let scale = if max_abs > 0.0 {
-            max_abs / Self::max_code_for(bits) as f32
-        } else {
-            1.0
-        };
+        let max_abs = t.data().iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
+        let scale = if max_abs > 0.0 { max_abs / Self::max_code_for(bits) as f32 } else { 1.0 };
         QuantParams::new(bits, scale)
     }
 
@@ -134,10 +124,7 @@ mod tests {
             let p = QuantParams::from_tensor(&t, bits);
             for &v in t.data() {
                 let back = p.dequantize(p.quantize(v));
-                assert!(
-                    (back - v).abs() <= p.half_step() + 1e-7,
-                    "bits={bits} v={v} back={back}"
-                );
+                assert!((back - v).abs() <= p.half_step() + 1e-7, "bits={bits} v={v} back={back}");
             }
         }
     }

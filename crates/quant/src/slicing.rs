@@ -40,7 +40,7 @@ impl DeviceSlicing {
     /// Panics if either bit count is 0, `weight_bits > 24`, or
     /// `device_bits > weight_bits`.
     pub fn new(weight_bits: u32, device_bits: u32) -> Self {
-        assert!(weight_bits >= 1 && weight_bits <= 24, "weight_bits out of range");
+        assert!((1..=24).contains(&weight_bits), "weight_bits out of range");
         assert!(device_bits >= 1, "device_bits must be positive");
         assert!(
             device_bits <= weight_bits,
@@ -141,11 +141,7 @@ impl DeviceSlicing {
             self.num_devices(),
             levels.len()
         );
-        levels
-            .iter()
-            .enumerate()
-            .map(|(i, &g)| g * self.significance(i))
-            .sum()
+        levels.iter().enumerate().map(|(i, &g)| g * self.significance(i)).sum()
     }
 }
 
@@ -189,10 +185,7 @@ mod tests {
         assert_eq!(DeviceSlicing::new(4, 4).variance_amplification(), 1.0);
         assert_eq!(DeviceSlicing::new(8, 4).variance_amplification(), 1.0 + 256.0);
         // M=12, K=4: 1 + 2^8 + 2^16
-        assert_eq!(
-            DeviceSlicing::new(12, 4).variance_amplification(),
-            1.0 + 256.0 + 65536.0
-        );
+        assert_eq!(DeviceSlicing::new(12, 4).variance_amplification(), 1.0 + 256.0 + 65536.0);
     }
 
     #[test]

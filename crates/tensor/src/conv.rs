@@ -208,7 +208,10 @@ mod tests {
                             for kx in 0..g.kernel_w {
                                 let y = (oy * g.stride + ky) as isize - g.padding as isize;
                                 let x = (ox * g.stride + kx) as isize - g.padding as isize;
-                                if y >= 0 && (y as usize) < g.in_h && x >= 0 && (x as usize) < g.in_w
+                                if y >= 0
+                                    && (y as usize) < g.in_h
+                                    && x >= 0
+                                    && (x as usize) < g.in_w
                                 {
                                     let iv = image.at(&[c, y as usize, x as usize]);
                                     let wv = weight.at(&[oc, c, ky, kx]);
@@ -253,20 +256,14 @@ mod tests {
             (geom(4, 5, 5, 1, 1, 0), 2),
         ] {
             let image = Tensor::randn(&[g.in_channels, g.in_h, g.in_w], &mut rng);
-            let weight =
-                Tensor::randn(&[oc, g.in_channels, g.kernel_h, g.kernel_w], &mut rng);
+            let weight = Tensor::randn(&[oc, g.in_channels, g.kernel_h, g.kernel_w], &mut rng);
             let cols = im2col(&image, &g);
-            let wmat = weight
-                .clone()
-                .reshaped(&[oc, g.col_cols()]);
+            let wmat = weight.clone().reshaped(&[oc, g.col_cols()]);
             // GEMM result: [rows, oc] -> transpose to [oc, rows] -> reshape.
             let gemm = matmul(&cols, &wmat.transposed());
             let gemm = gemm.transposed().reshaped(&[oc, g.out_h(), g.out_w()]);
             let naive = naive_conv(&image, &weight, &g);
-            assert!(
-                gemm.allclose(&naive, 1e-4),
-                "mismatch for geometry {g:?}"
-            );
+            assert!(gemm.allclose(&naive, 1e-4), "mismatch for geometry {g:?}");
         }
     }
 

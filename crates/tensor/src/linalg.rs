@@ -1,13 +1,266 @@
 //! Matrix products.
 //!
 //! Fully connected layers, and convolutions lowered through
-//! [`crate::conv::im2col`], reduce to the three GEMM variants here. The
-//! kernels use an `i-k-j` loop order so the innermost loop streams over
-//! contiguous rows, which the compiler auto-vectorizes; accumulation is in
-//! `f32` (matching the precision a CiM accelerator's digital periphery
-//! would use).
+//! [`crate::conv::im2col`], reduce to the three GEMM variants here. All
+//! three route through one blocked, register-tiled kernel ([`MR`]×[`NR`]
+//! accumulator tiles over a packed right-hand operand), with a
+//! multithreaded row-panel path above [`PARALLEL_MIN_FLOPS`].
+//!
+//! # Determinism contract
+//!
+//! Every output element is accumulated in strictly increasing `k` order
+//! starting from `0.0`, exactly like the reference `i-k-j` triple loop —
+//! register tiling changes *which* elements are in flight, never the
+//! per-element summation order, and the threaded path assigns each thread
+//! a disjoint row range computed identically to the serial path. Results
+//! are therefore **bit-identical** across block sizes and `--threads`
+//! settings, which the Monte Carlo harness relies on for reproducibility.
+//!
+//! Relative to [`matmul_reference`] (the un-fused `i-k-j` loop) the
+//! blocked kernel is *tolerance-identical*: on targets with hardware FMA
+//! each multiply-accumulate fuses with a single rounding, so outputs can
+//! differ from the two-rounding reference by ~1 ulp per `k` step (the
+//! fused result is the more accurate one). On targets without FMA the
+//! kernels are bit-identical. See [`mac`].
+//!
+//! Accumulation is in `f32` (matching the precision a CiM accelerator's
+//! digital periphery would use). Non-finite inputs propagate per IEEE-754:
+//! unlike the pre-workspace kernel, `0.0` entries are *not* skipped, so
+//! `0.0 × NaN` and `0.0 × ∞` contribute `NaN` as true GEMM requires.
 
 use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows per microkernel register tile.
+pub const MR: usize = 4;
+/// Columns per packed panel (and per microkernel register tile).
+pub const NR: usize = 32;
+/// Minimum multiply count (`m·n·k`) before the row-panel threaded path
+/// engages; below it, thread-spawn overhead dominates.
+pub const PARALLEL_MIN_FLOPS: usize = 1 << 22;
+
+/// Worker threads for large GEMMs; 0 = auto (`available_parallelism`).
+static GEMM_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// Column-block width for packing; 0 = auto (sized to keep the packed
+/// panel within a few hundred KiB).
+static GEMM_BLOCK_COLS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread count for large matrix products.
+///
+/// `0` restores the default (one thread per available core). The setting
+/// is process-global; results are bit-identical for every value.
+pub fn set_gemm_threads(threads: usize) {
+    GEMM_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The worker-thread count large products will use.
+pub fn gemm_threads() -> usize {
+    match GEMM_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Sets the cache-blocking width (columns per packed panel group).
+///
+/// `0` restores the automatic choice. Rounded up to a multiple of
+/// [`NR`]; purely a performance knob — results are bit-identical for
+/// every value.
+pub fn set_gemm_block_cols(cols: usize) {
+    GEMM_BLOCK_COLS.store(cols, Ordering::Relaxed);
+}
+
+/// The effective column-block width for an `m×k · k×n` product.
+pub fn gemm_block_cols(k: usize, n: usize) -> usize {
+    let requested = GEMM_BLOCK_COLS.load(Ordering::Relaxed);
+    let cols = if requested == 0 {
+        // Keep the active packed block near 128 KiB so it stays cache
+        // resident while a row panel sweeps it.
+        let budget = (128 * 1024) / (4 * k.max(1));
+        budget.clamp(NR, 4096)
+    } else {
+        requested
+    };
+    cols.next_multiple_of(NR).min(n.next_multiple_of(NR).max(NR))
+}
+
+/// Packs `b` (`k×n`, row-major) into NR-wide column panels.
+///
+/// Panel `p` holds columns `p·NR .. (p+1)·NR` interleaved so the
+/// microkernel streams it contiguously: element `(row, col)` of the panel
+/// lives at `panel_base + row·NR + col`. The tail panel is zero-padded;
+/// padded lanes are computed and discarded, never stored.
+fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    for panel in 0..panels {
+        let j0 = panel * NR;
+        let width = NR.min(n - j0);
+        let base = panel * k * NR;
+        for p in 0..k {
+            let src = &b[p * n + j0..p * n + j0 + width];
+            let dst = &mut packed[base + p * NR..base + p * NR + width];
+            dst.copy_from_slice(src);
+        }
+    }
+    packed
+}
+
+/// One multiply-accumulate step.
+///
+/// On targets with hardware FMA the multiply and add fuse into a single
+/// instruction with a single rounding — about twice the throughput and
+/// slightly *more* accurate than the separate `acc + a·b` the reference
+/// kernel performs (each partial product skips one rounding). The
+/// `cfg!` is a compile-time constant, so targets without FMA keep the
+/// plain two-instruction form rather than a libm software fallback.
+#[inline(always)]
+fn mac(acc: f32, a: f32, b: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// Computes one `4 × NR` register tile: `acc[r][c] = Σ_p a_r[p] ·
+/// panel[p·NR + c]`, accumulating in increasing `p` order from `0.0`.
+///
+/// The zipped iterators make every access bounds-check-free, and the
+/// four separate accumulator locals keep the tile in vector registers;
+/// one panel row load is amortized over four output rows.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn microkernel_4(
+    k: usize,
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    panel: &[f32],
+) -> [[f32; NR]; 4] {
+    let (mut acc0, mut acc1, mut acc2, mut acc3) =
+        ([0.0f32; NR], [0.0f32; NR], [0.0f32; NR], [0.0f32; NR]);
+    let rows = a0[..k]
+        .iter()
+        .zip(&a1[..k])
+        .zip(&a2[..k])
+        .zip(&a3[..k])
+        .zip(panel[..k * NR].chunks_exact(NR));
+    for ((((&v0, &v1), &v2), &v3), brow) in rows {
+        for c in 0..NR {
+            acc0[c] = mac(acc0[c], v0, brow[c]);
+            acc1[c] = mac(acc1[c], v1, brow[c]);
+            acc2[c] = mac(acc2[c], v2, brow[c]);
+            acc3[c] = mac(acc3[c], v3, brow[c]);
+        }
+    }
+    [acc0, acc1, acc2, acc3]
+}
+
+/// Single-row variant of [`microkernel_4`] for the `m % 4` tail rows.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn microkernel_1(k: usize, a0: &[f32], panel: &[f32]) -> [f32; NR] {
+    let mut acc = [0.0f32; NR];
+    for (&v0, brow) in a0[..k].iter().zip(panel[..k * NR].chunks_exact(NR)) {
+        for c in 0..NR {
+            acc[c] = mac(acc[c], v0, brow[c]);
+        }
+    }
+    acc
+}
+
+/// Computes rows `[row0, row0 + out.len()/n)` of `C = A·B` into `out`,
+/// reading the packed panels of `B`.
+fn gemm_rows(a: &[f32], packed_b: &[f32], k: usize, n: usize, row0: usize, out: &mut [f32]) {
+    let rows = out.len().checked_div(n).unwrap_or(0);
+    let panels = n.div_ceil(NR);
+    let block_cols = gemm_block_cols(k, n);
+    let panels_per_block = (block_cols / NR).max(1);
+
+    let mut panel0 = 0;
+    while panel0 < panels {
+        let panel1 = (panel0 + panels_per_block).min(panels);
+        let mut r = 0;
+        while r + MR <= rows {
+            let gr = row0 + r;
+            let a0 = &a[gr * k..(gr + 1) * k];
+            let a1 = &a[(gr + 1) * k..(gr + 2) * k];
+            let a2 = &a[(gr + 2) * k..(gr + 3) * k];
+            let a3 = &a[(gr + 3) * k..(gr + 4) * k];
+            for panel in panel0..panel1 {
+                let pan = &packed_b[panel * k * NR..(panel + 1) * k * NR];
+                let acc = microkernel_4(k, a0, a1, a2, a3, pan);
+                let j0 = panel * NR;
+                let width = NR.min(n - j0);
+                for (t, tile) in acc.iter().enumerate() {
+                    let orow = &mut out[(r + t) * n + j0..(r + t) * n + j0 + width];
+                    orow.copy_from_slice(&tile[..width]);
+                }
+            }
+            r += MR;
+        }
+        while r < rows {
+            let gr = row0 + r;
+            let a0 = &a[gr * k..(gr + 1) * k];
+            for panel in panel0..panel1 {
+                let pan = &packed_b[panel * k * NR..(panel + 1) * k * NR];
+                let acc = microkernel_1(k, a0, pan);
+                let j0 = panel * NR;
+                let width = NR.min(n - j0);
+                out[r * n + j0..r * n + j0 + width].copy_from_slice(&acc[..width]);
+            }
+            r += 1;
+        }
+        panel0 = panel1;
+    }
+}
+
+/// Shared kernel: `C = A·B` for row-major `a: m×k`, `b: k×n`, with an
+/// explicit thread count (`0` = the global setting).
+fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, threads: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    if k == 0 {
+        return out; // all-zero by definition; nothing to accumulate
+    }
+    let packed = pack_b(b, k, n);
+    let resolved = if threads == 0 { gemm_threads() } else { threads };
+    let workers = if m.saturating_mul(n).saturating_mul(k) < PARALLEL_MIN_FLOPS {
+        1
+    } else {
+        resolved.min(m).max(1)
+    };
+    if workers == 1 {
+        gemm_rows(a, &packed, k, n, 0, &mut out);
+    } else {
+        // Disjoint row chunks; each worker runs the identical serial
+        // routine on its range, so the split cannot affect values.
+        let chunk_rows = m.div_ceil(workers);
+        let packed_ref = &packed;
+        std::thread::scope(|scope| {
+            for (ci, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
+                scope.spawn(move || {
+                    gemm_rows(a, packed_ref, k, n, ci * chunk_rows, out_chunk);
+                });
+            }
+        });
+    }
+    out
+}
+
+fn transpose_flat(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; src.len()];
+    for i in 0..rows {
+        for j in 0..cols {
+            out[j * rows + i] = src[i * cols + j];
+        }
+    }
+    out
+}
 
 /// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
 ///
@@ -31,30 +284,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (kb, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb}");
-
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow) {
-                *o += aval * bval;
-            }
-        }
-    }
+    let out = gemm(a.data(), b.data(), m, k, n, 0);
     Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent")
 }
 
-/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`, without materializing `Aᵀ`.
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`, without materializing `Aᵀ`
+/// at the caller.
 ///
 /// Used by backpropagation to form weight gradients (`∂f/∂W = δᵀ·P` style
-/// products).
+/// products). Internally the kernel packs `Aᵀ` row panels, so the cost
+/// matches [`matmul`] plus one `O(k·m)` transpose pass.
 ///
 /// # Panics
 ///
@@ -65,30 +304,18 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.shape()[0], a.shape()[1]);
     let (kb, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, kb, "matmul_at: inner dimensions {k} vs {kb}");
-
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow) {
-                *o += aval * bval;
-            }
-        }
-    }
+    let at = transpose_flat(a.data(), k, m);
+    let out = gemm(&at, b.data(), m, k, n, 0);
     Tensor::from_vec(out, &[m, n]).expect("matmul_at output shape is consistent")
 }
 
-/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`, without materializing `Bᵀ`.
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`, without materializing `Bᵀ`
+/// at the caller.
 ///
 /// Used by backpropagation to push gradients through a layer
-/// (`∂f/∂P = δ·W` style products).
+/// (`∂f/∂P = δ·W` style products). Internally the kernel packs `Bᵀ`
+/// column panels, so the cost matches [`matmul`] plus one `O(n·k)`
+/// transpose pass.
 ///
 /// # Panics
 ///
@@ -99,23 +326,48 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (n, kb) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, kb, "matmul_bt: inner dimensions {k} vs {kb}");
+    let bt = transpose_flat(b.data(), n, k);
+    let out = gemm(a.data(), &bt, m, k, n, 0);
+    Tensor::from_vec(out, &[m, n]).expect("matmul_bt output shape is consistent")
+}
 
+/// The reference `i-k-j` triple loop (un-fused multiply-adds), kept as
+/// the accuracy oracle for the blocked kernel — bit-identical on targets
+/// without hardware FMA, ulp-tolerance otherwise; see the module docs —
+/// and as the baseline in the `kernels` bench.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_reference: left operand must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul_reference: right operand must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul_reference: inner dimensions {k} vs {kb}");
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
+        for (p, &aval) in arow.iter().enumerate() {
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += aval * bval;
             }
-            *o = acc;
         }
     }
-    Tensor::from_vec(out, &[m, n]).expect("matmul_bt output shape is consistent")
+    Tensor::from_vec(out, &[m, n]).expect("matmul_reference output shape is consistent")
+}
+
+/// `matmul` with an explicit thread count, exposed for the `kernels`
+/// bench and determinism tests; `threads = 1` forces the serial path even
+/// above [`PARALLEL_MIN_FLOPS`].
+pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul: left operand must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul: right operand must be rank 2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb}");
+    let out = gemm(a.data(), b.data(), m, k, n, threads.max(1));
+    Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent")
 }
 
 /// Matrix–vector product `y = A · x` for `A: [m, n]`, `x: [n]`.
@@ -198,6 +450,81 @@ mod tests {
         assert!(matmul(&a, &b).allclose(&naive_matmul(&a, &b), 1e-4));
     }
 
+    /// The blocked kernel must match the reference `i-k-j` loop on
+    /// awkward (non-multiple-of-tile) shapes: bit-identical without
+    /// hardware FMA, within ulp-level tolerance with it (the fused
+    /// multiply-add skips one rounding per `k` step; see [`mac`]).
+    #[test]
+    fn blocked_kernel_matches_reference() {
+        let mut rng = Prng::seed_from_u64(11);
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (33, 17, 29), (64, 64, 64), (13, 128, 47)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let blocked = matmul(&a, &b);
+            let reference = matmul_reference(&a, &b);
+            if cfg!(target_feature = "fma") {
+                assert!(blocked.allclose(&reference, 1e-4), "shape {m}x{k}x{n}");
+            } else {
+                assert_eq!(blocked.data(), reference.data(), "shape {m}x{k}x{n}");
+            }
+        }
+    }
+
+    /// Thread count must not change a single bit of the result, even on
+    /// products large enough to take the parallel path.
+    #[test]
+    fn threaded_kernel_bit_identical_across_thread_counts() {
+        let mut rng = Prng::seed_from_u64(12);
+        // 192·96·256 = 4.7M multiplies ≥ PARALLEL_MIN_FLOPS.
+        let a = Tensor::randn(&[192, 96], &mut rng);
+        let b = Tensor::randn(&[96, 256], &mut rng);
+        const { assert!(192 * 96 * 256 >= PARALLEL_MIN_FLOPS) };
+        let serial = matmul_with_threads(&a, &b, 1);
+        for threads in [2, 3, 8] {
+            let parallel = matmul_with_threads(&a, &b, threads);
+            assert_eq!(serial.data(), parallel.data(), "threads = {threads}");
+        }
+        assert!(serial.allclose(&matmul_reference(&a, &b), 1e-3));
+    }
+
+    /// Block size is a pure performance knob: any setting gives the same
+    /// bits.
+    #[test]
+    fn block_cols_knob_does_not_change_results() {
+        let mut rng = Prng::seed_from_u64(13);
+        let a = Tensor::randn(&[24, 70], &mut rng);
+        let b = Tensor::randn(&[70, 90], &mut rng);
+        let baseline = matmul(&a, &b);
+        for cols in [NR, 32, 64, 4096] {
+            set_gemm_block_cols(cols);
+            assert_eq!(matmul(&a, &b).data(), baseline.data(), "block_cols = {cols}");
+        }
+        set_gemm_block_cols(0);
+    }
+
+    /// Regression for the zero-skip unsoundness: the old kernel skipped
+    /// `a == 0.0` terms, silently dropping `0·NaN` and `0·∞`
+    /// contributions. True GEMM propagates them.
+    #[test]
+    fn zero_times_nan_and_inf_propagate() {
+        // Row of A is all zeros; B carries a NaN in the first column and
+        // +∞ in the second. C[0,0] and C[0,1] must both be NaN.
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 3.0, 4.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b);
+        assert!(c.data()[0].is_nan(), "0·NaN must contribute NaN");
+        assert!(c.data()[1].is_nan(), "0·∞ must contribute NaN (0·∞ = NaN)");
+        // The second row has no zero entries: NaN/∞ flow through normally.
+        assert!(c.data()[2].is_nan());
+        assert!(c.data()[3].is_infinite() && c.data()[3] > 0.0);
+
+        // Same property through the transposed variants.
+        let c_at = matmul_at(&a.transposed(), &b);
+        assert!(c_at.data()[0].is_nan());
+        let c_bt = matmul_bt(&a, &b.transposed());
+        assert!(c_bt.data()[0].is_nan());
+    }
+
     #[test]
     fn matmul_at_equals_transpose_then_matmul() {
         let mut rng = Prng::seed_from_u64(3);
@@ -249,5 +576,10 @@ mod tests {
         let b = Tensor::zeros(&[3, 2]);
         let c = matmul(&a, &b);
         assert_eq!(c.shape(), &[0, 2]);
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert!(c.data().iter().all(|&v| v == 0.0));
     }
 }

@@ -51,22 +51,15 @@ impl Prng {
     /// recommended by the xoshiro authors.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let state = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Prng { state, spare_normal: None }
     }
 
     /// Next raw 64-bit output of xoshiro256++.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -154,18 +147,12 @@ impl Prng {
     pub fn fork(&self, stream: u64) -> Prng {
         // Mix the parent state with the stream id through SplitMix64 to
         // decorrelate children from each other and from the parent.
-        let mut sm = self
-            .state
-            .iter()
-            .fold(stream.wrapping_mul(0xA076_1D64_78BD_642F), |acc, &s| {
+        let mut sm =
+            self.state.iter().fold(stream.wrapping_mul(0xA076_1D64_78BD_642F), |acc, &s| {
                 acc.rotate_left(17) ^ s.wrapping_mul(0xE703_7ED1_A0B4_28DB)
             });
-        let state = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Prng { state, spare_normal: None }
     }
 
@@ -250,10 +237,7 @@ mod tests {
         // ~4.55% of mass lies beyond 2 sigma for a Gaussian.
         let mut rng = Prng::seed_from_u64(17);
         let n = 200_000;
-        let beyond = (0..n)
-            .filter(|_| rng.normal(0.0, 1.0).abs() > 2.0)
-            .count() as f64
-            / n as f64;
+        let beyond = (0..n).filter(|_| rng.normal(0.0, 1.0).abs() > 2.0).count() as f64 / n as f64;
         assert!((beyond - 0.0455).abs() < 0.005, "tail {beyond}");
     }
 

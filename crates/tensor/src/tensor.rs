@@ -160,7 +160,10 @@ impl Tensor {
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
         let shape = Shape::new(dims);
         if shape.len() != self.data.len() {
-            return Err(TensorError::ReshapeMismatch { len: self.data.len(), shape: dims.to_vec() });
+            return Err(TensorError::ReshapeMismatch {
+                len: self.data.len(),
+                shape: dims.to_vec(),
+            });
         }
         Ok(Tensor { data: self.data.clone(), shape })
     }
@@ -193,10 +196,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
     }
 
     /// Applies `f` to every element in place.
@@ -214,12 +214,7 @@ impl Tensor {
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         self.assert_same_shape(other);
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
             shape: self.shape.clone(),
         }
     }
@@ -388,11 +383,7 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn dot(&self, other: &Tensor) -> f64 {
         self.assert_same_shape(other);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a as f64 * b as f64)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(&a, &b)| a as f64 * b as f64).sum()
     }
 
     // ------------------------------------------------------------- 2-D views
@@ -426,7 +417,10 @@ impl Tensor {
     pub fn slice_axis0(&self, start: usize, end: usize) -> Tensor {
         assert!(self.rank() >= 1, "slice_axis0 requires rank >= 1");
         let n = self.shape.dim(0);
-        assert!(start <= end && end <= n, "slice {start}..{end} out of bounds for axis of size {n}");
+        assert!(
+            start <= end && end <= n,
+            "slice {start}..{end} out of bounds for axis of size {n}"
+        );
         let inner: usize = self.shape.dims()[1..].iter().product();
         let data = self.data[start * inner..end * inner].to_vec();
         let mut dims = self.shape.dims().to_vec();
@@ -462,10 +456,7 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.assert_same_shape(other);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .all(|(&a, &b)| (a - b).abs() <= tol)
+        self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
     }
 
     fn assert_same_shape(&self, other: &Tensor) {

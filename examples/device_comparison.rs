@@ -28,14 +28,15 @@ fn main() {
         100.0 * net.accuracy(test.images(), test.labels(), 256)
     );
 
-    let configs: Vec<(String, DeviceConfig)> = [DeviceTech::Rram, DeviceTech::Fefet, DeviceTech::Pcm]
-        .into_iter()
-        .map(|t| (format!("{t} preset"), DeviceConfig::for_tech(t)))
-        .chain([(
-            "immature device (sigma 0.2)".to_string(),
-            DeviceConfig::rram().with_sigma(0.2),
-        )])
-        .collect();
+    let configs: Vec<(String, DeviceConfig)> =
+        [DeviceTech::Rram, DeviceTech::Fefet, DeviceTech::Pcm]
+            .into_iter()
+            .map(|t| (format!("{t} preset"), DeviceConfig::for_tech(t)))
+            .chain([(
+                "immature device (sigma 0.2)".to_string(),
+                DeviceConfig::rram().with_sigma(0.2),
+            )])
+            .collect();
 
     println!(
         "{:<30} {:>7} {:>12} {:>12} {:>12}",

@@ -48,14 +48,8 @@ fn main() {
     for max_drop in [0.05, 0.02, 0.01, 0.005, 0.0] {
         let alg_cfg = Alg1Config { granularity: 0.05, max_drop, batch: 256 };
         let mut rng = Prng::seed_from_u64(100 + (max_drop * 1000.0) as u64);
-        let outcome = selective_write_verify(
-            &mut model,
-            &ranking,
-            &train,
-            reference,
-            &alg_cfg,
-            &mut rng,
-        );
+        let outcome =
+            selective_write_verify(&mut model, &ranking, &train, reference, &alg_cfg, &mut rng);
         // Re-program with the found fraction to get an unbiased test
         // accuracy (Alg. 1 evaluates on D = training data, like the paper).
         let mask = mask_top_fraction(&ranking, outcome.verified_fraction);

@@ -53,12 +53,8 @@ fn main() {
 
     // In-situ curve over the same budgets (it can exceed NWC 1.0).
     println!("[race] running in-situ training to NWC {}...", budgets.last().unwrap());
-    let insitu_cfg = InsituConfig {
-        lr: 0.02,
-        batch_size: 32,
-        eval_batch: 256,
-        record_at: budgets.clone(),
-    };
+    let insitu_cfg =
+        InsituConfig { lr: 0.02, batch_size: 32, eval_batch: 256, record_at: budgets.clone() };
     let mut rng = Prng::seed_from_u64(17);
     let insitu_curve = insitu_training(
         &mut model,
@@ -78,12 +74,7 @@ fn main() {
         } else {
             format!("{:.2}%", swim_acc)
         };
-        println!(
-            "{:>10.1} {:>16} {:>15.2}%",
-            budget,
-            swim_note,
-            100.0 * insitu_curve[i].accuracy
-        );
+        println!("{:>10.1} {:>16} {:>15.2}%", budget, swim_note, 100.0 * insitu_curve[i].accuracy);
     }
 
     println!(

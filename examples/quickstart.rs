@@ -44,10 +44,7 @@ fn main() {
 
     // 4. Program with three write-verify budgets and measure.
     println!("[4/4] programming and evaluating under device variation...\n");
-    println!(
-        "{:<28} {:>10} {:>12} {:>14}",
-        "configuration", "accuracy", "NWC", "write pulses"
-    );
+    println!("{:<28} {:>10} {:>12} {:>14}", "configuration", "accuracy", "NWC", "write pulses");
     let mut rng = Prng::seed_from_u64(7);
     let denom = model.write_verify_all_cost(&mut rng.fork(u64::MAX)) as f64;
     for (label, fraction) in [

@@ -55,9 +55,7 @@ fn correlated_variation_through_pipeline() {
         .map(|(&w, (&n, &s))| w + (n / variation.device_sigma) as f32 * s)
         .collect();
     model.network_mut().set_device_weights(&weights);
-    let noisy = model
-        .network_mut()
-        .accuracy(test.images(), test.labels(), 128);
+    let noisy = model.network_mut().accuracy(test.images(), test.labels(), 128);
     assert!(noisy <= clean + 0.02, "correlated noise should not help: {clean} -> {noisy}");
     model.restore_clean();
 }
@@ -95,9 +93,11 @@ fn swim_selection_on_smooth_network() {
     // Full-rule sensitivities through the network API.
     model.network_mut().zero_hess();
     model.network_mut().zero_grads();
-    model
-        .network_mut()
-        .accumulate_hessian_full(&SoftmaxCrossEntropy::new(), data.images(), data.labels());
+    model.network_mut().accumulate_hessian_full(
+        &SoftmaxCrossEntropy::new(),
+        data.images(),
+        data.labels(),
+    );
     let sens = model.network_mut().device_hessian();
     assert!(sens.iter().any(|&h| h != 0.0));
 
@@ -121,12 +121,7 @@ fn augmentation_composes_with_training() {
 
     let mut net = LeNetConfig::default().build(7);
     let cfg = TrainConfig { epochs: 1, batch_size: 32, lr: 0.05, ..Default::default() };
-    let hist = fit(
-        &mut net,
-        &SoftmaxCrossEntropy::new(),
-        expanded.images(),
-        expanded.labels(),
-        &cfg,
-    );
+    let hist =
+        fit(&mut net, &SoftmaxCrossEntropy::new(), expanded.images(), expanded.labels(), &cfg);
     assert!(hist.final_loss().is_finite());
 }

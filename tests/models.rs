@@ -19,7 +19,7 @@ fn resnet18_learns_synthetic_cifar() {
     let data = synthetic_cifar(600, 32);
     let (train, test) = data.split(0.8);
     let mut net = ResNet18Config::reduced(0.0625).build(3);
-    let cfg = TrainConfig { epochs: 3, batch_size: 32, lr: 0.05, ..Default::default() };
+    let cfg = TrainConfig { epochs: 4, batch_size: 32, lr: 0.05, ..Default::default() };
     fit(&mut net, &SoftmaxCrossEntropy::new(), train.images(), train.labels(), &cfg);
     let acc = net.accuracy(test.images(), test.labels(), 64);
     assert!(acc > 0.3, "ResNet-18 should beat chance clearly, got {acc}");
@@ -60,11 +60,8 @@ fn quantization_bits_match_paper_settings() {
     // 4-bit LeNet -> 1 device; 6-bit ConvNet/ResNet -> 2 devices (K=4).
     let lenet = QuantizedModel::new(LeNetConfig::default().build(0), 4, DeviceConfig::rram());
     assert_eq!(lenet.mapper().slicing().num_devices(), 1);
-    let convnet = QuantizedModel::new(
-        ConvNetConfig::reduced(0.0625).build(0),
-        6,
-        DeviceConfig::rram(),
-    );
+    let convnet =
+        QuantizedModel::new(ConvNetConfig::reduced(0.0625).build(0), 6, DeviceConfig::rram());
     assert_eq!(convnet.mapper().slicing().num_devices(), 2);
     assert_eq!(convnet.mapper().slicing().device_levels(1), 4);
 }
