@@ -12,23 +12,34 @@
 //!
 //! * `gemm` — naive `i-k-j` vs blocked register-tiled vs threaded GEMM on
 //!   256×256×256 (plus layer-shaped cases), reporting speedups;
+//! * `gemm_transposed` — `matmul_at`/`matmul_bt` strided panel packing vs
+//!   the old materialized-transpose formulation;
+//! * `conv_lowering` — batched im2col+GEMM conv vs per-image lowering;
 //! * `second_derivative` — §3.3 claim: the single-pass Hessian diagonal
 //!   costs about one gradient pass, vs per-weight finite differences;
 //! * `write_verify` — device programming with exact pulse accounting;
 //! * `selection` — ranking 100k weights (LeNet scale);
-//! * `end_to_end` — one Monte Carlo programming unit.
+//! * `end_to_end` — one Monte Carlo programming unit;
+//! * `sweep` — Monte Carlo sweep throughput (runs/sec), per-worker
+//!   scratch reuse vs the old clone-per-run harness;
+//! * `thread_threshold` — serial vs 2-thread crossover around
+//!   `PARALLEL_MIN_FLOPS` (tune with `--gemm-min-flops`).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 use swim_cim::device::DeviceConfig;
 use swim_cim::mapping::WeightMapper;
 use swim_cim::writeverify::write_verify;
-use swim_core::select::{build_ranking, Strategy};
+use swim_core::model::QuantizedModel;
+use swim_core::montecarlo::{nwc_sweep, parallel_map, SweepConfig};
+use swim_core::select::{build_ranking, mask_top_fraction, Strategy};
+use swim_data::Dataset;
 use swim_nn::finite_diff::hessian_diag_fd;
+use swim_nn::layer::{Layer, Mode};
 use swim_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential};
 use swim_nn::loss::SoftmaxCrossEntropy;
 use swim_nn::Network;
-use swim_tensor::linalg::{matmul, matmul_reference, matmul_with_threads};
+use swim_tensor::linalg::{matmul, matmul_at, matmul_bt, matmul_reference, matmul_with_threads};
 use swim_tensor::{Prng, Tensor};
 
 /// One measured entry: median wall time over the sample runs.
@@ -140,6 +151,174 @@ fn bench_gemm(h: &mut Harness) {
     }
 }
 
+/// The transposed GEMM variants: strided panel packing vs the old
+/// transpose-then-multiply formulation (which the `Tensor::transposed` +
+/// `matmul` pair still reproduces), asserting bit-identity while at it.
+fn bench_gemm_transposed(h: &mut Harness) {
+    h.group("gemm_transposed (strided packing vs materialized transpose)");
+    let mut rng = Prng::seed_from_u64(10);
+
+    // Aᵀ·B on a square shape and a conv-backward shape (tall k).
+    for &(k, m, n, label) in
+        &[(256usize, 256usize, 256usize, "at_256x256x256"), (1152, 64, 400, "at_64x1152x400")]
+    {
+        let a = Tensor::randn(&[k, m], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let strided =
+            h.bench(&format!("gemm_transposed/{label}/strided_pack"), || matmul_at(&a, &b));
+        let copied = h.bench(&format!("gemm_transposed/{label}/transpose_then_matmul"), || {
+            matmul(&a.transposed(), &b)
+        });
+        if let (Some(s), Some(c)) = (strided, copied) {
+            println!(
+                "  {:<44} {:.2}x vs transpose+matmul",
+                format!("gemm_transposed/{label}/speedup"),
+                c.as_secs_f64() / s.as_secs_f64().max(1e-12)
+            );
+            assert_eq!(
+                matmul_at(&a, &b).data(),
+                matmul(&a.transposed(), &b).data(),
+                "{label}: strided packing changed the result"
+            );
+        }
+    }
+
+    // A·Bᵀ on the conv-forward shape (W · colsᵀ).
+    let a = Tensor::randn(&[64, 1152], &mut rng);
+    let b = Tensor::randn(&[400, 1152], &mut rng);
+    let strided = h.bench("gemm_transposed/bt_64x1152x400/strided_pack", || matmul_bt(&a, &b));
+    let copied = h.bench("gemm_transposed/bt_64x1152x400/transpose_then_matmul", || {
+        matmul(&a, &b.transposed())
+    });
+    if let (Some(s), Some(c)) = (strided, copied) {
+        println!(
+            "  {:<44} {:.2}x vs transpose+matmul",
+            "gemm_transposed/bt_64x1152x400/speedup",
+            c.as_secs_f64() / s.as_secs_f64().max(1e-12)
+        );
+        assert_eq!(matmul_bt(&a, &b).data(), matmul(&a, &b.transposed()).data());
+    }
+}
+
+/// Batched conv lowering (one im2col + one GEMM per batch) vs driving
+/// the same layer one image at a time.
+fn bench_conv_lowering(h: &mut Harness) {
+    h.group("conv_lowering (batched vs per-image)");
+    let mut rng = Prng::seed_from_u64(11);
+    let mut conv = Conv2d::new(8, 16, 3, 1, 1, &mut rng);
+    let x = Tensor::randn(&[32, 8, 14, 14], &mut rng);
+    let batched = h.bench("conv_lowering/fwd_32x8x14x14/batched", || conv.forward(&x, Mode::Eval));
+    let per_image = h.bench("conv_lowering/fwd_32x8x14x14/per_image", || {
+        let mut last = None;
+        for item in 0..32 {
+            last = Some(conv.forward(&x.slice_axis0(item, item + 1), Mode::Eval));
+        }
+        last
+    });
+    if let (Some(b), Some(p)) = (batched, per_image) {
+        println!(
+            "  {:<44} {:.2}x vs per-image",
+            "conv_lowering/fwd_32x8x14x14/speedup",
+            p.as_secs_f64() / b.as_secs_f64().max(1e-12)
+        );
+    }
+    let y = conv.forward(&x, Mode::Train);
+    let g = Tensor::ones(y.shape());
+    h.bench("conv_lowering/bwd_32x8x14x14/batched", || conv.backward(&g));
+    h.bench("conv_lowering/second_bwd_32x8x14x14/batched", || conv.second_backward(&g));
+}
+
+/// End-to-end Monte Carlo sweep throughput: per-worker scratch reuse
+/// (the live `nwc_sweep` path) vs the old clone-per-run harness,
+/// reported in runs/sec.
+fn bench_sweep_throughput(h: &mut Harness) {
+    h.group("sweep (Monte Carlo eval throughput, runs/sec)");
+    let mut rng = Prng::seed_from_u64(12);
+    let mut seq = Sequential::new();
+    seq.push(Conv2d::new(1, 4, 3, 1, 1, &mut rng));
+    seq.push(Relu::new());
+    seq.push(MaxPool2d::new(2));
+    seq.push(Flatten::new());
+    seq.push(Linear::new(4 * 7 * 7, 10, &mut rng));
+    let model = QuantizedModel::new(Network::new("sweep-cnn", seq), 4, DeviceConfig::rram());
+    let images = Tensor::randn(&[128, 1, 14, 14], &mut rng);
+    let data = Dataset::new(images, (0..128).map(|i| i % 10).collect(), 10).unwrap();
+    let sens: Vec<f32> = (0..model.weight_count()).map(|_| rng.uniform_f32()).collect();
+    let mags = model.magnitudes();
+    let runs = 8usize;
+    let threads = swim_core::montecarlo::num_threads();
+    let cfg =
+        SweepConfig { fractions: vec![0.0, 0.5, 1.0], runs, threads, eval_batch: 128, seed: 7 };
+
+    let scratch = h.bench(&format!("sweep/8runs_x3fractions/scratch_t{threads}"), || {
+        nwc_sweep(&model, Strategy::Swim, &sens, &mags, &data, &cfg)
+    });
+    // The pre-scratch harness: clone the network and allocate fresh
+    // mask/weight vectors for every run (denominator and ranking
+    // computed per sweep, exactly like `nwc_sweep` does).
+    let clone_per_run =
+        h.bench(&format!("sweep/8runs_x3fractions/clone_per_run_t{threads}"), || {
+            let base = Prng::seed_from_u64(cfg.seed);
+            let denom = model.write_verify_all_cost(&mut base.fork(u64::MAX)) as f64;
+            let ranking = build_ranking(Strategy::Swim, &sens, &mags, None);
+            parallel_map(runs, threads, &base, |_, mut run_rng| {
+                let mut network = model.network_clone();
+                cfg.fractions
+                    .iter()
+                    .map(|&fraction| {
+                        let mask = mask_top_fraction(&ranking, fraction);
+                        let (weights, summary) = model.program_weights(Some(&mask), &mut run_rng);
+                        network.set_device_weights(&weights);
+                        let acc = network.accuracy(data.images(), data.labels(), cfg.eval_batch);
+                        (acc, summary.verify_pulses as f64 / denom)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+    if let (Some(s), Some(c)) = (scratch, clone_per_run) {
+        println!(
+            "  {:<44} {:.1} runs/s scratch vs {:.1} runs/s clone-per-run ({:.2}x)",
+            "sweep/8runs_x3fractions/throughput",
+            runs as f64 / s.as_secs_f64(),
+            runs as f64 / c.as_secs_f64(),
+            c.as_secs_f64() / s.as_secs_f64().max(1e-12)
+        );
+    }
+}
+
+/// Where the threaded GEMM path starts paying: serial vs 2-thread wall
+/// time around the `PARALLEL_MIN_FLOPS` default. On a single-core host
+/// the 2-thread entries only measure spawn overhead — run this on a
+/// multi-core machine to tune `--gemm-min-flops`.
+fn bench_thread_threshold(h: &mut Harness) {
+    h.group("thread_threshold (serial vs 2 threads around PARALLEL_MIN_FLOPS)");
+    let mut rng = Prng::seed_from_u64(13);
+    for &d in &[128usize, 160, 208, 256] {
+        let flops = d * d * d;
+        let a = Tensor::randn(&[d, d], &mut rng);
+        let b = Tensor::randn(&[d, d], &mut rng);
+        let serial = h.bench(&format!("thread_threshold/{d}cubed_{flops}flops/serial"), || {
+            matmul_with_threads(&a, &b, 1)
+        });
+        // Force threading eligibility for the 2-thread arm: the sizes
+        // under test sit below the default threshold, and the flops gate
+        // would otherwise silently route them down the serial path —
+        // timing the very thing the knob under test disables.
+        swim_tensor::linalg::set_gemm_parallel_min_flops(1);
+        let two = h.bench(&format!("thread_threshold/{d}cubed_{flops}flops/2threads"), || {
+            matmul_with_threads(&a, &b, 2)
+        });
+        swim_tensor::linalg::set_gemm_parallel_min_flops(0);
+        if let (Some(s), Some(t)) = (serial, two) {
+            println!(
+                "  {:<44} 2-thread {:.2}x vs serial",
+                format!("thread_threshold/{d}cubed/speedup"),
+                s.as_secs_f64() / t.as_secs_f64().max(1e-12)
+            );
+        }
+    }
+}
+
 fn small_cnn(rng: &mut Prng) -> Network {
     let mut seq = Sequential::new();
     seq.push(Conv2d::new(1, 8, 3, 1, 1, rng));
@@ -238,10 +417,14 @@ fn main() {
         swim_tensor::linalg::gemm_threads()
     );
     bench_gemm(&mut h);
+    bench_gemm_transposed(&mut h);
+    bench_conv_lowering(&mut h);
     bench_second_derivative(&mut h);
     bench_write_verify(&mut h);
     bench_selection(&mut h);
     bench_end_to_end(&mut h);
+    bench_sweep_throughput(&mut h);
+    bench_thread_threshold(&mut h);
 
     println!("\n{} entries measured; slowest:", h.results.len());
     let mut by_time: Vec<&Sample> = h.results.iter().collect();

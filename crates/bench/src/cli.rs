@@ -110,6 +110,8 @@ pub fn print_common_help(binary: &str, extra: &[(&str, &str)]) {
     println!("  --gemm-threads N  threads inside each matrix product (default: 1 when");
     println!("                the Monte Carlo level is already parallel, else all cores)");
     println!("  --gemm-block N    GEMM cache-block width in columns (default: auto)");
+    println!("  --gemm-min-flops N  multiply count above which a product goes");
+    println!("                multithreaded (default: 2^22; 1 = always)");
     println!("  --samples N   dataset size (train+test)");
     println!("  --seed N      base RNG seed");
     println!("  --csv         also print CSV blocks");
@@ -119,8 +121,8 @@ pub fn print_common_help(binary: &str, extra: &[(&str, &str)]) {
     }
 }
 
-/// Applies the `--gemm-threads` / `--gemm-block` knobs to the tensor
-/// kernels.
+/// Applies the `--gemm-threads` / `--gemm-block` / `--gemm-min-flops`
+/// knobs to the tensor kernels.
 ///
 /// The two parallelism levels compete for the same cores: when the Monte
 /// Carlo harness already fans `mc_threads` workers out, nested GEMM
@@ -136,6 +138,7 @@ pub fn apply_gemm_flags(args: &Args, mc_threads: usize) -> (usize, usize) {
     let gemm_block = args.get_usize("gemm-block", 0);
     swim_tensor::linalg::set_gemm_threads(gemm_threads);
     swim_tensor::linalg::set_gemm_block_cols(gemm_block);
+    swim_tensor::linalg::set_gemm_parallel_min_flops(args.get_usize("gemm-min-flops", 0));
     (gemm_threads, gemm_block)
 }
 

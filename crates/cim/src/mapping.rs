@@ -96,6 +96,12 @@ impl WeightMapper {
 
     /// Programs one signed weight code; returns the reconstructed noisy
     /// code and the pulses spent.
+    ///
+    /// Runs allocation-free: device levels are sliced and the noisy code
+    /// reconstructed on the fly (same per-device order and summation
+    /// order as `slice` + `reconstruct`, so results are bit-identical to
+    /// the collect-then-reconstruct formulation) — this is the innermost
+    /// loop of every Monte Carlo run.
     pub fn program_weight(&self, code: i32, verify: bool, rng: &mut Prng) -> (f64, u64) {
         let max_code = (1i64 << self.slicing.weight_bits()) - 1;
         assert!(
@@ -104,21 +110,20 @@ impl WeightMapper {
             self.slicing.weight_bits()
         );
         let sign = if code < 0 { -1.0 } else { 1.0 };
-        let levels = self.slicing.slice(code.unsigned_abs());
+        let magnitude = code.unsigned_abs();
         let mut pulses = 0u64;
-        let noisy: Vec<f64> = levels
-            .iter()
-            .map(|&level| {
-                let outcome = if verify {
-                    write_verify(level as f64, &self.config, rng)
-                } else {
-                    program_once(level as f64, &self.config, rng)
-                };
-                pulses += outcome.pulses;
-                outcome.value
-            })
-            .collect();
-        (sign * self.slicing.reconstruct(&noisy), pulses)
+        let mut reconstructed = 0.0f64;
+        for i in 0..self.slicing.num_devices() {
+            let level = self.slicing.slice_level(magnitude, i);
+            let outcome = if verify {
+                write_verify(level as f64, &self.config, rng)
+            } else {
+                program_once(level as f64, &self.config, rng)
+            };
+            pulses += outcome.pulses;
+            reconstructed += outcome.value * self.slicing.significance(i);
+        }
+        (sign * reconstructed, pulses)
     }
 
     /// Programs a slice of signed weight codes.
@@ -137,27 +142,48 @@ impl WeightMapper {
         selection: Option<&[bool]>,
         rng: &mut Prng,
     ) -> (Vec<f64>, ProgramSummary) {
+        let mut noisy = Vec::new();
+        let summary = self.program_into(codes, selection, rng, &mut noisy);
+        (noisy, summary)
+    }
+
+    /// [`WeightMapper::program`] into a caller-owned buffer.
+    ///
+    /// `out` is cleared and refilled, reusing its capacity — the Monte
+    /// Carlo harness calls this once per run with a per-worker buffer, so
+    /// steady-state programming performs no heap allocation. Draws from
+    /// `rng` in exactly the same order as `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection` is provided with a different length than
+    /// `codes`.
+    pub fn program_into(
+        &self,
+        codes: &[i32],
+        selection: Option<&[bool]>,
+        rng: &mut Prng,
+        out: &mut Vec<f64>,
+    ) -> ProgramSummary {
         if let Some(sel) = selection {
             assert_eq!(sel.len(), codes.len(), "selection mask length mismatch");
         }
         let mut summary =
             ProgramSummary { total_weights: codes.len() as u64, ..Default::default() };
-        let noisy = codes
-            .iter()
-            .enumerate()
-            .map(|(i, &code)| {
-                let verify = selection.map(|s| s[i]).unwrap_or(false);
-                let (value, pulses) = self.program_weight(code, verify, rng);
-                if verify {
-                    summary.verify_pulses += pulses;
-                    summary.verified_weights += 1;
-                } else {
-                    summary.bulk_pulses += pulses;
-                }
-                value
-            })
-            .collect();
-        (noisy, summary)
+        out.clear();
+        out.reserve(codes.len());
+        for (i, &code) in codes.iter().enumerate() {
+            let verify = selection.map(|s| s[i]).unwrap_or(false);
+            let (value, pulses) = self.program_weight(code, verify, rng);
+            if verify {
+                summary.verify_pulses += pulses;
+                summary.verified_weights += 1;
+            } else {
+                summary.bulk_pulses += pulses;
+            }
+            out.push(value);
+        }
+        summary
     }
 
     /// Pulses needed to write-verify *all* `codes` — the NWC = 1.0
@@ -254,6 +280,18 @@ mod tests {
     fn rejects_oversized_code() {
         let m = mapper();
         m.program_weight(16, false, &mut Prng::seed_from_u64(6));
+    }
+
+    #[test]
+    fn program_into_matches_program_and_reuses_buffer() {
+        let m = mapper();
+        let codes: Vec<i32> = (0..500).map(|i| (i % 31) - 15).collect();
+        let sel: Vec<bool> = (0..500).map(|i| i % 3 == 0).collect();
+        let (fresh, s1) = m.program(&codes, Some(&sel), &mut Prng::seed_from_u64(9));
+        let mut buf = vec![99.0f64; 1000]; // stale, oversized
+        let s2 = m.program_into(&codes, Some(&sel), &mut Prng::seed_from_u64(9), &mut buf);
+        assert_eq!(fresh, buf);
+        assert_eq!(s1, s2);
     }
 
     #[test]

@@ -118,15 +118,16 @@ impl QuantizedModel {
         out
     }
 
-    /// Converts noisy device codes back to weight values.
-    fn codes_to_weights(&self, noisy_codes: &[f64]) -> Vec<f32> {
-        let mut weights = vec![0.0f32; noisy_codes.len()];
+    /// Converts noisy device codes back to weight values, into a reused
+    /// buffer.
+    fn codes_to_weights_into(&self, noisy_codes: &[f64], weights: &mut Vec<f32>) {
+        weights.clear();
+        weights.resize(noisy_codes.len(), 0.0);
         for slot in &self.slots {
             for i in slot.offset..slot.offset + slot.len {
                 weights[i] = noisy_codes[i] as f32 * slot.scale;
             }
         }
-        weights
     }
 
     /// Programs the model onto devices and returns a network instance
@@ -153,11 +154,36 @@ impl QuantizedModel {
         selection: Option<&[bool]>,
         rng: &mut Prng,
     ) -> (Vec<f32>, ProgramSummary) {
+        let mut codes = Vec::new();
+        let mut weights = Vec::new();
+        let summary = self.program_weights_into(selection, rng, &mut codes, &mut weights);
+        (weights, summary)
+    }
+
+    /// [`QuantizedModel::program_weights`] into caller-owned buffers —
+    /// the allocation-free unit of every Monte Carlo run.
+    ///
+    /// `codes` receives the noisy device codes, `weights` the converted
+    /// weight values; both are cleared and refilled, reusing capacity.
+    /// Draws from `rng` in exactly the same order as `program_weights`,
+    /// so statistics are unchanged by buffer reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection` is provided with the wrong length.
+    pub fn program_weights_into(
+        &self,
+        selection: Option<&[bool]>,
+        rng: &mut Prng,
+        codes: &mut Vec<f64>,
+        weights: &mut Vec<f32>,
+    ) -> ProgramSummary {
         if let Some(sel) = selection {
             assert_eq!(sel.len(), self.codes.len(), "selection mask length mismatch");
         }
-        let (noisy_codes, summary) = self.mapper.program(&self.codes, selection, rng);
-        (self.codes_to_weights(&noisy_codes), summary)
+        let summary = self.mapper.program_into(&self.codes, selection, rng, codes);
+        self.codes_to_weights_into(codes, weights);
+        summary
     }
 
     /// Programs a single flat weight, returning its noisy value (in
@@ -230,6 +256,58 @@ impl QuantizedModel {
     pub fn restore_clean(&mut self) {
         let weights = self.clean_weights.clone();
         self.network.set_device_weights(&weights);
+    }
+}
+
+/// Per-worker evaluation state for Monte Carlo replication: one network
+/// clone plus the programming buffers, reused for every run the worker
+/// executes.
+///
+/// Before this existed, `nwc_sweep` cloned the full network and
+/// allocated fresh code/weight/mask vectors for *every run* — with 3,000
+/// runs that dominated the harness. A worker now pays the clone once;
+/// each run overwrites every device weight via
+/// [`swim_nn::Network::set_device_weights`], so no state leaks between
+/// runs and statistics are bit-identical to the clone-per-run harness
+/// for every thread count.
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    /// The worker's network instance (device weights rewritten per run).
+    pub network: Network,
+    /// Selection-mask buffer (one entry per flat weight).
+    pub mask: Vec<bool>,
+    /// Noisy device-code buffer.
+    pub codes: Vec<f64>,
+    /// Programmed-weight buffer.
+    pub weights: Vec<f32>,
+}
+
+impl EvalScratch {
+    /// Clones the model's clean network and sizes the buffers.
+    pub fn new(model: &QuantizedModel) -> Self {
+        let n = model.weight_count();
+        EvalScratch {
+            network: model.network_clone(),
+            mask: Vec::with_capacity(n),
+            codes: Vec::with_capacity(n),
+            weights: Vec::with_capacity(n),
+        }
+    }
+
+    /// Programs the model with the scratch's mask (all weights when
+    /// `use_mask` is false) and loads the noisy weights into the
+    /// scratch network. Returns the pulse accounting.
+    pub fn program_and_load(
+        &mut self,
+        model: &QuantizedModel,
+        use_mask: bool,
+        rng: &mut Prng,
+    ) -> ProgramSummary {
+        let selection = if use_mask { Some(&self.mask[..]) } else { None };
+        let summary =
+            model.program_weights_into(selection, rng, &mut self.codes, &mut self.weights);
+        self.network.set_device_weights(&self.weights);
+        summary
     }
 }
 

@@ -6,8 +6,8 @@
 //! from the forked stream `base.fork(r)`, so `--threads 1` and
 //! `--threads 32` produce bit-identical statistics.
 
-use crate::model::QuantizedModel;
-use crate::select::{build_ranking, mask_top_fraction, Strategy};
+use crate::model::{EvalScratch, QuantizedModel};
+use crate::select::{build_ranking, mask_top_fraction_into, Strategy};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -36,15 +36,50 @@ where
     T: Send,
     F: Fn(usize, Prng) -> T + Sync,
 {
+    parallel_map_with(runs, threads, base, || (), |(), r, rng| f(r, rng))
+}
+
+/// [`parallel_map`] with per-worker scratch state.
+///
+/// `init` runs once on each worker thread (and once total on the serial
+/// path); the resulting state is passed `&mut` to every run that worker
+/// executes. This is how the sweep harness reuses one cloned network and
+/// one set of programming buffers across a worker's whole share of the
+/// Monte Carlo budget instead of reallocating per run.
+///
+/// The schedule-independence contract is unchanged — run `r` still draws
+/// only from `base.fork(r)` — but it now also requires `f` to be
+/// *state-oblivious*: the value returned for run `r` must not depend on
+/// what previous runs left in the scratch (e.g. every buffer `f` reads
+/// is fully overwritten first). Under that condition results are
+/// bit-identical for every `threads` value.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if `f` panics for some run — the
+/// panic is propagated with the offending run index.
+pub fn parallel_map_with<T, S, I, F>(
+    runs: usize,
+    threads: usize,
+    base: &Prng,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Prng) -> T + Sync,
+{
     assert!(threads > 0, "threads must be positive");
     if runs == 0 {
         return Vec::new();
     }
     let workers = threads.min(runs);
     if workers == 1 {
+        let mut state = init();
         return (0..runs)
             .map(|r| {
-                std::panic::catch_unwind(AssertUnwindSafe(|| f(r, base.fork(r as u64))))
+                std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut state, r, base.fork(r as u64))))
                     .unwrap_or_else(|payload| {
                         panic!("parallel_map: run {r} panicked: {}", panic_detail(payload.as_ref()))
                     })
@@ -68,26 +103,32 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let next = queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv();
-                let Ok((start, slice)) = next else { break };
-                for (offset, slot) in slice.iter_mut().enumerate() {
-                    let r = start + offset;
-                    match std::panic::catch_unwind(AssertUnwindSafe(|| f(r, base.fork(r as u64)))) {
-                        Ok(value) => *slot = Some(value),
-                        Err(payload) => {
-                            let mut guard =
-                                first_panic.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                            // Keep the lowest run index for a stable message.
-                            match &*guard {
-                                Some((held, _)) if *held <= r => {}
-                                _ => *guard = Some((r, payload)),
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let next = queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv();
+                    let Ok((start, slice)) = next else { break };
+                    for (offset, slot) in slice.iter_mut().enumerate() {
+                        let r = start + offset;
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            f(&mut state, r, base.fork(r as u64))
+                        })) {
+                            Ok(value) => *slot = Some(value),
+                            Err(payload) => {
+                                let mut guard = first_panic
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                                // Keep the lowest run index for a stable message.
+                                match &*guard {
+                                    Some((held, _)) if *held <= r => {}
+                                    _ => *guard = Some((r, payload)),
+                                }
+                                abort.store(true, Ordering::Relaxed);
+                                return;
                             }
-                            abort.store(true, Ordering::Relaxed);
-                            return;
                         }
                     }
                 }
@@ -194,26 +235,38 @@ pub fn nwc_sweep(
         s => Some(build_ranking(s, sensitivities, magnitudes, None)),
     };
 
-    // Each run returns (accuracy %, measured NWC) per fraction.
-    let per_run: Vec<Vec<(f64, f64)>> =
-        parallel_map(config.runs, config.threads, &base, |_, mut rng| {
-            let ranking = match &fixed_ranking {
-                Some(r) => r.clone(),
-                None => build_ranking(strategy, sensitivities, magnitudes, Some(&mut rng)),
+    // Each run returns (accuracy %, measured NWC) per fraction. Workers
+    // reuse one EvalScratch (network clone + programming buffers) for
+    // their whole share of the runs; every buffer is fully overwritten
+    // per run, so the reuse is invisible in the statistics.
+    let per_run: Vec<Vec<(f64, f64)>> = parallel_map_with(
+        config.runs,
+        config.threads,
+        &base,
+        || EvalScratch::new(model),
+        |scratch, _, mut rng| {
+            let fresh_ranking;
+            let ranking: &[usize] = match &fixed_ranking {
+                Some(r) => r,
+                None => {
+                    fresh_ranking =
+                        build_ranking(strategy, sensitivities, magnitudes, Some(&mut rng));
+                    &fresh_ranking
+                }
             };
-            let mut network = model.network_clone();
             config
                 .fractions
                 .iter()
                 .map(|&fraction| {
-                    let mask = mask_top_fraction(&ranking, fraction);
-                    let (weights, summary) = model.program_weights(Some(&mask), &mut rng);
-                    network.set_device_weights(&weights);
-                    let acc = network.accuracy(eval.images(), eval.labels(), config.eval_batch);
+                    mask_top_fraction_into(ranking, fraction, &mut scratch.mask);
+                    let summary = scratch.program_and_load(model, true, &mut rng);
+                    let acc =
+                        scratch.network.accuracy(eval.images(), eval.labels(), config.eval_batch);
                     (100.0 * acc, summary.verify_pulses as f64 / denom)
                 })
                 .collect()
-        });
+        },
+    );
 
     config
         .fractions
@@ -294,6 +347,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_with_reuses_worker_state() {
+        use std::sync::atomic::AtomicUsize;
+        let base = Prng::seed_from_u64(7);
+        let inits = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            32,
+            4,
+            &base,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u8>::with_capacity(64)
+            },
+            |buf, r, _| {
+                // State must be fully overwritten by a well-behaved f.
+                buf.clear();
+                buf.extend_from_slice(&(r as u64).to_le_bytes());
+                buf.len()
+            },
+        );
+        assert_eq!(out, vec![8; 32]);
+        // One init per worker, not per run.
+        assert!(inits.load(Ordering::Relaxed) <= 4, "{} inits", inits.load(Ordering::Relaxed));
+
+        // And the serial path initializes exactly once.
+        inits.store(0, Ordering::Relaxed);
+        let _ =
+            parallel_map_with(5, 1, &base, || inits.fetch_add(1, Ordering::Relaxed), |_, r, _| r);
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
     fn parallel_map_distinct_streams() {
         let base = Prng::seed_from_u64(6);
         let outs = parallel_map(8, 4, &base, |_, mut rng| rng.next_u64());
@@ -363,6 +447,35 @@ mod tests {
 
         let again = nwc_sweep(&model, Strategy::Swim, &sens, &mags, &data, &cfg);
         assert_eq!(sweep[1].accuracy.mean(), again[1].accuracy.mean());
+    }
+
+    /// The acceptance contract for per-worker scratch reuse: every
+    /// statistic of the sweep is bit-identical for every thread count
+    /// (workers reuse networks/buffers across different run subsets, so
+    /// any state leak between runs would break this).
+    #[test]
+    fn sweep_bit_identical_across_thread_counts() {
+        let (mut model, data) = trained();
+        let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let mags = model.magnitudes();
+        for strategy in [Strategy::Swim, Strategy::Random] {
+            let mut curves = Vec::new();
+            for threads in [1usize, 4] {
+                let cfg = SweepConfig {
+                    fractions: vec![0.0, 0.3, 1.0],
+                    runs: 9,
+                    threads,
+                    eval_batch: 32,
+                    seed: 11,
+                };
+                curves.push(nwc_sweep(&model, strategy, &sens, &mags, &data, &cfg));
+            }
+            for (a, b) in curves[0].iter().zip(&curves[1]) {
+                assert_eq!(a.accuracy.mean(), b.accuracy.mean(), "{strategy:?}");
+                assert_eq!(a.accuracy.std(), b.accuracy.std(), "{strategy:?}");
+                assert_eq!(a.nwc, b.nwc, "{strategy:?}");
+            }
+        }
     }
 
     #[test]

@@ -110,9 +110,22 @@ pub fn build_ranking(
 /// assert_eq!(mask, vec![false, false, true]);
 /// ```
 pub fn mask_top_fraction(ranking: &[usize], fraction: f64) -> Vec<bool> {
+    let mut mask = Vec::new();
+    mask_top_fraction_into(ranking, fraction, &mut mask);
+    mask
+}
+
+/// [`mask_top_fraction`] into a caller-owned buffer (cleared and
+/// refilled; capacity reused). The Monte Carlo harness calls this once
+/// per (run, fraction) with a per-worker buffer.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn mask_top_fraction_into(ranking: &[usize], fraction: f64, mask: &mut Vec<bool>) {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
     let k = (ranking.len() as f64 * fraction).round() as usize;
-    mask_top_k(ranking, k)
+    mask_top_k_into(ranking, k, mask);
 }
 
 /// Converts the top `k` entries of a ranking into a selection mask.
@@ -121,12 +134,23 @@ pub fn mask_top_fraction(ranking: &[usize], fraction: f64) -> Vec<bool> {
 ///
 /// Panics if `k > ranking.len()`.
 pub fn mask_top_k(ranking: &[usize], k: usize) -> Vec<bool> {
+    let mut mask = Vec::new();
+    mask_top_k_into(ranking, k, &mut mask);
+    mask
+}
+
+/// [`mask_top_k`] into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics if `k > ranking.len()`.
+pub fn mask_top_k_into(ranking: &[usize], k: usize, mask: &mut Vec<bool>) {
     assert!(k <= ranking.len(), "k {k} exceeds ranking length {}", ranking.len());
-    let mut mask = vec![false; ranking.len()];
+    mask.clear();
+    mask.resize(ranking.len(), false);
     for &i in &ranking[..k] {
         mask[i] = true;
     }
-    mask
 }
 
 #[cfg(test)]

@@ -2,18 +2,56 @@
 
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
-use swim_tensor::conv::{col2im, im2col, ConvGeometry};
-use swim_tensor::linalg::{matmul, matmul_at, matmul_bt};
+use swim_tensor::conv::{col2im_accumulate, im2col_batch_into, ConvGeometry};
+use swim_tensor::linalg::{matmul_at_into, matmul_bt_into, matmul_into};
 use swim_tensor::{Prng, Tensor};
+
+/// Cap, in `f32` elements, on the batched im2col scratch of one layer.
+///
+/// A whole batch is lowered through a single `[N·outH·outW, C·k²]` patch
+/// matrix when it fits; larger batches are processed in item chunks so
+/// the scratch stays within ~16 MiB however wide the model is. The chunk
+/// split is invisible in the results: every pass is bit-identical for
+/// any chunk size (each item's rows are computed independently, and the
+/// parameter-gradient accumulation is per-item either way).
+pub const IM2COL_CAP_ELEMS: usize = 1 << 22;
+
+/// Reusable lowering buffers owned by one `Conv2d` layer.
+///
+/// Cloning a layer (one network clone per Monte Carlo worker) must not
+/// duplicate scratch contents, so `Clone` yields empty buffers that grow
+/// back on first use.
+#[derive(Debug, Default)]
+struct ConvScratch {
+    /// Batched im2col patches `[chunk·spatial, CK²]`.
+    cols: Vec<f32>,
+    /// Large GEMM output: forward `[F, chunk·spatial]`, backward passes
+    /// `[chunk·spatial, CK²]` (the column-space gradient).
+    gemm: Vec<f32>,
+    /// Output-gradient chunk transposed to `[chunk·spatial, F]`.
+    delta: Vec<f32>,
+    /// One item's weight-gradient tile `[F, CK²]`.
+    wtile: Vec<f32>,
+}
+
+impl Clone for ConvScratch {
+    fn clone(&self) -> Self {
+        ConvScratch::default()
+    }
+}
 
 /// 2-D convolution `[N, C, H, W] -> [N, F, H', W']`.
 ///
-/// The convolution is computed one batch item at a time as
-/// `im2col(x) · Wᵀ`, which "casts it in the same form as FC layers" —
-/// exactly the reduction the paper's §3.3 uses so that the FC second-order
-/// rules (Eq. 8/10) apply unchanged to convolutions. The backward passes
-/// recompute the im2col matrix instead of caching it, trading a little
-/// compute for a large memory saving on wide models.
+/// The convolution is computed as `im2col(x) · Wᵀ`, which "casts it in
+/// the same form as FC layers" — exactly the reduction the paper's §3.3
+/// uses so that the FC second-order rules (Eq. 8/10) apply unchanged to
+/// convolutions. The lowering is *batched*: up to [`IM2COL_CAP_ELEMS`]
+/// worth of images are unrolled into one patch matrix so a whole batch
+/// becomes a single large GEMM (big enough for the threaded row-panel
+/// path to engage), with all intermediate buffers reused across calls
+/// from a per-layer scratch. The backward passes recompute the im2col
+/// matrix instead of caching it, trading a little compute for a large
+/// memory saving on wide models.
 ///
 /// # Example
 ///
@@ -38,6 +76,7 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     cached_input: Option<Tensor>,
+    scratch: ConvScratch,
 }
 
 impl Conv2d {
@@ -71,6 +110,7 @@ impl Conv2d {
             stride,
             padding,
             cached_input: None,
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -91,13 +131,173 @@ impl Conv2d {
         self.weight.value.map(f).reshaped(&[self.out_channels, cols])
     }
 
-    fn cached(&self) -> &Tensor {
-        self.cached_input.as_ref().expect("backward called before forward")
-    }
-
     /// Immutable access to the weight parameter (tests, inspection).
     pub fn weight(&self) -> &Param {
         &self.weight
+    }
+
+    /// Items per lowering chunk for a given output spatial size: as many
+    /// as fit the [`IM2COL_CAP_ELEMS`] scratch cap, at least one.
+    ///
+    /// Sized by the *largest* per-item buffer — the `CK²`-wide patch
+    /// matrix or the `F`-wide GEMM/delta buffers — so a channel-expanding
+    /// layer (`F ≫ CK²`, e.g. a wide 1×1 conv) cannot blow past the cap
+    /// through the output-side scratch.
+    fn chunk_items(&self, spatial: usize, n: usize) -> usize {
+        let widest = (self.in_channels * self.kernel * self.kernel).max(self.out_channels);
+        let per_item = spatial * widest;
+        (IM2COL_CAP_ELEMS / per_item.max(1)).clamp(1, n.max(1))
+    }
+
+    /// Forward pass with an explicit chunk size (`chunk = 1` is the
+    /// per-image lowering; results are bit-identical for every value).
+    fn forward_impl(&mut self, input: &Tensor, chunk: usize) -> Tensor {
+        let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
+        let geom = self.geometry(h, w);
+        assert!(geom.is_valid(), "kernel does not fit input {geom:?}");
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let spatial = oh * ow;
+        let ck2 = geom.col_cols();
+        let nf = self.out_channels;
+        let image_len = self.in_channels * h * w;
+        let wmat = self.weight_matrix(|v| v); // [F, CK²]
+        let mut out = Tensor::zeros(&[n, nf, oh, ow]);
+
+        let mut i0 = 0;
+        while i0 < n {
+            let i1 = (i0 + chunk).min(n);
+            let items = i1 - i0;
+            let rows = items * spatial;
+            im2col_batch_into(
+                &input.data()[i0 * image_len..i1 * image_len],
+                items,
+                &geom,
+                &mut self.scratch.cols,
+            );
+            // One GEMM for the whole chunk: W · colsᵀ = [F, items·spatial].
+            // (Equivalent to the per-item `cols · Wᵀ` with the same
+            // k-accumulation order, but the output comes back in
+            // [F, item, spatial] layout, so writing NCHW output is all
+            // contiguous row copies instead of a scalar transpose.)
+            self.scratch.gemm.resize(nf * rows, 0.0);
+            matmul_bt_into(wmat.data(), &self.scratch.cols, nf, ck2, rows, &mut self.scratch.gemm);
+            let od = out.data_mut();
+            let bias = self.bias.value.data();
+            for (f, yrow) in self.scratch.gemm.chunks_exact(rows).enumerate() {
+                for it in 0..items {
+                    let dst = &mut od[((i0 + it) * nf + f) * spatial..][..spatial];
+                    let src = &yrow[it * spatial..(it + 1) * spatial];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = s + bias[f];
+                    }
+                }
+            }
+            i0 = i1;
+        }
+        // Cache the activation for the backward passes, reusing the
+        // previous cache's buffer when the shape repeats — on the
+        // fixed-batch eval loop this is a copy, not an allocation.
+        // (Caching must happen in Eval mode too: the sensitivity pass
+        // forwards in `Mode::Eval` and then runs `second_backward`.)
+        match &mut self.cached_input {
+            Some(cached) if cached.shape() == input.shape() => {
+                cached.data_mut().copy_from_slice(input.data());
+            }
+            _ => self.cached_input = Some(input.clone()),
+        }
+        out
+    }
+
+    /// Shared chunked backward pass. `square` selects the second-order
+    /// variant: patches and weights are squared (Eq. 8/10) and the
+    /// results accumulate into `hess` instead of `grad`.
+    fn backward_impl(&mut self, grad_output: &Tensor, chunk: usize, square: bool) -> Tensor {
+        // Take (not clone) the cached activation; restored before
+        // returning so backward can run again after this pass.
+        let input = self.cached_input.take().expect("backward called before forward");
+        let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
+        let geom = self.geometry(h, w);
+        let spatial = geom.out_h() * geom.out_w();
+        let ck2 = geom.col_cols();
+        let nf = self.out_channels;
+        let image_len = self.in_channels * h * w;
+        let wmat = if square { self.weight_matrix(|v| v * v) } else { self.weight_matrix(|v| v) };
+        let mut grad_input = Tensor::zeros(input.shape());
+        let mut wgrad = vec![0.0f32; nf * ck2];
+        let mut bgrad = vec![0.0f32; nf];
+        let gd = grad_output.data();
+
+        let mut i0 = 0;
+        while i0 < n {
+            let i1 = (i0 + chunk).min(n);
+            let items = i1 - i0;
+            let rows = items * spatial;
+            im2col_batch_into(
+                &input.data()[i0 * image_len..i1 * image_len],
+                items,
+                &geom,
+                &mut self.scratch.cols,
+            );
+            if square {
+                for v in &mut self.scratch.cols {
+                    *v = *v * *v;
+                }
+            }
+            // Transpose the chunk's output gradient [item, F, spatial]
+            // into δ = [item·spatial, F] with strided copies, folding the
+            // bias gradient along the way.
+            self.scratch.delta.resize(rows * nf, 0.0);
+            for it in 0..items {
+                for f in 0..nf {
+                    let src = &gd[((i0 + it) * nf + f) * spatial..][..spatial];
+                    let mut idx = it * spatial * nf + f;
+                    for &v in src {
+                        self.scratch.delta[idx] = v;
+                        idx += nf;
+                    }
+                    let mut acc = bgrad[f];
+                    for &v in src {
+                        acc += v;
+                    }
+                    bgrad[f] = acc;
+                }
+            }
+            // dW accumulates per item (δᵢᵀ · colsᵢ), preserving the
+            // per-image summation order bit for bit.
+            self.scratch.wtile.resize(nf * ck2, 0.0);
+            for it in 0..items {
+                let drows = &self.scratch.delta[it * spatial * nf..][..spatial * nf];
+                let crows = &self.scratch.cols[it * spatial * ck2..][..spatial * ck2];
+                matmul_at_into(drows, crows, nf, spatial, ck2, &mut self.scratch.wtile);
+                for (g, &v) in wgrad.iter_mut().zip(&self.scratch.wtile) {
+                    *g += v;
+                }
+            }
+            // dX: one GEMM for the whole chunk (δ · W, row-independent),
+            // then a per-item col2im scatter straight into grad_input.
+            self.scratch.gemm.resize(rows * ck2, 0.0);
+            matmul_into(&self.scratch.delta, wmat.data(), rows, nf, ck2, &mut self.scratch.gemm);
+            let gi = grad_input.data_mut();
+            for it in 0..items {
+                col2im_accumulate(
+                    &self.scratch.gemm[it * spatial * ck2..][..spatial * ck2],
+                    &geom,
+                    &mut gi[(i0 + it) * image_len..][..image_len],
+                );
+            }
+            i0 = i1;
+        }
+
+        let target = if square { &mut self.weight.hess } else { &mut self.weight.grad };
+        for (g, &v) in target.data_mut().iter_mut().zip(&wgrad) {
+            *g += v;
+        }
+        let btarget = if square { &mut self.bias.hess } else { &mut self.bias.grad };
+        for (g, &v) in btarget.data_mut().iter_mut().zip(&bgrad) {
+            *g += v;
+        }
+        self.cached_input = Some(input);
+        grad_input
     }
 }
 
@@ -111,132 +311,23 @@ impl Layer for Conv2d {
             self.in_channels,
             input.shape()[1]
         );
-        let (n, _, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-        let geom = self.geometry(h, w);
-        assert!(geom.is_valid(), "kernel does not fit input {geom:?}");
-        let (oh, ow) = (geom.out_h(), geom.out_w());
-        let wmat = self.weight_matrix(|v| v); // [F, CK²]
-        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
-        let spatial = oh * ow;
-        for item in 0..n {
-            let image = input.slice_axis0(item, item + 1).reshaped(&[self.in_channels, h, w]);
-            let cols = im2col(&image, &geom); // [spatial, CK²]
-            let y = matmul_bt(&cols, &wmat); // [spatial, F]
-            let od = out.data_mut();
-            let base = item * self.out_channels * spatial;
-            let yd = y.data();
-            let bias = self.bias.value.data();
-            for s in 0..spatial {
-                for f in 0..self.out_channels {
-                    od[base + f * spatial + s] = yd[s * self.out_channels + f] + bias[f];
-                }
-            }
-        }
-        self.cached_input = Some(input.clone());
-        out
+        let geom = self.geometry(input.shape()[2], input.shape()[3]);
+        let chunk = self.chunk_items(geom.out_h() * geom.out_w(), input.shape()[0]);
+        self.forward_impl(input, chunk)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached().clone();
-        let (n, _, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-        let geom = self.geometry(h, w);
-        let (oh, ow) = (geom.out_h(), geom.out_w());
-        let spatial = oh * ow;
-        let ck2 = self.in_channels * self.kernel * self.kernel;
-        let wmat = self.weight_matrix(|v| v);
-        let mut grad_input = Tensor::zeros(input.shape());
-        let mut wgrad = Tensor::zeros(&[self.out_channels, ck2]);
-        let mut bgrad = vec![0.0f32; self.out_channels];
-
-        for item in 0..n {
-            let image = input.slice_axis0(item, item + 1).reshaped(&[self.in_channels, h, w]);
-            let cols = im2col(&image, &geom);
-            // delta for this item in [spatial, F] layout.
-            let gd = grad_output.data();
-            let base = item * self.out_channels * spatial;
-            let mut delta = Tensor::zeros(&[spatial, self.out_channels]);
-            let dd = delta.data_mut();
-            for f in 0..self.out_channels {
-                for s in 0..spatial {
-                    let v = gd[base + f * spatial + s];
-                    dd[s * self.out_channels + f] = v;
-                    bgrad[f] += v;
-                }
-            }
-            // dW += δᵀ · cols  ([F, spatial]·[spatial, CK²])
-            wgrad.add_assign_t(&matmul_at(&delta, &cols));
-            // dX_item = col2im(δ · W)
-            let dcols = matmul(&delta, &wmat); // [spatial, CK²]
-            let dimg = col2im(&dcols, &geom);
-            let gi = grad_input.data_mut();
-            let ibase = item * self.in_channels * h * w;
-            for (dst, &src) in
-                gi[ibase..ibase + self.in_channels * h * w].iter_mut().zip(dimg.data())
-            {
-                *dst += src;
-            }
-        }
-        self.weight.grad.add_assign_t(&wgrad.reshaped(&[
-            self.out_channels,
-            self.in_channels,
-            self.kernel,
-            self.kernel,
-        ]));
-        for (g, &v) in self.bias.grad.data_mut().iter_mut().zip(&bgrad) {
-            *g += v;
-        }
-        grad_input
+        let input = self.cached_input.as_ref().expect("backward called before forward");
+        let geom = self.geometry(input.shape()[2], input.shape()[3]);
+        let chunk = self.chunk_items(geom.out_h() * geom.out_w(), input.shape()[0]);
+        self.backward_impl(grad_output, chunk, false)
     }
 
     fn second_backward(&mut self, hess_output: &Tensor) -> Tensor {
-        let input = self.cached().clone();
-        let (n, _, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-        let geom = self.geometry(h, w);
-        let (oh, ow) = (geom.out_h(), geom.out_w());
-        let spatial = oh * ow;
-        let ck2 = self.in_channels * self.kernel * self.kernel;
-        let wmat_sq = self.weight_matrix(|v| v * v);
-        let mut hess_input = Tensor::zeros(input.shape());
-        let mut whess = Tensor::zeros(&[self.out_channels, ck2]);
-        let mut bhess = vec![0.0f32; self.out_channels];
-
-        for item in 0..n {
-            let image = input.slice_axis0(item, item + 1).reshaped(&[self.in_channels, h, w]);
-            let cols_sq = im2col(&image, &geom).map(|v| v * v);
-            let hd = hess_output.data();
-            let base = item * self.out_channels * spatial;
-            let mut hdelta = Tensor::zeros(&[spatial, self.out_channels]);
-            let dd = hdelta.data_mut();
-            for f in 0..self.out_channels {
-                for s in 0..spatial {
-                    let v = hd[base + f * spatial + s];
-                    dd[s * self.out_channels + f] = v;
-                    bhess[f] += v;
-                }
-            }
-            // Eq. 8 through im2col: h_W += h_δᵀ · cols²
-            whess.add_assign_t(&matmul_at(&hdelta, &cols_sq));
-            // Eq. 10: h_X = col2im(h_δ · W²)
-            let hcols = matmul(&hdelta, &wmat_sq);
-            let himg = col2im(&hcols, &geom);
-            let gi = hess_input.data_mut();
-            let ibase = item * self.in_channels * h * w;
-            for (dst, &src) in
-                gi[ibase..ibase + self.in_channels * h * w].iter_mut().zip(himg.data())
-            {
-                *dst += src;
-            }
-        }
-        self.weight.hess.add_assign_t(&whess.reshaped(&[
-            self.out_channels,
-            self.in_channels,
-            self.kernel,
-            self.kernel,
-        ]));
-        for (g, &v) in self.bias.hess.data_mut().iter_mut().zip(&bhess) {
-            *g += v;
-        }
-        hess_input
+        let input = self.cached_input.as_ref().expect("backward called before forward");
+        let geom = self.geometry(input.shape()[2], input.shape()[3]);
+        let chunk = self.chunk_items(geom.out_h() * geom.out_w(), input.shape()[0]);
+        self.backward_impl(hess_output, chunk, true)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
@@ -347,5 +438,127 @@ mod tests {
         let mut conv = Conv2d::new(3, 16, 3, 1, 1, &mut rng);
         // 16*3*3*3 weights + 16 biases
         assert_eq!(conv.num_params(), 16 * 27 + 16);
+    }
+
+    /// Replicates the pre-batching per-image implementation (one im2col
+    /// and one GEMM per item, scalar scatter loops) as an independent
+    /// semantic reference. Returns `(y, dx, dw, db)` for a sum-style
+    /// upstream gradient `g`.
+    #[allow(clippy::needless_range_loop)]
+    fn per_image_reference(
+        conv: &Conv2d,
+        x: &Tensor,
+        g: &Tensor,
+    ) -> (Tensor, Tensor, Tensor, Vec<f32>) {
+        use swim_tensor::conv::{col2im, im2col};
+        use swim_tensor::linalg::{matmul, matmul_at, matmul_bt};
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let geom = conv.geometry(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let spatial = oh * ow;
+        let (nf, ck2) = (conv.out_channels, geom.col_cols());
+        let wmat = conv.weight_matrix(|v| v);
+        let mut y = Tensor::zeros(&[n, nf, oh, ow]);
+        let mut dx = Tensor::zeros(x.shape());
+        let mut dw = Tensor::zeros(&[nf, ck2]);
+        let mut db = vec![0.0f32; nf];
+        for item in 0..n {
+            let image = x.slice_axis0(item, item + 1).reshaped(&[conv.in_channels, h, w]);
+            let cols = im2col(&image, &geom);
+            let yi = matmul_bt(&cols, &wmat); // [spatial, F]
+            let od = y.data_mut();
+            let base = item * nf * spatial;
+            for s in 0..spatial {
+                for f in 0..nf {
+                    od[base + f * spatial + s] = yi.data()[s * nf + f] + conv.bias.value.data()[f];
+                }
+            }
+            let mut delta = Tensor::zeros(&[spatial, nf]);
+            let dd = delta.data_mut();
+            for f in 0..nf {
+                for s in 0..spatial {
+                    let v = g.data()[base + f * spatial + s];
+                    dd[s * nf + f] = v;
+                    db[f] += v;
+                }
+            }
+            dw.add_assign_t(&matmul_at(&delta, &cols));
+            let dimg = col2im(&matmul(&delta, &wmat), &geom);
+            let ibase = item * conv.in_channels * h * w;
+            let gi = dx.data_mut();
+            for (dst, &src) in
+                gi[ibase..ibase + conv.in_channels * h * w].iter_mut().zip(dimg.data())
+            {
+                *dst += src;
+            }
+        }
+        (y, dx, dw, db)
+    }
+
+    /// The batched lowering must be bit-identical to the per-image path
+    /// (chunk size 1) *and* to the pre-batching reference algorithm,
+    /// across stride/padding edge cases — forward and backward.
+    #[test]
+    fn batched_lowering_bit_identical_to_per_image() {
+        let mut rng = Prng::seed_from_u64(31);
+        // (cin, cout, kernel, stride, padding, h, w)
+        for &(cin, cout, k, s, p, h, w) in &[
+            (1usize, 2usize, 3usize, 1usize, 0usize, 5usize, 5usize),
+            (3, 4, 3, 2, 1, 7, 6),
+            (2, 3, 3, 1, 2, 4, 4), // padding wider than half the kernel
+            (1, 2, 5, 1, 2, 2, 3), // kernel larger than the image
+            (2, 2, 1, 3, 0, 7, 7), // 1x1 kernel, large stride
+        ] {
+            let mut conv = Conv2d::new(cin, cout, k, s, p, &mut rng);
+            let x = Tensor::randn(&[3, cin, h, w], &mut rng);
+            let y = conv.forward(&x, Mode::Train);
+            let g = Tensor::randn(y.shape(), &mut rng);
+
+            let mut per_image = conv.clone();
+            let y1 = per_image.forward_impl(&x, 1);
+            assert_eq!(y.data(), y1.data(), "forward cin={cin} k={k} s={s} p={p}");
+
+            let (yr, dxr, dwr, dbr) = per_image_reference(&conv, &x, &g);
+            assert_eq!(y.data(), yr.data(), "reference forward k={k} s={s} p={p}");
+
+            let dx = conv.backward(&g);
+            let dx1 = per_image.backward_impl(&g, 1, false);
+            assert_eq!(dx.data(), dx1.data(), "dx chunked k={k} s={s} p={p}");
+            assert_eq!(dx.data(), dxr.data(), "dx reference k={k} s={s} p={p}");
+            assert_eq!(
+                conv.weight.grad.data(),
+                per_image.weight.grad.data(),
+                "dw chunked k={k} s={s} p={p}"
+            );
+            assert_eq!(conv.weight.grad.data(), dwr.data(), "dw reference k={k} s={s} p={p}");
+            assert_eq!(conv.bias.grad.data(), per_image.bias.grad.data());
+            assert_eq!(conv.bias.grad.data(), &dbr[..], "db reference k={k} s={s} p={p}");
+
+            // Second-order pass: chunked vs per-image.
+            let hx = conv.second_backward(&g);
+            let hx1 = per_image.backward_impl(&g, 1, true);
+            assert_eq!(hx.data(), hx1.data(), "hx k={k} s={s} p={p}");
+            assert_eq!(conv.weight.hess.data(), per_image.weight.hess.data());
+            assert_eq!(conv.bias.hess.data(), per_image.bias.hess.data());
+        }
+    }
+
+    /// Scratch buffers must not leak state across differently-shaped
+    /// calls (shrinking batch, then growing again).
+    #[test]
+    fn scratch_reuse_across_shapes_is_clean() {
+        let mut rng = Prng::seed_from_u64(32);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let big = Tensor::randn(&[4, 2, 6, 6], &mut rng);
+        let small = Tensor::randn(&[1, 2, 6, 6], &mut rng);
+        let via_warm = {
+            conv.forward(&big, Mode::Eval);
+            conv.forward(&small, Mode::Eval)
+        };
+        let via_cold = conv.clone_layer().forward(&small, Mode::Eval);
+        assert_eq!(via_warm.data(), via_cold.data());
+        // And cloning a used layer must not drag its scratch along.
+        assert!(conv.scratch.cols.capacity() > 0);
+        assert_eq!(conv.clone().scratch.cols.capacity(), 0);
     }
 }

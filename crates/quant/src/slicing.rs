@@ -127,6 +127,27 @@ impl DeviceSlicing {
             .collect()
     }
 
+    /// The level of device `i` (least significant first) for a magnitude
+    /// code — the allocation-free unit of [`Self::slice`]. Device
+    /// programming loops call this per device instead of collecting a
+    /// `Vec` per weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude` does not fit in `weight_bits` or `i` is out
+    /// of range.
+    #[inline]
+    pub fn slice_level(&self, magnitude: u32, i: usize) -> u32 {
+        assert!(
+            magnitude < (1u32 << self.weight_bits),
+            "magnitude {magnitude} does not fit in {} bits",
+            self.weight_bits
+        );
+        assert!(i < self.num_devices(), "device index {i} out of range");
+        let mask = (1u32 << self.device_bits) - 1;
+        (magnitude >> (i as u32 * self.device_bits)) & mask
+    }
+
     /// Reconstructs a weight-code magnitude from (possibly noisy, hence
     /// fractional) device conductances: `Σ_i g_i · 2^{iK}`.
     ///
@@ -166,6 +187,19 @@ mod tests {
         assert_eq!(s.device_levels(0), 16);
         assert_eq!(s.device_levels(1), 4); // 2-bit top device
         assert_eq!(s.slice(63), vec![15, 3]);
+    }
+
+    #[test]
+    fn slice_level_matches_slice() {
+        for (m, k) in [(4u32, 4u32), (6, 4), (8, 4), (6, 3)] {
+            let s = DeviceSlicing::new(m, k);
+            for mag in [0u32, 1, (1 << m) - 1, 1 << (m - 1)] {
+                let all = s.slice(mag);
+                for (i, &l) in all.iter().enumerate() {
+                    assert_eq!(s.slice_level(mag, i), l, "m={m} k={k} mag={mag} i={i}");
+                }
+            }
+        }
     }
 
     #[test]

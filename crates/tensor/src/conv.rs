@@ -94,37 +94,71 @@ pub fn im2col(image: &Tensor, geom: &ConvGeometry) -> Tensor {
         &[geom.in_channels, geom.in_h, geom.in_w],
         "image does not match geometry"
     );
+    let mut out = Vec::new();
+    im2col_batch_into(image.data(), 1, geom, &mut out);
+    Tensor::from_vec(out, &[geom.col_rows(), geom.col_cols()]).expect("im2col shape is consistent")
+}
+
+/// Unrolls a batch of `items` images (flat `[items, C, H, W]` data) into
+/// the patch matrix `[items · outH·outW, C·kh·kw]` inside `out`.
+///
+/// `out` is cleared and resized — its capacity is reused across calls,
+/// which is what makes the conv layers' lowering allocation-free in
+/// steady state. Each patch row is filled with *contiguous span copies*
+/// (one per `(channel, kernel-row)` pair) instead of per-tap scalar
+/// stores; out-of-bounds (padding) taps stay zero from the resize fill.
+/// Values are bit-identical to per-image [`im2col`] stacked row-wise.
+///
+/// # Panics
+///
+/// Panics if `input.len()` differs from `items · C · H · W` or the
+/// geometry is invalid.
+pub fn im2col_batch_into(input: &[f32], items: usize, geom: &ConvGeometry, out: &mut Vec<f32>) {
     assert!(geom.is_valid(), "invalid convolution geometry {geom:?}");
+    let image_len = geom.in_channels * geom.in_h * geom.in_w;
+    assert_eq!(input.len(), items * image_len, "input does not match geometry times items");
 
     let (out_h, out_w) = (geom.out_h(), geom.out_w());
     let cols = geom.col_cols();
-    let mut out = vec![0.0f32; out_h * out_w * cols];
-    let data = image.data();
-    let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
+    let rows_per_item = out_h * out_w;
+    out.clear();
+    out.resize(items * rows_per_item * cols, 0.0);
 
-    for oy in 0..out_h {
-        for ox in 0..out_w {
-            let row = oy * out_w + ox;
-            let base = row * cols;
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+    let (ih, iw) = (geom.in_h, geom.in_w);
+    for item in 0..items {
+        let data = &input[item * image_len..(item + 1) * image_len];
+        let item_base = item * rows_per_item * cols;
+        for oy in 0..out_h {
             let origin_y = (oy * geom.stride) as isize - geom.padding as isize;
-            let origin_x = (ox * geom.stride) as isize - geom.padding as isize;
-            let mut col = 0usize;
-            for c in 0..geom.in_channels {
-                let cbase = c * geom.in_h * geom.in_w;
-                for ky in 0..geom.kernel_h {
-                    let y = origin_y + ky as isize;
-                    for kx in 0..geom.kernel_w {
-                        let x = origin_x + kx as isize;
-                        if y >= 0 && y < ih && x >= 0 && x < iw {
-                            out[base + col] = data[cbase + y as usize * geom.in_w + x as usize];
+            for ox in 0..out_w {
+                let base = item_base + (oy * out_w + ox) * cols;
+                let origin_x = (ox * geom.stride) as isize - geom.padding as isize;
+                // Clip the kernel's x-span against the image once per
+                // patch: taps kx ∈ [x_lo, x_hi) are in bounds.
+                let x_lo = (-origin_x).clamp(0, kw as isize) as usize;
+                let x_hi = (iw as isize - origin_x).clamp(0, kw as isize) as usize;
+                if x_lo >= x_hi {
+                    continue; // whole patch falls in horizontal padding
+                }
+                let src_x0 = (origin_x + x_lo as isize) as usize;
+                for c in 0..geom.in_channels {
+                    let cbase = c * ih * iw;
+                    let col0 = base + c * kh * kw;
+                    for ky in 0..kh {
+                        let y = origin_y + ky as isize;
+                        if y < 0 || y >= ih as isize {
+                            continue;
                         }
-                        col += 1;
+                        let src0 = cbase + y as usize * iw + src_x0;
+                        let dst0 = col0 + ky * kw + x_lo;
+                        out[dst0..dst0 + (x_hi - x_lo)]
+                            .copy_from_slice(&data[src0..src0 + (x_hi - x_lo)]);
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[out_h * out_w, cols]).expect("im2col shape is consistent")
 }
 
 /// Scatters a patch matrix `[outH*outW, C*kh*kw]` back into an image
@@ -143,37 +177,63 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Tensor {
         &[geom.col_rows(), geom.col_cols()],
         "patch matrix does not match geometry"
     );
+    let mut image = vec![0.0f32; geom.in_channels * geom.in_h * geom.in_w];
+    col2im_accumulate(cols.data(), geom, &mut image);
+    Tensor::from_vec(image, &[geom.in_channels, geom.in_h, geom.in_w])
+        .expect("col2im shape is consistent")
+}
+
+/// Scatter-accumulates one image's patch matrix (flat
+/// `[outH·outW, C·kh·kw]` data) into `image` (flat `[C, H, W]`, `+=`).
+///
+/// The buffer-level core of [`col2im`]: the conv backward passes call it
+/// directly on slices of a batched gradient, so no per-item image tensor
+/// is ever allocated. The scatter order matches [`col2im`] exactly, so
+/// accumulating into a zeroed slice is bit-identical to `col2im` + add.
+///
+/// # Panics
+///
+/// Panics if either slice length disagrees with `geom`.
+pub fn col2im_accumulate(cols: &[f32], geom: &ConvGeometry, image: &mut [f32]) {
+    assert_eq!(cols.len(), geom.col_rows() * geom.col_cols(), "patch matrix length");
+    assert_eq!(image.len(), geom.in_channels * geom.in_h * geom.in_w, "image length");
 
     let (out_h, out_w) = (geom.out_h(), geom.out_w());
     let ncols = geom.col_cols();
-    let mut image = vec![0.0f32; geom.in_channels * geom.in_h * geom.in_w];
-    let data = cols.data();
-    let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
+    let (kh, kw) = (geom.kernel_h, geom.kernel_w);
+    let (ih, iw) = (geom.in_h, geom.in_w);
 
     for oy in 0..out_h {
+        let origin_y = (oy * geom.stride) as isize - geom.padding as isize;
         for ox in 0..out_w {
-            let row = oy * out_w + ox;
-            let base = row * ncols;
-            let origin_y = (oy * geom.stride) as isize - geom.padding as isize;
+            let base = (oy * out_w + ox) * ncols;
             let origin_x = (ox * geom.stride) as isize - geom.padding as isize;
-            let mut col = 0usize;
+            let x_lo = (-origin_x).clamp(0, kw as isize) as usize;
+            let x_hi = (iw as isize - origin_x).clamp(0, kw as isize) as usize;
+            if x_lo >= x_hi {
+                continue;
+            }
+            let src_x0 = (origin_x + x_lo as isize) as usize;
             for c in 0..geom.in_channels {
-                let cbase = c * geom.in_h * geom.in_w;
-                for ky in 0..geom.kernel_h {
+                let cbase = c * ih * iw;
+                let col0 = base + c * kh * kw;
+                for ky in 0..kh {
                     let y = origin_y + ky as isize;
-                    for kx in 0..geom.kernel_w {
-                        let x = origin_x + kx as isize;
-                        if y >= 0 && y < ih && x >= 0 && x < iw {
-                            image[cbase + y as usize * geom.in_w + x as usize] += data[base + col];
-                        }
-                        col += 1;
+                    if y < 0 || y >= ih as isize {
+                        continue;
+                    }
+                    let dst0 = cbase + y as usize * iw + src_x0;
+                    let src0 = col0 + ky * kw + x_lo;
+                    for (d, &s) in image[dst0..dst0 + (x_hi - x_lo)]
+                        .iter_mut()
+                        .zip(&cols[src0..src0 + (x_hi - x_lo)])
+                    {
+                        *d += s;
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(image, &[geom.in_channels, geom.in_h, geom.in_w])
-        .expect("col2im shape is consistent")
 }
 
 #[cfg(test)]
@@ -289,6 +349,62 @@ mod tests {
         // overlaps the image.
         let first_patch = &cols.data()[..9];
         assert_eq!(first_patch, &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    /// The batched lowering must be the per-image lowering stacked
+    /// row-wise, bit for bit, across stride/padding edge cases.
+    #[test]
+    fn im2col_batch_matches_stacked_per_image() {
+        let mut rng = Prng::seed_from_u64(21);
+        for g in [
+            geom(1, 5, 5, 3, 1, 0),
+            geom(3, 6, 7, 3, 2, 1),
+            geom(2, 4, 4, 3, 1, 2),
+            geom(1, 2, 2, 5, 1, 2), // kernel larger than image, pad rescues it
+            geom(2, 5, 3, 1, 3, 0), // 1x1 kernel, stride 3
+        ] {
+            let items = 3;
+            let batch = Tensor::randn(&[items, g.in_channels, g.in_h, g.in_w], &mut rng);
+            let mut batched = Vec::new();
+            im2col_batch_into(batch.data(), items, &g, &mut batched);
+            let image_len = g.in_channels * g.in_h * g.in_w;
+            let per_item = g.col_rows() * g.col_cols();
+            for item in 0..items {
+                let image = Tensor::from_vec(
+                    batch.data()[item * image_len..(item + 1) * image_len].to_vec(),
+                    &[g.in_channels, g.in_h, g.in_w],
+                )
+                .unwrap();
+                let single = im2col(&image, &g);
+                assert_eq!(
+                    &batched[item * per_item..(item + 1) * per_item],
+                    single.data(),
+                    "item {item} of geometry {g:?}"
+                );
+            }
+            // Reused buffer: a second, smaller call must not keep stale rows.
+            im2col_batch_into(&batch.data()[..image_len], 1, &g, &mut batched);
+            assert_eq!(batched.len(), per_item);
+        }
+    }
+
+    /// Accumulating into a zeroed slice is exactly `col2im`; a second
+    /// accumulation doubles it.
+    #[test]
+    fn col2im_accumulate_matches_col2im() {
+        let mut rng = Prng::seed_from_u64(22);
+        let g = geom(2, 6, 6, 3, 2, 1);
+        let cols = Tensor::randn(&[g.col_rows(), g.col_cols()], &mut rng);
+        let reference = col2im(&cols, &g);
+        let mut image = vec![0.0f32; 2 * 6 * 6];
+        col2im_accumulate(cols.data(), &g, &mut image);
+        assert_eq!(&image, reference.data());
+        // A second pass accumulates on top (scatter order differs from a
+        // single `r + r`, so compare with tolerance).
+        col2im_accumulate(cols.data(), &g, &mut image);
+        for (acc, &r) in image.iter().zip(reference.data()) {
+            assert!((acc - 2.0 * r).abs() < 1e-5, "{acc} vs {}", 2.0 * r);
+        }
     }
 
     #[test]

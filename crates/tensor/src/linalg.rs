@@ -4,7 +4,14 @@
 //! [`crate::conv::im2col`], reduce to the three GEMM variants here. All
 //! three route through one blocked, register-tiled kernel ([`MR`]×[`NR`]
 //! accumulator tiles over a packed right-hand operand), with a
-//! multithreaded row-panel path above [`PARALLEL_MIN_FLOPS`].
+//! multithreaded row-panel path above [`PARALLEL_MIN_FLOPS`] (tunable via
+//! [`set_gemm_parallel_min_flops`]). The transposed variants
+//! ([`matmul_at`], [`matmul_bt`]) pack their panels *directly from the
+//! strided source layout* — no transposed copy is ever materialized — and
+//! the `*_into` entry points ([`matmul_into`], [`matmul_at_into`],
+//! [`matmul_bt_into`]) write into caller-owned buffers so hot paths can
+//! run without per-call allocation (the packed-B scratch is thread-local
+//! and reused across products).
 //!
 //! # Determinism contract
 //!
@@ -35,8 +42,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub const MR: usize = 4;
 /// Columns per packed panel (and per microkernel register tile).
 pub const NR: usize = 32;
-/// Minimum multiply count (`m·n·k`) before the row-panel threaded path
-/// engages; below it, thread-spawn overhead dominates.
+/// Default minimum multiply count (`m·n·k`) before the row-panel
+/// threaded path engages; below it, thread-spawn overhead dominates.
+/// Override at runtime with [`set_gemm_parallel_min_flops`].
+///
+/// The default was chosen by measuring the spawn+join cost of the scoped
+/// worker threads (~15–40 µs per spawn on the benchmarked hosts) against
+/// the kernel's single-core throughput (several GFLOP/s): at `2²²`
+/// multiplies a serial product runs ≈1 ms, so the fixed threading cost
+/// stays in the low single-digit percents.
 pub const PARALLEL_MIN_FLOPS: usize = 1 << 22;
 
 /// Worker threads for large GEMMs; 0 = auto (`available_parallelism`).
@@ -44,6 +58,8 @@ static GEMM_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// Column-block width for packing; 0 = auto (sized to keep the packed
 /// panel within a few hundred KiB).
 static GEMM_BLOCK_COLS: AtomicUsize = AtomicUsize::new(0);
+/// Threading threshold override; 0 = the [`PARALLEL_MIN_FLOPS`] default.
+static GEMM_MIN_FLOPS: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the worker-thread count for large matrix products.
 ///
@@ -70,6 +86,25 @@ pub fn set_gemm_block_cols(cols: usize) {
     GEMM_BLOCK_COLS.store(cols, Ordering::Relaxed);
 }
 
+/// Sets the minimum multiply count (`m·n·k`) above which products go
+/// multithreaded.
+///
+/// `0` restores the [`PARALLEL_MIN_FLOPS`] default; `1` makes every
+/// product eligible. Like the other knobs this is process-global and
+/// purely a performance setting — results are bit-identical for every
+/// value.
+pub fn set_gemm_parallel_min_flops(flops: usize) {
+    GEMM_MIN_FLOPS.store(flops, Ordering::Relaxed);
+}
+
+/// The threading threshold large products currently use.
+pub fn gemm_parallel_min_flops() -> usize {
+    match GEMM_MIN_FLOPS.load(Ordering::Relaxed) {
+        0 => PARALLEL_MIN_FLOPS,
+        n => n,
+    }
+}
+
 /// The effective column-block width for an `m×k · k×n` product.
 pub fn gemm_block_cols(k: usize, n: usize) -> usize {
     let requested = GEMM_BLOCK_COLS.load(Ordering::Relaxed);
@@ -84,26 +119,92 @@ pub fn gemm_block_cols(k: usize, n: usize) -> usize {
     cols.next_multiple_of(NR).min(n.next_multiple_of(NR).max(NR))
 }
 
-/// Packs `b` (`k×n`, row-major) into NR-wide column panels.
+/// Strided view of a rank-2 operand: logical element `(i, j)` lives at
+/// `data[i·row_stride + j·col_stride]`.
+///
+/// This is what lets [`matmul_at`]/[`matmul_bt`] feed the kernel the
+/// *transposed* interpretation of an operand without materializing a
+/// transposed copy: a row-major `k×m` matrix read as its `m×k` transpose
+/// is just `row_stride = 1, col_stride = m`.
+#[derive(Debug, Clone, Copy)]
+struct Strides {
+    row: usize,
+    col: usize,
+}
+
+impl Strides {
+    /// Row-major (contiguous) layout for a matrix with `cols` columns.
+    fn contiguous(cols: usize) -> Strides {
+        Strides { row: cols, col: 1 }
+    }
+
+    /// The transpose of a row-major matrix that had `cols` columns.
+    fn transposed(cols: usize) -> Strides {
+        Strides { row: 1, col: cols }
+    }
+}
+
+/// Packs the logical `k×n` matrix `(b, strides)` into NR-wide column
+/// panels inside `packed` (resized, contents reused across calls).
 ///
 /// Panel `p` holds columns `p·NR .. (p+1)·NR` interleaved so the
 /// microkernel streams it contiguously: element `(row, col)` of the panel
 /// lives at `panel_base + row·NR + col`. The tail panel is zero-padded;
-/// padded lanes are computed and discarded, never stored.
-fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+/// padded lanes are computed and discarded, never stored. The packed
+/// layout is identical for both source layouts, so downstream arithmetic
+/// cannot depend on which one the caller had.
+fn pack_panels(b: &[f32], strides: Strides, k: usize, n: usize, packed: &mut Vec<f32>) {
     let panels = n.div_ceil(NR);
-    let mut packed = vec![0.0f32; panels * k * NR];
+    packed.clear();
+    packed.resize(panels * k * NR, 0.0);
     for panel in 0..panels {
         let j0 = panel * NR;
         let width = NR.min(n - j0);
         let base = panel * k * NR;
-        for p in 0..k {
-            let src = &b[p * n + j0..p * n + j0 + width];
-            let dst = &mut packed[base + p * NR..base + p * NR + width];
-            dst.copy_from_slice(src);
+        if strides.col == 1 {
+            for p in 0..k {
+                let src = &b[p * strides.row + j0..p * strides.row + j0 + width];
+                packed[base + p * NR..base + p * NR + width].copy_from_slice(src);
+            }
+        } else {
+            // Transposed source: a panel row gathers a strided sweep.
+            for p in 0..k {
+                let row0 = p * strides.row;
+                let dst = &mut packed[base + p * NR..base + p * NR + width];
+                for (c, d) in dst.iter_mut().enumerate() {
+                    *d = b[row0 + (j0 + c) * strides.col];
+                }
+            }
         }
     }
-    packed
+}
+
+/// Packs logical rows `[row0, row0 + rows)` of the `(a, strides)` matrix
+/// into `dst` as a contiguous row-major `rows×k` panel.
+///
+/// For a transposed source (`row_stride == 1`) the sweep runs `k`-outer,
+/// so the rows being gathered at each `k` step are *adjacent* floats —
+/// one cache-line read feeds many output rows, which is what makes this
+/// integrated packing cheaper than the `transpose_flat` pre-pass it
+/// replaced (and it reuses a thread-local buffer instead of allocating).
+fn pack_a_panel(a: &[f32], strides: Strides, k: usize, row0: usize, rows: usize, dst: &mut [f32]) {
+    debug_assert!(dst.len() >= rows * k);
+    // Process MR rows at a time so the gather keeps a bounded number of
+    // write streams while still sharing each source cache line across
+    // the group (the group's rows are adjacent floats when row_stride
+    // is 1).
+    let mut r = 0;
+    while r < rows {
+        let group = MR.min(rows - r);
+        let gbase = (row0 + r) * strides.row;
+        for p in 0..k {
+            let base = gbase + p * strides.col;
+            for t in 0..group {
+                dst[(r + t) * k + p] = a[base + t * strides.row];
+            }
+        }
+        r += group;
+    }
 }
 
 /// One multiply-accumulate step.
@@ -172,23 +273,32 @@ fn microkernel_1(k: usize, a0: &[f32], panel: &[f32]) -> [f32; NR] {
 }
 
 /// Computes rows `[row0, row0 + out.len()/n)` of `C = A·B` into `out`,
-/// reading the packed panels of `B`.
-fn gemm_rows(a: &[f32], packed_b: &[f32], k: usize, n: usize, row0: usize, out: &mut [f32]) {
+/// reading the packed panels of `B` and contiguous A rows (`row_stride`
+/// apart). Strided left operands are packed before this runs (see
+/// [`gemm_strided_into`]).
+fn gemm_rows(
+    a: &[f32],
+    row_stride: usize,
+    packed_b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out: &mut [f32],
+) {
     let rows = out.len().checked_div(n).unwrap_or(0);
     let panels = n.div_ceil(NR);
     let block_cols = gemm_block_cols(k, n);
     let panels_per_block = (block_cols / NR).max(1);
+    let s = row_stride;
 
     let mut panel0 = 0;
     while panel0 < panels {
         let panel1 = (panel0 + panels_per_block).min(panels);
         let mut r = 0;
         while r + MR <= rows {
-            let gr = row0 + r;
-            let a0 = &a[gr * k..(gr + 1) * k];
-            let a1 = &a[(gr + 1) * k..(gr + 2) * k];
-            let a2 = &a[(gr + 2) * k..(gr + 3) * k];
-            let a3 = &a[(gr + 3) * k..(gr + 4) * k];
+            let base = (row0 + r) * s;
+            let (a0, a1, a2, a3) =
+                (&a[base..base + k], &a[base + s..], &a[base + 2 * s..], &a[base + 3 * s..]);
             for panel in panel0..panel1 {
                 let pan = &packed_b[panel * k * NR..(panel + 1) * k * NR];
                 let acc = microkernel_4(k, a0, a1, a2, a3, pan);
@@ -202,8 +312,8 @@ fn gemm_rows(a: &[f32], packed_b: &[f32], k: usize, n: usize, row0: usize, out: 
             r += MR;
         }
         while r < rows {
-            let gr = row0 + r;
-            let a0 = &a[gr * k..(gr + 1) * k];
+            let base = (row0 + r) * s;
+            let a0 = &a[base..base + k];
             for panel in panel0..panel1 {
                 let pan = &packed_b[panel * k * NR..(panel + 1) * k * NR];
                 let acc = microkernel_1(k, a0, pan);
@@ -217,49 +327,118 @@ fn gemm_rows(a: &[f32], packed_b: &[f32], k: usize, n: usize, row0: usize, out: 
     }
 }
 
-/// Shared kernel: `C = A·B` for row-major `a: m×k`, `b: k×n`, with an
-/// explicit thread count (`0` = the global setting).
-fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, threads: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    if m == 0 || n == 0 {
-        return out;
-    }
-    if k == 0 {
-        return out; // all-zero by definition; nothing to accumulate
-    }
-    let packed = pack_b(b, k, n);
-    let resolved = if threads == 0 { gemm_threads() } else { threads };
-    let workers = if m.saturating_mul(n).saturating_mul(k) < PARALLEL_MIN_FLOPS {
-        1
-    } else {
-        resolved.min(m).max(1)
-    };
-    if workers == 1 {
-        gemm_rows(a, &packed, k, n, 0, &mut out);
-    } else {
-        // Disjoint row chunks; each worker runs the identical serial
-        // routine on its range, so the split cannot affect values.
-        let chunk_rows = m.div_ceil(workers);
-        let packed_ref = &packed;
-        std::thread::scope(|scope| {
-            for (ci, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
-                scope.spawn(move || {
-                    gemm_rows(a, packed_ref, k, n, ci * chunk_rows, out_chunk);
-                });
-            }
-        });
-    }
-    out
+thread_local! {
+    /// Per-thread packed-B scratch, reused across products so the
+    /// steady-state Monte Carlo eval path performs no packing
+    /// allocations after the first product of each shape class.
+    static PACKED_B: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Per-thread packed-A scratch for the strided (transposed) left
+    /// operand, likewise reused across calls.
+    static PACKED_A: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
-fn transpose_flat(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; src.len()];
-    for i in 0..rows {
-        for j in 0..cols {
-            out[j * rows + i] = src[i * cols + j];
-        }
+/// Shared kernel: `C = A·B` for logical `a: m×k`, `b: k×n` (each read
+/// through its strides), with an explicit thread count (`0` = the global
+/// setting), written into `out` (`m·n`, fully overwritten).
+#[allow(clippy::too_many_arguments)]
+fn gemm_strided_into(
+    a: &[f32],
+    a_strides: Strides,
+    b: &[f32],
+    b_strides: Strides,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), m * n, "gemm output buffer must hold m·n elements");
+    if m == 0 || n == 0 {
+        return;
     }
-    out
+    if k == 0 {
+        out.fill(0.0); // all-zero by definition; nothing to accumulate
+        return;
+    }
+    // A strided (transposed) left operand is panel-packed once, on the
+    // calling thread, into the reused thread-local scratch — the row
+    // sweep and any worker threads then read contiguous rows, so the
+    // threaded path performs no per-worker packing or allocation. The
+    // microkernel sees identical values in identical order for both
+    // layouts, so they are bit-identical.
+    if a_strides.col != 1 {
+        return PACKED_A.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            buf.resize(m * k, 0.0);
+            pack_a_panel(a, a_strides, k, 0, m, &mut buf);
+            gemm_strided_into(&buf, Strides::contiguous(k), b, b_strides, m, k, n, threads, out);
+        });
+    }
+    PACKED_B.with(|cell| {
+        let mut packed = cell.borrow_mut();
+        pack_panels(b, b_strides, k, n, &mut packed);
+        let resolved = if threads == 0 { gemm_threads() } else { threads };
+        let workers = if m.saturating_mul(n).saturating_mul(k) < gemm_parallel_min_flops() {
+            1
+        } else {
+            resolved.min(m).max(1)
+        };
+        if workers == 1 {
+            gemm_rows(a, a_strides.row, &packed, k, n, 0, out);
+        } else {
+            // Disjoint row chunks; each worker runs the identical serial
+            // routine on its range, so the split cannot affect values.
+            let chunk_rows = m.div_ceil(workers);
+            let packed_ref = &packed[..];
+            std::thread::scope(|scope| {
+                for (ci, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
+                    scope.spawn(move || {
+                        gemm_rows(a, a_strides.row, packed_ref, k, n, ci * chunk_rows, out_chunk);
+                    });
+                }
+            });
+        }
+    });
+}
+
+/// `C = A·B` on raw row-major slices, written into `out`.
+///
+/// The allocation-free entry point behind [`matmul`]: layers that keep
+/// their own scratch buffers (conv lowering, the Monte Carlo eval path)
+/// call this directly. `out` is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with `m`, `k`, `n`.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_into: left operand length");
+    assert_eq!(b.len(), k * n, "matmul_into: right operand length");
+    gemm_strided_into(a, Strides::contiguous(k), b, Strides::contiguous(n), m, k, n, 0, out);
+}
+
+/// `C = Aᵀ·B` on raw slices (`a` stored row-major as `k×m`), written into
+/// `out`, packing `Aᵀ` row groups directly from the strided source.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with `m`, `k`, `n`.
+pub fn matmul_at_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "matmul_at_into: left operand length");
+    assert_eq!(b.len(), k * n, "matmul_at_into: right operand length");
+    gemm_strided_into(a, Strides::transposed(m), b, Strides::contiguous(n), m, k, n, 0, out);
+}
+
+/// `C = A·Bᵀ` on raw slices (`b` stored row-major as `n×k`), written into
+/// `out`, packing `Bᵀ` column panels directly from the strided source.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with `m`, `k`, `n`.
+pub fn matmul_bt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_bt_into: left operand length");
+    assert_eq!(b.len(), n * k, "matmul_bt_into: right operand length");
+    gemm_strided_into(a, Strides::contiguous(k), b, Strides::transposed(k), m, k, n, 0, out);
 }
 
 /// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
@@ -284,16 +463,19 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (kb, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb}");
-    let out = gemm(a.data(), b.data(), m, k, n, 0);
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a.data(), b.data(), m, k, n, &mut out);
     Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent")
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`, without materializing `Aᵀ`
-/// at the caller.
+/// anywhere.
 ///
 /// Used by backpropagation to form weight gradients (`∂f/∂W = δᵀ·P` style
-/// products). Internally the kernel packs `Aᵀ` row panels, so the cost
-/// matches [`matmul`] plus one `O(k·m)` transpose pass.
+/// products). The kernel packs `Aᵀ` row groups directly from the strided
+/// source (bounded `MR·k` scratch), so the cost matches [`matmul`] —
+/// there is no `O(k·m)` transpose pass or full-size transposed copy. The
+/// result is bit-identical to `matmul(&a.transposed(), b)`.
 ///
 /// # Panics
 ///
@@ -304,18 +486,19 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.shape()[0], a.shape()[1]);
     let (kb, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, kb, "matmul_at: inner dimensions {k} vs {kb}");
-    let at = transpose_flat(a.data(), k, m);
-    let out = gemm(&at, b.data(), m, k, n, 0);
+    let mut out = vec![0.0f32; m * n];
+    matmul_at_into(a.data(), b.data(), m, k, n, &mut out);
     Tensor::from_vec(out, &[m, n]).expect("matmul_at output shape is consistent")
 }
 
 /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`, without materializing `Bᵀ`
-/// at the caller.
+/// anywhere.
 ///
 /// Used by backpropagation to push gradients through a layer
-/// (`∂f/∂P = δ·W` style products). Internally the kernel packs `Bᵀ`
-/// column panels, so the cost matches [`matmul`] plus one `O(n·k)`
-/// transpose pass.
+/// (`∂f/∂P = δ·W` style products) and by the conv lowering (`cols · Wᵀ`).
+/// The kernel packs `Bᵀ` column panels directly from the strided source,
+/// so the cost matches [`matmul`] — there is no `O(n·k)` transpose pass.
+/// The result is bit-identical to `matmul(a, &b.transposed())`.
 ///
 /// # Panics
 ///
@@ -326,8 +509,8 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (n, kb) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, kb, "matmul_bt: inner dimensions {k} vs {kb}");
-    let bt = transpose_flat(b.data(), n, k);
-    let out = gemm(a.data(), &bt, m, k, n, 0);
+    let mut out = vec![0.0f32; m * n];
+    matmul_bt_into(a.data(), b.data(), m, k, n, &mut out);
     Tensor::from_vec(out, &[m, n]).expect("matmul_bt output shape is consistent")
 }
 
@@ -366,7 +549,18 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (kb, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb}");
-    let out = gemm(a.data(), b.data(), m, k, n, threads.max(1));
+    let mut out = vec![0.0f32; m * n];
+    gemm_strided_into(
+        a.data(),
+        Strides::contiguous(k),
+        b.data(),
+        Strides::contiguous(n),
+        m,
+        k,
+        n,
+        threads.max(1),
+        &mut out,
+    );
     Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent")
 }
 
@@ -525,22 +719,68 @@ mod tests {
         assert!(c_bt.data()[0].is_nan());
     }
 
+    /// The strided A-packing path must reproduce `matmul` of the
+    /// explicitly transposed operand *bit for bit* — the packed values
+    /// and accumulation order are identical, only the copy is gone.
     #[test]
-    fn matmul_at_equals_transpose_then_matmul() {
+    fn matmul_at_bit_identical_to_transpose_then_matmul() {
         let mut rng = Prng::seed_from_u64(3);
-        let a = Tensor::randn(&[6, 4], &mut rng);
-        let b = Tensor::randn(&[6, 5], &mut rng);
-        let expected = matmul(&a.transposed(), &b);
-        assert!(matmul_at(&a, &b).allclose(&expected, 1e-4));
+        for &(k, m, n) in &[(6, 4, 5), (1, 1, 1), (33, 17, 29), (64, 13, 47), (128, 96, 70)] {
+            let a = Tensor::randn(&[k, m], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let expected = matmul(&a.transposed(), &b);
+            assert_eq!(matmul_at(&a, &b).data(), expected.data(), "shape {k}x{m}x{n}");
+        }
     }
 
+    /// Same contract for the strided B-packing path.
     #[test]
-    fn matmul_bt_equals_matmul_with_transpose() {
+    fn matmul_bt_bit_identical_to_matmul_with_transpose() {
         let mut rng = Prng::seed_from_u64(4);
-        let a = Tensor::randn(&[3, 8], &mut rng);
-        let b = Tensor::randn(&[5, 8], &mut rng);
-        let expected = matmul(&a, &b.transposed());
-        assert!(matmul_bt(&a, &b).allclose(&expected, 1e-4));
+        for &(m, k, n) in &[(3, 8, 5), (1, 1, 1), (29, 17, 33), (13, 64, 47), (96, 70, 128)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[n, k], &mut rng);
+            let expected = matmul(&a, &b.transposed());
+            assert_eq!(matmul_bt(&a, &b).data(), expected.data(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    /// The `_into` entry points are the same kernels on caller buffers.
+    #[test]
+    fn into_variants_match_tensor_variants() {
+        let mut rng = Prng::seed_from_u64(14);
+        let a = Tensor::randn(&[9, 7], &mut rng);
+        let b = Tensor::randn(&[7, 11], &mut rng);
+        let mut out = vec![0.0f32; 9 * 11];
+        matmul_into(a.data(), b.data(), 9, 7, 11, &mut out);
+        assert_eq!(out, matmul(&a, &b).data());
+
+        let at = Tensor::randn(&[7, 9], &mut rng);
+        matmul_at_into(at.data(), b.data(), 9, 7, 11, &mut out);
+        assert_eq!(out, matmul_at(&at, &b).data());
+
+        let bt = Tensor::randn(&[11, 7], &mut rng);
+        matmul_bt_into(a.data(), bt.data(), 9, 7, 11, &mut out);
+        assert_eq!(out, matmul_bt(&a, &bt).data());
+
+        // Buffer reuse: a second call fully overwrites stale contents.
+        let zero = Tensor::zeros(&[9, 7]);
+        matmul_into(zero.data(), b.data(), 9, 7, 11, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    /// The threading threshold is a pure performance knob.
+    #[test]
+    fn min_flops_knob_does_not_change_results() {
+        let mut rng = Prng::seed_from_u64(15);
+        let a = Tensor::randn(&[40, 30], &mut rng);
+        let b = Tensor::randn(&[30, 50], &mut rng);
+        let baseline = matmul(&a, &b);
+        set_gemm_parallel_min_flops(1); // force the threaded path
+        let forced = matmul(&a, &b);
+        set_gemm_parallel_min_flops(0);
+        assert_eq!(forced.data(), baseline.data());
+        assert_eq!(gemm_parallel_min_flops(), PARALLEL_MIN_FLOPS);
     }
 
     #[test]
