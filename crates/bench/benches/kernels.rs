@@ -251,7 +251,7 @@ fn bench_sweep_throughput(h: &mut Harness) {
         SweepConfig { fractions: vec![0.0, 0.5, 1.0], runs, threads, eval_batch: 128, seed: 7 };
 
     let scratch = h.bench(&format!("sweep/8runs_x3fractions/scratch_t{threads}"), || {
-        nwc_sweep(&model, Strategy::Swim, &sens, &mags, &data, &cfg)
+        nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg)
     });
     // The pre-scratch harness: clone the network and allocate fresh
     // mask/weight vectors for every run (denominator and ranking

@@ -5,176 +5,23 @@
 //!    several granularities and reports the NWC/accuracy trade-off and
 //!    the number of accuracy re-reads.
 //! 2. **Magnitude tie-break** — SWIM breaks second-derivative ties by
-//!    |w| (§3.2); this compares the full ranking against one with the
-//!    tie-break disabled.
+//!    |w| (§3.2); this compares the full ranking against the
+//!    `swim-no-tiebreak` selector.
+//! 3. **Calibration-set size** — how much data the single sensitivity
+//!    pass needs.
 //!
 //! ```text
 //! cargo run --release -p swim-bench --bin ablation [--runs 10] [--samples 1500]
 //! ```
-
-use swim_bench::cli::Args;
-use swim_bench::prep::{prepare, PrepConfig, Scenario};
-use swim_cim::DeviceConfig;
-use swim_core::algorithm::{selective_write_verify, Alg1Config};
-use swim_core::montecarlo::{num_threads, nwc_sweep, SweepConfig};
-use swim_core::report::{fmt_mean_std, Table};
-use swim_core::select::{build_ranking, Strategy};
-use swim_nn::loss::SoftmaxCrossEntropy;
-use swim_tensor::Prng;
+//!
+//! Thin wrapper over the `ablation` preset — `swim preset ablation` runs
+//! the identical experiment and adds `--set`/`--out` for structured
+//! results.
 
 fn main() {
-    let args = Args::parse();
-    if args.has("help") {
-        swim_bench::cli::print_common_help(
-            "ablation",
-            &[("--sigma X", "device variation (default 0.15)")],
-        );
-        return;
-    }
-    let quick = args.has("quick");
-    let runs = args.get_usize("runs", if quick { 3 } else { 10 });
-    let samples = args.get_usize("samples", if quick { 500 } else { 1500 });
-    let epochs = args.get_usize("epochs", if quick { 2 } else { 5 });
-    let threads = args.get_usize("threads", num_threads());
-    let _ = swim_bench::cli::apply_gemm_flags(&args, threads);
-    let sigma = args.get_f64("sigma", 0.15);
-    let seed = args.get_u64("seed", 1);
-
-    println!("SWIM reproduction — ablations\n");
-    let device = DeviceConfig::rram().with_sigma(sigma);
-    let prep_cfg = PrepConfig { samples, epochs, seed, ..Default::default() };
-    let mut prepared = prepare(Scenario::LenetMnist, device, &prep_cfg);
-    let loss = SoftmaxCrossEntropy::new();
-    let sens = prepared.model.sensitivities(&loss, &prepared.train, 128);
-    let mags = prepared.model.magnitudes();
-    let reference = prepared.quant_accuracy / 100.0;
-
-    // ------------------------------------------- 1. granularity p sweep
-    let ranking = build_ranking(Strategy::Swim, &sens, &mags, None);
-    let mut table = Table::new(
-        format!("Algorithm 1 granularity sweep (deltaA = 0.5%, sigma = {sigma})"),
-        &["p", "mean NWC", "mean verified %", "mean groups (re-reads)", "mean accuracy %"],
-    );
-    for p in [0.01, 0.05, 0.10, 0.25] {
-        let cfg = Alg1Config { granularity: p, max_drop: 0.005, batch: 256 };
-        let mut nwc = swim_tensor::stats::Running::new();
-        let mut verified = swim_tensor::stats::Running::new();
-        let mut groups = swim_tensor::stats::Running::new();
-        let mut acc = swim_tensor::stats::Running::new();
-        for run in 0..runs {
-            let mut rng = Prng::seed_from_u64(seed.wrapping_add(1000 + run as u64));
-            let out = selective_write_verify(
-                &mut prepared.model,
-                &ranking,
-                &prepared.train,
-                reference,
-                &cfg,
-                &mut rng,
-            );
-            nwc.push(out.nwc);
-            verified.push(100.0 * out.verified_fraction);
-            groups.push(out.groups as f64);
-            acc.push(100.0 * out.accuracy);
-        }
-        table.push_row_owned(vec![
-            format!("{:.0}%", 100.0 * p),
-            format!("{:.3}", nwc.mean()),
-            format!("{:.1}", verified.mean()),
-            format!("{:.1}", groups.mean()),
-            format!("{:.2}", acc.mean()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "expected: small p finds a tighter stopping point (lower NWC) at the cost of more\n\
-         accuracy re-reads; p = 5% (the paper's choice) balances the two.\n"
-    );
-
-    // ------------------------------------------- 2. tie-break ablation
-    let no_tiebreak = vec![0.0f32; mags.len()];
-    let sweep_cfg =
-        SweepConfig { fractions: vec![0.05, 0.1, 0.3], runs, threads, eval_batch: 256, seed };
-    let with_tb =
-        nwc_sweep(&prepared.model, Strategy::Swim, &sens, &mags, &prepared.test, &sweep_cfg);
-    let without_tb =
-        nwc_sweep(&prepared.model, Strategy::Swim, &sens, &no_tiebreak, &prepared.test, &sweep_cfg);
-    let mut table = Table::new(
-        "magnitude tie-break ablation (SWIM ranking, accuracy %)",
-        &["NWC", "with |w| tie-break", "without (index order)"],
-    );
-    for (a, b) in with_tb.iter().zip(&without_tb) {
-        table.push_row_owned(vec![
-            format!("{:.2}", a.fraction),
-            fmt_mean_std(&a.accuracy),
-            fmt_mean_std(&b.accuracy),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "expected: differences are small (ties are rare among float sensitivities) but the\n\
-         tie-break never hurts — it matters when many weights share a zero sensitivity.\n"
-    );
-
-    // --------------------------------- 3. calibration-set size ablation
-    // How much data does the single sensitivity pass need? The paper uses
-    // the full training set; if a small calibration slice suffices, the
-    // (already one-pass) analysis gets proportionally cheaper.
-    let sweep_fracs = vec![0.1];
-    let mut table = Table::new(
-        "sensitivity calibration-set size (SWIM accuracy % at NWC = 0.1)",
-        &["calibration samples", "rank corr. vs full", "accuracy @ NWC 0.1"],
-    );
-    let full_ranking_order = {
-        let mut idx: Vec<usize> = (0..sens.len()).collect();
-        idx.sort_by(|&a, &b| sens[b].partial_cmp(&sens[a]).unwrap_or(std::cmp::Ordering::Equal));
-        // Rank position of each weight under the full-data sensitivities.
-        let mut rank = vec![0.0f64; sens.len()];
-        for (pos, &w) in idx.iter().enumerate() {
-            rank[w] = pos as f64;
-        }
-        rank
-    };
-    for frac in [0.02, 0.1, 0.5, 1.0] {
-        let n = ((prepared.train.len() as f64 * frac) as usize).max(32);
-        let subset = prepared.train.take(n);
-        let sub_sens = prepared.model.sensitivities(&loss, &subset, 128);
-        // Spearman-style agreement with the full-data ranking.
-        let sub_rank = {
-            let mut idx: Vec<usize> = (0..sub_sens.len()).collect();
-            idx.sort_by(|&a, &b| {
-                sub_sens[b].partial_cmp(&sub_sens[a]).unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let mut rank = vec![0.0f64; sub_sens.len()];
-            for (pos, &w) in idx.iter().enumerate() {
-                rank[w] = pos as f64;
-            }
-            rank
-        };
-        let agreement = swim_tensor::stats::pearson(&full_ranking_order, &sub_rank);
-        let sweep_cfg = SweepConfig {
-            fractions: sweep_fracs.clone(),
-            runs,
-            threads,
-            eval_batch: 256,
-            seed: seed.wrapping_add(7),
-        };
-        let pts = nwc_sweep(
-            &prepared.model,
-            Strategy::Swim,
-            &sub_sens,
-            &mags,
-            &prepared.test,
-            &sweep_cfg,
-        );
-        table.push_row_owned(vec![
-            format!("{n}"),
-            format!("{agreement:.3}"),
-            fmt_mean_std(&pts[0].accuracy),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "expected: the ranking stabilizes with a few hundred calibration samples — the\n\
-         sensitivity pass can run on a small slice of the training data."
+    swim_bench::experiment::preset_bin_main(
+        "ablation",
+        "ablation",
+        &[("--sigma X", "device variation (default 0.15)")],
     );
 }

@@ -9,58 +9,11 @@
 //! ```text
 //! cargo run --release -p swim-bench --bin calibration [--samples N]
 //! ```
-
-use swim_bench::cli::Args;
-use swim_cim::device::{DeviceConfig, DeviceTech};
-use swim_cim::writeverify::measure_stats;
-use swim_core::report::Table;
-use swim_tensor::Prng;
+//!
+//! Thin wrapper over the `calibration` preset — `swim preset calibration`
+//! runs the identical experiment and adds `--set`/`--out` for structured
+//! results.
 
 fn main() {
-    let args = Args::parse();
-    if args.has("help") {
-        swim_bench::cli::print_common_help("calibration", &[]);
-        return;
-    }
-    let samples = args.get_usize("samples", 100_000);
-    let seed = args.get_u64("seed", 0);
-
-    println!("SWIM reproduction — §4.1 device-model calibration");
-    println!("paper: ~10 average write cycles/weight, residual sigma ~0.03 at sigma = 0.1\n");
-
-    let mut table = Table::new(
-        format!("write-verify statistics over {samples} devices"),
-        &["config", "sigma", "avg cycles", "residual std", "raw std", "1-try rate"],
-    );
-
-    let mut rng = Prng::seed_from_u64(seed);
-    for sigma in [0.1, 0.15, 0.2] {
-        let cfg = DeviceConfig::rram().with_sigma(sigma);
-        let stats = measure_stats(&cfg, samples, &mut rng);
-        table.push_row_owned(vec![
-            "RRAM (paper sweep)".into(),
-            format!("{sigma:.2}"),
-            format!("{:.2}", stats.avg_pulses),
-            format!("{:.4}", stats.residual_std),
-            format!("{:.4}", stats.raw_std),
-            format!("{:.3}", stats.first_try_rate),
-        ]);
-    }
-    for tech in [DeviceTech::Rram, DeviceTech::Fefet, DeviceTech::Pcm] {
-        let cfg = DeviceConfig::for_tech(tech);
-        let stats = measure_stats(&cfg, samples, &mut rng);
-        table.push_row_owned(vec![
-            format!("{tech} preset"),
-            format!("{:.2}", cfg.sigma),
-            format!("{:.2}", stats.avg_pulses),
-            format!("{:.4}", stats.residual_std),
-            format!("{:.4}", stats.raw_std),
-            format!("{:.3}", stats.first_try_rate),
-        ]);
-    }
-    println!("{}", table.render());
-    if args.has("csv") {
-        println!("{}", table.to_csv());
-    }
-    println!("paper-vs-measured: at sigma = 0.10 expect avg cycles ≈ 10 and residual ≈ 0.03.");
+    swim_bench::experiment::preset_bin_main("calibration", "calibration", &[]);
 }

@@ -10,93 +10,17 @@
 //! cargo run --release -p swim-bench --bin fig1_correlation \
 //!     [--probes 150] [--runs 30] [--samples 2500] [--csv]
 //! ```
-
-use swim_bench::cli::Args;
-use swim_bench::prep::{prepare, PrepConfig, Scenario};
-use swim_cim::DeviceConfig;
-use swim_core::report::Table;
-use swim_core::sensitivity::{correlation_study, CorrelationConfig};
-use swim_nn::loss::SoftmaxCrossEntropy;
+//!
+//! Thin wrapper over the `fig1` preset — `swim preset fig1` runs the
+//! identical experiment and adds `--set`/`--out` for structured results.
 
 fn main() {
-    let args = Args::parse();
-    if args.has("help") {
-        swim_bench::cli::print_common_help(
-            "fig1_correlation",
-            &[
-                ("--probes N", "weights to probe (default 150)"),
-                ("--sigma X", "device variation level (default 0.1)"),
-            ],
-        );
-        return;
-    }
-    let quick = args.has("quick");
-    let probes = args.get_usize("probes", if quick { 30 } else { 150 });
-    let runs = args.get_usize("runs", if quick { 8 } else { 30 });
-    let samples = args.get_usize("samples", if quick { 600 } else { 2500 });
-    let epochs = args.get_usize("epochs", if quick { 2 } else { 6 });
-    // Fig. 1 has no Monte Carlo fan-out during training/sensitivity, so
-    // let the matrix kernels use every core unless told otherwise.
-    let _ = swim_bench::cli::apply_gemm_flags(&args, 1);
-    let sigma = args.get_f64("sigma", 0.1);
-    let seed = args.get_u64("seed", 1);
-
-    println!("SWIM reproduction — Fig. 1: single-weight perturbation correlations");
-    println!("paper: Fig. 1a weak magnitude correlation; Fig. 1b strong second-derivative correlation (r = 0.83)\n");
-
-    let device = DeviceConfig::rram().with_sigma(sigma);
-    let prep_cfg = PrepConfig { samples, epochs, seed, ..Default::default() };
-    let mut prepared = prepare(Scenario::LenetMnist, device, &prep_cfg);
-
-    eprintln!("[fig1] computing sensitivities...");
-    let sens = prepared.model.sensitivities(&SoftmaxCrossEntropy::new(), &prepared.train, 128);
-
-    eprintln!("[fig1] perturbing {probes} weights x {runs} Monte Carlo runs...");
-    let study_cfg = CorrelationConfig { probes, runs, batch: 256, seed: seed.wrapping_add(9) };
-    // The accuracy drops are measured on the *training* split: the
-    // second-derivative theory (Eq. 3) concerns the converged training
-    // loss, and on a small held-out set single-weight perturbations help
-    // as often as they hurt, drowning the signal (the paper's 10k-image
-    // MNIST test set with a 98.7%-accurate model does not have this
-    // problem).
-    let study = correlation_study(&mut prepared.model, &sens, &prepared.train, &study_cfg);
-
-    let mut table = Table::new(
-        "Fig. 1 scatter data (one row per probed weight)",
-        &["weight_idx", "magnitude", "second_derivative", "accuracy_drop_%"],
-    );
-    for impact in &study.impacts {
-        table.push_row_owned(vec![
-            impact.index.to_string(),
-            format!("{:.5}", impact.magnitude),
-            format!("{:.6e}", impact.sensitivity),
-            format!("{:.4}", impact.accuracy_drop),
-        ]);
-    }
-    if args.has("csv") || args.has("full") {
-        println!("{}", table.to_csv());
-    } else {
-        println!("({} scatter rows suppressed; pass --csv to print them)\n", table.len());
-    }
-
-    let mut summary =
-        Table::new("Fig. 1 correlation summary", &["series", "Pearson r (measured)", "paper"]);
-    summary.push_row_owned(vec![
-        "1a: |w| vs accuracy drop".into(),
-        format!("{:.3}", study.magnitude_correlation),
-        "weak (\"little correlation\")".into(),
-    ]);
-    summary.push_row_owned(vec![
-        "1b: d2f/dw2 vs accuracy drop".into(),
-        format!("{:.3}", study.sensitivity_correlation),
-        "strong (r = 0.83)".into(),
-    ]);
-    println!("{}", summary.render());
-
-    let ok = study.sensitivity_correlation > study.magnitude_correlation;
-    println!(
-        "shape check: second derivative correlates {} than magnitude — {}",
-        if ok { "more strongly" } else { "LESS strongly" },
-        if ok { "matches the paper" } else { "DOES NOT match the paper" }
+    swim_bench::experiment::preset_bin_main(
+        "fig1",
+        "fig1_correlation",
+        &[
+            ("--probes N", "weights to probe (default 150)"),
+            ("--sigma X", "device variation level (default 0.1)"),
+        ],
     );
 }

@@ -6,17 +6,18 @@
 //!
 //! Default width 0.25 keeps the run CPU-friendly; `--width 1.0` builds
 //! the paper-scale (~5.4M-weight) ConvNet.
-
-use swim_bench::fig2::{run_panel, Fig2Panel};
-use swim_bench::prep::Scenario;
+//!
+//! Thin wrapper over the `fig2a` preset — `swim preset fig2a` runs the
+//! identical experiment and adds `--set`/`--out` for structured results.
 
 fn main() {
-    run_panel(&Fig2Panel {
-        name: "Fig. 2a",
-        paper_note: "all methods except SWIM drop >10% at NWC = 0.1; SWIM stays within 2.5% \
-                     and has the smallest std",
-        scenario: |args| Scenario::ConvnetCifar { width: args.get_f32("width", 0.25) },
-        default_samples: 2000,
-        default_epochs: 5,
-    });
+    swim_bench::experiment::preset_bin_main(
+        "fig2a",
+        "fig2*",
+        &[
+            ("--width X", "model width factor (1.0 = paper scale)"),
+            ("--classes N", "classes for the Tiny-ImageNet panel"),
+            ("--sigma X", "device variation (default 0.1, as in the paper)"),
+        ],
+    );
 }

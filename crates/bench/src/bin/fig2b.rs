@@ -3,17 +3,18 @@
 //! ```text
 //! cargo run --release -p swim-bench --bin fig2b [--width 0.25] [--runs 15] [--csv]
 //! ```
-
-use swim_bench::fig2::{run_panel, Fig2Panel};
-use swim_bench::prep::Scenario;
+//!
+//! Thin wrapper over the `fig2b` preset — `swim preset fig2b` runs the
+//! identical experiment and adds `--set`/`--out` for structured results.
 
 fn main() {
-    run_panel(&Fig2Panel {
-        name: "Fig. 2b",
-        paper_note: "SWIM keeps the accuracy drop below 0.5% using only 10% of the write \
-                     cycles; the other methods drop more than 2%",
-        scenario: |args| Scenario::Resnet18Cifar { width: args.get_f32("width", 0.25) },
-        default_samples: 2000,
-        default_epochs: 5,
-    });
+    swim_bench::experiment::preset_bin_main(
+        "fig2b",
+        "fig2*",
+        &[
+            ("--width X", "model width factor (1.0 = paper scale)"),
+            ("--classes N", "classes for the Tiny-ImageNet panel"),
+            ("--sigma X", "device variation (default 0.1, as in the paper)"),
+        ],
+    );
 }

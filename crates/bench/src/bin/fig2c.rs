@@ -8,20 +8,18 @@
 //! The paper uses 200 classes; the default here scales to 40 so the CPU
 //! run finishes in minutes (`--classes 200` restores the paper's label
 //! space).
-
-use swim_bench::fig2::{run_panel, Fig2Panel};
-use swim_bench::prep::Scenario;
+//!
+//! Thin wrapper over the `fig2c` preset — `swim preset fig2c` runs the
+//! identical experiment and adds `--set`/`--out` for structured results.
 
 fn main() {
-    run_panel(&Fig2Panel {
-        name: "Fig. 2c",
-        paper_note: "hardest task: all methods drop more than on CIFAR-10, but SWIM stays \
-                     within 3% of full write-verify at NWC = 0.1, fewest of all methods",
-        scenario: |args| Scenario::Resnet18Tiny {
-            width: args.get_f32("width", 0.25),
-            classes: args.get_usize("classes", 40),
-        },
-        default_samples: 1600,
-        default_epochs: 5,
-    });
+    swim_bench::experiment::preset_bin_main(
+        "fig2c",
+        "fig2*",
+        &[
+            ("--width X", "model width factor (1.0 = paper scale)"),
+            ("--classes N", "classes for the Tiny-ImageNet panel"),
+            ("--sigma X", "device variation (default 0.1, as in the paper)"),
+        ],
+    );
 }

@@ -1,0 +1,173 @@
+//! The unified experiment CLI: one binary, declarative specs,
+//! structured results.
+//!
+//! ```text
+//! swim run <spec.toml|spec.json> [--set key=value]... [flags]
+//! swim preset <name> [--set key=value]... [flags]
+//! swim list
+//! swim help
+//! ```
+//!
+//! `swim run` executes a spec file (TOML subset or JSON; see
+//! `examples/specs/`); `swim preset` resolves a named paper artifact
+//! (`table1`, `fig2a`, …) to its spec and runs it. Both accept `--set
+//! key=value` overrides (dotted spec paths or shorthands like `runs`),
+//! the classic flags (`--runs 25 --quick --csv`), and `--out FILE` to
+//! write the JSON results document.
+//!
+//! ```text
+//! cargo run --release -p swim-bench --bin swim -- preset table1 --quick --out /tmp/t1.json
+//! ```
+
+use swim_bench::cli::Args;
+use swim_bench::experiment::{apply_flag_overrides, options_from_args, run_spec};
+use swim_exp::spec::ExperimentSpec;
+use swim_exp::{preset, preset_infos};
+
+fn usage() {
+    println!("usage: swim <command> [args]");
+    println!();
+    println!("commands:");
+    println!("  run <spec.toml|spec.json>  run a declarative experiment spec");
+    println!("  preset <name>              run a named paper-artifact preset");
+    println!("  list                       list presets and selectors");
+    println!("  help                       this message");
+    println!();
+    println!("common flags (after the command):");
+    println!("  --set key=value   override any spec field (dotted path or shorthand,");
+    println!("                    e.g. --set runs=25 --set device.sigmas=0.1,0.2)");
+    println!("  --out FILE        write the JSON results document to FILE");
+    println!("  --csv             also print CSV blocks");
+    println!("  --quick           preset smoke-test shape (presets only)");
+    println!("  --runs N / --samples N / --epochs N / --seed N / --threads N");
+    println!("                    shorthand spec overrides (same as --set)");
+    println!("  --gemm-threads N / --gemm-block N / --gemm-min-flops N");
+    println!("                    matrix-kernel knobs (never part of the spec)");
+    println!();
+    println!("The results document echoes the spec it ran; `swim run` accepts that");
+    println!("echo back, so every result is reproducible from its own output.");
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Splits `--set k=v` pairs (which may repeat) from the raw argument
+/// stream before the single-valued flag parser sees it.
+fn extract_sets(raw: Vec<String>) -> (Vec<String>, Vec<String>) {
+    let mut sets = Vec::new();
+    let mut rest = Vec::new();
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--set" {
+            match iter.next() {
+                Some(pair) => sets.push(pair),
+                None => fail("--set expects key=value"),
+            }
+        } else if let Some(pair) = arg.strip_prefix("--set=") {
+            sets.push(pair.to_string());
+        } else {
+            rest.push(arg);
+        }
+    }
+    (sets, rest)
+}
+
+fn list() {
+    println!("presets (swim preset <name>):");
+    for info in preset_infos() {
+        println!("  {:<12} {}", info.name, info.summary);
+    }
+    println!();
+    println!("selectors (for [selection] methods / --set methods=...):");
+    for selector in swim_core::select::registry() {
+        println!("  {:<18} {:<22} {}", selector.key(), selector.name(), selector.describe());
+    }
+    println!();
+    println!("spec kinds: sweep, table1, fig2, fig1, calibration, ablation");
+}
+
+fn run_with(mut spec: ExperimentSpec, sets: &[String], args: &Args) -> ! {
+    if args.has("help") {
+        usage();
+        std::process::exit(0);
+    }
+    for pair in sets {
+        if let Err(e) = spec.apply_set(pair) {
+            fail(&format!("--set {pair}: {e}"));
+        }
+    }
+    if let Err(e) = apply_flag_overrides(&mut spec, args) {
+        fail(&e);
+    }
+    let opts = options_from_args(&spec, args);
+    match run_spec(&spec, &opts) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let command = raw.remove(0);
+    match command.as_str() {
+        "help" | "--help" | "-h" => usage(),
+        "list" => {
+            let (sets, rest) = extract_sets(raw);
+            if !sets.is_empty() || !rest.is_empty() {
+                fail("`swim list` takes no arguments");
+            }
+            list();
+        }
+        "run" => {
+            if raw.is_empty() || raw[0].starts_with("--") {
+                fail("`swim run` expects a spec file path");
+            }
+            let path = raw.remove(0);
+            let (sets, rest) = extract_sets(raw);
+            let args = match Args::try_parse_from(rest.into_iter()) {
+                Ok(args) => args,
+                Err(e) => fail(&e),
+            };
+            if args.has("quick") {
+                fail("--quick is a preset shape; edit the spec or use --set instead");
+            }
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => fail(&format!("reading {path}: {e}")),
+            };
+            let spec = match ExperimentSpec::parse_str(&text) {
+                Ok(spec) => spec,
+                Err(e) => fail(&format!("{path}: {e}")),
+            };
+            run_with(spec, &sets, &args);
+        }
+        "preset" => {
+            if raw.is_empty() || raw[0].starts_with("--") {
+                fail("`swim preset` expects a preset name (see `swim list`)");
+            }
+            let name = raw.remove(0);
+            let (sets, rest) = extract_sets(raw);
+            let args = match Args::try_parse_from(rest.into_iter()) {
+                Ok(args) => args,
+                Err(e) => fail(&e),
+            };
+            let Some(spec) = preset(&name, args.has("quick")) else {
+                fail(&format!("unknown preset `{name}` (see `swim list`)"));
+            };
+            run_with(spec, &sets, &args);
+        }
+        other => {
+            usage();
+            fail(&format!("unknown command `{other}`"));
+        }
+    }
+}

@@ -12,116 +12,14 @@
 //!
 //! The paper used 3,000 Monte Carlo runs (`--runs 3000` reproduces that
 //! budget; expect a proportional runtime increase).
-
-use swim_bench::cli::Args;
-use swim_bench::driver::{run_all_methods, DriverConfig};
-use swim_bench::prep::{prepare, PrepConfig, Scenario};
-use swim_bench::speedup::nwc_to_reach;
-use swim_cim::DeviceConfig;
-use swim_core::montecarlo::num_threads;
-use swim_core::report::Table;
+//!
+//! Thin wrapper over the `table1` preset — `swim preset table1` runs the
+//! identical experiment and adds `--set`/`--out` for structured results.
 
 fn main() {
-    let args = Args::parse();
-    if args.has("help") {
-        swim_bench::cli::print_common_help(
-            "table1",
-            &[("--sigmas a,b,c", "comma-separated variation levels (default 0.1,0.15,0.2)")],
-        );
-        return;
-    }
-    let quick = args.has("quick");
-    let runs = args.get_usize("runs", if quick { 5 } else { 25 });
-    let samples = args.get_usize("samples", if quick { 600 } else { 2500 });
-    let epochs = args.get_usize("epochs", if quick { 2 } else { 6 });
-    let threads = args.get_usize("threads", num_threads());
-    let seed = args.get_u64("seed", 1);
-    let sigmas: Vec<f64> = if quick { vec![0.15] } else { vec![0.1, 0.15, 0.2] };
-    let (gemm_threads, gemm_block) = swim_bench::cli::apply_gemm_flags(&args, threads);
-
-    println!("SWIM reproduction — Table 1: LeNet / MNIST-substitute, 4-bit");
-    println!(
-        "(runs = {runs}; the paper used 3000. Absolute accuracies differ on the synthetic \
-         dataset; compare method ordering, gaps, and stds.)\n"
-    );
-
-    for &sigma in &sigmas {
-        let device = DeviceConfig::rram().with_sigma(sigma);
-        let prep_cfg = PrepConfig { samples, epochs, seed, ..Default::default() };
-        let mut prepared = prepare(Scenario::LenetMnist, device, &prep_cfg);
-        println!(
-            "\nsigma = {sigma}: float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
-            prepared.float_accuracy, prepared.quant_accuracy
-        );
-
-        let cfg =
-            DriverConfig { runs, threads, gemm_threads, gemm_block, seed, ..Default::default() };
-        let curves = run_all_methods(&mut prepared, &cfg);
-        let table = curves.to_table(&format!("Table 1 block, sigma = {sigma}"));
-        println!("{}", table.render());
-        if args.has("csv") {
-            println!("{}", curves.to_csv(&format!("table1_sigma_{sigma}")));
-        }
-
-        // §4.3 speed-up summary: NWC needed to come within 0.1 points of
-        // the full write-verify accuracy.
-        let full_wv = curves.swim.last().expect("nonempty sweep").accuracy.mean();
-        let target = full_wv - 0.1;
-        let mut summary = Table::new(
-            format!("write cycles to reach {target:.2}% (full-WV {full_wv:.2}% − 0.1)"),
-            &["method", "NWC needed", "speedup vs full write-verify"],
-        );
-        let mut insitu_points = Vec::new();
-        for p in &curves.insitu {
-            insitu_points.push(swim_core::montecarlo::SweepPoint {
-                fraction: p.nwc,
-                nwc: p.nwc,
-                accuracy: p.accuracy,
-            });
-        }
-        for (name, pts) in [
-            ("SWIM", &curves.swim),
-            ("Magnitude", &curves.magnitude),
-            ("Random", &curves.random),
-            ("In-situ", &insitu_points),
-        ] {
-            let (nwc_text, speed_text) = match nwc_to_reach(pts, target) {
-                Some(nwc) if nwc > 0.0 => (format!("{nwc:.2}"), format!("{:.1}x", 1.0 / nwc)),
-                Some(_) => ("0.00".into(), "inf".into()),
-                None => ("not reached ≤ 1.0".into(), "-".into()),
-            };
-            summary.push_row_owned(vec![name.into(), nwc_text, speed_text]);
-        }
-        println!("{}", summary.render());
-
-        // The paper's §4.3 comparison style: the NWC each *baseline*
-        // needs to attain the accuracy SWIM reaches at NWC = 0.1
-        // (paper: magnitude ~0.5, random ~0.9, in-situ ~0.9 → 5x/9x/9x).
-        if let Some(swim_01) = curves.swim.iter().find(|p| (p.fraction - 0.1).abs() < 1e-9) {
-            let target = swim_01.accuracy.mean();
-            let mut equal = Table::new(
-                format!("NWC to attain SWIM@0.1's accuracy ({target:.2}%)"),
-                &["method", "NWC needed", "SWIM speedup"],
-            );
-            for (name, pts) in [
-                ("SWIM", &curves.swim),
-                ("Magnitude", &curves.magnitude),
-                ("Random", &curves.random),
-                ("In-situ", &insitu_points),
-            ] {
-                let (nwc_text, speed_text) = match nwc_to_reach(pts, target) {
-                    Some(nwc) if nwc > 0.0 => (format!("{nwc:.2}"), format!("{:.1}x", nwc / 0.1)),
-                    Some(_) => ("0.00".into(), "-".into()),
-                    None => ("not reached ≤ 1.0".into(), ">10x".into()),
-                };
-                equal.push_row_owned(vec![name.into(), nwc_text, speed_text]);
-            }
-            println!("{}", equal.render());
-        }
-    }
-
-    println!(
-        "paper shape: SWIM reaches full-write-verify accuracy at the lowest NWC at every sigma,\n\
-         with the smallest std; magnitude is second; random and in-situ need most cycles."
+    swim_bench::experiment::preset_bin_main(
+        "table1",
+        "table1",
+        &[("--sigmas a,b,c", "comma-separated variation levels (default 0.1,0.15,0.2)")],
     );
 }

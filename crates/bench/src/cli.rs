@@ -1,7 +1,11 @@
-//! Minimal `--flag value` argument parsing for the experiment binaries.
+//! Minimal `--flag value` / `--flag=value` argument parsing for the
+//! experiment binaries.
 //!
-//! Hand-rolled (a dozen lines) rather than pulling in an argument-parsing
-//! dependency; every binary shares the same small flag set.
+//! Hand-rolled (a few dozen lines) rather than pulling in an
+//! argument-parsing dependency; every binary shares the same small flag
+//! set. Stray positional arguments are an error — `swim`-style
+//! subcommands consume their positionals *before* handing the rest to
+//! [`Args::try_parse_from`].
 
 use std::collections::BTreeMap;
 
@@ -12,10 +16,17 @@ use std::collections::BTreeMap;
 /// ```
 /// use swim_bench::cli::Args;
 ///
-/// let args = Args::parse_from(["--runs", "500", "--quick"].iter().map(|s| s.to_string()));
+/// let args = Args::try_parse_from(
+///     ["--runs", "500", "--seed=7", "--quick"].iter().map(|s| s.to_string()),
+/// ).unwrap();
 /// assert_eq!(args.get_usize("runs", 100), 500);
+/// assert_eq!(args.get_u64("seed", 0), 7); // --flag=value form
 /// assert!(args.has("quick"));
 /// assert_eq!(args.get_f64("sigma", 0.1), 0.1);
+///
+/// // Stray positional arguments are rejected, not silently ignored.
+/// let err = Args::try_parse_from(["oops"].iter().map(|s| s.to_string()));
+/// assert!(err.unwrap_err().contains("stray argument"));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -24,13 +35,24 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses the process arguments (skipping the binary name).
+    /// Parses the process arguments (skipping the binary name), exiting
+    /// with status 2 on malformed input.
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        match Self::try_parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("(pass --help for the flag reference)");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parses from an explicit iterator (testable entry point).
-    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+    ///
+    /// Accepts both `--name value` and `--name=value`; a `--name` with
+    /// no value is a boolean flag. Positional arguments are an error.
+    pub fn try_parse_from(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut out = Args::default();
         let mut pending: Option<String> = None;
         for arg in args {
@@ -38,22 +60,46 @@ impl Args {
                 if let Some(flag) = pending.take() {
                     out.flags.push(flag);
                 }
-                pending = Some(name.to_string());
+                if let Some((key, value)) = name.split_once('=') {
+                    if key.is_empty() {
+                        return Err(format!("malformed flag `{arg}`"));
+                    }
+                    out.values.insert(key.to_string(), value.to_string());
+                } else {
+                    pending = Some(name.to_string());
+                }
             } else if let Some(name) = pending.take() {
                 out.values.insert(name, arg);
             } else {
-                eprintln!("warning: ignoring stray argument `{arg}`");
+                return Err(format!(
+                    "stray argument `{arg}` (flags look like `--name value` or `--name=value`)"
+                ));
             }
         }
         if let Some(flag) = pending {
             out.flags.push(flag);
         }
-        out
+        Ok(out)
     }
 
     /// Whether a bare `--name` flag was present.
     pub fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of `--name value`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// Every `--name value` pair, in sorted order.
+    pub fn values(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Every bare boolean flag, in the order given.
+    pub fn flags(&self) -> impl Iterator<Item = &str> {
+        self.flags.iter().map(|f| f.as_str())
     }
 
     /// `--name value` as `usize`, with default.
@@ -102,23 +148,42 @@ impl Args {
     }
 }
 
+/// The standard flag reference shared by the experiment binaries.
+///
+/// The printed `--gemm-min-flops` default is the *resolved* threshold
+/// ([`swim_tensor::linalg::PARALLEL_MIN_FLOPS`]), the same value
+/// [`apply_gemm_flags`] installs when the flag is absent.
+pub fn common_help_text(binary: &str, extra: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line(format!("usage: cargo run --release -p swim-bench --bin {binary} [flags]"));
+    line("  --runs N      Monte Carlo runs (default varies; paper used 3000)".into());
+    line("  --threads N   Monte Carlo worker threads (default: all cores)".into());
+    line("  --gemm-threads N  threads inside each matrix product (default: 1 when".into());
+    line("                the Monte Carlo level is already parallel, else all cores)".into());
+    line("  --gemm-block N    GEMM cache-block width in columns (default: auto)".into());
+    line("  --gemm-min-flops N  multiply count above which a product goes".into());
+    line(format!(
+        "                multithreaded (default {} = 2^22; 1 = always)",
+        swim_tensor::linalg::PARALLEL_MIN_FLOPS
+    ));
+    line("  --samples N   dataset size (train+test)".into());
+    line("  --seed N      base RNG seed".into());
+    line("  --csv         also print CSV blocks".into());
+    line("  --out FILE    write a JSON results document".into());
+    line("  --quick       tiny smoke-test configuration".into());
+    for (flag, desc) in extra {
+        line(format!("  {flag:<13} {desc}"));
+    }
+    out
+}
+
 /// Prints the standard flag reference shared by the experiment binaries.
 pub fn print_common_help(binary: &str, extra: &[(&str, &str)]) {
-    println!("usage: cargo run --release -p swim-bench --bin {binary} [flags]");
-    println!("  --runs N      Monte Carlo runs (default varies; paper used 3000)");
-    println!("  --threads N   Monte Carlo worker threads (default: all cores)");
-    println!("  --gemm-threads N  threads inside each matrix product (default: 1 when");
-    println!("                the Monte Carlo level is already parallel, else all cores)");
-    println!("  --gemm-block N    GEMM cache-block width in columns (default: auto)");
-    println!("  --gemm-min-flops N  multiply count above which a product goes");
-    println!("                multithreaded (default: 2^22; 1 = always)");
-    println!("  --samples N   dataset size (train+test)");
-    println!("  --seed N      base RNG seed");
-    println!("  --csv         also print CSV blocks");
-    println!("  --quick       tiny smoke-test configuration");
-    for (flag, desc) in extra {
-        println!("  {flag:<13} {desc}");
-    }
+    print!("{}", common_help_text(binary, extra));
 }
 
 /// Applies the `--gemm-threads` / `--gemm-block` / `--gemm-min-flops`
@@ -138,7 +203,12 @@ pub fn apply_gemm_flags(args: &Args, mc_threads: usize) -> (usize, usize) {
     let gemm_block = args.get_usize("gemm-block", 0);
     swim_tensor::linalg::set_gemm_threads(gemm_threads);
     swim_tensor::linalg::set_gemm_block_cols(gemm_block);
-    swim_tensor::linalg::set_gemm_parallel_min_flops(args.get_usize("gemm-min-flops", 0));
+    // The resolved default is the documented PARALLEL_MIN_FLOPS
+    // threshold — pass it explicitly so the help text, the setting, and
+    // the kernel's view of it can never drift apart.
+    swim_tensor::linalg::set_gemm_parallel_min_flops(
+        args.get_usize("gemm-min-flops", swim_tensor::linalg::PARALLEL_MIN_FLOPS),
+    );
     (gemm_threads, gemm_block)
 }
 
@@ -147,7 +217,7 @@ mod tests {
     use super::*;
 
     fn parse(list: &[&str]) -> Args {
-        Args::parse_from(list.iter().map(|s| s.to_string()))
+        Args::try_parse_from(list.iter().map(|s| s.to_string())).expect("valid flags")
     }
 
     #[test]
@@ -157,6 +227,18 @@ mod tests {
         assert!(a.has("csv"));
         assert!(!a.has("quick"));
         assert!((a.get_f64("sigma", 0.0) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse(&["--runs=30", "--out=results.json", "--quick"]);
+        assert_eq!(a.get_usize("runs", 1), 30);
+        assert_eq!(a.get("out"), Some("results.json"));
+        assert!(a.has("quick"));
+        // An explicit empty value is a value, not a flag.
+        let a = parse(&["--label="]);
+        assert_eq!(a.get("label"), Some(""));
+        assert!(!a.has("label"));
     }
 
     #[test]
@@ -173,8 +255,44 @@ mod tests {
     }
 
     #[test]
+    fn stray_positionals_error() {
+        let e = Args::try_parse_from(["table1".to_string()].into_iter()).unwrap_err();
+        assert!(e.contains("stray argument `table1`"), "{e}");
+        // A positional after a consumed value is also caught.
+        let e = Args::try_parse_from(["--runs", "3", "oops"].iter().map(|s| s.to_string()))
+            .unwrap_err();
+        assert!(e.contains("stray argument `oops`"), "{e}");
+        // `--=x` is malformed.
+        let e = Args::try_parse_from(["--=x".to_string()].into_iter()).unwrap_err();
+        assert!(e.contains("malformed"), "{e}");
+    }
+
+    #[test]
     #[should_panic(expected = "expects an integer")]
     fn bad_integer_panics() {
         parse(&["--runs", "abc"]).get_usize("runs", 1);
+    }
+
+    #[test]
+    fn help_advertises_resolved_gemm_min_flops_default() {
+        let help = common_help_text("table1", &[]);
+        let expect = format!("default {} = 2^22", swim_tensor::linalg::PARALLEL_MIN_FLOPS);
+        assert!(help.contains(&expect), "help says: {help}");
+    }
+
+    #[test]
+    fn gemm_flag_default_matches_advertised_value() {
+        // With no flag given, the installed threshold must equal the
+        // value the help text advertises.
+        apply_gemm_flags(&parse(&[]), 1);
+        assert_eq!(
+            swim_tensor::linalg::gemm_parallel_min_flops(),
+            swim_tensor::linalg::PARALLEL_MIN_FLOPS
+        );
+        // And an explicit override sticks.
+        apply_gemm_flags(&parse(&["--gemm-min-flops", "1"]), 1);
+        assert_eq!(swim_tensor::linalg::gemm_parallel_min_flops(), 1);
+        // Restore the default for other tests in this process.
+        apply_gemm_flags(&parse(&[]), 1);
     }
 }

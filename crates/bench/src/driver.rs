@@ -1,14 +1,17 @@
-//! The four-method sweep driver behind Table 1 and Fig. 2.
+//! The multi-method sweep driver behind Table 1 and Fig. 2.
 //!
-//! Runs SWIM, magnitude, and random selective write-verify plus the
-//! in-situ training baseline over the same NWC grid with the same Monte
-//! Carlo budget, and renders the paper-shaped tables.
+//! Runs any set of [`Selector`]s plus the in-situ training baseline
+//! over the same NWC grid with the same Monte Carlo budget, and renders
+//! the paper-shaped tables. Curves are keyed by selector name — table
+//! row order is the selector order given by the caller, so the paper's
+//! presentation (SWIM, Magnitude, Random, In-situ) is just the default
+//! selector registry order.
 
 use crate::prep::Prepared;
 use swim_core::insitu::{insitu_training, InsituConfig};
 use swim_core::montecarlo::{nwc_sweep, parallel_map, SweepConfig, SweepPoint};
 use swim_core::report::{fmt_mean_std, Table};
-use swim_core::select::Strategy;
+use swim_core::select::{default_selectors, Selector};
 use swim_nn::loss::SoftmaxCrossEntropy;
 use swim_tensor::stats::Running;
 use swim_tensor::Prng;
@@ -22,20 +25,25 @@ pub struct InsituStats {
     pub accuracy: Running,
 }
 
-/// Accuracy-vs-NWC curves for all four methods.
+/// One selector's accuracy-vs-NWC curve.
+#[derive(Debug, Clone)]
+pub struct MethodCurve {
+    /// Selector display name (table row label and results-document key).
+    pub name: String,
+    /// The swept points, one per NWC-grid fraction.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Accuracy-vs-NWC curves for every method, keyed by name.
 #[derive(Debug, Clone)]
 pub struct MethodCurves {
-    /// SWIM (second-derivative selection).
-    pub swim: Vec<SweepPoint>,
-    /// Magnitude-based selection baseline.
-    pub magnitude: Vec<SweepPoint>,
-    /// Random selection baseline.
-    pub random: Vec<SweepPoint>,
-    /// In-situ training baseline.
+    /// One curve per selector, in the caller's selector order.
+    pub methods: Vec<MethodCurve>,
+    /// In-situ training baseline (empty when it was not run).
     pub insitu: Vec<InsituStats>,
 }
 
-/// Configuration of a full four-method comparison.
+/// Configuration of a full method comparison.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
     /// Write-verified weight fractions (≈ NWC grid).
@@ -54,6 +62,8 @@ pub struct DriverConfig {
     pub eval_batch: usize,
     /// Base seed.
     pub seed: u64,
+    /// Whether to run the in-situ training baseline.
+    pub insitu: bool,
     /// In-situ learning rate.
     pub insitu_lr: f32,
     /// In-situ mini-batch size.
@@ -70,6 +80,7 @@ impl Default for DriverConfig {
             gemm_block: 0,
             eval_batch: 256,
             seed: 0,
+            insitu: true,
             // Small steps: each on-device update rewrites every weight
             // with fresh programming noise, so aggressive learning rates
             // hurt more than they help (visible as an accuracy dip at
@@ -80,13 +91,42 @@ impl Default for DriverConfig {
     }
 }
 
-/// Runs all four methods on a prepared scenario.
+impl DriverConfig {
+    /// The driver view of an experiment spec. `gemm_threads` /
+    /// `gemm_block` come from [`crate::cli::apply_gemm_flags`] so CLI
+    /// overrides and the spec agree on one policy.
+    pub fn from_spec(
+        spec: &swim_exp::spec::ExperimentSpec,
+        gemm_threads: usize,
+        gemm_block: usize,
+    ) -> Self {
+        DriverConfig {
+            fractions: spec.sweep.fractions.clone(),
+            runs: spec.montecarlo.runs,
+            threads: spec.threads(),
+            gemm_threads,
+            gemm_block,
+            eval_batch: spec.montecarlo.eval_batch,
+            seed: spec.seed,
+            insitu: spec.selection.insitu,
+            insitu_lr: spec.insitu.lr,
+            insitu_batch: spec.insitu.batch,
+        }
+    }
+}
+
+/// Runs the given selectors (plus, when configured, the in-situ
+/// baseline) on a prepared scenario.
 ///
 /// Sensitivities are computed once from the training split (SWIM's
-/// "single pass"); the three write-verify methods share the same
-/// Monte Carlo seeds so their comparison is paired; in-situ training
-/// runs its own Monte Carlo with per-run RNG forks.
-pub fn run_all_methods(prepared: &mut Prepared, cfg: &DriverConfig) -> MethodCurves {
+/// "single pass"); all write-verify methods share the same Monte Carlo
+/// seeds so their comparison is paired; in-situ training runs its own
+/// Monte Carlo with per-run RNG forks.
+pub fn run_methods(
+    prepared: &mut Prepared,
+    selectors: &[Box<dyn Selector>],
+    cfg: &DriverConfig,
+) -> MethodCurves {
     swim_tensor::linalg::set_gemm_threads(cfg.gemm_threads);
     swim_tensor::linalg::set_gemm_block_cols(cfg.gemm_block);
     let loss = SoftmaxCrossEntropy::new();
@@ -101,68 +141,117 @@ pub fn run_all_methods(prepared: &mut Prepared, cfg: &DriverConfig) -> MethodCur
         eval_batch: cfg.eval_batch,
         seed: cfg.seed,
     };
-    let mut curves = Vec::new();
-    for strategy in Strategy::all() {
-        eprintln!("[driver] sweeping {} ({} runs)...", strategy.name(), cfg.runs);
-        curves.push(nwc_sweep(&prepared.model, strategy, &sens, &mags, &prepared.test, &sweep_cfg));
-    }
-    let random = curves.pop().expect("three strategies swept");
-    let magnitude = curves.pop().expect("three strategies swept");
-    let swim = curves.pop().expect("three strategies swept");
-
-    eprintln!("[driver] in-situ training baseline ({} runs)...", cfg.runs);
-    let record_at = cfg.fractions.clone();
-    let insitu_cfg = InsituConfig {
-        lr: cfg.insitu_lr,
-        batch_size: cfg.insitu_batch,
-        eval_batch: cfg.eval_batch,
-        record_at,
-    };
-    let base = Prng::seed_from_u64(cfg.seed.wrapping_add(0x5157_494D));
-    let model = &prepared.model;
-    let train = &prepared.train;
-    let test = &prepared.test;
-    let per_run: Vec<Vec<swim_core::insitu::InsituPoint>> =
-        parallel_map(cfg.runs, cfg.threads, &base, |_, mut rng| {
-            let mut local = model.clone();
-            insitu_training(&mut local, &loss, train, test, &insitu_cfg, &mut rng)
+    let mut methods = Vec::new();
+    for selector in selectors {
+        eprintln!("[driver] sweeping {} ({} runs)...", selector.name(), cfg.runs);
+        methods.push(MethodCurve {
+            name: selector.name().to_string(),
+            points: nwc_sweep(
+                &prepared.model,
+                selector.as_ref(),
+                &sens,
+                &mags,
+                &prepared.test,
+                &sweep_cfg,
+            ),
         });
-    let insitu = (0..cfg.fractions.len())
-        .map(|i| {
-            let mut accuracy = Running::new();
-            let mut nwc = Running::new();
-            for run in &per_run {
-                accuracy.push(100.0 * run[i].accuracy);
-                nwc.push(run[i].nwc);
-            }
-            InsituStats { nwc: nwc.mean(), accuracy }
-        })
-        .collect();
+    }
 
-    MethodCurves { swim, magnitude, random, insitu }
+    let insitu = if cfg.insitu {
+        eprintln!("[driver] in-situ training baseline ({} runs)...", cfg.runs);
+        let record_at = cfg.fractions.clone();
+        let insitu_cfg = InsituConfig {
+            lr: cfg.insitu_lr,
+            batch_size: cfg.insitu_batch,
+            eval_batch: cfg.eval_batch,
+            record_at,
+        };
+        let base = Prng::seed_from_u64(cfg.seed.wrapping_add(0x5157_494D));
+        let model = &prepared.model;
+        let train = &prepared.train;
+        let test = &prepared.test;
+        let per_run: Vec<Vec<swim_core::insitu::InsituPoint>> =
+            parallel_map(cfg.runs, cfg.threads, &base, |_, mut rng| {
+                let mut local = model.clone();
+                insitu_training(&mut local, &loss, train, test, &insitu_cfg, &mut rng)
+            });
+        (0..cfg.fractions.len())
+            .map(|i| {
+                let mut accuracy = Running::new();
+                let mut nwc = Running::new();
+                for run in &per_run {
+                    accuracy.push(100.0 * run[i].accuracy);
+                    nwc.push(run[i].nwc);
+                }
+                InsituStats { nwc: nwc.mean(), accuracy }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    MethodCurves { methods, insitu }
+}
+
+/// Runs the paper's four-method comparison (SWIM, magnitude, random,
+/// in-situ) — [`run_methods`] over the default selector registry.
+pub fn run_all_methods(prepared: &mut Prepared, cfg: &DriverConfig) -> MethodCurves {
+    run_methods(prepared, &default_selectors(), cfg)
 }
 
 impl MethodCurves {
+    /// The curve of a method by display name.
+    pub fn curve(&self, name: &str) -> Option<&[SweepPoint]> {
+        self.methods.iter().find(|m| m.name == name).map(|m| m.points.as_slice())
+    }
+
+    /// The SWIM curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no selector named "SWIM" was swept.
+    pub fn swim(&self) -> &[SweepPoint] {
+        self.curve("SWIM").expect("SWIM curve present")
+    }
+
+    /// The first method's curve — the reference for grid shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no methods were swept.
+    pub fn primary(&self) -> &[SweepPoint] {
+        &self.methods.first().expect("at least one method").points
+    }
+
+    /// The in-situ baseline reshaped as sweep points (NWC doubles as
+    /// the fraction axis), for the speed-up queries.
+    pub fn insitu_points(&self) -> Vec<SweepPoint> {
+        self.insitu
+            .iter()
+            .map(|p| SweepPoint { fraction: p.nwc, nwc: p.nwc, accuracy: p.accuracy })
+            .collect()
+    }
+
     /// Renders the Table-1-shaped block: one row per method, one column
     /// per NWC point, `mean ± std` cells.
     pub fn to_table(&self, title: &str) -> Table {
         let mut headers: Vec<String> = vec!["Method".to_string()];
-        for p in &self.swim {
+        for p in self.primary() {
             headers.push(format!("NWC {:.1}", p.fraction));
         }
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(title, &header_refs);
-        type CellFn<'a> = Box<dyn Fn(usize) -> String + 'a>;
-        let rows: [(&str, CellFn); 4] = [
-            ("SWIM", Box::new(|i| fmt_mean_std(&self.swim[i].accuracy))),
-            ("Magnitude", Box::new(|i| fmt_mean_std(&self.magnitude[i].accuracy))),
-            ("Random", Box::new(|i| fmt_mean_std(&self.random[i].accuracy))),
-            ("In-situ", Box::new(|i| fmt_mean_std(&self.insitu[i].accuracy))),
-        ];
-        for (name, cell) in rows {
-            let mut row = vec![name.to_string()];
-            for i in 0..self.swim.len() {
-                row.push(cell(i));
+        for method in &self.methods {
+            let mut row = vec![method.name.clone()];
+            for p in &method.points {
+                row.push(fmt_mean_std(&p.accuracy));
+            }
+            table.push_row_owned(row);
+        }
+        if !self.insitu.is_empty() {
+            let mut row = vec!["In-situ".to_string()];
+            for p in &self.insitu {
+                row.push(fmt_mean_std(&p.accuracy));
             }
             table.push_row_owned(row);
         }
@@ -181,14 +270,10 @@ impl MethodCurves {
                 format!("{:.4}", acc.std()),
             ]);
         };
-        for p in &self.swim {
-            push("SWIM", p.nwc, &p.accuracy);
-        }
-        for p in &self.magnitude {
-            push("Magnitude", p.nwc, &p.accuracy);
-        }
-        for p in &self.random {
-            push("Random", p.nwc, &p.accuracy);
+        for method in &self.methods {
+            for p in &method.points {
+                push(&method.name, p.nwc, &p.accuracy);
+            }
         }
         for p in &self.insitu {
             push("In-situ", p.nwc, &p.accuracy);
@@ -202,6 +287,7 @@ mod tests {
     use super::*;
     use crate::prep::{prepare, PrepConfig, Scenario};
     use swim_cim::DeviceConfig;
+    use swim_core::select::Strategy;
 
     #[test]
     fn driver_smoke_test() {
@@ -216,11 +302,60 @@ mod tests {
             ..Default::default()
         };
         let curves = run_all_methods(&mut prepared, &cfg);
-        assert_eq!(curves.swim.len(), 3);
+        assert_eq!(curves.swim().len(), 3);
         assert_eq!(curves.insitu.len(), 3);
         let table = curves.to_table("smoke");
         assert_eq!(table.len(), 4);
         let csv = curves.to_csv("smoke");
         assert!(csv.lines().count() > 10);
+    }
+
+    /// Regression pin for the pre-trait driver: the default comparison
+    /// must keep the legacy `Strategy::all()` order — SWIM, Magnitude,
+    /// Random, then In-situ — so every rendered table keeps its row
+    /// order byte-for-byte.
+    #[test]
+    fn default_method_order_matches_legacy_strategy_order() {
+        let prep_cfg = PrepConfig { samples: 300, epochs: 1, ..Default::default() };
+        let mut prepared =
+            prepare(Scenario::LenetMnist, DeviceConfig::rram().with_sigma(0.15), &prep_cfg);
+        let cfg = DriverConfig {
+            fractions: vec![0.0, 1.0],
+            runs: 2,
+            threads: 2,
+            eval_batch: 60,
+            ..Default::default()
+        };
+        let curves = run_all_methods(&mut prepared, &cfg);
+        let names: Vec<&str> = curves.methods.iter().map(|m| m.name.as_str()).collect();
+        let legacy: Vec<&str> = Strategy::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names, legacy, "table row order must not drift from the seed binaries");
+
+        let table = curves.to_table("pin");
+        assert_eq!(table.headers()[0], "Method");
+        assert_eq!(table.headers()[1], "NWC 0.0");
+        let rows: Vec<&str> = table.rows().iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(rows, vec!["SWIM", "Magnitude", "Random", "In-situ"]);
+    }
+
+    #[test]
+    fn insitu_can_be_disabled() {
+        let prep_cfg = PrepConfig { samples: 300, epochs: 1, ..Default::default() };
+        let mut prepared =
+            prepare(Scenario::LenetMnist, DeviceConfig::rram().with_sigma(0.15), &prep_cfg);
+        let cfg = DriverConfig {
+            fractions: vec![0.0, 1.0],
+            runs: 2,
+            threads: 2,
+            eval_batch: 60,
+            insitu: false,
+            ..Default::default()
+        };
+        let selectors = swim_core::select::default_selectors();
+        let curves = run_methods(&mut prepared, &selectors[..1], &cfg);
+        assert!(curves.insitu.is_empty());
+        assert_eq!(curves.methods.len(), 1);
+        let table = curves.to_table("no-insitu");
+        assert_eq!(table.len(), 1);
     }
 }

@@ -53,6 +53,20 @@ pub enum Scenario {
 }
 
 impl Scenario {
+    /// Resolves a spec's `[scenario]` section into the concrete
+    /// scenario descriptor.
+    pub fn from_spec(spec: &swim_exp::spec::ScenarioSpec) -> Scenario {
+        use swim_exp::spec::ScenarioKind;
+        match spec.model {
+            ScenarioKind::LenetMnist => Scenario::LenetMnist,
+            ScenarioKind::ConvnetCifar => Scenario::ConvnetCifar { width: spec.width },
+            ScenarioKind::Resnet18Cifar => Scenario::Resnet18Cifar { width: spec.width },
+            ScenarioKind::Resnet18Tiny => {
+                Scenario::Resnet18Tiny { width: spec.width, classes: spec.classes }
+            }
+        }
+    }
+
     /// Weight/activation bit width the paper uses for this scenario.
     pub fn weight_bits(&self) -> u32 {
         match self {
@@ -98,6 +112,19 @@ pub struct PrepConfig {
 impl Default for PrepConfig {
     fn default() -> Self {
         PrepConfig { samples: 2500, epochs: 6, lr: 0.05, batch: 32, seed: 1 }
+    }
+}
+
+impl From<&swim_exp::spec::ExperimentSpec> for PrepConfig {
+    /// The training-budget view of an experiment spec.
+    fn from(spec: &swim_exp::spec::ExperimentSpec) -> Self {
+        PrepConfig {
+            samples: spec.training.samples,
+            epochs: spec.training.epochs,
+            lr: spec.training.lr,
+            batch: spec.training.batch,
+            seed: spec.seed,
+        }
     }
 }
 

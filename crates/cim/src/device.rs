@@ -20,6 +20,39 @@ pub enum DeviceTech {
     Pcm,
 }
 
+impl DeviceTech {
+    /// Every preset, in presentation order.
+    pub fn all() -> [DeviceTech; 3] {
+        [DeviceTech::Rram, DeviceTech::Fefet, DeviceTech::Pcm]
+    }
+
+    /// Stable lowercase key used by experiment specs and the CLI.
+    pub fn key(&self) -> &'static str {
+        match self {
+            DeviceTech::Rram => "rram",
+            DeviceTech::Fefet => "fefet",
+            DeviceTech::Pcm => "pcm",
+        }
+    }
+
+    /// Parses a technology name (case-insensitive; accepts the spec key
+    /// or the display name). Returns `None` for unknown names.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use swim_cim::device::DeviceTech;
+    ///
+    /// assert_eq!(DeviceTech::parse("rram"), Some(DeviceTech::Rram));
+    /// assert_eq!(DeviceTech::parse("FeFET"), Some(DeviceTech::Fefet));
+    /// assert_eq!(DeviceTech::parse("dram"), None);
+    /// ```
+    pub fn parse(name: &str) -> Option<DeviceTech> {
+        let lower = name.to_lowercase();
+        DeviceTech::all().into_iter().find(|t| t.key() == lower)
+    }
+}
+
 impl fmt::Display for DeviceTech {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -209,5 +242,15 @@ mod tests {
         assert_eq!(DeviceTech::Rram.to_string(), "RRAM");
         assert_eq!(DeviceTech::Fefet.to_string(), "FeFET");
         assert_eq!(DeviceTech::Pcm.to_string(), "PCM");
+    }
+
+    #[test]
+    fn tech_keys_round_trip() {
+        for tech in DeviceTech::all() {
+            assert_eq!(DeviceTech::parse(tech.key()), Some(tech));
+            // Display names parse too (case-insensitively).
+            assert_eq!(DeviceTech::parse(&tech.to_string()), Some(tech));
+        }
+        assert_eq!(DeviceTech::parse("sram"), None);
     }
 }

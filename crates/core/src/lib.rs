@@ -64,4 +64,7 @@ pub mod sensitivity;
 
 pub use algorithm::{selective_write_verify, Alg1Config, Alg1Outcome};
 pub use model::QuantizedModel;
-pub use select::{build_ranking, mask_top_fraction, Strategy};
+pub use select::{
+    build_ranking, mask_top_fraction, registry, selector_by_name, SelectionInputs, Selector,
+    Strategy,
+};

@@ -86,6 +86,14 @@ impl QuantizedModel {
         &self.codes
     }
 
+    /// Parameter-tensor spans over the flat weight order, as
+    /// `(offset, len)` pairs — one per device-weight tensor, in mapping
+    /// order. Layer-aware selectors consume this via
+    /// [`crate::select::SelectionInputs`].
+    pub fn param_spans(&self) -> Vec<(usize, usize)> {
+        self.slots.iter().map(|s| (s.offset, s.len)).collect()
+    }
+
     /// Mutable access to the clean network (weights are the quantized
     /// values).
     pub fn network_mut(&mut self) -> &mut Network {

@@ -7,7 +7,7 @@
 //! `--threads 32` produce bit-identical statistics.
 
 use crate::model::{EvalScratch, QuantizedModel};
-use crate::select::{build_ranking, mask_top_fraction_into, Strategy};
+use crate::select::{mask_top_fraction_into, SelectionInputs, Selector};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -203,10 +203,14 @@ pub fn num_threads() -> usize {
 
 /// Sweeps accuracy versus NWC for one selection strategy.
 ///
-/// For `Swim`/`Magnitude` the ranking is computed once (it is a
-/// deterministic property of the trained model); for `Random` a fresh
+/// For deterministic selectors the ranking is computed once (it is a
+/// property of the trained model); for stochastic selectors
+/// ([`Selector::is_stochastic`], e.g. the random baseline) a fresh
 /// ranking is drawn inside each run, exactly as the paper's baseline
 /// re-selects randomly each time.
+///
+/// The legacy [`crate::select::Strategy`] enum implements [`Selector`],
+/// so existing call sites pass `&Strategy::Swim` etc.
 ///
 /// Returned accuracies are percentages (0–100) to match the paper's
 /// tables.
@@ -216,7 +220,7 @@ pub fn num_threads() -> usize {
 /// Panics if `sensitivities`/`magnitudes` lengths mismatch the model.
 pub fn nwc_sweep(
     model: &QuantizedModel,
-    strategy: Strategy,
+    selector: &dyn Selector,
     sensitivities: &[f32],
     magnitudes: &[f32],
     eval: &Dataset,
@@ -230,10 +234,10 @@ pub fn nwc_sweep(
 
     let base = Prng::seed_from_u64(config.seed);
     let denom = model.write_verify_all_cost(&mut base.fork(u64::MAX)) as f64;
-    let fixed_ranking = match strategy {
-        Strategy::Random => None,
-        s => Some(build_ranking(s, sensitivities, magnitudes, None)),
-    };
+    let spans = model.param_spans();
+    let inputs = SelectionInputs::with_spans(sensitivities, magnitudes, &spans);
+    let fixed_ranking =
+        if selector.is_stochastic() { None } else { Some(selector.rank(&inputs, None)) };
 
     // Each run returns (accuracy %, measured NWC) per fraction. Workers
     // reuse one EvalScratch (network clone + programming buffers) for
@@ -249,8 +253,7 @@ pub fn nwc_sweep(
             let ranking: &[usize] = match &fixed_ranking {
                 Some(r) => r,
                 None => {
-                    fresh_ranking =
-                        build_ranking(strategy, sensitivities, magnitudes, Some(&mut rng));
+                    fresh_ranking = selector.rank(&inputs, Some(&mut rng));
                     &fresh_ranking
                 }
             };
@@ -287,6 +290,7 @@ pub fn nwc_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::select::Strategy;
     use swim_cim::DeviceConfig;
     use swim_nn::layers::{Flatten, Linear, Relu, Sequential};
     use swim_nn::loss::SoftmaxCrossEntropy;
@@ -437,7 +441,7 @@ mod tests {
             eval_batch: 64,
             seed: 7,
         };
-        let sweep = nwc_sweep(&model, Strategy::Swim, &sens, &mags, &data, &cfg);
+        let sweep = nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg);
         assert_eq!(sweep.len(), 3);
         assert!(sweep[0].nwc < 1e-9);
         assert!(sweep[1].nwc > 0.3 && sweep[1].nwc < 0.7);
@@ -445,7 +449,7 @@ mod tests {
         // Full verification should be at least as accurate as none.
         assert!(sweep[2].accuracy.mean() >= sweep[0].accuracy.mean() - 2.0);
 
-        let again = nwc_sweep(&model, Strategy::Swim, &sens, &mags, &data, &cfg);
+        let again = nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg);
         assert_eq!(sweep[1].accuracy.mean(), again[1].accuracy.mean());
     }
 
@@ -468,7 +472,7 @@ mod tests {
                     eval_batch: 32,
                     seed: 11,
                 };
-                curves.push(nwc_sweep(&model, strategy, &sens, &mags, &data, &cfg));
+                curves.push(nwc_sweep(&model, &strategy, &sens, &mags, &data, &cfg));
             }
             for (a, b) in curves[0].iter().zip(&curves[1]) {
                 assert_eq!(a.accuracy.mean(), b.accuracy.mean(), "{strategy:?}");
@@ -485,8 +489,8 @@ mod tests {
         let mags = model.magnitudes();
         let cfg =
             SweepConfig { fractions: vec![0.5], runs: 6, threads: 2, eval_batch: 64, seed: 8 };
-        let a = nwc_sweep(&model, Strategy::Random, &sens, &mags, &data, &cfg);
-        let b = nwc_sweep(&model, Strategy::Random, &sens, &mags, &data, &cfg);
+        let a = nwc_sweep(&model, &Strategy::Random, &sens, &mags, &data, &cfg);
+        let b = nwc_sweep(&model, &Strategy::Random, &sens, &mags, &data, &cfg);
         assert_eq!(a[0].accuracy.mean(), b[0].accuracy.mean());
         assert!(a[0].accuracy.std() >= 0.0);
     }

@@ -88,6 +88,21 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -187,6 +202,38 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_quotes_comma_cells_and_preserves_plus_minus() {
+        let mut t = Table::new("t", &["cell"]);
+        t.push_row(&["98.50 ± 0.10"]);
+        t.push_row(&["1,234"]);
+        let csv = t.to_csv();
+        // The ± sign needs no quoting and must survive byte-exact.
+        assert!(csv.contains("98.50 ± 0.10\n"));
+        assert!(!csv.contains("\"98.50"));
+        // Comma cells are quoted so the row still has one column.
+        assert!(csv.contains("\"1,234\""));
+    }
+
+    #[test]
+    fn csv_quotes_newline_cells() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(&["line1\nline2", "plain"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"line1\nline2\",plain"));
+        // Exactly one header line + the (wrapped) data row's two lines.
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let mut t = Table::new("title", &["h1", "h2"]);
+        t.push_row(&["a", "b"]);
+        assert_eq!(t.title(), "title");
+        assert_eq!(t.headers(), &["h1".to_string(), "h2".to_string()]);
+        assert_eq!(t.rows(), &[vec!["a".to_string(), "b".to_string()]]);
     }
 
     #[test]

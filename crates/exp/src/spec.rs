@@ -1,0 +1,1260 @@
+//! The declarative experiment description: one validated struct holding
+//! scenario, device, training budget, selection strategy, sweep grid,
+//! and Monte Carlo budget.
+//!
+//! An [`ExperimentSpec`] is what the `swim` CLI runs, what preset
+//! definitions produce, and what the JSON results document echoes. It
+//! parses from the TOML subset (or JSON) of [`crate::value`], writes
+//! back out losslessly, rejects unknown keys, and derives the per-stage
+//! config views (`SweepConfig`, `Alg1Config`, `InsituConfig`,
+//! `DeviceConfig`) that the engine crates consume.
+
+use crate::value::{parse_json, parse_loose, parse_toml, Value};
+use swim_cim::device::{DeviceConfig, DeviceTech};
+use swim_core::algorithm::Alg1Config;
+use swim_core::insitu::InsituConfig;
+use swim_core::montecarlo::SweepConfig;
+use swim_core::select::{selector_by_name, Selector};
+
+/// A spec parsing/validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Which paper artifact (presentation + computation shape) a spec
+/// describes. `Sweep` is the generic accuracy-vs-NWC comparison; the
+/// others add the framing of the corresponding paper artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentKind {
+    /// Generic multi-method accuracy-vs-NWC sweep.
+    Sweep,
+    /// Table 1: per-sigma method tables plus the §4.3 speed-up summaries.
+    Table1,
+    /// Fig. 2 panel: single-device sweep with the paper's shape checks.
+    Fig2,
+    /// Fig. 1: single-weight perturbation correlation study.
+    Fig1,
+    /// §4.1 device-model calibration statistics.
+    Calibration,
+    /// Granularity / tie-break / calibration-set ablations.
+    Ablation,
+}
+
+impl ExperimentKind {
+    /// Every kind, with its stable spec key.
+    pub fn all() -> [ExperimentKind; 6] {
+        [
+            ExperimentKind::Sweep,
+            ExperimentKind::Table1,
+            ExperimentKind::Fig2,
+            ExperimentKind::Fig1,
+            ExperimentKind::Calibration,
+            ExperimentKind::Ablation,
+        ]
+    }
+
+    /// Stable key used in spec files.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ExperimentKind::Sweep => "sweep",
+            ExperimentKind::Table1 => "table1",
+            ExperimentKind::Fig2 => "fig2",
+            ExperimentKind::Fig1 => "fig1",
+            ExperimentKind::Calibration => "calibration",
+            ExperimentKind::Ablation => "ablation",
+        }
+    }
+
+    /// Parses a kind key.
+    pub fn parse(name: &str) -> Option<ExperimentKind> {
+        ExperimentKind::all().into_iter().find(|k| k.key() == name)
+    }
+}
+
+/// Which model/dataset pairing to prepare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// LeNet on the MNIST substitute (paper §4.3; 4-bit).
+    LenetMnist,
+    /// ConvNet on the CIFAR-10 substitute (paper §4.4; 6-bit).
+    ConvnetCifar,
+    /// ResNet-18 on the CIFAR-10 substitute (paper §4.4; 6-bit).
+    Resnet18Cifar,
+    /// ResNet-18 on the Tiny-ImageNet substitute (paper §4.5; 6-bit).
+    Resnet18Tiny,
+}
+
+impl ScenarioKind {
+    /// Every scenario, with its stable spec key.
+    pub fn all() -> [ScenarioKind; 4] {
+        [
+            ScenarioKind::LenetMnist,
+            ScenarioKind::ConvnetCifar,
+            ScenarioKind::Resnet18Cifar,
+            ScenarioKind::Resnet18Tiny,
+        ]
+    }
+
+    /// Stable key used in spec files.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ScenarioKind::LenetMnist => "lenet-mnist",
+            ScenarioKind::ConvnetCifar => "convnet-cifar",
+            ScenarioKind::Resnet18Cifar => "resnet18-cifar",
+            ScenarioKind::Resnet18Tiny => "resnet18-tiny",
+        }
+    }
+
+    /// Parses a scenario key.
+    pub fn parse(name: &str) -> Option<ScenarioKind> {
+        ScenarioKind::all().into_iter().find(|s| s.key() == name)
+    }
+}
+
+/// `[scenario]`: the model/dataset pairing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Which architecture/dataset pair.
+    pub model: ScenarioKind,
+    /// Channel-width multiplier (1.0 = paper scale).
+    pub width: f32,
+    /// Class count (only meaningful for the Tiny-ImageNet scenario).
+    pub classes: usize,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec { model: ScenarioKind::LenetMnist, width: 1.0, classes: 10 }
+    }
+}
+
+/// `[device]`: technology preset, variation grid, and overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Technology preset supplying the non-sigma defaults.
+    pub tech: DeviceTech,
+    /// Variation levels to run (Table 1 sweeps several; most artifacts
+    /// use one). Must be non-empty.
+    pub sigmas: Vec<f64>,
+    /// Optional override of the preset's verify margin.
+    pub verify_margin: Option<f64>,
+    /// Optional override of the preset's pulse step.
+    pub pulse_step: Option<f64>,
+    /// Optional override of the preset's verify-iteration bound.
+    pub max_verify_iters: Option<u32>,
+    /// Optional override of the preset's device bit width.
+    pub device_bits: Option<u32>,
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec {
+            tech: DeviceTech::Rram,
+            sigmas: vec![0.1],
+            verify_margin: None,
+            pulse_step: None,
+            max_verify_iters: None,
+            device_bits: None,
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// Resolves the spec at one variation level into the engine's
+    /// [`DeviceConfig`].
+    pub fn config_at(&self, sigma: f64) -> DeviceConfig {
+        let mut cfg = DeviceConfig::for_tech(self.tech).with_sigma(sigma);
+        if let Some(m) = self.verify_margin {
+            cfg.verify_margin = m;
+        }
+        if let Some(p) = self.pulse_step {
+            cfg.pulse_step = p;
+        }
+        if let Some(i) = self.max_verify_iters {
+            cfg.max_verify_iters = i;
+        }
+        if let Some(b) = self.device_bits {
+            cfg = cfg.with_device_bits(b);
+        }
+        cfg
+    }
+
+    /// One [`DeviceConfig`] per entry of the sigma grid.
+    pub fn configs(&self) -> Vec<DeviceConfig> {
+        self.sigmas.iter().map(|&s| self.config_at(s)).collect()
+    }
+
+    /// Builds the spec describing an existing [`DeviceConfig`] — the
+    /// inverse of [`DeviceSpec::config_at`], so device settings round-trip
+    /// through spec files.
+    pub fn from_config(cfg: &DeviceConfig) -> DeviceSpec {
+        // Prefer a bare preset reference when one matches exactly.
+        for tech in DeviceTech::all() {
+            if DeviceConfig::for_tech(tech).with_sigma(cfg.sigma) == *cfg {
+                return DeviceSpec { tech, sigmas: vec![cfg.sigma], ..Default::default() };
+            }
+        }
+        DeviceSpec {
+            tech: DeviceTech::Rram,
+            sigmas: vec![cfg.sigma],
+            verify_margin: Some(cfg.verify_margin),
+            pulse_step: Some(cfg.pulse_step),
+            max_verify_iters: Some(cfg.max_verify_iters),
+            device_bits: Some(cfg.device_bits),
+        }
+    }
+}
+
+/// `[training]`: the budget used to train the scenario's network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSpec {
+    /// Total samples generated (split 80/20 train/test).
+    pub samples: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for TrainingSpec {
+    fn default() -> Self {
+        TrainingSpec { samples: 2500, epochs: 6, lr: 0.05, batch: 32 }
+    }
+}
+
+/// `[selection]`: which selectors compete, and whether the in-situ
+/// baseline rides along.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionSpec {
+    /// Selector registry keys, in table row order.
+    pub methods: Vec<String>,
+    /// Whether to run the in-situ training baseline.
+    pub insitu: bool,
+}
+
+impl Default for SelectionSpec {
+    fn default() -> Self {
+        SelectionSpec {
+            methods: vec!["swim".into(), "magnitude".into(), "random".into()],
+            insitu: true,
+        }
+    }
+}
+
+impl SelectionSpec {
+    /// Resolves the method names into selector instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown — call after validation.
+    pub fn selectors(&self) -> Vec<Box<dyn Selector>> {
+        self.methods
+            .iter()
+            .map(|name| {
+                selector_by_name(name).unwrap_or_else(|| panic!("unknown selector `{name}`"))
+            })
+            .collect()
+    }
+}
+
+/// `[sweep]`: the write-verified-fraction grid (≈ NWC grid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Selection fractions to evaluate.
+    pub fractions: Vec<f64>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec { fractions: vec![0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] }
+    }
+}
+
+/// `[montecarlo]`: replication budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloSpec {
+    /// Monte Carlo runs per method/point (paper: 3000).
+    pub runs: usize,
+    /// Worker threads; 0 = all cores.
+    pub threads: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+}
+
+impl Default for MonteCarloSpec {
+    fn default() -> Self {
+        MonteCarloSpec { runs: 25, threads: 0, eval_batch: 256 }
+    }
+}
+
+/// `[insitu]`: on-device training baseline hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsituSpec {
+    /// SGD learning rate for the on-device updates.
+    pub lr: f32,
+    /// Mini-batch size per iteration.
+    pub batch: usize,
+}
+
+impl Default for InsituSpec {
+    fn default() -> Self {
+        InsituSpec { lr: 0.005, batch: 32 }
+    }
+}
+
+/// `[correlation]`: Fig. 1 study shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationSpec {
+    /// Weights to probe.
+    pub probes: usize,
+    /// Monte Carlo runs per probed weight.
+    pub runs: usize,
+}
+
+impl Default for CorrelationSpec {
+    fn default() -> Self {
+        CorrelationSpec { probes: 150, runs: 30 }
+    }
+}
+
+/// `[calibration]`: §4.1 device statistics sample size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSpec {
+    /// Devices sampled per configuration.
+    pub devices: usize,
+}
+
+impl Default for CalibrationSpec {
+    fn default() -> Self {
+        CalibrationSpec { devices: 100_000 }
+    }
+}
+
+/// `[ablation]`: grids for the three ablation studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationSpec {
+    /// Algorithm 1 programming granularities `p`.
+    pub granularities: Vec<f64>,
+    /// Algorithm 1 accuracy-drop budget `δA` (fraction).
+    pub max_drop: f64,
+    /// Fractions for the tie-break comparison sweep.
+    pub tiebreak_fractions: Vec<f64>,
+    /// Calibration-set size fractions for the sensitivity-data ablation.
+    pub calibration_fractions: Vec<f64>,
+}
+
+impl Default for AblationSpec {
+    fn default() -> Self {
+        AblationSpec {
+            granularities: vec![0.01, 0.05, 0.10, 0.25],
+            max_drop: 0.005,
+            tiebreak_fractions: vec![0.05, 0.1, 0.3],
+            calibration_fractions: vec![0.02, 0.1, 0.5, 1.0],
+        }
+    }
+}
+
+/// The complete declarative experiment description.
+///
+/// Partial documents are completed from [`Default`]: a spec file only
+/// needs the keys it wants to change.
+///
+/// # Example
+///
+/// ```
+/// use swim_exp::spec::ExperimentSpec;
+///
+/// let spec = ExperimentSpec::parse_str(
+///     "name = \"mini\"\n[montecarlo]\nruns = 3\n",
+/// ).unwrap();
+/// assert_eq!(spec.name, "mini");
+/// assert_eq!(spec.montecarlo.runs, 3);
+/// assert_eq!(spec.training.epochs, 6); // defaulted
+/// let text = spec.to_toml();
+/// assert_eq!(ExperimentSpec::parse_str(&text).unwrap(), spec);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Display name (used in output headers and the results document).
+    pub name: String,
+    /// Artifact kind (presentation + computation shape).
+    pub kind: ExperimentKind,
+    /// Paper note printed alongside Fig. 2-style output.
+    pub note: String,
+    /// Base RNG seed for data, training, and Monte Carlo.
+    pub seed: u64,
+    /// Model/dataset pairing.
+    pub scenario: ScenarioSpec,
+    /// Device model and variation grid.
+    pub device: DeviceSpec,
+    /// Training budget.
+    pub training: TrainingSpec,
+    /// Competing selectors and baselines.
+    pub selection: SelectionSpec,
+    /// NWC grid.
+    pub sweep: SweepSpec,
+    /// Monte Carlo budget.
+    pub montecarlo: MonteCarloSpec,
+    /// In-situ baseline hyper-parameters.
+    pub insitu: InsituSpec,
+    /// Fig. 1 study shape.
+    pub correlation: CorrelationSpec,
+    /// Calibration sample size.
+    pub calibration: CalibrationSpec,
+    /// Ablation grids.
+    pub ablation: AblationSpec,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            name: "custom".into(),
+            kind: ExperimentKind::Sweep,
+            note: String::new(),
+            seed: 1,
+            scenario: ScenarioSpec::default(),
+            device: DeviceSpec::default(),
+            training: TrainingSpec::default(),
+            selection: SelectionSpec::default(),
+            sweep: SweepSpec::default(),
+            montecarlo: MonteCarloSpec::default(),
+            insitu: InsituSpec::default(),
+            correlation: CorrelationSpec::default(),
+            calibration: CalibrationSpec::default(),
+            ablation: AblationSpec::default(),
+        }
+    }
+}
+
+// ------------------------------------------------------------- reading
+
+/// Tracks which keys of a table were consumed so leftovers can be
+/// rejected with their full path.
+struct Reader<'a> {
+    path: &'a str,
+    entries: &'a [(String, Value)],
+    seen: Vec<bool>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(path: &'a str, value: &'a Value) -> Result<Self, SpecError> {
+        let entries = value
+            .as_table()
+            .ok_or_else(|| err(format!("`{path}` must be a table", path = display_path(path))))?;
+        Ok(Reader { path, entries, seen: vec![false; entries.len()] })
+    }
+
+    fn full_key(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{key}", self.path)
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Option<&'a Value> {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if k == key {
+                self.seen[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn finish(self) -> Result<(), SpecError> {
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            if !self.seen[i] {
+                return Err(err(format!("unknown key `{}`", self.full_key(k))));
+            }
+        }
+        Ok(())
+    }
+
+    fn string_or(&mut self, key: &str, default: &str) -> Result<String, SpecError> {
+        match self.take(key) {
+            None => Ok(default.to_string()),
+            Some(v) => v
+                .as_str()
+                .map(|s| s.to_string())
+                .ok_or_else(|| err(format!("`{}` must be a string", self.full_key(key)))),
+        }
+    }
+
+    fn usize_or(&mut self, key: &str, default: usize) -> Result<usize, SpecError> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => v.as_int().and_then(|i| usize::try_from(i).ok()).ok_or_else(|| {
+                err(format!("`{}` must be a non-negative integer", self.full_key(key)))
+            }),
+        }
+    }
+
+    fn u64_or(&mut self, key: &str, default: u64) -> Result<u64, SpecError> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => v.as_int().and_then(|i| u64::try_from(i).ok()).ok_or_else(|| {
+                err(format!("`{}` must be a non-negative integer", self.full_key(key)))
+            }),
+        }
+    }
+
+    fn f64_or(&mut self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_float()
+                .ok_or_else(|| err(format!("`{}` must be a number", self.full_key(key)))),
+        }
+    }
+
+    fn f32_or(&mut self, key: &str, default: f32) -> Result<f32, SpecError> {
+        self.f64_or(key, default as f64).map(|v| v as f32)
+    }
+
+    fn bool_or(&mut self, key: &str, default: bool) -> Result<bool, SpecError> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| err(format!("`{}` must be a boolean", self.full_key(key)))),
+        }
+    }
+
+    fn f64_opt(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_float()
+                .map(Some)
+                .ok_or_else(|| err(format!("`{}` must be a number", self.full_key(key)))),
+        }
+    }
+
+    fn u32_opt(&mut self, key: &str) -> Result<Option<u32>, SpecError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(v) => v.as_int().and_then(|i| u32::try_from(i).ok()).map(Some).ok_or_else(|| {
+                err(format!("`{}` must be a non-negative integer", self.full_key(key)))
+            }),
+        }
+    }
+
+    fn f64_list_or(&mut self, key: &str, default: &[f64]) -> Result<Vec<f64>, SpecError> {
+        match self.take(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| err(format!("`{}` must be an array", self.full_key(key))))?;
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_float().ok_or_else(|| {
+                            err(format!("`{}` must contain numbers", self.full_key(key)))
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn string_list_or(&mut self, key: &str, default: &[String]) -> Result<Vec<String>, SpecError> {
+        match self.take(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| err(format!("`{}` must be an array", self.full_key(key))))?;
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_str().map(|s| s.to_string()).ok_or_else(|| {
+                            err(format!("`{}` must contain strings", self.full_key(key)))
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+fn display_path(path: &str) -> &str {
+    if path.is_empty() {
+        "<root>"
+    } else {
+        path
+    }
+}
+
+impl ExperimentSpec {
+    /// Parses a spec document, auto-detecting JSON (`{`-led) vs the
+    /// TOML subset, completing missing keys from [`Default`], rejecting
+    /// unknown keys, and validating ranges.
+    pub fn parse_str(text: &str) -> Result<Self, SpecError> {
+        let root = if text.trim_start().starts_with('{') {
+            parse_json(text).map_err(err)?
+        } else {
+            parse_toml(text).map_err(err)?
+        };
+        Self::from_value(&root)
+    }
+
+    /// Builds a spec from a parsed [`Value`] tree (the `spec` object of
+    /// a results document, for instance).
+    pub fn from_value(root: &Value) -> Result<Self, SpecError> {
+        let defaults = ExperimentSpec::default();
+        let mut r = Reader::new("", root)?;
+
+        let name = r.string_or("name", &defaults.name)?;
+        let kind_key = r.string_or("kind", defaults.kind.key())?;
+        let kind = ExperimentKind::parse(&kind_key)
+            .ok_or_else(|| err(format!("unknown kind `{kind_key}`")))?;
+        let note = r.string_or("note", &defaults.note)?;
+        let seed = r.u64_or("seed", defaults.seed)?;
+
+        let scenario = match r.take("scenario") {
+            None => defaults.scenario.clone(),
+            Some(v) => {
+                let d = &defaults.scenario;
+                let mut s = Reader::new("scenario", v)?;
+                let model_key = s.string_or("model", d.model.key())?;
+                let model = ScenarioKind::parse(&model_key)
+                    .ok_or_else(|| err(format!("unknown scenario model `{model_key}`")))?;
+                let out = ScenarioSpec {
+                    model,
+                    width: s.f32_or("width", d.width)?,
+                    classes: s.usize_or("classes", d.classes)?,
+                };
+                s.finish()?;
+                out
+            }
+        };
+
+        let device = match r.take("device") {
+            None => defaults.device.clone(),
+            Some(v) => {
+                let d = &defaults.device;
+                let mut s = Reader::new("device", v)?;
+                let tech_key = s.string_or("tech", d.tech.key())?;
+                let tech = DeviceTech::parse(&tech_key)
+                    .ok_or_else(|| err(format!("unknown device tech `{tech_key}`")))?;
+                let default_sigmas = [DeviceConfig::for_tech(tech).sigma];
+                let out = DeviceSpec {
+                    tech,
+                    sigmas: s.f64_list_or("sigmas", &default_sigmas)?,
+                    verify_margin: s.f64_opt("verify_margin")?,
+                    pulse_step: s.f64_opt("pulse_step")?,
+                    max_verify_iters: s.u32_opt("max_verify_iters")?,
+                    device_bits: s.u32_opt("device_bits")?,
+                };
+                s.finish()?;
+                out
+            }
+        };
+
+        let training = match r.take("training") {
+            None => defaults.training.clone(),
+            Some(v) => {
+                let d = &defaults.training;
+                let mut s = Reader::new("training", v)?;
+                let out = TrainingSpec {
+                    samples: s.usize_or("samples", d.samples)?,
+                    epochs: s.usize_or("epochs", d.epochs)?,
+                    lr: s.f32_or("lr", d.lr)?,
+                    batch: s.usize_or("batch", d.batch)?,
+                };
+                s.finish()?;
+                out
+            }
+        };
+
+        let selection = match r.take("selection") {
+            None => defaults.selection.clone(),
+            Some(v) => {
+                let d = &defaults.selection;
+                let mut s = Reader::new("selection", v)?;
+                let out = SelectionSpec {
+                    methods: s.string_list_or("methods", &d.methods)?,
+                    insitu: s.bool_or("insitu", d.insitu)?,
+                };
+                s.finish()?;
+                out
+            }
+        };
+
+        let sweep = match r.take("sweep") {
+            None => defaults.sweep.clone(),
+            Some(v) => {
+                let d = &defaults.sweep;
+                let mut s = Reader::new("sweep", v)?;
+                let out = SweepSpec { fractions: s.f64_list_or("fractions", &d.fractions)? };
+                s.finish()?;
+                out
+            }
+        };
+
+        let montecarlo = match r.take("montecarlo") {
+            None => defaults.montecarlo.clone(),
+            Some(v) => {
+                let d = &defaults.montecarlo;
+                let mut s = Reader::new("montecarlo", v)?;
+                let out = MonteCarloSpec {
+                    runs: s.usize_or("runs", d.runs)?,
+                    threads: s.usize_or("threads", d.threads)?,
+                    eval_batch: s.usize_or("eval_batch", d.eval_batch)?,
+                };
+                s.finish()?;
+                out
+            }
+        };
+
+        let insitu = match r.take("insitu") {
+            None => defaults.insitu.clone(),
+            Some(v) => {
+                let d = &defaults.insitu;
+                let mut s = Reader::new("insitu", v)?;
+                let out =
+                    InsituSpec { lr: s.f32_or("lr", d.lr)?, batch: s.usize_or("batch", d.batch)? };
+                s.finish()?;
+                out
+            }
+        };
+
+        let correlation = match r.take("correlation") {
+            None => defaults.correlation.clone(),
+            Some(v) => {
+                let d = &defaults.correlation;
+                let mut s = Reader::new("correlation", v)?;
+                let out = CorrelationSpec {
+                    probes: s.usize_or("probes", d.probes)?,
+                    runs: s.usize_or("runs", d.runs)?,
+                };
+                s.finish()?;
+                out
+            }
+        };
+
+        let calibration = match r.take("calibration") {
+            None => defaults.calibration.clone(),
+            Some(v) => {
+                let d = &defaults.calibration;
+                let mut s = Reader::new("calibration", v)?;
+                let out = CalibrationSpec { devices: s.usize_or("devices", d.devices)? };
+                s.finish()?;
+                out
+            }
+        };
+
+        let ablation = match r.take("ablation") {
+            None => defaults.ablation.clone(),
+            Some(v) => {
+                let d = &defaults.ablation;
+                let mut s = Reader::new("ablation", v)?;
+                let out = AblationSpec {
+                    granularities: s.f64_list_or("granularities", &d.granularities)?,
+                    max_drop: s.f64_or("max_drop", d.max_drop)?,
+                    tiebreak_fractions: s
+                        .f64_list_or("tiebreak_fractions", &d.tiebreak_fractions)?,
+                    calibration_fractions: s
+                        .f64_list_or("calibration_fractions", &d.calibration_fractions)?,
+                };
+                s.finish()?;
+                out
+            }
+        };
+
+        r.finish()?;
+
+        let spec = ExperimentSpec {
+            name,
+            kind,
+            note,
+            seed,
+            scenario,
+            device,
+            training,
+            selection,
+            sweep,
+            montecarlo,
+            insitu,
+            correlation,
+            calibration,
+            ablation,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks every field's documented range; returns the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(err("`name` must not be empty"));
+        }
+        if !(0.0..=16.0).contains(&self.scenario.width) || self.scenario.width <= 0.0 {
+            return Err(err("`scenario.width` must be in (0, 16]"));
+        }
+        if self.scenario.classes == 0 {
+            return Err(err("`scenario.classes` must be positive"));
+        }
+        if self.device.sigmas.is_empty() {
+            return Err(err("`device.sigmas` must not be empty"));
+        }
+        // These artifacts run exactly one variation level; a silently
+        // ignored grid would make the results document's spec echo lie
+        // about what ran.
+        if matches!(
+            self.kind,
+            ExperimentKind::Fig2 | ExperimentKind::Fig1 | ExperimentKind::Ablation
+        ) && self.device.sigmas.len() != 1
+        {
+            return Err(err(format!(
+                "kind `{}` runs a single variation level; `device.sigmas` has {} entries \
+                 (use kind = \"sweep\" or \"table1\" for a sigma grid)",
+                self.kind.key(),
+                self.device.sigmas.len()
+            )));
+        }
+        for &s in &self.device.sigmas {
+            if !s.is_finite() || s < 0.0 {
+                return Err(err(format!("`device.sigmas` entry {s} must be non-negative")));
+            }
+        }
+        // Field overrides go through DeviceConfig::validate.
+        for cfg in self.configs_dry_run() {
+            cfg.validate();
+        }
+        if self.training.samples < 10 {
+            return Err(err("`training.samples` must be at least 10"));
+        }
+        if self.training.epochs == 0 || self.training.batch == 0 {
+            return Err(err("`training.epochs` and `training.batch` must be positive"));
+        }
+        if !(self.training.lr > 0.0 && self.training.lr.is_finite()) {
+            return Err(err("`training.lr` must be positive"));
+        }
+        if self.selection.methods.is_empty() {
+            return Err(err("`selection.methods` must not be empty"));
+        }
+        for name in &self.selection.methods {
+            if selector_by_name(name).is_none() {
+                return Err(err(format!(
+                    "`selection.methods`: unknown selector `{name}` (see `swim list`)"
+                )));
+            }
+        }
+        if self.sweep.fractions.is_empty() {
+            return Err(err("`sweep.fractions` must not be empty"));
+        }
+        for &f in &self.sweep.fractions {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(err(format!("`sweep.fractions` entry {f} must be in [0, 1]")));
+            }
+        }
+        if self.montecarlo.runs == 0 {
+            return Err(err("`montecarlo.runs` must be positive"));
+        }
+        if self.montecarlo.eval_batch == 0 {
+            return Err(err("`montecarlo.eval_batch` must be positive"));
+        }
+        if !(self.insitu.lr > 0.0 && self.insitu.lr.is_finite()) || self.insitu.batch == 0 {
+            return Err(err("`insitu.lr` and `insitu.batch` must be positive"));
+        }
+        if self.correlation.probes == 0 || self.correlation.runs == 0 {
+            return Err(err("`correlation.probes` and `correlation.runs` must be positive"));
+        }
+        if self.calibration.devices == 0 {
+            return Err(err("`calibration.devices` must be positive"));
+        }
+        for &p in &self.ablation.granularities {
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(err(format!("`ablation.granularities` entry {p} must be in (0, 1]")));
+            }
+        }
+        if self.ablation.max_drop < 0.0 {
+            return Err(err("`ablation.max_drop` must be non-negative"));
+        }
+        for &f in
+            self.ablation.tiebreak_fractions.iter().chain(&self.ablation.calibration_fractions)
+        {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(err(format!("ablation fraction {f} must be in [0, 1]")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Device configs without panicking on preset validation (used
+    /// inside [`ExperimentSpec::validate`] before ranges are known good).
+    fn configs_dry_run(&self) -> Vec<DeviceConfig> {
+        self.device.configs()
+    }
+
+    // ------------------------------------------------------- views
+
+    /// Worker-thread count with `0` resolved to all cores.
+    pub fn threads(&self) -> usize {
+        if self.montecarlo.threads == 0 {
+            swim_core::montecarlo::num_threads()
+        } else {
+            self.montecarlo.threads
+        }
+    }
+
+    /// The [`SweepConfig`] view of this spec.
+    pub fn sweep_config(&self) -> SweepConfig {
+        SweepConfig {
+            fractions: self.sweep.fractions.clone(),
+            runs: self.montecarlo.runs,
+            threads: self.threads(),
+            eval_batch: self.montecarlo.eval_batch,
+            seed: self.seed,
+        }
+    }
+
+    /// The [`InsituConfig`] view of this spec (checkpoints on the sweep
+    /// grid).
+    pub fn insitu_config(&self) -> InsituConfig {
+        InsituConfig {
+            lr: self.insitu.lr,
+            batch_size: self.insitu.batch,
+            eval_batch: self.montecarlo.eval_batch,
+            record_at: self.sweep.fractions.clone(),
+        }
+    }
+
+    /// The [`Alg1Config`] view of this spec at one programming
+    /// granularity.
+    pub fn alg1_config_at(&self, granularity: f64) -> Alg1Config {
+        Alg1Config {
+            granularity,
+            max_drop: self.ablation.max_drop,
+            batch: self.montecarlo.eval_batch,
+        }
+    }
+
+    // ----------------------------------------------------- writing
+
+    /// Renders the complete spec (every field explicit) as a [`Value`]
+    /// tree.
+    ///
+    /// `f32` fields are written with their shortest `f32` decimal form
+    /// (not the widened `f64` bits), so `lr = 0.05` stays `0.05` in the
+    /// written document.
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::table();
+        root.set("name", Value::Str(self.name.clone()));
+        root.set("kind", Value::Str(self.kind.key().into()));
+        if !self.note.is_empty() {
+            root.set("note", Value::Str(self.note.clone()));
+        }
+        root.set("seed", Value::Int(self.seed as i64));
+
+        let mut scenario = Value::table();
+        scenario.set("model", Value::Str(self.scenario.model.key().into()));
+        scenario.set("width", f32_value(self.scenario.width));
+        scenario.set("classes", Value::Int(self.scenario.classes as i64));
+        root.set("scenario", scenario);
+
+        let mut device = Value::table();
+        device.set("tech", Value::Str(self.device.tech.key().into()));
+        device.set(
+            "sigmas",
+            Value::Array(self.device.sigmas.iter().map(|&s| Value::Float(s)).collect()),
+        );
+        if let Some(m) = self.device.verify_margin {
+            device.set("verify_margin", Value::Float(m));
+        }
+        if let Some(p) = self.device.pulse_step {
+            device.set("pulse_step", Value::Float(p));
+        }
+        if let Some(i) = self.device.max_verify_iters {
+            device.set("max_verify_iters", Value::Int(i as i64));
+        }
+        if let Some(b) = self.device.device_bits {
+            device.set("device_bits", Value::Int(b as i64));
+        }
+        root.set("device", device);
+
+        let mut training = Value::table();
+        training.set("samples", Value::Int(self.training.samples as i64));
+        training.set("epochs", Value::Int(self.training.epochs as i64));
+        training.set("lr", f32_value(self.training.lr));
+        training.set("batch", Value::Int(self.training.batch as i64));
+        root.set("training", training);
+
+        let mut selection = Value::table();
+        selection.set(
+            "methods",
+            Value::Array(self.selection.methods.iter().map(|m| Value::Str(m.clone())).collect()),
+        );
+        selection.set("insitu", Value::Bool(self.selection.insitu));
+        root.set("selection", selection);
+
+        let mut sweep = Value::table();
+        sweep.set(
+            "fractions",
+            Value::Array(self.sweep.fractions.iter().map(|&f| Value::Float(f)).collect()),
+        );
+        root.set("sweep", sweep);
+
+        let mut montecarlo = Value::table();
+        montecarlo.set("runs", Value::Int(self.montecarlo.runs as i64));
+        montecarlo.set("threads", Value::Int(self.montecarlo.threads as i64));
+        montecarlo.set("eval_batch", Value::Int(self.montecarlo.eval_batch as i64));
+        root.set("montecarlo", montecarlo);
+
+        let mut insitu = Value::table();
+        insitu.set("lr", f32_value(self.insitu.lr));
+        insitu.set("batch", Value::Int(self.insitu.batch as i64));
+        root.set("insitu", insitu);
+
+        let mut correlation = Value::table();
+        correlation.set("probes", Value::Int(self.correlation.probes as i64));
+        correlation.set("runs", Value::Int(self.correlation.runs as i64));
+        root.set("correlation", correlation);
+
+        let mut calibration = Value::table();
+        calibration.set("devices", Value::Int(self.calibration.devices as i64));
+        root.set("calibration", calibration);
+
+        let mut ablation = Value::table();
+        ablation.set(
+            "granularities",
+            Value::Array(self.ablation.granularities.iter().map(|&p| Value::Float(p)).collect()),
+        );
+        ablation.set("max_drop", Value::Float(self.ablation.max_drop));
+        ablation.set(
+            "tiebreak_fractions",
+            Value::Array(
+                self.ablation.tiebreak_fractions.iter().map(|&f| Value::Float(f)).collect(),
+            ),
+        );
+        ablation.set(
+            "calibration_fractions",
+            Value::Array(
+                self.ablation.calibration_fractions.iter().map(|&f| Value::Float(f)).collect(),
+            ),
+        );
+        root.set("ablation", ablation);
+        root
+    }
+
+    /// Renders the spec as a TOML document.
+    pub fn to_toml(&self) -> String {
+        self.to_value().to_toml()
+    }
+
+    /// Renders the spec as a JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Applies a `--set key=value` override on top of this spec.
+    ///
+    /// Bare keys resolve through a shorthand table (`runs` →
+    /// `montecarlo.runs`); dotted keys address the spec tree directly.
+    /// The value grammar is the loose CLI form of
+    /// [`crate::value::parse_loose`].
+    pub fn apply_set(&mut self, assignment: &str) -> Result<(), SpecError> {
+        let (key, raw) = assignment
+            .split_once('=')
+            .ok_or_else(|| err(format!("`--set {assignment}`: expected key=value")))?;
+        let path = resolve_set_path(self.kind, key.trim());
+        let mut value = parse_loose(raw);
+        // Grid shorthands accept a scalar for a one-point grid.
+        if matches!(
+            path.as_str(),
+            "device.sigmas" | "sweep.fractions" | "selection.methods" | "ablation.granularities"
+        ) && !matches!(value, Value::Array(_))
+        {
+            value = Value::Array(vec![value]);
+        }
+        let mut root = self.to_value();
+        root.set_path(&path, value).map_err(err)?;
+        *self = Self::from_value(&root)?;
+        Ok(())
+    }
+}
+
+/// Writes an `f32` with its shortest decimal representation so the
+/// document shows `0.05`, not the widened `f64` bits.
+fn f32_value(v: f32) -> Value {
+    Value::Float(v.to_string().parse().expect("f32 display is a valid f64"))
+}
+
+/// Maps a bare `--set` / CLI flag name onto its spec path. Dotted names
+/// pass through unchanged.
+pub fn resolve_set_path(kind: ExperimentKind, key: &str) -> String {
+    let bare = match key {
+        // Fig. 1 spends its `runs` budget inside the correlation study.
+        "runs" if kind == ExperimentKind::Fig1 => "correlation.runs",
+        "runs" => "montecarlo.runs",
+        "threads" => "montecarlo.threads",
+        "eval-batch" | "eval_batch" => "montecarlo.eval_batch",
+        "samples" if kind == ExperimentKind::Calibration => "calibration.devices",
+        "samples" => "training.samples",
+        "epochs" => "training.epochs",
+        "lr" => "training.lr",
+        "batch" => "training.batch",
+        "sigma" | "sigmas" => "device.sigmas",
+        "tech" => "device.tech",
+        "width" => "scenario.width",
+        "classes" => "scenario.classes",
+        "model" => "scenario.model",
+        "fractions" => "sweep.fractions",
+        "methods" => "selection.methods",
+        "insitu" => "selection.insitu",
+        "probes" => "correlation.probes",
+        "seed" => "seed",
+        "name" => "name",
+        "note" => "note",
+        other => other,
+    };
+    bare.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ExperimentSpec::default().validate().unwrap();
+    }
+
+    #[test]
+    fn partial_spec_completes_from_defaults() {
+        let spec = ExperimentSpec::parse_str("[device]\nsigmas = [0.2]\n").unwrap();
+        assert_eq!(spec.device.sigmas, vec![0.2]);
+        assert_eq!(spec.training.samples, 2500);
+        assert_eq!(spec.selection.methods.len(), 3);
+    }
+
+    #[test]
+    fn unknown_keys_rejected_with_path() {
+        let e = ExperimentSpec::parse_str("bogus = 1\n").unwrap_err();
+        assert!(e.0.contains("unknown key `bogus`"), "{e}");
+        let e = ExperimentSpec::parse_str("[training]\nsample = 10\n").unwrap_err();
+        assert!(e.0.contains("unknown key `training.sample`"), "{e}");
+        let e = ExperimentSpec::parse_str("[device]\ntech = \"dram\"\n").unwrap_err();
+        assert!(e.0.contains("unknown device tech"), "{e}");
+        let e = ExperimentSpec::parse_str("[selection]\nmethods = [\"swimm\"]\n").unwrap_err();
+        assert!(e.0.contains("unknown selector"), "{e}");
+    }
+
+    #[test]
+    fn parse_write_parse_round_trip() {
+        let text = "name = \"rt\"\nkind = \"table1\"\nseed = 9\n\
+                    [scenario]\nmodel = \"convnet-cifar\"\nwidth = 0.25\n\
+                    [device]\ntech = \"pcm\"\nsigmas = [0.1, 0.2]\nverify_margin = 0.05\n\
+                    [montecarlo]\nruns = 7\n";
+        let spec = ExperimentSpec::parse_str(text).unwrap();
+        let written = spec.to_toml();
+        let again = ExperimentSpec::parse_str(&written).unwrap();
+        assert_eq!(spec, again);
+        // And through JSON.
+        let json = spec.to_json();
+        let via_json = ExperimentSpec::parse_str(&json).unwrap();
+        assert_eq!(spec, via_json);
+    }
+
+    #[test]
+    fn device_config_round_trip() {
+        for tech in DeviceTech::all() {
+            for sigma in [0.1, 0.15, 0.2] {
+                let cfg = DeviceConfig::for_tech(tech).with_sigma(sigma);
+                let spec = DeviceSpec::from_config(&cfg);
+                assert_eq!(spec.config_at(sigma), cfg);
+            }
+        }
+        // A custom config survives via explicit overrides.
+        let mut custom = DeviceConfig::rram();
+        custom.pulse_step = 0.04;
+        custom.device_bits = 5;
+        let spec = DeviceSpec::from_config(&custom);
+        assert_eq!(spec.config_at(custom.sigma), custom);
+    }
+
+    #[test]
+    fn views_inherit_budget_and_seed() {
+        let spec = ExperimentSpec::parse_str(
+            "seed = 11\n[sweep]\nfractions = [0.0, 0.5]\n[montecarlo]\nruns = 4\nthreads = 2\n",
+        )
+        .unwrap();
+        let sweep = spec.sweep_config();
+        assert_eq!(sweep.runs, 4);
+        assert_eq!(sweep.threads, 2);
+        assert_eq!(sweep.seed, 11);
+        assert_eq!(sweep.fractions, vec![0.0, 0.5]);
+        let insitu = spec.insitu_config();
+        assert_eq!(insitu.record_at, vec![0.0, 0.5]);
+        let alg1 = spec.alg1_config_at(0.05);
+        assert_eq!(alg1.granularity, 0.05);
+        assert_eq!(alg1.batch, 256);
+    }
+
+    #[test]
+    fn apply_set_shorthands_and_paths() {
+        let mut spec = ExperimentSpec::default();
+        spec.apply_set("runs=40").unwrap();
+        assert_eq!(spec.montecarlo.runs, 40);
+        spec.apply_set("sigma=0.15").unwrap();
+        assert_eq!(spec.device.sigmas, vec![0.15]);
+        spec.apply_set("sigmas=0.1,0.2").unwrap();
+        assert_eq!(spec.device.sigmas, vec![0.1, 0.2]);
+        spec.apply_set("training.lr=0.02").unwrap();
+        assert!((spec.training.lr - 0.02).abs() < 1e-6);
+        spec.apply_set("methods=swim,layer-balanced").unwrap();
+        assert_eq!(spec.selection.methods, vec!["swim", "layer-balanced"]);
+        assert!(spec.apply_set("runs").is_err());
+        assert!(spec.apply_set("bogus.key=1").is_err());
+        assert!(spec.apply_set("runs=0").is_err(), "validation still applies");
+    }
+
+    #[test]
+    fn fig1_runs_shorthand_targets_correlation() {
+        let mut spec = ExperimentSpec { kind: ExperimentKind::Fig1, ..Default::default() };
+        spec.apply_set("runs=12").unwrap();
+        assert_eq!(spec.correlation.runs, 12);
+        assert_eq!(spec.montecarlo.runs, ExperimentSpec::default().montecarlo.runs);
+    }
+
+    #[test]
+    fn validation_catches_ranges() {
+        let mut spec = ExperimentSpec::default();
+        spec.sweep.fractions = vec![1.5];
+        assert!(spec.validate().is_err());
+        let mut spec = ExperimentSpec::default();
+        spec.selection.methods.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = ExperimentSpec::default();
+        spec.device.sigmas.clear();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn selectors_resolve_after_validation() {
+        let spec = ExperimentSpec::parse_str(
+            "[selection]\nmethods = [\"swim\", \"swim-no-tiebreak\", \"layer-balanced\"]\n",
+        )
+        .unwrap();
+        let sels = spec.selection.selectors();
+        assert_eq!(sels.len(), 3);
+        assert_eq!(sels[1].name(), "SWIM (no tie-break)");
+    }
+}

@@ -18,8 +18,10 @@
 //! * [`cim`] — the NVM device model, write-verify programming with exact
 //!   pulse accounting, and a crossbar tile;
 //! * [`data`] — procedural MNIST / CIFAR-10 / Tiny-ImageNet substitutes;
-//! * [`core`] — the SWIM algorithm, the paper's baselines, and the
-//!   Monte Carlo evaluation harness.
+//! * [`core`] — the SWIM algorithm, the paper's baselines (behind the
+//!   pluggable `Selector` trait), and the Monte Carlo evaluation harness;
+//! * [`exp`] — declarative `ExperimentSpec` documents, presets for every
+//!   paper artifact, and the TOML/JSON value layer behind the `swim` CLI.
 //!
 //! # Quickstart
 //!
@@ -52,16 +54,19 @@
 //!
 //! # Reproducing the paper's tables and figures
 //!
-//! Every table and figure has a regeneration binary in `swim-bench`; see
-//! DESIGN.md §6 and EXPERIMENTS.md:
+//! The unified `swim` CLI in `swim-bench` runs every paper artifact from
+//! a named preset or a declarative spec file (see README.md and
+//! `examples/specs/`):
 //!
 //! ```text
-//! cargo run --release -p swim-bench --bin table1
-//! cargo run --release -p swim-bench --bin fig1_correlation
-//! cargo run --release -p swim-bench --bin fig2a   # also fig2b, fig2c
-//! cargo run --release -p swim-bench --bin calibration
-//! cargo run --release -p swim-bench --bin ablation
+//! cargo run --release -p swim-bench --bin swim -- list
+//! cargo run --release -p swim-bench --bin swim -- preset table1 --out table1.json
+//! cargo run --release -p swim-bench --bin swim -- run examples/specs/table1.toml
 //! ```
+//!
+//! The classic per-artifact binaries (`table1`, `fig1_correlation`,
+//! `fig2a`–`fig2c`, `calibration`, `ablation`) remain as thin preset
+//! wrappers.
 //!
 //! [Yan, Hu & Shi, DAC 2022]: https://arxiv.org/abs/2202.08395
 
@@ -70,6 +75,7 @@
 pub use swim_cim as cim;
 pub use swim_core as core;
 pub use swim_data as data;
+pub use swim_exp as exp;
 pub use swim_nn as nn;
 pub use swim_quant as quant;
 pub use swim_tensor as tensor;
@@ -81,8 +87,12 @@ pub mod prelude {
     pub use swim_core::insitu::{insitu_training, InsituConfig};
     pub use swim_core::model::QuantizedModel;
     pub use swim_core::montecarlo::{nwc_sweep, SweepConfig};
-    pub use swim_core::select::{build_ranking, mask_top_fraction, Strategy};
+    pub use swim_core::select::{
+        build_ranking, mask_top_fraction, registry, selector_by_name, SelectionInputs, Selector,
+        Strategy,
+    };
     pub use swim_data::{synthetic_cifar, synthetic_mnist, synthetic_tiny_imagenet, Dataset};
+    pub use swim_exp::spec::ExperimentSpec;
     pub use swim_nn::loss::{L2Loss, Loss, SoftmaxCrossEntropy};
     pub use swim_nn::models::{ConvNetConfig, LeNetConfig, ResNet18Config, ResNetStem};
     pub use swim_nn::train::{fit, TrainConfig};

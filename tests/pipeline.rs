@@ -80,8 +80,8 @@ fn swim_selection_beats_random_at_low_budget() {
         seed: 77,
         ..Default::default()
     };
-    let swim = nwc_sweep(&model, Strategy::Swim, &sens, &mags, &test, &cfg);
-    let random = nwc_sweep(&model, Strategy::Random, &sens, &mags, &test, &cfg);
+    let swim = nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &test, &cfg);
+    let random = nwc_sweep(&model, &Strategy::Random, &sens, &mags, &test, &cfg);
     assert!(
         swim[0].accuracy.mean() > random[0].accuracy.mean(),
         "SWIM {} should beat random {} at 10% budget",
@@ -104,8 +104,8 @@ fn swim_variance_is_lower_than_random() {
         seed: 78,
         ..Default::default()
     };
-    let swim = nwc_sweep(&model, Strategy::Swim, &sens, &mags, &test, &cfg);
-    let random = nwc_sweep(&model, Strategy::Random, &sens, &mags, &test, &cfg);
+    let swim = nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &test, &cfg);
+    let random = nwc_sweep(&model, &Strategy::Random, &sens, &mags, &test, &cfg);
     assert!(
         swim[0].accuracy.std() < random[0].accuracy.std() * 1.5,
         "SWIM std {} should not exceed random std {} materially",
@@ -161,7 +161,7 @@ fn end_to_end_determinism() {
         let mags = model.magnitudes();
         let cfg =
             SweepConfig { fractions: vec![0.2], runs: 4, threads: 3, eval_batch: 128, seed: 99 };
-        nwc_sweep(&model, Strategy::Swim, &sens, &mags, &test, &cfg)[0].accuracy.mean()
+        nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &test, &cfg)[0].accuracy.mean()
     };
     assert_eq!(run(), run());
 }
