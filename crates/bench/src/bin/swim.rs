@@ -1,39 +1,53 @@
 //! The unified experiment CLI: one binary, declarative specs,
-//! structured results.
+//! structured results, and the analysis loop over them.
 //!
 //! ```text
-//! swim run <spec.toml|spec.json> [--set key=value]... [flags]
+//! swim run <spec.toml|spec.json|results.json> [--set key=value]... [flags]
 //! swim preset <name> [--set key=value]... [flags]
+//! swim diff <a.json> <b.json> [--abs-tol X] [--rel-tol X] [--ignore-spec]
+//! swim report <run.json> [--baseline b.json] [-o report.md]
+//! swim summarize <dir-or-file>... [-o summary.md]
 //! swim list
 //! swim help
 //! ```
 //!
 //! `swim run` executes a spec file (TOML subset or JSON; see
-//! `examples/specs/`); `swim preset` resolves a named paper artifact
-//! (`table1`, `fig2a`, …) to its spec and runs it. Both accept `--set
-//! key=value` overrides (dotted spec paths or shorthands like `runs`),
-//! the classic flags (`--runs 25 --quick --csv`), and `--out FILE` to
-//! write the JSON results document.
+//! `examples/specs/`) — or a results document, whose embedded spec echo
+//! is extracted and re-run; `swim preset` resolves a named paper
+//! artifact (`table1`, `fig2a`, …) to its spec and runs it. Both accept
+//! `--set key=value` overrides, the classic flags (`--runs 25 --quick
+//! --csv`), and `--out FILE` to write the JSON results document.
 //!
-//! ```text
-//! cargo run --release -p swim-bench --bin swim -- preset table1 --quick --out /tmp/t1.json
-//! ```
+//! `swim diff` compares two results documents method-by-method and
+//! point-by-point (exit 1 on drift), `swim report` renders one document
+//! as a self-contained Markdown report, and `swim summarize` flattens
+//! many documents into one cross-run table. See `docs/workflow.md` for
+//! the full loop.
 
 use swim_bench::cli::Args;
 use swim_bench::experiment::{apply_flag_overrides, options_from_args, run_spec};
 use swim_exp::spec::ExperimentSpec;
 use swim_exp::{preset, preset_infos};
+use swim_report::diff::{diff_docs, DiffOptions};
+use swim_report::markdown::{render_report, table_markdown};
+use swim_report::schema::ResultsDoc;
+use swim_report::summary::{load_runs, summarize};
 
 fn usage() {
     println!("usage: swim <command> [args]");
     println!();
     println!("commands:");
-    println!("  run <spec.toml|spec.json>  run a declarative experiment spec");
+    println!("  run <spec.toml|spec.json>  run a declarative experiment spec (also accepts a");
+    println!("                             results document: its spec echo is re-run)");
     println!("  preset <name>              run a named paper-artifact preset");
+    println!("  diff <a.json> <b.json>     compare two results documents point-by-point;");
+    println!("                             exit 1 on drift");
+    println!("  report <run.json>          render a results document as a Markdown report");
+    println!("  summarize <dir|file>...    aggregate many results documents into one table");
     println!("  list                       list presets and selectors");
     println!("  help                       this message");
     println!();
-    println!("common flags (after the command):");
+    println!("run/preset flags:");
     println!("  --set key=value   override any spec field (dotted path or shorthand,");
     println!("                    e.g. --set runs=25 --set device.sigmas=0.1,0.2)");
     println!("  --out FILE        write the JSON results document to FILE");
@@ -44,8 +58,18 @@ fn usage() {
     println!("  --gemm-threads N / --gemm-block N / --gemm-min-flops N");
     println!("                    matrix-kernel knobs (never part of the spec)");
     println!();
+    println!("diff flags:");
+    println!("  --abs-tol X       absolute tolerance per numeric value (default 1e-9)");
+    println!("  --rel-tol X       relative tolerance (default 0)");
+    println!("  --ignore-spec     compare curves across different experiments");
+    println!();
+    println!("report/summarize flags:");
+    println!("  --baseline FILE   annotate per-point deltas against FILE (report only)");
+    println!("  -o / --out FILE   write Markdown to FILE instead of stdout");
+    println!();
     println!("The results document echoes the spec it ran; `swim run` accepts that");
     println!("echo back, so every result is reproducible from its own output.");
+    println!("Docs: docs/workflow.md, docs/spec-reference.md, docs/results-schema.md.");
 }
 
 fn fail(message: &str) -> ! {
@@ -72,6 +96,42 @@ fn extract_sets(raw: Vec<String>) -> (Vec<String>, Vec<String>) {
         }
     }
     (sets, rest)
+}
+
+/// Splits leading positionals from flags for the analysis subcommands.
+///
+/// `-o` is accepted as shorthand for `--out`. `bool_flags` and
+/// `value_flags` together name every flag the subcommand understands —
+/// anything else is rejected (a typo like `--ignore-sepc` must not
+/// silently change what gets compared), and a value flag must be
+/// followed by an actual value, not another flag.
+fn split_positionals(
+    raw: Vec<String>,
+    bool_flags: &[&str],
+    value_flags: &[&str],
+) -> (Vec<String>, Vec<String>) {
+    let mut positionals = Vec::new();
+    let mut rest = Vec::new();
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        let arg = if arg == "-o" { "--out".to_string() } else { arg };
+        if let Some(name) = arg.strip_prefix("--") {
+            let bare = name.split_once('=').map(|(k, _)| k).unwrap_or(name);
+            if !bool_flags.contains(&bare) && !value_flags.contains(&bare) {
+                fail(&format!("unknown flag --{bare} (pass `swim help` for the reference)"));
+            }
+            rest.push(arg.clone());
+            if !name.contains('=') && value_flags.contains(&bare) {
+                match iter.next() {
+                    Some(value) if !value.starts_with("--") => rest.push(value),
+                    _ => fail(&format!("--{bare} expects a value")),
+                }
+            }
+        } else {
+            positionals.push(arg);
+        }
+    }
+    (positionals, rest)
 }
 
 fn list() {
@@ -111,6 +171,138 @@ fn run_with(mut spec: ExperimentSpec, sets: &[String], args: &Args) -> ! {
     }
 }
 
+fn load_doc(path: &str) -> ResultsDoc {
+    match ResultsDoc::load(std::path::Path::new(path)) {
+        Ok(doc) => doc,
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+/// `swim diff a.json b.json` — exit 0 on agreement, 1 on drift.
+fn cmd_diff(raw: Vec<String>) -> ! {
+    let (positionals, rest) = split_positionals(raw, &["ignore-spec"], &["abs-tol", "rel-tol"]);
+    let args = match Args::try_parse_from(rest.into_iter()) {
+        Ok(args) => args,
+        Err(e) => fail(&e),
+    };
+    if positionals.len() != 2 {
+        fail("`swim diff` expects exactly two results-document paths");
+    }
+    let opts = DiffOptions {
+        abs_tol: args.get_f64("abs-tol", DiffOptions::default().abs_tol),
+        rel_tol: args.get_f64("rel-tol", DiffOptions::default().rel_tol),
+        ignore_spec: args.has("ignore-spec"),
+    };
+    let a = load_doc(&positionals[0]);
+    let b = load_doc(&positionals[1]);
+    let report = diff_docs(&a, &b, &opts);
+    print!(
+        "comparing {} ({}) vs {} ({})\n{}",
+        positionals[0],
+        a.name(),
+        positionals[1],
+        b.name(),
+        report.render()
+    );
+    std::process::exit(if report.clean() { 0 } else { 1 });
+}
+
+/// Writes `text` to `--out` when given, else prints it.
+fn emit(args: &Args, text: &str) {
+    match args.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                fail(&format!("writing {path}: {e}"));
+            }
+            eprintln!("[swim] wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}
+
+/// `swim report run.json [--baseline b.json] [-o report.md]`.
+fn cmd_report(raw: Vec<String>) -> ! {
+    let (positionals, rest) = split_positionals(raw, &[], &["baseline", "out"]);
+    let args = match Args::try_parse_from(rest.into_iter()) {
+        Ok(args) => args,
+        Err(e) => fail(&e),
+    };
+    if positionals.len() != 1 {
+        fail("`swim report` expects exactly one results-document path");
+    }
+    let doc = load_doc(&positionals[0]);
+    let baseline = args.get("baseline").map(load_doc);
+    let markdown = render_report(&doc, baseline.as_ref());
+    emit(&args, &markdown);
+    std::process::exit(0);
+}
+
+/// `swim summarize <dir-or-file>... [-o summary.md]`.
+fn cmd_summarize(raw: Vec<String>) -> ! {
+    let (positionals, rest) = split_positionals(raw, &[], &["out"]);
+    let args = match Args::try_parse_from(rest.into_iter()) {
+        Ok(args) => args,
+        Err(e) => fail(&e),
+    };
+    if positionals.is_empty() {
+        fail("`swim summarize` expects one or more results-document files or directories");
+    }
+    let paths: Vec<std::path::PathBuf> = positionals.iter().map(std::path::PathBuf::from).collect();
+    let (runs, warnings) = match load_runs(&paths) {
+        Ok(out) => out,
+        Err(e) => fail(&e),
+    };
+    for warning in &warnings {
+        eprintln!("[swim] {warning}");
+    }
+    if runs.is_empty() {
+        fail("no results documents found");
+    }
+    let table = summarize(&runs);
+    if args.get("out").is_some() {
+        let mut md = format!("# {}\n\n", table.title());
+        md.push_str(&table_markdown(&table));
+        emit(&args, &md);
+    } else {
+        print!("{}", table.render());
+    }
+    std::process::exit(0);
+}
+
+/// Reads a spec file; a JSON results document is accepted too — its
+/// embedded spec echo is extracted, closing the run → re-run loop.
+fn read_spec(path: &str) -> ExperimentSpec {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => fail(&format!("reading {path}: {e}")),
+    };
+    if text.trim_start().starts_with('{') {
+        // Parse the JSON once and dispatch on the version marker.
+        let root = match swim_exp::value::parse_json(&text) {
+            Ok(root) => root,
+            Err(e) => fail(&format!("{path}: {e}")),
+        };
+        if root.get("swim_results_version").is_some() {
+            match ResultsDoc::from_value(&root) {
+                Ok(doc) => {
+                    eprintln!("[swim] {path} is a results document; re-running its spec echo");
+                    return doc.spec;
+                }
+                Err(e) => fail(&format!("{path}: {e}")),
+            }
+        }
+        match ExperimentSpec::from_value(&root) {
+            Ok(spec) => spec,
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    } else {
+        match ExperimentSpec::parse_str(&text) {
+            Ok(spec) => spec,
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+}
+
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -140,14 +332,7 @@ fn main() {
             if args.has("quick") {
                 fail("--quick is a preset shape; edit the spec or use --set instead");
             }
-            let text = match std::fs::read_to_string(&path) {
-                Ok(text) => text,
-                Err(e) => fail(&format!("reading {path}: {e}")),
-            };
-            let spec = match ExperimentSpec::parse_str(&text) {
-                Ok(spec) => spec,
-                Err(e) => fail(&format!("{path}: {e}")),
-            };
+            let spec = read_spec(&path);
             run_with(spec, &sets, &args);
         }
         "preset" => {
@@ -165,6 +350,9 @@ fn main() {
             };
             run_with(spec, &sets, &args);
         }
+        "diff" => cmd_diff(raw),
+        "report" => cmd_report(raw),
+        "summarize" => cmd_summarize(raw),
         other => {
             usage();
             fail(&format!("unknown command `{other}`"));

@@ -4,10 +4,12 @@
 //! [`run_spec`] takes a validated [`ExperimentSpec`], runs the
 //! experiment it describes, prints the same human-readable output the
 //! classic per-artifact binaries print, and returns (optionally writing
-//! to `--out`) a machine-readable JSON results document: the spec echo,
-//! seed, per-method accuracy-vs-NWC curves, every rendered table, and
-//! wall time. Sweeps thereby become diffable artifacts instead of
-//! terminal scrollback.
+//! to `--out`) a typed results document ([`swim_report::ResultsDoc`]):
+//! the spec echo, seed, per-method accuracy-vs-NWC curves, every
+//! rendered table, and wall time. Emission goes through the same schema
+//! structs that `swim diff` / `swim report` parse back, so the write
+//! path and the read path cannot drift apart; sweeps thereby become
+//! diffable artifacts instead of terminal scrollback.
 //!
 //! The seven classic binaries (`table1`, `fig2a`…) are thin wrappers
 //! over [`preset_bin_main`], which resolves the matching preset from
@@ -24,8 +26,10 @@ use swim_core::report::{fmt_mean_std, Table};
 use swim_core::select::SwimNoTieBreakSelector;
 use swim_core::sensitivity::{correlation_study, CorrelationConfig};
 use swim_exp::spec::{ExperimentKind, ExperimentSpec};
-use swim_exp::value::Value;
 use swim_nn::loss::SoftmaxCrossEntropy;
+use swim_report::schema::{
+    Correlations, CurvePoint, InsituPoint, MethodCurveDoc, ResultsDoc, SweepDoc,
+};
 use swim_tensor::Prng;
 
 /// Output options orthogonal to the experiment description.
@@ -41,109 +45,74 @@ pub struct RunOptions {
     pub gemm_block: usize,
 }
 
-/// Accumulates the machine-readable results alongside the printed
-/// output.
+/// Accumulates the typed results alongside the printed output.
 struct Collector {
-    tables: Vec<Value>,
-    sweeps: Vec<Value>,
-    extra: Vec<(String, Value)>,
+    tables: Vec<Table>,
+    sweeps: Vec<SweepDoc>,
+    correlations: Option<Correlations>,
 }
 
 impl Collector {
     fn new() -> Self {
-        Collector { tables: Vec::new(), sweeps: Vec::new(), extra: Vec::new() }
+        Collector { tables: Vec::new(), sweeps: Vec::new(), correlations: None }
     }
 
     /// Prints a table and records it in the results document.
     fn show(&mut self, table: &Table) {
         println!("{}", table.render());
-        self.tables.push(table_value(table));
+        self.tables.push(table.clone());
     }
 }
 
-/// A [`Table`] as a results-document value.
-fn table_value(table: &Table) -> Value {
-    let mut v = Value::table();
-    v.set("title", Value::Str(table.title().to_string()));
-    v.set("headers", Value::Array(table.headers().iter().map(|h| Value::Str(h.clone())).collect()));
-    v.set(
-        "rows",
-        Value::Array(
-            table
-                .rows()
-                .iter()
-                .map(|row| Value::Array(row.iter().map(|c| Value::Str(c.clone())).collect()))
-                .collect(),
-        ),
-    );
-    v
-}
-
-fn point_value(p: &SweepPoint) -> Value {
-    let mut v = Value::table();
-    v.set("fraction", Value::Float(p.fraction));
-    v.set("nwc", Value::Float(p.nwc));
-    v.set("accuracy_mean", Value::Float(p.accuracy.mean()));
-    v.set("accuracy_std", Value::Float(p.accuracy.std()));
-    v
-}
-
-/// One sigma block of a sweep-kind experiment as a results value.
-fn sweep_record(sigma: f64, prepared: &Prepared, curves: &MethodCurves) -> Value {
-    let mut v = Value::table();
-    v.set("sigma", Value::Float(sigma));
-    v.set("float_accuracy", Value::Float(prepared.float_accuracy));
-    v.set("quant_accuracy", Value::Float(prepared.quant_accuracy));
-    let methods = curves
-        .methods
-        .iter()
-        .map(|m| {
-            let mut mv = Value::table();
-            mv.set("name", Value::Str(m.name.clone()));
-            mv.set("points", Value::Array(m.points.iter().map(point_value).collect()));
-            mv
-        })
-        .collect();
-    v.set("methods", Value::Array(methods));
-    let insitu = curves
-        .insitu
-        .iter()
-        .map(|p| {
-            let mut pv = Value::table();
-            pv.set("nwc", Value::Float(p.nwc));
-            pv.set("accuracy_mean", Value::Float(p.accuracy.mean()));
-            pv.set("accuracy_std", Value::Float(p.accuracy.std()));
-            pv
-        })
-        .collect();
-    v.set("insitu", Value::Array(insitu));
-    v
-}
-
-/// Assembles the results document shell shared by every kind.
-fn results_document(spec: &ExperimentSpec, collector: Collector, wall_time_s: f64) -> Value {
-    let mut doc = Value::table();
-    doc.set("swim_results_version", Value::Int(1));
-    doc.set("name", Value::Str(spec.name.clone()));
-    doc.set("kind", Value::Str(spec.kind.key().to_string()));
-    doc.set("seed", Value::Int(spec.seed as i64));
-    doc.set("spec", spec.to_value());
-    if !collector.sweeps.is_empty() {
-        doc.set("sweeps", Value::Array(collector.sweeps));
+fn point_doc(p: &SweepPoint) -> CurvePoint {
+    CurvePoint {
+        fraction: p.fraction,
+        nwc: p.nwc,
+        accuracy_mean: p.accuracy.mean(),
+        accuracy_std: p.accuracy.std(),
     }
-    for (key, value) in collector.extra {
-        doc.set(&key, value);
+}
+
+/// One sigma block of a sweep-kind experiment as a typed schema record.
+fn sweep_record(sigma: f64, float_acc: f64, quant_acc: f64, curves: &MethodCurves) -> SweepDoc {
+    SweepDoc {
+        sigma,
+        float_accuracy: float_acc,
+        quant_accuracy: quant_acc,
+        methods: curves
+            .methods
+            .iter()
+            .map(|m| MethodCurveDoc {
+                name: m.name.clone(),
+                points: m.points.iter().map(point_doc).collect(),
+            })
+            .collect(),
+        insitu: curves
+            .insitu
+            .iter()
+            .map(|p| InsituPoint {
+                nwc: p.nwc,
+                accuracy_mean: p.accuracy.mean(),
+                accuracy_std: p.accuracy.std(),
+            })
+            .collect(),
     }
-    doc.set("tables", Value::Array(collector.tables));
-    doc.set("wall_time_s", Value::Float(wall_time_s));
+}
+
+/// Assembles the typed results document shared by every kind.
+fn results_document(spec: &ExperimentSpec, collector: Collector, wall_time_s: f64) -> ResultsDoc {
+    let mut doc = ResultsDoc::new(spec.clone(), wall_time_s);
+    doc.sweeps = collector.sweeps;
+    doc.correlations = collector.correlations;
+    doc.tables = collector.tables;
     doc
 }
 
 /// Runs a validated spec end to end.
 ///
 /// Prints the artifact's human-readable output, writes the JSON results
-/// document to `opts.out` when set, and returns the document.
-pub fn run_spec(spec: &ExperimentSpec, opts: &RunOptions) -> Result<Value, String> {
+/// document to `opts.out` when set, and returns the typed document.
+pub fn run_spec(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ResultsDoc, String> {
     spec.validate().map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let mut collector = Collector::new();
@@ -210,7 +179,12 @@ fn run_table1(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collecto
         if opts.csv {
             println!("{}", curves.to_csv(&format!("table1_sigma_{sigma}")));
         }
-        collector.sweeps.push(sweep_record(sigma, &prepared, &curves));
+        collector.sweeps.push(sweep_record(
+            sigma,
+            prepared.float_accuracy,
+            prepared.quant_accuracy,
+            &curves,
+        ));
 
         let Some(swim) = curves.curve("SWIM") else { continue };
 
@@ -286,7 +260,12 @@ fn run_fig2(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector)
     if opts.csv {
         println!("{}", curves.to_csv(&spec.name));
     }
-    collector.sweeps.push(sweep_record(sigma, &prepared, &curves));
+    collector.sweeps.push(sweep_record(
+        sigma,
+        prepared.float_accuracy,
+        prepared.quant_accuracy,
+        &curves,
+    ));
 
     // The paper's headline comparison: the accuracy retained at NWC = 0.1
     // versus writing-verifying everything.
@@ -336,7 +315,12 @@ fn run_generic_sweep(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut C
         if opts.csv {
             println!("{}", curves.to_csv(&format!("{}_sigma_{sigma}", spec.name)));
         }
-        collector.sweeps.push(sweep_record(sigma, &prepared, &curves));
+        collector.sweeps.push(sweep_record(
+            sigma,
+            prepared.float_accuracy,
+            prepared.quant_accuracy,
+            &curves,
+        ));
     }
 }
 
@@ -391,7 +375,7 @@ fn run_fig1(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector)
     } else {
         println!("({} scatter rows suppressed; pass --csv to print them)\n", table.len());
     }
-    collector.tables.push(table_value(&table));
+    collector.tables.push(table.clone());
 
     let mut summary =
         Table::new("Fig. 1 correlation summary", &["series", "Pearson r (measured)", "paper"]);
@@ -407,10 +391,10 @@ fn run_fig1(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector)
     ]);
     collector.show(&summary);
 
-    let mut correlations = Value::table();
-    correlations.set("magnitude", Value::Float(study.magnitude_correlation));
-    correlations.set("sensitivity", Value::Float(study.sensitivity_correlation));
-    collector.extra.push(("correlations".into(), correlations));
+    collector.correlations = Some(Correlations {
+        magnitude: study.magnitude_correlation,
+        sensitivity: study.sensitivity_correlation,
+    });
 
     let ok = study.sensitivity_correlation > study.magnitude_correlation;
     println!(
@@ -466,7 +450,7 @@ fn run_calibration(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Col
     if opts.csv {
         println!("{}", table.to_csv());
     }
-    collector.tables.push(table_value(&table));
+    collector.tables.push(table.clone());
     println!("paper-vs-measured: at sigma = 0.10 expect avg cycles ≈ 10 and residual ≈ 0.03.");
 }
 
@@ -731,7 +715,7 @@ mod tests {
         let mut collector = Collector::new();
         let mut table = Table::new("demo", &["a"]);
         table.push_row(&["1"]);
-        collector.tables.push(table_value(&table));
+        collector.tables.push(table.clone());
         let doc = results_document(&spec, collector, 1.25);
 
         let json = doc.to_json();
@@ -745,35 +729,56 @@ mod tests {
     #[test]
     fn sweep_record_shape() {
         use crate::driver::{InsituStats, MethodCurve};
+        let mut acc = Running::new();
+        acc.push(94.0);
         let curves = MethodCurves {
             methods: vec![MethodCurve {
                 name: "SWIM".into(),
                 points: vec![mk_point(0.0, 90.0), mk_point(1.0, 95.0)],
             }],
-            insitu: vec![InsituStats { nwc: 0.5, accuracy: Running::new() }],
+            insitu: vec![InsituStats { nwc: 0.5, accuracy: acc }],
         };
-        let mut rec = Value::table();
-        rec.set("sigma", Value::Float(0.1));
-        // Build via the real helper using a fake Prepared is impractical
-        // (it owns a trained model), so check the method-curve part.
-        let methods: Vec<Value> = curves
-            .methods
-            .iter()
-            .map(|m| {
-                let mut mv = Value::table();
-                mv.set("name", Value::Str(m.name.clone()));
-                mv.set("points", Value::Array(m.points.iter().map(point_value).collect()));
-                mv
-            })
-            .collect();
-        rec.set("methods", Value::Array(methods));
-        let json = rec.to_json();
-        let parsed = swim_exp::value::parse_json(&json).unwrap();
-        let methods = parsed.get("methods").unwrap().as_array().unwrap();
-        assert_eq!(methods[0].get("name").unwrap().as_str(), Some("SWIM"));
-        let pts = methods[0].get("points").unwrap().as_array().unwrap();
-        assert_eq!(pts.len(), 2);
-        assert!(pts[1].get("accuracy_mean").unwrap().as_float().unwrap() > 95.0);
+        let rec = sweep_record(0.1, 99.0, 98.5, &curves);
+        assert_eq!(rec.sigma, 0.1);
+        assert_eq!(rec.methods[0].name, "SWIM");
+        assert_eq!(rec.methods[0].points.len(), 2);
+        assert!(rec.methods[0].points[1].accuracy_mean > 95.0);
+        assert_eq!(rec.insitu[0].accuracy_mean, 94.0);
+    }
+
+    /// Every preset's emitted document must re-parse through the typed
+    /// schema — write path and read path share one definition.
+    #[test]
+    fn every_preset_document_round_trips_through_schema() {
+        for info in swim_exp::preset_infos() {
+            for quick in [false, true] {
+                let spec = swim_exp::preset(info.name, quick).unwrap();
+                let mut collector = Collector::new();
+                let mut table = Table::new("demo", &["method", "acc"]);
+                table.push_row(&["SWIM", "98.50 ± 0.10"]);
+                collector.show(&table);
+                let mut acc = Running::new();
+                acc.push(97.0);
+                acc.push(98.0);
+                let curves = MethodCurves {
+                    methods: vec![crate::driver::MethodCurve {
+                        name: "SWIM".into(),
+                        points: vec![mk_point(0.0, 90.0), mk_point(1.0, 97.5)],
+                    }],
+                    insitu: vec![crate::driver::InsituStats { nwc: 0.4, accuracy: acc }],
+                };
+                collector.sweeps.push(sweep_record(spec.device.sigmas[0], 99.1, 98.6, &curves));
+                if spec.kind == ExperimentKind::Fig1 {
+                    collector.correlations =
+                        Some(Correlations { magnitude: 0.1, sensitivity: 0.8 });
+                }
+                let doc = results_document(&spec, collector, 0.5);
+                let back = ResultsDoc::parse_str(&doc.to_json())
+                    .unwrap_or_else(|e| panic!("preset {} (quick={quick}): {e}", info.name));
+                assert_eq!(back, doc, "preset {} (quick={quick})", info.name);
+                assert_eq!(back.spec, spec);
+            }
+        }
     }
 
     /// Every checked-in spec file must parse, validate, and survive the
@@ -794,9 +799,8 @@ mod tests {
             let spec = ExperimentSpec::parse_str(&text)
                 .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             let doc = results_document(&spec, Collector::new(), 0.0);
-            let parsed = swim_exp::value::parse_json(&doc.to_json()).unwrap();
-            let echoed = ExperimentSpec::from_value(parsed.get("spec").unwrap()).unwrap();
-            assert_eq!(echoed, spec, "{}", path.display());
+            let echoed = ResultsDoc::parse_str(&doc.to_json()).unwrap();
+            assert_eq!(echoed.spec, spec, "{}", path.display());
         }
         assert!(seen >= 3, "expected the sample specs to be present, found {seen}");
     }

@@ -18,7 +18,11 @@
 //! The `swim` binary is the preferred entry point: `swim run
 //! <spec.toml>` executes any declarative `swim-exp` spec, `swim preset
 //! table1 --set runs=3000` runs a paper artifact with overrides, and
-//! `--out results.json` emits the machine-readable results document.
+//! `--out results.json` emits the machine-readable results document
+//! (typed schema: `swim_report::schema::ResultsDoc`). The analysis side
+//! lives in `swim-report` and is surfaced as `swim diff` (point-by-point
+//! comparison, nonzero exit on drift), `swim report` (Markdown report),
+//! and `swim summarize` (cross-run table) — see `docs/workflow.md`.
 //!
 //! This library provides the pieces everything shares: a tiny flag
 //! parser ([`cli`]), dataset/model preparation with training ([`prep`]),

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `swim` analysis subcommands (exit codes and
+//! output contracts) plus the in-process run → echo → re-run → diff
+//! reproducibility loop.
+
+use std::process::Command;
+
+use swim_bench::experiment::{run_spec, RunOptions};
+use swim_exp::spec::ExperimentSpec;
+use swim_report::diff::{diff_docs, DiffOptions};
+use swim_report::schema::ResultsDoc;
+
+fn fixture(name: &str) -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../report/tests/fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn swim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_swim")).args(args).output().expect("swim binary runs")
+}
+
+#[test]
+fn diff_identical_documents_exits_zero() {
+    let a = fixture("run_a.json");
+    let out = swim(&["diff", &a, &a]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("no drift"), "{stdout}");
+}
+
+#[test]
+fn diff_perturbed_document_exits_one_and_names_the_point() {
+    let out = swim(&["diff", &fixture("run_a.json"), &fixture("run_b_perturbed.json")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("SWIM"), "{stdout}");
+    assert!(stdout.contains("fraction 0.5"), "{stdout}");
+    assert!(stdout.contains("accuracy_mean"), "{stdout}");
+    // A wide tolerance turns the same comparison clean again.
+    let out = swim(&[
+        "diff",
+        &fixture("run_a.json"),
+        &fixture("run_b_perturbed.json"),
+        "--abs-tol",
+        "1.0",
+    ]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn diff_usage_errors_exit_two() {
+    let out = swim(&["diff", &fixture("run_a.json")]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = swim(&["diff", &fixture("run_a.json"), "/nonexistent/x.json"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn report_prints_markdown_with_every_method_table() {
+    let out = swim(&["report", &fixture("run_a.json")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# SWIM results — fixture"), "{stdout}");
+    assert!(stdout.contains("| SWIM |"), "{stdout}");
+    assert!(stdout.contains("| Magnitude |"), "{stdout}");
+    assert!(stdout.contains("| In-situ |"), "{stdout}");
+    assert!(stdout.contains("## sigma = 0.1"), "{stdout}");
+    assert!(stdout.contains("## sigma = 0.15"), "{stdout}");
+}
+
+#[test]
+fn report_baseline_annotates_deltas() {
+    let out =
+        swim(&["report", &fixture("run_b_perturbed.json"), "--baseline", &fixture("run_a.json")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(Δ+0.75)"), "{stdout}");
+}
+
+#[test]
+fn summarize_renders_cross_run_table() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../report/tests/fixtures");
+    let out = swim(&["summarize", &dir.display().to_string()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cross-run summary"), "{stdout}");
+    assert!(stdout.contains("run_a"), "{stdout}");
+    assert!(stdout.contains("run_b_perturbed"), "{stdout}");
+    assert!(stdout.contains("LayerBalanced") || stdout.contains("SWIM"), "{stdout}");
+}
+
+/// The acceptance loop, in-process: run a tiny spec, feed the emitted
+/// document's spec echo back through the engine, and require the two
+/// documents to diff clean (bit-identical curves, zero drift).
+#[test]
+fn run_echo_rerun_diff_is_clean() {
+    let spec = ExperimentSpec::parse_str(
+        "name = \"echo-loop\"\nseed = 11\n\
+         [training]\nsamples = 120\nepochs = 1\n\
+         [selection]\nmethods = [\"swim\"]\ninsitu = false\n\
+         [sweep]\nfractions = [0.0, 1.0]\n\
+         [montecarlo]\nruns = 1\nthreads = 1\n",
+    )
+    .unwrap();
+    let opts = RunOptions { gemm_threads: 1, ..Default::default() };
+    let first = run_spec(&spec, &opts).unwrap();
+
+    // The echo is what `swim run first.json` would extract.
+    let echoed = ResultsDoc::parse_str(&first.to_json()).unwrap().spec;
+    assert_eq!(echoed, spec);
+    let second = run_spec(&echoed, &opts).unwrap();
+
+    let report = diff_docs(&first, &second, &DiffOptions::default());
+    assert!(report.clean(), "{}", report.render());
+    assert_eq!(report.max_delta, 0.0, "echo re-run must be bit-identical");
+}

@@ -39,7 +39,7 @@ pub fn fmt_mean_std(stats: &Running) -> String {
 /// assert!(text.contains("SWIM"));
 /// assert!(t.to_csv().starts_with("method,accuracy"));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     title: String,
     headers: Vec<String>,

@@ -9,7 +9,7 @@
 //! config views (`SweepConfig`, `Alg1Config`, `InsituConfig`,
 //! `DeviceConfig`) that the engine crates consume.
 
-use crate::value::{parse_json, parse_loose, parse_toml, Value};
+use crate::value::{parse_json, parse_loose, parse_toml, Reader, Value};
 use swim_cim::device::{DeviceConfig, DeviceTech};
 use swim_core::algorithm::Alg1Config;
 use swim_core::insitu::InsituConfig;
@@ -27,6 +27,12 @@ impl std::fmt::Display for SpecError {
 }
 
 impl std::error::Error for SpecError {}
+
+impl From<String> for SpecError {
+    fn from(msg: String) -> Self {
+        SpecError(msg)
+    }
+}
 
 fn err(msg: impl Into<String>) -> SpecError {
     SpecError(msg.into())
@@ -440,165 +446,6 @@ impl Default for ExperimentSpec {
 }
 
 // ------------------------------------------------------------- reading
-
-/// Tracks which keys of a table were consumed so leftovers can be
-/// rejected with their full path.
-struct Reader<'a> {
-    path: &'a str,
-    entries: &'a [(String, Value)],
-    seen: Vec<bool>,
-}
-
-impl<'a> Reader<'a> {
-    fn new(path: &'a str, value: &'a Value) -> Result<Self, SpecError> {
-        let entries = value
-            .as_table()
-            .ok_or_else(|| err(format!("`{path}` must be a table", path = display_path(path))))?;
-        Ok(Reader { path, entries, seen: vec![false; entries.len()] })
-    }
-
-    fn full_key(&self, key: &str) -> String {
-        if self.path.is_empty() {
-            key.to_string()
-        } else {
-            format!("{}.{key}", self.path)
-        }
-    }
-
-    fn take(&mut self, key: &str) -> Option<&'a Value> {
-        for (i, (k, v)) in self.entries.iter().enumerate() {
-            if k == key {
-                self.seen[i] = true;
-                return Some(v);
-            }
-        }
-        None
-    }
-
-    fn finish(self) -> Result<(), SpecError> {
-        for (i, (k, _)) in self.entries.iter().enumerate() {
-            if !self.seen[i] {
-                return Err(err(format!("unknown key `{}`", self.full_key(k))));
-            }
-        }
-        Ok(())
-    }
-
-    fn string_or(&mut self, key: &str, default: &str) -> Result<String, SpecError> {
-        match self.take(key) {
-            None => Ok(default.to_string()),
-            Some(v) => v
-                .as_str()
-                .map(|s| s.to_string())
-                .ok_or_else(|| err(format!("`{}` must be a string", self.full_key(key)))),
-        }
-    }
-
-    fn usize_or(&mut self, key: &str, default: usize) -> Result<usize, SpecError> {
-        match self.take(key) {
-            None => Ok(default),
-            Some(v) => v.as_int().and_then(|i| usize::try_from(i).ok()).ok_or_else(|| {
-                err(format!("`{}` must be a non-negative integer", self.full_key(key)))
-            }),
-        }
-    }
-
-    fn u64_or(&mut self, key: &str, default: u64) -> Result<u64, SpecError> {
-        match self.take(key) {
-            None => Ok(default),
-            Some(v) => v.as_int().and_then(|i| u64::try_from(i).ok()).ok_or_else(|| {
-                err(format!("`{}` must be a non-negative integer", self.full_key(key)))
-            }),
-        }
-    }
-
-    fn f64_or(&mut self, key: &str, default: f64) -> Result<f64, SpecError> {
-        match self.take(key) {
-            None => Ok(default),
-            Some(v) => v
-                .as_float()
-                .ok_or_else(|| err(format!("`{}` must be a number", self.full_key(key)))),
-        }
-    }
-
-    fn f32_or(&mut self, key: &str, default: f32) -> Result<f32, SpecError> {
-        self.f64_or(key, default as f64).map(|v| v as f32)
-    }
-
-    fn bool_or(&mut self, key: &str, default: bool) -> Result<bool, SpecError> {
-        match self.take(key) {
-            None => Ok(default),
-            Some(v) => v
-                .as_bool()
-                .ok_or_else(|| err(format!("`{}` must be a boolean", self.full_key(key)))),
-        }
-    }
-
-    fn f64_opt(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
-        match self.take(key) {
-            None => Ok(None),
-            Some(v) => v
-                .as_float()
-                .map(Some)
-                .ok_or_else(|| err(format!("`{}` must be a number", self.full_key(key)))),
-        }
-    }
-
-    fn u32_opt(&mut self, key: &str) -> Result<Option<u32>, SpecError> {
-        match self.take(key) {
-            None => Ok(None),
-            Some(v) => v.as_int().and_then(|i| u32::try_from(i).ok()).map(Some).ok_or_else(|| {
-                err(format!("`{}` must be a non-negative integer", self.full_key(key)))
-            }),
-        }
-    }
-
-    fn f64_list_or(&mut self, key: &str, default: &[f64]) -> Result<Vec<f64>, SpecError> {
-        match self.take(key) {
-            None => Ok(default.to_vec()),
-            Some(v) => {
-                let items = v
-                    .as_array()
-                    .ok_or_else(|| err(format!("`{}` must be an array", self.full_key(key))))?;
-                items
-                    .iter()
-                    .map(|item| {
-                        item.as_float().ok_or_else(|| {
-                            err(format!("`{}` must contain numbers", self.full_key(key)))
-                        })
-                    })
-                    .collect()
-            }
-        }
-    }
-
-    fn string_list_or(&mut self, key: &str, default: &[String]) -> Result<Vec<String>, SpecError> {
-        match self.take(key) {
-            None => Ok(default.to_vec()),
-            Some(v) => {
-                let items = v
-                    .as_array()
-                    .ok_or_else(|| err(format!("`{}` must be an array", self.full_key(key))))?;
-                items
-                    .iter()
-                    .map(|item| {
-                        item.as_str().map(|s| s.to_string()).ok_or_else(|| {
-                            err(format!("`{}` must contain strings", self.full_key(key)))
-                        })
-                    })
-                    .collect()
-            }
-        }
-    }
-}
-
-fn display_path(path: &str) -> &str {
-    if path.is_empty() {
-        "<root>"
-    } else {
-        path
-    }
-}
 
 impl ExperimentSpec {
     /// Parses a spec document, auto-detecting JSON (`{`-led) vs the

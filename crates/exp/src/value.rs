@@ -345,7 +345,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn parse_quoted_string(&mut self) -> Result<String, String> {
-        debug_assert_eq!(self.bump(), Some(b'"'));
+        // The opening-quote consumption must not live inside a
+        // `debug_assert!` — release builds compile those away, and the
+        // un-consumed quote would make every string parse as empty.
+        let opening = self.bump();
+        debug_assert_eq!(opening, Some(b'"'));
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -648,6 +652,227 @@ fn parse_json_value(cursor: &mut Cursor) -> Result<Value, String> {
         Some(b'n') if cursor.starts_with_word("null") => Err(cursor.err("`null` is not supported")),
         Some(b'0'..=b'9' | b'+' | b'-' | b'.') => cursor.parse_number(),
         Some(c) => Err(cursor.err(format!("unexpected character `{}`", c as char))),
+    }
+}
+
+// --------------------------------------------------------------- reader
+
+/// Strict, consume-tracking reader over a [`Value::Table`].
+///
+/// [`Reader::take`] marks keys as consumed; [`Reader::finish`] rejects
+/// whatever was not consumed, naming its full dotted path — the
+/// mechanism behind the spec parser's and the results-schema parser's
+/// unknown-key errors. The `*_or` accessors fall back to a default when
+/// the key is absent; [`Reader::require`] demands presence.
+///
+/// # Example
+///
+/// ```
+/// use swim_exp::value::{parse_toml, Reader};
+///
+/// let doc = parse_toml("runs = 3\nbogus = 1\n").unwrap();
+/// let mut r = Reader::new("", &doc).unwrap();
+/// assert_eq!(r.usize_or("runs", 25).unwrap(), 3);
+/// let err = r.finish().unwrap_err();
+/// assert!(err.contains("unknown key `bogus`"));
+/// ```
+pub struct Reader<'a> {
+    path: &'a str,
+    entries: &'a [(String, Value)],
+    seen: Vec<bool>,
+}
+
+fn display_path(path: &str) -> &str {
+    if path.is_empty() {
+        "<root>"
+    } else {
+        path
+    }
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a table value; `path` is the dotted prefix used in error
+    /// messages (empty for the document root).
+    pub fn new(path: &'a str, value: &'a Value) -> Result<Self, String> {
+        let entries =
+            value.as_table().ok_or_else(|| format!("`{}` must be a table", display_path(path)))?;
+        Ok(Reader { path, entries, seen: vec![false; entries.len()] })
+    }
+
+    /// The full dotted path of `key` under this reader's prefix.
+    pub fn full_key(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{key}", self.path)
+        }
+    }
+
+    /// Consumes and returns `key`, if present.
+    pub fn take(&mut self, key: &str) -> Option<&'a Value> {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if k == key {
+                self.seen[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Consumes and returns `key`, erroring when absent.
+    pub fn require(&mut self, key: &str) -> Result<&'a Value, String> {
+        self.take(key).ok_or_else(|| format!("missing key `{}`", self.full_key(key)))
+    }
+
+    /// Errors on the first never-consumed key, with its full path.
+    pub fn finish(self) -> Result<(), String> {
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            if !self.seen[i] {
+                return Err(format!("unknown key `{}`", self.full_key(k)));
+            }
+        }
+        Ok(())
+    }
+
+    /// String value of `key`, or `default` when absent.
+    pub fn string_or(&mut self, key: &str, default: &str) -> Result<String, String> {
+        match self.take(key) {
+            None => Ok(default.to_string()),
+            Some(v) => v
+                .as_str()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("`{}` must be a string", self.full_key(key))),
+        }
+    }
+
+    /// String value of `key`, required.
+    pub fn string_req(&mut self, key: &str) -> Result<String, String> {
+        let full = self.full_key(key);
+        self.require(key)?
+            .as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("`{full}` must be a string"))
+    }
+
+    /// `usize` value of `key`, or `default` when absent.
+    pub fn usize_or(&mut self, key: &str, default: usize) -> Result<usize, String> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_int()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or_else(|| format!("`{}` must be a non-negative integer", self.full_key(key))),
+        }
+    }
+
+    /// `u64` value of `key`, or `default` when absent.
+    pub fn u64_or(&mut self, key: &str, default: u64) -> Result<u64, String> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_int()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("`{}` must be a non-negative integer", self.full_key(key))),
+        }
+    }
+
+    /// `u64` value of `key`, required.
+    pub fn u64_req(&mut self, key: &str) -> Result<u64, String> {
+        let full = self.full_key(key);
+        self.require(key)?
+            .as_int()
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| format!("`{full}` must be a non-negative integer"))
+    }
+
+    /// `f64` value of `key` (integers coerce), or `default` when absent.
+    pub fn f64_or(&mut self, key: &str, default: f64) -> Result<f64, String> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.as_float().ok_or_else(|| format!("`{}` must be a number", self.full_key(key)))
+            }
+        }
+    }
+
+    /// `f64` value of `key`, required.
+    pub fn f64_req(&mut self, key: &str) -> Result<f64, String> {
+        let full = self.full_key(key);
+        self.require(key)?.as_float().ok_or_else(|| format!("`{full}` must be a number"))
+    }
+
+    /// `f32` value of `key`, or `default` when absent.
+    pub fn f32_or(&mut self, key: &str, default: f32) -> Result<f32, String> {
+        self.f64_or(key, default as f64).map(|v| v as f32)
+    }
+
+    /// Boolean value of `key`, or `default` when absent.
+    pub fn bool_or(&mut self, key: &str, default: bool) -> Result<bool, String> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.as_bool().ok_or_else(|| format!("`{}` must be a boolean", self.full_key(key)))
+            }
+        }
+    }
+
+    /// Optional `f64` value of `key` (`None` when absent).
+    pub fn f64_opt(&mut self, key: &str) -> Result<Option<f64>, String> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_float()
+                .map(Some)
+                .ok_or_else(|| format!("`{}` must be a number", self.full_key(key))),
+        }
+    }
+
+    /// Optional `u32` value of `key` (`None` when absent).
+    pub fn u32_opt(&mut self, key: &str) -> Result<Option<u32>, String> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(v) => {
+                v.as_int().and_then(|i| u32::try_from(i).ok()).map(Some).ok_or_else(|| {
+                    format!("`{}` must be a non-negative integer", self.full_key(key))
+                })
+            }
+        }
+    }
+
+    /// `f64` array value of `key`, or `default` when absent.
+    pub fn f64_list_or(&mut self, key: &str, default: &[f64]) -> Result<Vec<f64>, String> {
+        match self.take(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => {
+                let full = self.full_key(key);
+                let items = v.as_array().ok_or_else(|| format!("`{full}` must be an array"))?;
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_float().ok_or_else(|| format!("`{full}` must contain numbers"))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// String array value of `key`, or `default` when absent.
+    pub fn string_list_or(&mut self, key: &str, default: &[String]) -> Result<Vec<String>, String> {
+        match self.take(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => {
+                let full = self.full_key(key);
+                let items = v.as_array().ok_or_else(|| format!("`{full}` must be an array"))?;
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(|s| s.to_string())
+                            .ok_or_else(|| format!("`{full}` must contain strings"))
+                    })
+                    .collect()
+            }
+        }
     }
 }
 

@@ -45,8 +45,8 @@ impl Clone for ConvScratch {
 /// The convolution is computed as `im2col(x) · Wᵀ`, which "casts it in
 /// the same form as FC layers" — exactly the reduction the paper's §3.3
 /// uses so that the FC second-order rules (Eq. 8/10) apply unchanged to
-/// convolutions. The lowering is *batched*: up to [`IM2COL_CAP_ELEMS`]
-/// worth of images are unrolled into one patch matrix so a whole batch
+/// convolutions. The lowering is *batched*: up to `IM2COL_CAP_ELEMS`
+/// (~16 MiB) worth of images are unrolled into one patch matrix so a whole batch
 /// becomes a single large GEMM (big enough for the threaded row-panel
 /// path to engage), with all intermediate buffers reused across calls
 /// from a per-layer scratch. The backward passes recompute the im2col

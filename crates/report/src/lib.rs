@@ -1,0 +1,44 @@
+//! Results-document analysis for the SWIM reproduction: load, validate,
+//! compare, and publish experiment results.
+//!
+//! `swim run --out r.json` emits a versioned JSON results document;
+//! this crate is its consumer side, closing the run → compare → read
+//! loop:
+//!
+//! * [`schema`] — the typed, versioned [`schema::ResultsDoc`] that both
+//!   the experiment engine (write path) and every command here (read
+//!   path) go through, with a strict unknown-key-rejecting parser over
+//!   the `swim_exp::value` layer;
+//! * [`diff`] — method-by-method, point-by-point comparison with
+//!   configurable absolute/relative tolerances and spec-echo diffing
+//!   (`swim diff a.json b.json`);
+//! * [`markdown`] — self-contained Markdown reports with spec summary,
+//!   per-method curve tables, and ASCII plots (`swim report run.json`);
+//! * [`summary`] — many runs flattened into one cross-run table
+//!   (`swim summarize dir/`);
+//! * [`plot`] — the dependency-free ASCII line-plot renderer.
+//!
+//! # Example
+//!
+//! ```
+//! use swim_report::diff::{diff_docs, DiffOptions};
+//! use swim_report::schema::ResultsDoc;
+//!
+//! let doc = ResultsDoc::new(swim_exp::preset("fig2a", true).unwrap(), 0.5);
+//! let echo = ResultsDoc::parse_str(&doc.to_json()).unwrap();
+//! let report = diff_docs(&doc, &echo, &DiffOptions::default());
+//! assert!(report.clean());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod markdown;
+pub mod plot;
+pub mod schema;
+pub mod summary;
+
+pub use diff::{diff_docs, DiffOptions, DiffReport};
+pub use markdown::render_report;
+pub use schema::{ResultsDoc, SchemaError, RESULTS_VERSION};
+pub use summary::summarize;

@@ -1,0 +1,333 @@
+//! Self-contained Markdown reports from results documents — the engine
+//! behind `swim report`.
+//!
+//! A report carries everything a reader needs to trust and reproduce
+//! the run: the spec summary (scenario, device, budgets, seed), every
+//! method's accuracy-vs-NWC table, an ASCII rendering of each sigma
+//! block's curves, the run's printed tables, and the wall-time/seed
+//! provenance footer. With a baseline document, per-point mean deltas
+//! are annotated inline.
+
+use crate::plot::{ascii_plot, Series};
+use crate::schema::{ResultsDoc, SweepDoc};
+use swim_core::report::Table;
+
+/// Escapes a table cell for `|`-delimited Markdown.
+fn md_cell(cell: &str) -> String {
+    cell.replace('|', "\\|")
+}
+
+/// Renders a [`Table`] as a GitHub-flavored Markdown table.
+pub fn table_markdown(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "| {} |\n",
+        table.headers().iter().map(|h| md_cell(h)).collect::<Vec<_>>().join(" | ")
+    ));
+    out.push_str(&format!("|{}\n", " --- |".repeat(table.headers().len())));
+    for row in table.rows() {
+        out.push_str(&format!(
+            "| {} |\n",
+            row.iter().map(|c| md_cell(c)).collect::<Vec<_>>().join(" | ")
+        ));
+    }
+    out
+}
+
+/// Renders one sigma block's method curves as `(nwc, accuracy)` series
+/// for the ASCII plot.
+fn sweep_plot(sweep: &SweepDoc) -> String {
+    let mut owned: Vec<(String, Vec<(f64, f64)>)> = sweep
+        .methods
+        .iter()
+        .map(|m| (m.name.clone(), m.points.iter().map(|p| (p.nwc, p.accuracy_mean)).collect()))
+        .collect();
+    if !sweep.insitu.is_empty() {
+        owned.push((
+            "In-situ".to_string(),
+            sweep.insitu.iter().map(|p| (p.nwc, p.accuracy_mean)).collect(),
+        ));
+    }
+    let series: Vec<Series> =
+        owned.iter().map(|(label, pts)| Series { label, points: pts }).collect();
+    ascii_plot(&series, 56, 14)
+}
+
+/// One sigma block's method-by-NWC Markdown table, with per-point mean
+/// deltas against `baseline` when it has a matching block.
+fn sweep_table(sweep: &SweepDoc, baseline: Option<&SweepDoc>) -> String {
+    let Some(first) = sweep.methods.first() else {
+        return String::new();
+    };
+    // Columns are labeled by the sweep-grid *fraction* (exact, so a
+    // grid like [0.05, 0.1] keeps distinct headers); the NWC actually
+    // spent differs per method and is plotted/recorded per point.
+    let mut headers: Vec<String> = vec!["Method".into()];
+    for p in &first.points {
+        headers.push(format!("f = {}", p.fraction));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut table = Table::new("", &header_refs);
+    for m in &sweep.methods {
+        let base = baseline.and_then(|b| b.method(&m.name));
+        let mut row = vec![m.name.clone()];
+        for (i, p) in m.points.iter().enumerate() {
+            let mut cell = format!("{:.2} ± {:.2}", p.accuracy_mean, p.accuracy_std);
+            if let Some(bp) = base.and_then(|b| b.points.get(i)) {
+                if bp.fraction == p.fraction {
+                    cell.push_str(&format!(" (Δ{:+.2})", p.accuracy_mean - bp.accuracy_mean));
+                }
+            }
+            row.push(cell);
+        }
+        // The schema does not force every method onto the same grid;
+        // pad or truncate so a ragged document renders instead of
+        // tripping the table's cell-count assert.
+        while row.len() < headers.len() {
+            row.push("-".into());
+        }
+        row.truncate(headers.len());
+        table.push_row_owned(row);
+    }
+    if !sweep.insitu.is_empty() {
+        let mut row = vec!["In-situ".to_string()];
+        for (i, p) in sweep.insitu.iter().enumerate() {
+            let mut cell = format!("{:.2} ± {:.2}", p.accuracy_mean, p.accuracy_std);
+            if let Some(bp) = baseline.and_then(|b| b.insitu.get(i)) {
+                // The baseline checkpoint must sit at (nearly) the same
+                // write budget — in-situ NWC is a measured mean, so exact
+                // equality is too strict, but a misaligned grid must not
+                // produce a delta between different budgets.
+                if insitu_aligned(p.nwc, bp.nwc) {
+                    cell.push_str(&format!(" (Δ{:+.2})", p.accuracy_mean - bp.accuracy_mean));
+                }
+            }
+            // The in-situ grid may be shorter than the method grid; pad
+            // below if needed.
+            row.push(cell);
+        }
+        while row.len() < headers.len() {
+            row.push("-".into());
+        }
+        row.truncate(headers.len());
+        table.push_row_owned(row);
+    }
+    table_markdown(&table)
+}
+
+/// Whether two in-situ checkpoints describe the same write budget
+/// (within 5% of the larger NWC, with an absolute floor for the
+/// near-zero first checkpoint).
+fn insitu_aligned(nwc_a: f64, nwc_b: f64) -> bool {
+    (nwc_a - nwc_b).abs() <= (0.05 * nwc_a.abs().max(nwc_b.abs())).max(0.02)
+}
+
+/// Renders the full Markdown report.
+///
+/// With a `baseline`, sweep tables annotate per-point accuracy deltas
+/// (`this − baseline`) wherever the sigma block, method, and grid
+/// position line up.
+pub fn render_report(doc: &ResultsDoc, baseline: Option<&ResultsDoc>) -> String {
+    let spec = &doc.spec;
+    let mut out = String::new();
+    out.push_str(&format!("# SWIM results — {}\n\n", doc.name()));
+    if !spec.note.is_empty() {
+        out.push_str(&format!("> {}\n\n", spec.note));
+    }
+
+    // ------------------------------------------------- spec summary
+    out.push_str("## Experiment\n\n");
+    let mut summary = Table::new("", &["field", "value"]);
+    summary.push_row_owned(vec!["kind".into(), spec.kind.key().to_string()]);
+    summary.push_row_owned(vec!["scenario".into(), spec.scenario.model.key().to_string()]);
+    summary.push_row_owned(vec!["width".into(), format!("{}", spec.scenario.width)]);
+    summary.push_row_owned(vec!["device tech".into(), spec.device.tech.key().to_string()]);
+    summary.push_row_owned(vec![
+        "sigmas".into(),
+        spec.device.sigmas.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
+    ]);
+    summary.push_row_owned(vec![
+        "training".into(),
+        format!(
+            "{} samples, {} epochs, lr {}, batch {}",
+            spec.training.samples, spec.training.epochs, spec.training.lr, spec.training.batch
+        ),
+    ]);
+    summary.push_row_owned(vec!["methods".into(), spec.selection.methods.join(", ")]);
+    summary.push_row_owned(vec![
+        "in-situ baseline".into(),
+        if spec.selection.insitu { "on" } else { "off" }.into(),
+    ]);
+    summary.push_row_owned(vec![
+        "NWC grid".into(),
+        spec.sweep.fractions.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(", "),
+    ]);
+    summary.push_row_owned(vec![
+        "Monte Carlo".into(),
+        format!("{} runs, eval batch {}", spec.montecarlo.runs, spec.montecarlo.eval_batch),
+    ]);
+    summary.push_row_owned(vec!["seed".into(), spec.seed.to_string()]);
+    out.push_str(&table_markdown(&summary));
+    out.push('\n');
+    if let Some(b) = baseline {
+        out.push_str(&format!(
+            "Deltas (Δ) are against baseline `{}` (seed {}).\n\n",
+            b.name(),
+            b.seed()
+        ));
+    }
+
+    // -------------------------------------------------- sweep blocks
+    for sweep in &doc.sweeps {
+        out.push_str(&format!("## sigma = {}\n\n", sweep.sigma));
+        out.push_str(&format!(
+            "Float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%.\n\n",
+            sweep.float_accuracy, sweep.quant_accuracy
+        ));
+        let base_sweep = baseline.and_then(|b| b.sweep_at(sweep.sigma));
+        out.push_str(&sweep_table(sweep, base_sweep));
+        out.push('\n');
+        out.push_str("Accuracy (%) vs normalized write cycles:\n\n");
+        out.push_str("```\n");
+        out.push_str(&sweep_plot(sweep));
+        out.push_str("```\n\n");
+    }
+
+    // ------------------------------------------------- correlations
+    if let Some(c) = &doc.correlations {
+        out.push_str("## Fig. 1 correlations\n\n");
+        let mut t = Table::new("", &["series", "Pearson r"]);
+        t.push_row_owned(vec!["|w| vs accuracy drop".into(), format!("{:.3}", c.magnitude)]);
+        t.push_row_owned(vec!["d²f/dw² vs accuracy drop".into(), format!("{:.3}", c.sensitivity)]);
+        out.push_str(&table_markdown(&t));
+        out.push('\n');
+    }
+
+    // ------------------------------------------------------- tables
+    if !doc.tables.is_empty() {
+        out.push_str("## Printed tables\n\n");
+        for table in &doc.tables {
+            if !table.title().is_empty() {
+                out.push_str(&format!("### {}\n\n", table.title()));
+            }
+            out.push_str(&table_markdown(table));
+            out.push('\n');
+        }
+    }
+
+    // --------------------------------------------------- provenance
+    out.push_str("## Provenance\n\n");
+    out.push_str(&format!(
+        "Seed {}, wall time {:.2} s. The source document embeds the full spec echo; \
+         re-run it with `swim run <results.json>` (the spec is extracted automatically) \
+         and compare with `swim diff`.\n",
+        doc.seed(),
+        doc.wall_time_s
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Correlations, CurvePoint, InsituPoint, MethodCurveDoc};
+
+    fn doc() -> ResultsDoc {
+        let spec = swim_exp::preset("table1", true).unwrap();
+        let mut doc = ResultsDoc::new(spec, 3.25);
+        doc.sweeps.push(SweepDoc {
+            sigma: 0.15,
+            float_accuracy: 99.0,
+            quant_accuracy: 98.5,
+            methods: vec![MethodCurveDoc {
+                name: "SWIM".into(),
+                points: vec![
+                    CurvePoint { fraction: 0.0, nwc: 0.0, accuracy_mean: 90.0, accuracy_std: 1.0 },
+                    CurvePoint { fraction: 1.0, nwc: 1.0, accuracy_mean: 98.0, accuracy_std: 0.2 },
+                ],
+            }],
+            insitu: vec![
+                InsituPoint { nwc: 0.0, accuracy_mean: 88.0, accuracy_std: 0.9 },
+                InsituPoint { nwc: 1.0, accuracy_mean: 95.0, accuracy_std: 0.5 },
+            ],
+        });
+        let mut t = Table::new("speedups", &["method", "NWC needed"]);
+        t.push_row(&["SWIM", "0.10"]);
+        doc.tables.push(t);
+        doc
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let d = doc();
+        let md = render_report(&d, None);
+        assert!(md.contains("# SWIM results — table1"));
+        assert!(md.contains("## Experiment"));
+        assert!(md.contains("## sigma = 0.15"));
+        assert!(md.contains("| SWIM | 90.00 ± 1.00 | 98.00 ± 0.20 |"), "{md}");
+        assert!(md.contains("| In-situ | 88.00 ± 0.90 | 95.00 ± 0.50 |"), "{md}");
+        assert!(md.contains("### speedups"));
+        assert!(md.contains("* SWIM"), "plot legend present");
+        assert!(md.contains("wall time 3.25 s"));
+    }
+
+    #[test]
+    fn baseline_annotates_deltas() {
+        let a = doc();
+        let mut b = doc();
+        b.sweeps[0].methods[0].points[1].accuracy_mean = 97.0;
+        let md = render_report(&a, Some(&b));
+        assert!(md.contains("(Δ+1.00)"), "{md}");
+        assert!(md.contains("Deltas (Δ) are against baseline"));
+    }
+
+    /// A schema-valid document may carry methods with differing point
+    /// counts (diff reports that as structural); the report must render
+    /// it with `-` padding, not panic on the table's cell-count assert.
+    #[test]
+    fn ragged_method_grids_render_with_padding() {
+        let mut d = doc();
+        d.sweeps[0].methods.push(MethodCurveDoc {
+            name: "Short".into(),
+            points: vec![CurvePoint {
+                fraction: 0.0,
+                nwc: 0.0,
+                accuracy_mean: 89.0,
+                accuracy_std: 0.5,
+            }],
+        });
+        let md = render_report(&d, None);
+        assert!(md.contains("| Short | 89.00 ± 0.50 | - |"), "{md}");
+    }
+
+    /// An in-situ baseline from a different sweep grid sits at
+    /// different write budgets — no delta may be printed between
+    /// checkpoints that merely share an index.
+    #[test]
+    fn misaligned_insitu_baseline_suppresses_deltas() {
+        let a = doc();
+        let mut b = doc();
+        b.sweeps[0].insitu[1].nwc = 0.3;
+        let md = render_report(&a, Some(&b));
+        // First checkpoints align (nwc 0.0 both) → delta; second do not.
+        let insitu_row = md.lines().find(|l| l.starts_with("| In-situ |")).unwrap();
+        assert_eq!(insitu_row.matches("(Δ").count(), 1, "{insitu_row}");
+    }
+
+    #[test]
+    fn correlations_section_renders() {
+        let spec = swim_exp::preset("fig1", true).unwrap();
+        let mut d = ResultsDoc::new(spec, 0.5);
+        d.correlations = Some(Correlations { magnitude: 0.12, sensitivity: 0.83 });
+        let md = render_report(&d, None);
+        assert!(md.contains("## Fig. 1 correlations"));
+        assert!(md.contains("0.830"));
+    }
+
+    #[test]
+    fn markdown_cells_escape_pipes() {
+        let mut t = Table::new("", &["a"]);
+        t.push_row(&["x|y"]);
+        assert!(table_markdown(&t).contains("x\\|y"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Dependency-free ASCII line plots for accuracy-vs-NWC curves.
+//!
+//! Good enough to eyeball curve shape and method ordering directly in a
+//! terminal or a Markdown code fence; the numeric tables next to each
+//! plot carry the exact values.
+
+/// One named curve: `(x, y)` points in ascending-x order.
+#[derive(Debug, Clone, Copy)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// The polyline's points.
+    pub points: &'a [(f64, f64)],
+}
+
+/// Marker characters assigned to series in order.
+const MARKERS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~'];
+
+/// Renders the series into a `width`×`height` character plot with
+/// y-axis labels, an x-axis ruler, and a marker legend.
+///
+/// Series are drawn in order, later ones overwriting earlier ones where
+/// cells collide; segments between points are linearly interpolated.
+/// Empty input (or all-empty series) renders a placeholder line.
+///
+/// # Example
+///
+/// ```
+/// use swim_report::plot::{ascii_plot, Series};
+///
+/// let swim = [(0.0, 90.0), (0.5, 97.0), (1.0, 98.0)];
+/// let text = ascii_plot(&[Series { label: "SWIM", points: &swim }], 40, 10);
+/// assert!(text.contains("* SWIM"));
+/// assert!(text.contains("98.00"));
+/// ```
+pub fn ascii_plot(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if points.is_empty() {
+        return "(no points to plot)\n".to_string();
+    }
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Flat ranges still need a nonzero span to map onto the grid.
+    if x_max - x_min < 1e-12 {
+        x_min -= 0.5;
+        x_max += 0.5;
+    }
+    if y_max - y_min < 1e-12 {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let col_of = |x: f64| -> usize {
+        (((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+    let row_of = |y: f64| -> usize {
+        let r = ((y_max - y) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+        r.min(height - 1)
+    };
+
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for pair in s.points.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let (c0, c1) = (col_of(x0), col_of(x1));
+            // The row index depends on the interpolated y at each
+            // column, so this is a coordinate walk, not a slice scan.
+            #[allow(clippy::needless_range_loop)]
+            for c in c0.min(c1)..=c0.max(c1) {
+                let t =
+                    if c1 == c0 { 0.0 } else { (c as f64 - c0 as f64) / (c1 as f64 - c0 as f64) };
+                let y = y0 + t * (y1 - y0);
+                grid[row_of(y)][c] = marker;
+            }
+        }
+        for &(x, y) in s.points {
+            grid[row_of(y)][col_of(x)] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:8.2} |")
+        } else if r == height - 1 {
+            format!("{y_min:8.2} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        let line: String = row.iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str("         +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let x_left = format!("{x_min:<.2}");
+    let x_right = format!("{x_max:.2}");
+    let pad = width.saturating_sub(x_left.len() + x_right.len());
+    out.push_str(&format!("          {x_left}{}{x_right}\n", " ".repeat(pad)));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("          {} {}\n", MARKERS[si % MARKERS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_every_series_marker() {
+        let a = [(0.0, 90.0), (1.0, 98.0)];
+        let b = [(0.0, 85.0), (1.0, 97.0)];
+        let text = ascii_plot(
+            &[Series { label: "SWIM", points: &a }, Series { label: "Random", points: &b }],
+            40,
+            12,
+        );
+        assert!(text.contains("* SWIM"));
+        assert!(text.contains("o Random"));
+        assert!(text.contains('*') && text.contains('o'));
+        // Axis labels carry the data range.
+        assert!(text.contains("98.00"), "{text}");
+        assert!(text.contains("85.00"), "{text}");
+        assert!(text.contains("0.00") && text.contains("1.00"));
+    }
+
+    #[test]
+    fn empty_input_is_a_placeholder() {
+        assert_eq!(ascii_plot(&[], 40, 10), "(no points to plot)\n");
+        let empty: [(f64, f64); 0] = [];
+        let text = ascii_plot(&[Series { label: "none", points: &empty }], 40, 10);
+        assert!(text.contains("no points"));
+    }
+
+    #[test]
+    fn flat_series_does_not_panic() {
+        let flat = [(0.0, 50.0), (1.0, 50.0)];
+        let text = ascii_plot(&[Series { label: "flat", points: &flat }], 30, 8);
+        assert!(text.contains("flat"));
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let one = [(0.5, 42.0)];
+        let text = ascii_plot(&[Series { label: "dot", points: &one }], 30, 8);
+        assert!(text.contains('*'));
+    }
+}

@@ -1,0 +1,584 @@
+//! The typed, versioned schema of the JSON results document.
+//!
+//! [`ResultsDoc`] is the single definition of what `swim run --out`
+//! writes and what `swim diff` / `swim report` / `swim summarize` read:
+//! the experiment engine builds a `ResultsDoc` and serializes it with
+//! [`ResultsDoc::to_value`], the analysis commands re-parse it with
+//! [`ResultsDoc::from_value`], and a round-trip test pins the two
+//! together — the write path and the read path cannot drift apart.
+//!
+//! Parsing is *strict*: unknown keys are rejected with their full
+//! dotted path (like spec files), required keys must be present, and
+//! the embedded spec echo must itself parse and validate. The
+//! denormalized convenience copies (`name`, `kind`, `seed` at the top
+//! level) are checked against the spec echo so a hand-edited document
+//! cannot claim to be an experiment it is not.
+//!
+//! Versioning: [`RESULTS_VERSION`] is bumped on **any** schema change
+//! (strict readers make even additive changes observable); the tools in
+//! this crate read exactly the version they were built for. See
+//! `docs/results-schema.md` for the field-by-field reference and the
+//! compatibility policy.
+
+use swim_core::report::Table;
+use swim_exp::spec::{ExperimentKind, ExperimentSpec};
+use swim_exp::value::{parse_json, Reader, Value};
+
+/// The results-document schema version this crate reads and writes.
+pub const RESULTS_VERSION: i64 = 1;
+
+/// A results-document parsing/validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "results document error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<String> for SchemaError {
+    fn from(msg: String) -> Self {
+        SchemaError(msg)
+    }
+}
+
+fn err(msg: impl Into<String>) -> SchemaError {
+    SchemaError(msg.into())
+}
+
+/// One swept point of a selection method's accuracy-vs-NWC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Write-verified weight fraction (the sweep-grid coordinate).
+    pub fraction: f64,
+    /// Normalized write cycles actually spent at this point.
+    pub nwc: f64,
+    /// Mean accuracy over the Monte Carlo runs (percent).
+    pub accuracy_mean: f64,
+    /// Accuracy standard deviation over the Monte Carlo runs (percent).
+    pub accuracy_std: f64,
+}
+
+/// One checkpoint of the in-situ training baseline (no selection
+/// fraction — NWC itself is the axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsituPoint {
+    /// Normalized write cycles spent up to this checkpoint.
+    pub nwc: f64,
+    /// Mean accuracy over the Monte Carlo runs (percent).
+    pub accuracy_mean: f64,
+    /// Accuracy standard deviation over the Monte Carlo runs (percent).
+    pub accuracy_std: f64,
+}
+
+/// One selection method's full curve, keyed by display name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodCurveDoc {
+    /// Selector display name (e.g. `SWIM`, `Magnitude`).
+    pub name: String,
+    /// The swept points, one per sweep-grid fraction.
+    pub points: Vec<CurvePoint>,
+}
+
+/// One sigma block of a sweep-kind experiment: every method's curve at
+/// one device-variation level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepDoc {
+    /// Device variation level the block ran at.
+    pub sigma: f64,
+    /// Accuracy of the un-quantized trained network (percent).
+    pub float_accuracy: f64,
+    /// Accuracy of the quantized clean-mapped model (percent).
+    pub quant_accuracy: f64,
+    /// One curve per selection method, in table row order.
+    pub methods: Vec<MethodCurveDoc>,
+    /// In-situ baseline checkpoints (empty when the baseline was off).
+    pub insitu: Vec<InsituPoint>,
+}
+
+impl SweepDoc {
+    /// The curve of a method by display name.
+    pub fn method(&self, name: &str) -> Option<&MethodCurveDoc> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// Fig. 1 correlation summary (present only for `fig1`-kind runs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlations {
+    /// Pearson r of |w| vs accuracy drop.
+    pub magnitude: f64,
+    /// Pearson r of the diagonal second derivative vs accuracy drop.
+    pub sensitivity: f64,
+}
+
+/// A parsed, validated JSON results document.
+///
+/// # Example
+///
+/// ```
+/// use swim_report::schema::ResultsDoc;
+///
+/// let spec = swim_exp::preset("fig2a", true).unwrap();
+/// let doc = ResultsDoc::new(spec, 1.5);
+/// let json = doc.to_json();
+/// let back = ResultsDoc::parse_str(&json).unwrap();
+/// assert_eq!(back, doc);
+/// assert_eq!(back.name(), "Fig. 2a");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultsDoc {
+    /// The spec echo: the exact experiment that produced this document.
+    /// `name`/`kind`/`seed` accessors read through to it.
+    pub spec: ExperimentSpec,
+    /// Per-sigma sweep blocks (empty for non-sweep kinds).
+    pub sweeps: Vec<SweepDoc>,
+    /// Fig. 1 correlation summary, when the kind produces one.
+    pub correlations: Option<Correlations>,
+    /// Every table the run printed, in print order.
+    pub tables: Vec<Table>,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time_s: f64,
+}
+
+impl ResultsDoc {
+    /// An empty document shell for `spec` (no sweeps/tables yet).
+    pub fn new(spec: ExperimentSpec, wall_time_s: f64) -> Self {
+        ResultsDoc { spec, sweeps: Vec::new(), correlations: None, tables: Vec::new(), wall_time_s }
+    }
+
+    /// The experiment's display name (from the spec echo).
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The experiment kind (from the spec echo).
+    pub fn kind(&self) -> ExperimentKind {
+        self.spec.kind
+    }
+
+    /// The base RNG seed (from the spec echo).
+    pub fn seed(&self) -> u64 {
+        self.spec.seed
+    }
+
+    /// The sweep block at a given sigma (exact match).
+    pub fn sweep_at(&self, sigma: f64) -> Option<&SweepDoc> {
+        self.sweeps.iter().find(|s| s.sigma == sigma)
+    }
+
+    // ----------------------------------------------------- writing
+
+    /// Renders the document as a [`Value`] tree in the stable key order
+    /// (`swim_results_version` first, `wall_time_s` last).
+    pub fn to_value(&self) -> Value {
+        let mut doc = Value::table();
+        doc.set("swim_results_version", Value::Int(RESULTS_VERSION));
+        doc.set("name", Value::Str(self.spec.name.clone()));
+        doc.set("kind", Value::Str(self.spec.kind.key().to_string()));
+        doc.set("seed", Value::Int(self.spec.seed as i64));
+        doc.set("spec", self.spec.to_value());
+        if !self.sweeps.is_empty() {
+            doc.set("sweeps", Value::Array(self.sweeps.iter().map(sweep_to_value).collect()));
+        }
+        if let Some(c) = &self.correlations {
+            let mut cv = Value::table();
+            cv.set("magnitude", Value::Float(c.magnitude));
+            cv.set("sensitivity", Value::Float(c.sensitivity));
+            doc.set("correlations", cv);
+        }
+        doc.set("tables", Value::Array(self.tables.iter().map(table_to_value).collect()));
+        doc.set("wall_time_s", Value::Float(self.wall_time_s));
+        doc
+    }
+
+    /// Renders the document as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    // ----------------------------------------------------- reading
+
+    /// Parses a JSON results document string.
+    pub fn parse_str(text: &str) -> Result<Self, SchemaError> {
+        let root = parse_json(text).map_err(err)?;
+        Self::from_value(&root)
+    }
+
+    /// Reads and parses a results document file; the error names the
+    /// path.
+    pub fn load(path: &std::path::Path) -> Result<Self, SchemaError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("{}: {e}", path.display())))?;
+        Self::parse_str(&text).map_err(|e| err(format!("{}: {}", path.display(), e.0)))
+    }
+
+    /// Builds a document from a parsed [`Value`] tree, rejecting
+    /// unknown keys, missing required keys, an unsupported version, and
+    /// top-level `name`/`kind`/`seed` that contradict the spec echo.
+    pub fn from_value(root: &Value) -> Result<Self, SchemaError> {
+        let mut r = Reader::new("", root)?;
+
+        let version = r
+            .require("swim_results_version")?
+            .as_int()
+            .ok_or_else(|| err("`swim_results_version` must be an integer"))?;
+        if version != RESULTS_VERSION {
+            return Err(err(format!(
+                "unsupported results version {version} (this build reads version \
+                 {RESULTS_VERSION}; re-run the experiment or use a matching `swim` build)"
+            )));
+        }
+
+        let name = r.string_req("name")?;
+        let kind_key = r.string_req("kind")?;
+        let kind = ExperimentKind::parse(&kind_key)
+            .ok_or_else(|| err(format!("unknown kind `{kind_key}`")))?;
+        let seed = r.u64_req("seed")?;
+
+        let spec = ExperimentSpec::from_value(r.require("spec")?)
+            .map_err(|e| err(format!("spec echo: {}", e.0)))?;
+        // The top-level copies are denormalized convenience; a document
+        // whose header disagrees with its own spec echo is corrupt.
+        if name != spec.name || kind != spec.kind || seed != spec.seed {
+            return Err(err(format!(
+                "document header (name `{name}`, kind `{}`, seed {seed}) contradicts its spec \
+                 echo (name `{}`, kind `{}`, seed {})",
+                kind.key(),
+                spec.name,
+                spec.kind.key(),
+                spec.seed
+            )));
+        }
+
+        let sweeps = match r.take("sweeps") {
+            None => Vec::new(),
+            Some(v) => {
+                let items = v.as_array().ok_or_else(|| err("`sweeps` must be an array"))?;
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| sweep_from_value(&format!("sweeps[{i}]"), item))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+
+        let correlations = match r.take("correlations") {
+            None => None,
+            Some(v) => {
+                let mut c = Reader::new("correlations", v)?;
+                let out = Correlations {
+                    magnitude: c.f64_req("magnitude")?,
+                    sensitivity: c.f64_req("sensitivity")?,
+                };
+                c.finish()?;
+                Some(out)
+            }
+        };
+
+        let tables = {
+            let v = r.require("tables")?;
+            let items = v.as_array().ok_or_else(|| err("`tables` must be an array"))?;
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| table_from_value(&format!("tables[{i}]"), item))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+
+        let wall_time_s = r.f64_req("wall_time_s")?;
+        r.finish()?;
+
+        Ok(ResultsDoc { spec, sweeps, correlations, tables, wall_time_s })
+    }
+}
+
+// ------------------------------------------------------- sweep blocks
+
+fn sweep_to_value(sweep: &SweepDoc) -> Value {
+    let mut v = Value::table();
+    v.set("sigma", Value::Float(sweep.sigma));
+    v.set("float_accuracy", Value::Float(sweep.float_accuracy));
+    v.set("quant_accuracy", Value::Float(sweep.quant_accuracy));
+    let methods = sweep
+        .methods
+        .iter()
+        .map(|m| {
+            let mut mv = Value::table();
+            mv.set("name", Value::Str(m.name.clone()));
+            mv.set(
+                "points",
+                Value::Array(
+                    m.points
+                        .iter()
+                        .map(|p| {
+                            let mut pv = Value::table();
+                            pv.set("fraction", Value::Float(p.fraction));
+                            pv.set("nwc", Value::Float(p.nwc));
+                            pv.set("accuracy_mean", Value::Float(p.accuracy_mean));
+                            pv.set("accuracy_std", Value::Float(p.accuracy_std));
+                            pv
+                        })
+                        .collect(),
+                ),
+            );
+            mv
+        })
+        .collect();
+    v.set("methods", Value::Array(methods));
+    let insitu = sweep
+        .insitu
+        .iter()
+        .map(|p| {
+            let mut pv = Value::table();
+            pv.set("nwc", Value::Float(p.nwc));
+            pv.set("accuracy_mean", Value::Float(p.accuracy_mean));
+            pv.set("accuracy_std", Value::Float(p.accuracy_std));
+            pv
+        })
+        .collect();
+    v.set("insitu", Value::Array(insitu));
+    v
+}
+
+fn sweep_from_value(path: &str, value: &Value) -> Result<SweepDoc, SchemaError> {
+    let mut r = Reader::new(path, value)?;
+    let sigma = r.f64_req("sigma")?;
+    let float_accuracy = r.f64_req("float_accuracy")?;
+    let quant_accuracy = r.f64_req("quant_accuracy")?;
+
+    let methods = {
+        let v = r.require("methods")?;
+        let items =
+            v.as_array().ok_or_else(|| err(format!("`{path}.methods` must be an array")))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let mpath = format!("{path}.methods[{i}]");
+                let mut m = Reader::new(&mpath, item)?;
+                let name = m.string_req("name")?;
+                let points = {
+                    let v = m.require("points")?;
+                    let pts = v
+                        .as_array()
+                        .ok_or_else(|| err(format!("`{mpath}.points` must be an array")))?;
+                    pts.iter()
+                        .enumerate()
+                        .map(|(j, p)| {
+                            let ppath = format!("{mpath}.points[{j}]");
+                            let mut pr = Reader::new(&ppath, p)?;
+                            let out = CurvePoint {
+                                fraction: pr.f64_req("fraction")?,
+                                nwc: pr.f64_req("nwc")?,
+                                accuracy_mean: pr.f64_req("accuracy_mean")?,
+                                accuracy_std: pr.f64_req("accuracy_std")?,
+                            };
+                            pr.finish()?;
+                            Ok(out)
+                        })
+                        .collect::<Result<Vec<_>, SchemaError>>()?
+                };
+                m.finish()?;
+                Ok(MethodCurveDoc { name, points })
+            })
+            .collect::<Result<Vec<_>, SchemaError>>()?
+    };
+
+    let insitu = match r.take("insitu") {
+        None => Vec::new(),
+        Some(v) => {
+            let items =
+                v.as_array().ok_or_else(|| err(format!("`{path}.insitu` must be an array")))?;
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let ppath = format!("{path}.insitu[{i}]");
+                    let mut pr = Reader::new(&ppath, p)?;
+                    let out = InsituPoint {
+                        nwc: pr.f64_req("nwc")?,
+                        accuracy_mean: pr.f64_req("accuracy_mean")?,
+                        accuracy_std: pr.f64_req("accuracy_std")?,
+                    };
+                    pr.finish()?;
+                    Ok(out)
+                })
+                .collect::<Result<Vec<_>, SchemaError>>()?
+        }
+    };
+
+    r.finish()?;
+    Ok(SweepDoc { sigma, float_accuracy, quant_accuracy, methods, insitu })
+}
+
+// ------------------------------------------------------------- tables
+
+/// A printed [`Table`] as a results-document value (`{title, headers,
+/// rows}`).
+pub fn table_to_value(table: &Table) -> Value {
+    let mut v = Value::table();
+    v.set("title", Value::Str(table.title().to_string()));
+    v.set("headers", Value::Array(table.headers().iter().map(|h| Value::Str(h.clone())).collect()));
+    v.set(
+        "rows",
+        Value::Array(
+            table
+                .rows()
+                .iter()
+                .map(|row| Value::Array(row.iter().map(|c| Value::Str(c.clone())).collect()))
+                .collect(),
+        ),
+    );
+    v
+}
+
+/// Parses a `{title, headers, rows}` value back into a [`Table`],
+/// checking that every row has exactly one cell per header.
+pub fn table_from_value(path: &str, value: &Value) -> Result<Table, SchemaError> {
+    let mut r = Reader::new(path, value)?;
+    let title = r.string_req("title")?;
+    let headers = r.string_list_or("headers", &[])?;
+    if headers.is_empty() {
+        return Err(err(format!("`{path}.headers` must be a non-empty string array")));
+    }
+    let rows = {
+        let v = r.require("rows")?;
+        let items = v.as_array().ok_or_else(|| err(format!("`{path}.rows` must be an array")))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let cells = row
+                    .as_array()
+                    .ok_or_else(|| err(format!("`{path}.rows[{i}]` must be an array")))?;
+                if cells.len() != headers.len() {
+                    return Err(err(format!(
+                        "`{path}.rows[{i}]` has {} cells, table has {} columns",
+                        cells.len(),
+                        headers.len()
+                    )));
+                }
+                cells
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(|s| s.to_string())
+                            .ok_or_else(|| err(format!("`{path}.rows[{i}]` must contain strings")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    r.finish()?;
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut table = Table::new(title, &header_refs);
+    for row in rows {
+        table.push_row_owned(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> ResultsDoc {
+        let spec = swim_exp::preset("table1", true).unwrap();
+        let mut doc = ResultsDoc::new(spec, 2.5);
+        let mut table = Table::new("demo", &["method", "acc"]);
+        table.push_row(&["SWIM", "98.50 ± 0.10"]);
+        doc.tables.push(table);
+        doc.sweeps.push(SweepDoc {
+            sigma: 0.15,
+            float_accuracy: 99.0,
+            quant_accuracy: 98.5,
+            methods: vec![MethodCurveDoc {
+                name: "SWIM".into(),
+                points: vec![
+                    CurvePoint { fraction: 0.0, nwc: 0.0, accuracy_mean: 90.0, accuracy_std: 1.0 },
+                    CurvePoint { fraction: 1.0, nwc: 1.0, accuracy_mean: 98.0, accuracy_std: 0.2 },
+                ],
+            }],
+            insitu: vec![InsituPoint { nwc: 0.5, accuracy_mean: 95.0, accuracy_std: 0.4 }],
+        });
+        doc
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let doc = sample_doc();
+        let back = ResultsDoc::parse_str(&doc.to_json()).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.name(), "table1");
+        assert_eq!(back.seed(), 1);
+        assert_eq!(back.sweep_at(0.15).unwrap().method("SWIM").unwrap().points.len(), 2);
+    }
+
+    #[test]
+    fn correlations_round_trip() {
+        let spec = swim_exp::preset("fig1", true).unwrap();
+        let mut doc = ResultsDoc::new(spec, 0.1);
+        doc.correlations = Some(Correlations { magnitude: 0.12, sensitivity: 0.83 });
+        let back = ResultsDoc::parse_str(&doc.to_json()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut root = sample_doc().to_value();
+        root.set("swim_results_version", Value::Int(99));
+        let e = ResultsDoc::from_value(&root).unwrap_err();
+        assert!(e.0.contains("unsupported results version 99"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_path() {
+        let mut root = sample_doc().to_value();
+        root.set("bogus", Value::Int(1));
+        let e = ResultsDoc::from_value(&root).unwrap_err();
+        assert!(e.0.contains("unknown key `bogus`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_required_keys() {
+        let doc = sample_doc();
+        let Value::Table(entries) = doc.to_value() else { unreachable!() };
+        let pruned: Vec<(String, Value)> =
+            entries.into_iter().filter(|(k, _)| k != "wall_time_s").collect();
+        let e = ResultsDoc::from_value(&Value::Table(pruned)).unwrap_err();
+        assert!(e.0.contains("missing key `wall_time_s`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_header_contradicting_spec_echo() {
+        let mut root = sample_doc().to_value();
+        root.set("seed", Value::Int(777));
+        let e = ResultsDoc::from_value(&root).unwrap_err();
+        assert!(e.0.contains("contradicts its spec echo"), "{e}");
+    }
+
+    #[test]
+    fn rejects_ragged_table_rows() {
+        let mut root = sample_doc().to_value();
+        // Break the first table's first row.
+        let tables = root.get("tables").unwrap().clone();
+        let Value::Array(mut tv) = tables else { unreachable!() };
+        tv[0].set("rows", Value::Array(vec![Value::Array(vec![Value::Str("only-one".into())])]));
+        root.set("tables", Value::Array(tv));
+        let e = ResultsDoc::from_value(&root).unwrap_err();
+        assert!(e.0.contains("has 1 cells, table has 2 columns"), "{e}");
+    }
+
+    #[test]
+    fn table_round_trip_preserves_structure() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(&["1", "2"]);
+        t.push_row(&["x, y", "say \"hi\""]);
+        let back = table_from_value("tables[0]", &table_to_value(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,200 @@
+//! Cross-run aggregation — the engine behind `swim summarize dir/`.
+//!
+//! Flattens any number of results documents into one table with a row
+//! per (run, sigma, method), anchored at the operating points the paper
+//! argues about: no write-verify at all (fraction 0), the headline
+//! NWC ≈ 0.1 point, and full write-verify (fraction 1). That makes
+//! multi-run sweeps — e.g. layer-balanced vs plain SWIM across sigmas —
+//! readable at a glance without opening each document.
+
+use crate::schema::{MethodCurveDoc, ResultsDoc};
+use swim_core::report::Table;
+
+/// The fraction anchors summarized as columns.
+const ANCHORS: [f64; 3] = [0.0, 0.1, 1.0];
+
+/// How far a curve point may sit from an anchor and still fill its
+/// column (half the paper grid's 0.1→0.3 gap).
+const ANCHOR_TOL: f64 = 0.075;
+
+/// The cell for one method at one anchor: the nearest in-tolerance
+/// point's `mean ± std`, or `-` when the grid has no such point.
+fn anchor_cell(method: &MethodCurveDoc, anchor: f64) -> String {
+    let best = method
+        .points
+        .iter()
+        .map(|p| (p, (p.fraction - anchor).abs()))
+        .filter(|(_, d)| *d <= ANCHOR_TOL)
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    match best {
+        Some((p, _)) => format!("{:.2} ± {:.2}", p.accuracy_mean, p.accuracy_std),
+        None => "-".to_string(),
+    }
+}
+
+/// Aggregates many `(label, document)` pairs into one cross-run table.
+///
+/// Rows are emitted in input order, then sigma order, then the
+/// document's own method order; the in-situ baseline (whose axis is NWC
+/// rather than a selection fraction) contributes its first/last
+/// checkpoints under the fraction-0/fraction-1 columns.
+pub fn summarize(runs: &[(String, ResultsDoc)]) -> Table {
+    let mut table = Table::new(
+        format!("cross-run summary ({} document(s))", runs.len()),
+        &["run", "scenario", "sigma", "method", "acc @ f=0", "acc @ f≈0.1", "acc @ f=1", "runs"],
+    );
+    for (label, doc) in runs {
+        let scenario = doc.spec.scenario.model.key().to_string();
+        let mc_runs = doc.spec.montecarlo.runs.to_string();
+        for sweep in &doc.sweeps {
+            for method in &sweep.methods {
+                table.push_row_owned(vec![
+                    label.clone(),
+                    scenario.clone(),
+                    format!("{}", sweep.sigma),
+                    method.name.clone(),
+                    anchor_cell(method, ANCHORS[0]),
+                    anchor_cell(method, ANCHORS[1]),
+                    anchor_cell(method, ANCHORS[2]),
+                    mc_runs.clone(),
+                ]);
+            }
+            if let (Some(first), Some(last)) = (sweep.insitu.first(), sweep.insitu.last()) {
+                table.push_row_owned(vec![
+                    label.clone(),
+                    scenario.clone(),
+                    format!("{}", sweep.sigma),
+                    "In-situ".to_string(),
+                    format!("{:.2} ± {:.2}", first.accuracy_mean, first.accuracy_std),
+                    "-".to_string(),
+                    format!("{:.2} ± {:.2}", last.accuracy_mean, last.accuracy_std),
+                    mc_runs.clone(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Loaded `(file-stem label, document)` pairs, in scan order.
+pub type LoadedRuns = Vec<(String, ResultsDoc)>;
+
+/// Loads every `.json` results document under `paths` (files are taken
+/// as-is; directories are scanned one level deep, sorted by file name).
+///
+/// Returns the loaded `(file name, document)` pairs plus a warning line
+/// per `.json` file that did not parse as a results document (other
+/// extensions are ignored silently).
+pub fn load_runs(paths: &[std::path::PathBuf]) -> Result<(LoadedRuns, Vec<String>), String> {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path.clone());
+        }
+    }
+    let mut runs = Vec::new();
+    let mut warnings = Vec::new();
+    for file in files {
+        let label = file.file_stem().and_then(|s| s.to_str()).unwrap_or("run").to_string();
+        match ResultsDoc::load(&file) {
+            Ok(doc) => runs.push((label, doc)),
+            Err(e) => warnings.push(format!("skipping {}: {}", file.display(), e.0)),
+        }
+    }
+    Ok((runs, warnings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CurvePoint, InsituPoint, SweepDoc};
+
+    fn doc(methods: &[&str]) -> ResultsDoc {
+        let spec = swim_exp::preset("table1", true).unwrap();
+        let mut doc = ResultsDoc::new(spec, 1.0);
+        doc.sweeps.push(SweepDoc {
+            sigma: 0.15,
+            float_accuracy: 99.0,
+            quant_accuracy: 98.5,
+            methods: methods
+                .iter()
+                .map(|name| MethodCurveDoc {
+                    name: name.to_string(),
+                    points: vec![
+                        CurvePoint {
+                            fraction: 0.0,
+                            nwc: 0.0,
+                            accuracy_mean: 90.0,
+                            accuracy_std: 1.0,
+                        },
+                        CurvePoint {
+                            fraction: 0.1,
+                            nwc: 0.09,
+                            accuracy_mean: 96.0,
+                            accuracy_std: 0.5,
+                        },
+                        CurvePoint {
+                            fraction: 1.0,
+                            nwc: 1.0,
+                            accuracy_mean: 98.0,
+                            accuracy_std: 0.2,
+                        },
+                    ],
+                })
+                .collect(),
+            insitu: vec![InsituPoint { nwc: 0.5, accuracy_mean: 94.0, accuracy_std: 0.6 }],
+        });
+        doc
+    }
+
+    #[test]
+    fn one_row_per_run_sigma_method() {
+        let runs = vec![
+            ("a".to_string(), doc(&["SWIM", "LayerBalanced"])),
+            ("b".to_string(), doc(&["SWIM"])),
+        ];
+        let table = summarize(&runs);
+        // 2 methods + insitu for `a`, 1 method + insitu for `b`.
+        assert_eq!(table.len(), 5);
+        let firsts: Vec<&str> = table.rows().iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(firsts, vec!["a", "a", "a", "b", "b"]);
+        let cells = &table.rows()[0];
+        assert_eq!(cells[3], "SWIM");
+        assert_eq!(cells[4], "90.00 ± 1.00");
+        assert_eq!(cells[5], "96.00 ± 0.50");
+        assert_eq!(cells[6], "98.00 ± 0.20");
+    }
+
+    #[test]
+    fn missing_anchor_renders_dash() {
+        let mut d = doc(&["SWIM"]);
+        // Drop the ≈0.1 point.
+        d.sweeps[0].methods[0].points.remove(1);
+        let table = summarize(&[("x".to_string(), d)]);
+        assert_eq!(table.rows()[0][5], "-");
+    }
+
+    #[test]
+    fn load_runs_scans_directories_and_warns_on_junk() {
+        let dir = std::env::temp_dir().join(format!("swim_summary_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("good.json"), doc(&["SWIM"]).to_json()).unwrap();
+        std::fs::write(dir.join("junk.json"), "{\"not\": \"a results doc\"}").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "plain text").unwrap();
+        let (runs, warnings) = load_runs(std::slice::from_ref(&dir)).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].0, "good");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("junk.json"), "{}", warnings[0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -28,7 +28,7 @@
 //! each multiply-accumulate fuses with a single rounding, so outputs can
 //! differ from the two-rounding reference by ~1 ulp per `k` step (the
 //! fused result is the more accurate one). On targets without FMA the
-//! kernels are bit-identical. See [`mac`].
+//! kernels are bit-identical. See the private `mac` helper.
 //!
 //! Accumulation is in `f32` (matching the precision a CiM accelerator's
 //! digital periphery would use). Non-finite inputs propagate per IEEE-754:
@@ -647,7 +647,7 @@ mod tests {
     /// The blocked kernel must match the reference `i-k-j` loop on
     /// awkward (non-multiple-of-tile) shapes: bit-identical without
     /// hardware FMA, within ulp-level tolerance with it (the fused
-    /// multiply-add skips one rounding per `k` step; see [`mac`]).
+    /// multiply-add skips one rounding per `k` step; see the `mac` helper).
     #[test]
     fn blocked_kernel_matches_reference() {
         let mut rng = Prng::seed_from_u64(11);

@@ -21,7 +21,9 @@
 //! * [`core`] — the SWIM algorithm, the paper's baselines (behind the
 //!   pluggable `Selector` trait), and the Monte Carlo evaluation harness;
 //! * [`exp`] — declarative `ExperimentSpec` documents, presets for every
-//!   paper artifact, and the TOML/JSON value layer behind the `swim` CLI.
+//!   paper artifact, and the TOML/JSON value layer behind the `swim` CLI;
+//! * [`report`] — the typed results-document schema plus the
+//!   `swim diff` / `swim report` / `swim summarize` analysis engines.
 //!
 //! # Quickstart
 //!
@@ -78,6 +80,7 @@ pub use swim_data as data;
 pub use swim_exp as exp;
 pub use swim_nn as nn;
 pub use swim_quant as quant;
+pub use swim_report as report;
 pub use swim_tensor as tensor;
 
 /// One-import convenience: the types used by a typical SWIM workflow.
@@ -97,5 +100,6 @@ pub mod prelude {
     pub use swim_nn::models::{ConvNetConfig, LeNetConfig, ResNet18Config, ResNetStem};
     pub use swim_nn::train::{fit, TrainConfig};
     pub use swim_nn::{Layer, Mode, Network};
+    pub use swim_report::schema::ResultsDoc;
     pub use swim_tensor::{Prng, Tensor};
 }
