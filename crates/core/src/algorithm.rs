@@ -8,6 +8,7 @@
 
 use crate::model::QuantizedModel;
 use swim_data::Dataset;
+use swim_nn::ActivationArena;
 use swim_tensor::Prng;
 
 /// Configuration for [`selective_write_verify`].
@@ -84,8 +85,11 @@ pub fn selective_write_verify(
     let mut met_budget = false;
 
     // NWC = 0 evaluation first: maybe no write-verify is needed at all.
+    // One arena serves every per-group evaluation of this run.
+    let mut arena = ActivationArena::new();
     model.network_mut().set_device_weights(&weights);
-    let mut accuracy = model.network_mut().accuracy(eval.images(), eval.labels(), config.batch);
+    let mut accuracy =
+        model.network_mut().accuracy_with(eval.images(), eval.labels(), config.batch, &mut arena);
     if reference_accuracy - accuracy <= config.max_drop {
         met_budget = true;
     } else {
@@ -100,7 +104,12 @@ pub fn selective_write_verify(
             verified += end - start;
             groups += 1;
             model.network_mut().set_device_weights(&weights);
-            accuracy = model.network_mut().accuracy(eval.images(), eval.labels(), config.batch);
+            accuracy = model.network_mut().accuracy_with(
+                eval.images(),
+                eval.labels(),
+                config.batch,
+                &mut arena,
+            );
             if reference_accuracy - accuracy <= config.max_drop {
                 met_budget = true;
                 break;

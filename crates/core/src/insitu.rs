@@ -17,6 +17,7 @@
 use crate::model::QuantizedModel;
 use swim_data::Dataset;
 use swim_nn::loss::Loss;
+use swim_nn::ActivationArena;
 use swim_tensor::Prng;
 
 /// Configuration for [`insitu_training`].
@@ -78,6 +79,9 @@ pub fn insitu_training(
     let nwc_per_iter = writes_per_iter / denom;
 
     // Initial mapping: bulk-program everything (NWC = 0 baseline).
+    // One arena serves every accuracy evaluation of this run, so the
+    // repeated checkpoint scoring reuses its activation buffers.
+    let mut arena = ActivationArena::new();
     let (mut weights, _) = model.program_weights(None, rng);
     let sigmas = model.weight_value_sigmas();
     let limits = model.weight_value_limits();
@@ -91,8 +95,12 @@ pub fn insitu_training(
 
     // Record the NWC = 0 point(s).
     model.network_mut().set_device_weights(&weights);
-    let mut accuracy =
-        model.network_mut().accuracy(eval.images(), eval.labels(), config.eval_batch);
+    let mut accuracy = model.network_mut().accuracy_with(
+        eval.images(),
+        eval.labels(),
+        config.eval_batch,
+        &mut arena,
+    );
     while next_record < config.record_at.len() && nwc >= config.record_at[next_record] {
         points.push(InsituPoint { nwc, accuracy });
         next_record += 1;
@@ -131,8 +139,12 @@ pub fn insitu_training(
         // Record any checkpoints crossed by this iteration.
         if nwc >= config.record_at[next_record] {
             model.network_mut().set_device_weights(&weights);
-            accuracy =
-                model.network_mut().accuracy(eval.images(), eval.labels(), config.eval_batch);
+            accuracy = model.network_mut().accuracy_with(
+                eval.images(),
+                eval.labels(),
+                config.eval_batch,
+                &mut arena,
+            );
             while next_record < config.record_at.len() && nwc >= config.record_at[next_record] {
                 points.push(InsituPoint { nwc, accuracy });
                 next_record += 1;

@@ -4,7 +4,7 @@ use swim_cim::device::DeviceConfig;
 use swim_cim::mapping::{ProgramSummary, WeightMapper};
 use swim_data::Dataset;
 use swim_nn::loss::Loss;
-use swim_nn::{Network, ParamKind};
+use swim_nn::{ActivationArena, Network, ParamKind};
 use swim_quant::QuantParams;
 use swim_tensor::Prng;
 
@@ -268,8 +268,8 @@ impl QuantizedModel {
 }
 
 /// Per-worker evaluation state for Monte Carlo replication: one network
-/// clone plus the programming buffers, reused for every run the worker
-/// executes.
+/// clone plus the programming buffers and the activation arena, reused
+/// for every run the worker executes.
 ///
 /// Before this existed, `nwc_sweep` cloned the full network and
 /// allocated fresh code/weight/mask vectors for *every run* — with 3,000
@@ -277,7 +277,11 @@ impl QuantizedModel {
 /// each run overwrites every device weight via
 /// [`swim_nn::Network::set_device_weights`], so no state leaks between
 /// runs and statistics are bit-identical to the clone-per-run harness
-/// for every thread count.
+/// for every thread count. With the [`ActivationArena`] added to the
+/// scratch, a steady-state run performs **zero heap allocations**: the
+/// network clone, mask/code/weight buffers, the selector's ranking
+/// buffer, GEMM and im2col scratch, and every forward activation are all
+/// reused (enforced by `tests/alloc_free.rs`).
 #[derive(Debug, Clone)]
 pub struct EvalScratch {
     /// The worker's network instance (device weights rewritten per run).
@@ -288,6 +292,10 @@ pub struct EvalScratch {
     pub codes: Vec<f64>,
     /// Programmed-weight buffer.
     pub weights: Vec<f32>,
+    /// Ranking buffer for stochastic selectors (re-ranked per run).
+    pub ranking: Vec<usize>,
+    /// Recycled activation buffers for the forward passes.
+    pub arena: ActivationArena,
 }
 
 impl EvalScratch {
@@ -299,6 +307,8 @@ impl EvalScratch {
             mask: Vec::with_capacity(n),
             codes: Vec::with_capacity(n),
             weights: Vec::with_capacity(n),
+            ranking: Vec::new(),
+            arena: ActivationArena::new(),
         }
     }
 
@@ -316,6 +326,13 @@ impl EvalScratch {
             model.program_weights_into(selection, rng, &mut self.codes, &mut self.weights);
         self.network.set_device_weights(&self.weights);
         summary
+    }
+
+    /// Scores the currently-loaded network on `eval`, drawing every
+    /// activation from the scratch's arena (bit-identical to
+    /// [`swim_nn::Network::accuracy`], allocation-free once warm).
+    pub fn accuracy(&mut self, eval: &Dataset, batch: usize) -> f64 {
+        self.network.accuracy_with(eval.images(), eval.labels(), batch, &mut self.arena)
     }
 }
 

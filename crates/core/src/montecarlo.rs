@@ -148,6 +148,114 @@ where
     slots.into_iter().map(|slot| slot.expect("every run index was processed")).collect()
 }
 
+/// [`parallel_map_with`] writing results into a caller-provided flat
+/// row-major matrix instead of returning per-run values.
+///
+/// Run `r` receives the mutable row `out[r·row_len .. (r+1)·row_len]`
+/// and must fully overwrite it. This is the zero-allocation variant of
+/// the harness: the caller allocates the matrix once, so a run adds no
+/// per-run heap traffic (provided `f` itself is allocation-free — which
+/// the sweep closure is, see `tests/alloc_free.rs`). The
+/// schedule-independence contract is unchanged: run `r` draws only from
+/// `base.fork(r)`, so the matrix contents are bit-identical for every
+/// `threads` value.
+///
+/// # Panics
+///
+/// Panics if `threads` or `row_len` is zero, if
+/// `out.len() != runs · row_len`, or if `f` panics for some run — the
+/// panic is propagated with the offending run index.
+pub fn parallel_fill_rows<P, S, I, F>(
+    runs: usize,
+    row_len: usize,
+    threads: usize,
+    base: &Prng,
+    out: &mut [P],
+    init: I,
+    f: F,
+) where
+    P: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Prng, &mut [P]) + Sync,
+{
+    assert!(threads > 0, "threads must be positive");
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(out.len(), runs * row_len, "output matrix size mismatch");
+    if runs == 0 {
+        return;
+    }
+    let workers = threads.min(runs);
+    if workers == 1 {
+        let mut state = init();
+        for (r, row) in out.chunks_mut(row_len).enumerate() {
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                f(&mut state, r, base.fork(r as u64), row)
+            }))
+            .unwrap_or_else(|payload| {
+                panic!("parallel_fill_rows: run {r} panicked: {}", panic_detail(payload.as_ref()))
+            });
+        }
+        return;
+    }
+
+    // Chunks several times smaller than a fair share keep the queue
+    // balancing uneven run times without lock traffic per run. Chunk
+    // boundaries stay on whole rows.
+    let chunk_rows = (runs / (workers * 4)).max(1);
+    let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+
+    let (tx, rx) = mpsc::channel();
+    for (ci, slice) in out.chunks_mut(chunk_rows * row_len).enumerate() {
+        tx.send((ci * chunk_rows, slice)).expect("receiver alive");
+    }
+    drop(tx);
+    let queue = Mutex::new(rx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let next = queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv();
+                    let Ok((start_row, slice)) = next else { break };
+                    for (offset, row) in slice.chunks_mut(row_len).enumerate() {
+                        let r = start_row + offset;
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            f(&mut state, r, base.fork(r as u64), row)
+                        })) {
+                            Ok(()) => {}
+                            Err(payload) => {
+                                let mut guard = first_panic
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                                // Keep the lowest run index for a stable message.
+                                match &*guard {
+                                    Some((held, _)) if *held <= r => {}
+                                    _ => *guard = Some((r, payload)),
+                                }
+                                abort.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    drop(queue);
+
+    if let Some((r, payload)) =
+        first_panic.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+    {
+        panic!("parallel_fill_rows: run {r} panicked: {}", panic_detail(payload.as_ref()));
+    }
+}
+
 /// Renders a caught panic payload for the rethrown message.
 fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     payload
@@ -232,6 +340,10 @@ pub fn nwc_sweep(
         assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
     }
 
+    if config.fractions.is_empty() {
+        return Vec::new();
+    }
+
     let base = Prng::seed_from_u64(config.seed);
     let denom = model.write_verify_all_cost(&mut base.fork(u64::MAX)) as f64;
     let spans = model.param_spans();
@@ -239,35 +351,39 @@ pub fn nwc_sweep(
     let fixed_ranking =
         if selector.is_stochastic() { None } else { Some(selector.rank(&inputs, None)) };
 
-    // Each run returns (accuracy %, measured NWC) per fraction. Workers
-    // reuse one EvalScratch (network clone + programming buffers) for
+    // Each run fills its (accuracy %, measured NWC)-per-fraction row of
+    // one preallocated matrix. Workers reuse one EvalScratch (network
+    // clone, programming buffers, ranking buffer, activation arena) for
     // their whole share of the runs; every buffer is fully overwritten
-    // per run, so the reuse is invisible in the statistics.
-    let per_run: Vec<Vec<(f64, f64)>> = parallel_map_with(
+    // per run, so the reuse is invisible in the statistics — and a
+    // steady-state run performs zero heap allocations (see
+    // `tests/alloc_free.rs`).
+    let nf = config.fractions.len();
+    let mut per_run = vec![(0.0f64, 0.0f64); config.runs * nf];
+    parallel_fill_rows(
         config.runs,
+        nf,
         config.threads,
         &base,
+        &mut per_run,
         || EvalScratch::new(model),
-        |scratch, _, mut rng| {
-            let fresh_ranking;
-            let ranking: &[usize] = match &fixed_ranking {
+        |scratch, _, mut rng, row| {
+            let EvalScratch { network, mask, codes, weights, ranking, arena } = scratch;
+            let order: &[usize] = match &fixed_ranking {
                 Some(r) => r,
                 None => {
-                    fresh_ranking = selector.rank(&inputs, Some(&mut rng));
-                    &fresh_ranking
+                    selector.rank_into(&inputs, Some(&mut rng), ranking);
+                    ranking
                 }
             };
-            config
-                .fractions
-                .iter()
-                .map(|&fraction| {
-                    mask_top_fraction_into(ranking, fraction, &mut scratch.mask);
-                    let summary = scratch.program_and_load(model, true, &mut rng);
-                    let acc =
-                        scratch.network.accuracy(eval.images(), eval.labels(), config.eval_batch);
-                    (100.0 * acc, summary.verify_pulses as f64 / denom)
-                })
-                .collect()
+            for (slot, &fraction) in row.iter_mut().zip(&config.fractions) {
+                mask_top_fraction_into(order, fraction, mask);
+                let summary = model.program_weights_into(Some(&mask[..]), &mut rng, codes, weights);
+                network.set_device_weights(weights);
+                let acc =
+                    network.accuracy_with(eval.images(), eval.labels(), config.eval_batch, arena);
+                *slot = (100.0 * acc, summary.verify_pulses as f64 / denom);
+            }
         },
     );
 
@@ -278,7 +394,7 @@ pub fn nwc_sweep(
         .map(|(fi, &fraction)| {
             let mut accuracy = Running::new();
             let mut nwc = Running::new();
-            for run in &per_run {
+            for run in per_run.chunks_exact(nf) {
                 accuracy.push(run[fi].0);
                 nwc.push(run[fi].1);
             }
@@ -480,6 +596,111 @@ mod tests {
                 assert_eq!(a.nwc, b.nwc, "{strategy:?}");
             }
         }
+    }
+
+    /// The arena-backed, buffer-reusing sweep must be bit-identical to a
+    /// naive clone-per-run harness built only from the original
+    /// allocating APIs (`program_network` + fresh-path `accuracy`) —
+    /// this pins the whole allocation-free refactor to the pre-arena
+    /// semantics.
+    #[test]
+    fn sweep_matches_naive_reference_harness() {
+        let (mut model, data) = trained();
+        let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let mags = model.magnitudes();
+        let cfg = SweepConfig {
+            fractions: vec![0.0, 0.4, 1.0],
+            runs: 6,
+            threads: 2,
+            eval_batch: 32,
+            seed: 13,
+        };
+        let sweep = nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg);
+
+        let base = Prng::seed_from_u64(cfg.seed);
+        let denom = model.write_verify_all_cost(&mut base.fork(u64::MAX)) as f64;
+        let spans = model.param_spans();
+        let inputs = crate::select::SelectionInputs::with_spans(&sens, &mags, &spans);
+        let ranking = Strategy::Swim.rank(&inputs, None);
+        let mut per_run: Vec<Vec<(f64, f64)>> = Vec::new();
+        for r in 0..cfg.runs {
+            let mut rng = base.fork(r as u64);
+            let mut row = Vec::new();
+            for &fraction in &cfg.fractions {
+                let mask = crate::select::mask_top_fraction(&ranking, fraction);
+                let (mut network, summary) = model.program_network(Some(&mask), &mut rng);
+                let acc = network.accuracy(data.images(), data.labels(), cfg.eval_batch);
+                row.push((100.0 * acc, summary.verify_pulses as f64 / denom));
+            }
+            per_run.push(row);
+        }
+        for (fi, point) in sweep.iter().enumerate() {
+            let mut accuracy = Running::new();
+            let mut nwc = Running::new();
+            for run in &per_run {
+                accuracy.push(run[fi].0);
+                nwc.push(run[fi].1);
+            }
+            assert_eq!(point.accuracy.mean(), accuracy.mean(), "fraction {}", point.fraction);
+            assert_eq!(point.accuracy.std(), accuracy.std(), "fraction {}", point.fraction);
+            assert_eq!(point.nwc, nwc.mean(), "fraction {}", point.fraction);
+        }
+    }
+
+    #[test]
+    fn parallel_fill_rows_matches_parallel_map() {
+        let base = Prng::seed_from_u64(21);
+        let mapped: Vec<[u64; 2]> =
+            parallel_map(10, 4, &base, |r, mut rng| [r as u64, rng.next_u64()]);
+        let mut filled = vec![0u64; 20];
+        parallel_fill_rows(
+            10,
+            2,
+            4,
+            &base,
+            &mut filled,
+            || (),
+            |(), r, mut rng, row| {
+                row[0] = r as u64;
+                row[1] = rng.next_u64();
+            },
+        );
+        for (r, row) in mapped.iter().enumerate() {
+            assert_eq!(&filled[2 * r..2 * r + 2], &row[..]);
+        }
+        // And the serial path agrees with the threaded one.
+        let mut serial = vec![0u64; 20];
+        parallel_fill_rows(
+            10,
+            2,
+            1,
+            &base,
+            &mut serial,
+            || (),
+            |(), r, mut rng, row| {
+                row[0] = r as u64;
+                row[1] = rng.next_u64();
+            },
+        );
+        assert_eq!(serial, filled);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_fill_rows: run 4 panicked: fill boom")]
+    fn parallel_fill_rows_propagates_panic() {
+        let base = Prng::seed_from_u64(22);
+        let mut out = vec![0u8; 8];
+        parallel_fill_rows(
+            8,
+            1,
+            4,
+            &base,
+            &mut out,
+            || (),
+            |(), r, _, _| {
+                assert!(r != 4, "fill boom");
+            },
+        );
     }
 
     #[test]

@@ -117,6 +117,18 @@ pub trait Selector: Send + Sync {
     ///
     /// May panic if the selector requires an RNG and none is given.
     fn rank(&self, inputs: &SelectionInputs, rng: Option<&mut Prng>) -> Vec<usize>;
+
+    /// [`Selector::rank`] into a caller-owned buffer (cleared and
+    /// refilled), so stochastic selectors can re-rank inside every Monte
+    /// Carlo run without allocating.
+    ///
+    /// The default delegates to `rank` (one allocation per call);
+    /// selectors on the hot path override it. The produced order must be
+    /// identical to `rank`'s.
+    fn rank_into(&self, inputs: &SelectionInputs, rng: Option<&mut Prng>, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.rank(inputs, rng));
+    }
 }
 
 /// Descending order by `key`, ties broken descending by `tie`.
@@ -187,10 +199,16 @@ impl Selector for RandomSelector {
     }
 
     fn rank(&self, inputs: &SelectionInputs, rng: Option<&mut Prng>) -> Vec<usize> {
-        let rng = rng.expect("Random selector requires an RNG");
-        let mut idx: Vec<usize> = (0..inputs.len()).collect();
-        rng.shuffle(&mut idx);
+        let mut idx = Vec::new();
+        self.rank_into(inputs, rng, &mut idx);
         idx
+    }
+
+    fn rank_into(&self, inputs: &SelectionInputs, rng: Option<&mut Prng>, out: &mut Vec<usize>) {
+        let rng = rng.expect("Random selector requires an RNG");
+        out.clear();
+        out.extend(0..inputs.len());
+        rng.shuffle(out);
     }
 }
 
@@ -362,6 +380,14 @@ impl Selector for Strategy {
             Strategy::Swim => SwimSelector.rank(inputs, rng),
             Strategy::Magnitude => MagnitudeSelector.rank(inputs, rng),
             Strategy::Random => RandomSelector.rank(inputs, rng),
+        }
+    }
+
+    fn rank_into(&self, inputs: &SelectionInputs, rng: Option<&mut Prng>, out: &mut Vec<usize>) {
+        match self {
+            Strategy::Swim => SwimSelector.rank_into(inputs, rng, out),
+            Strategy::Magnitude => MagnitudeSelector.rank_into(inputs, rng, out),
+            Strategy::Random => RandomSelector.rank_into(inputs, rng, out),
         }
     }
 }

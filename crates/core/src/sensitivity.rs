@@ -9,6 +9,7 @@
 
 use crate::model::QuantizedModel;
 use swim_data::Dataset;
+use swim_nn::ActivationArena;
 use swim_tensor::stats::pearson;
 use swim_tensor::Prng;
 
@@ -108,13 +109,20 @@ pub fn correlation_study(
 
     let mut rng = Prng::seed_from_u64(config.seed);
     let mut impacts = Vec::with_capacity(probes.len());
+    // One arena serves the whole probe grid (probes x runs evaluations).
+    let mut arena = ActivationArena::new();
     let mut weights = clean.clone();
     for &w_idx in &probes {
         let mut drop_acc = 0.0f64;
         for _ in 0..config.runs {
             weights[w_idx] = clean[w_idx] + rng.normal_f32(0.0, sigmas[w_idx]);
             model.network_mut().set_device_weights(&weights);
-            let acc = model.network_mut().accuracy(eval.images(), eval.labels(), config.batch);
+            let acc = model.network_mut().accuracy_with(
+                eval.images(),
+                eval.labels(),
+                config.batch,
+                &mut arena,
+            );
             // Signed drop: clamping at zero would bias every
             // zero-impact weight upward by the Monte Carlo noise floor.
             drop_acc += clean_acc - acc;

@@ -1,5 +1,6 @@
 //! The layer abstraction: forward, backward, and second-order backward.
 
+use crate::arena::ActivationArena;
 use crate::param::Param;
 use swim_tensor::Tensor;
 
@@ -43,6 +44,24 @@ pub enum Mode {
 pub trait Layer: Send + Sync {
     /// Computes the layer output for a batch.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// [`Layer::forward`] with the output written into a buffer recycled
+    /// from `arena` — the allocation-free forward path.
+    ///
+    /// The returned tensor's storage came from the arena; the caller
+    /// recycles it ([`ActivationArena::recycle`]) once consumed so later
+    /// layers (and later forward passes) reuse it. Results must be
+    /// bit-identical to [`Layer::forward`]; backward passes see the same
+    /// cached activations either way.
+    ///
+    /// The default implementation falls back to the fresh-allocation
+    /// `forward`, so exotic layers stay correct without implementing the
+    /// arena path (they just keep allocating). Every built-in layer
+    /// overrides it.
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let _ = arena;
+        self.forward(input, mode)
+    }
 
     /// Pushes the loss gradient from output to input, accumulating
     /// parameter gradients.

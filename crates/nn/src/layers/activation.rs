@@ -17,6 +17,7 @@
 //! Gauss–Newton form (`g''` term dropped), which is also what the paper's
 //! ReLU-only experiments use.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use swim_tensor::Tensor;
@@ -87,13 +88,30 @@ impl SmoothActivation {
             Smooth::Sigmoid => g * (1.0 - g) * (1.0 - 2.0 * g),
         }
     }
+
+    /// The shared forward body: `out` is completely overwritten and the
+    /// cached output copy reuses its previous allocation.
+    fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
+        out.copy_from(input);
+        out.map_inplace(|x| self.apply(x));
+        match &mut self.output {
+            Some(cached) => cached.copy_from(out),
+            slot => *slot = Some(out.clone()),
+        }
+        self.grad_output = None; // stale gradients must not leak
+    }
 }
 
 impl Layer for SmoothActivation {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let out = input.map(|x| self.apply(x));
-        self.output = Some(out.clone());
-        self.grad_output = None; // stale gradients must not leak
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_out(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        self.forward_out(input, &mut out);
         out
     }
 

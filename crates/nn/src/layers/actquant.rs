@@ -1,5 +1,6 @@
 //! Activation fake-quantization layer.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use swim_tensor::Tensor;
@@ -52,6 +53,16 @@ impl Layer for ActQuant {
         } else {
             swim_quant::fake_quant(input, self.bits)
         }
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        if self.unsigned {
+            swim_quant::fake_quant_unsigned_into(input, self.bits, &mut out);
+        } else {
+            swim_quant::fake_quant_into(input, self.bits, &mut out);
+        }
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

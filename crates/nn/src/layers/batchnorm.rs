@@ -1,5 +1,6 @@
 //! 2-D batch normalization.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
 use swim_tensor::Tensor;
@@ -27,6 +28,10 @@ pub struct BatchNorm2d {
     channels: usize,
     /// Cached per-forward state: (input, normalized x̂, batch mean, batch var).
     cache: Option<BnCache>,
+    /// Reused per-channel statistics scratch (batch stats when training,
+    /// a copy of the running stats when evaluating).
+    batch_mean: Vec<f32>,
+    batch_var: Vec<f32>,
 }
 
 #[derive(Debug, Clone)]
@@ -53,6 +58,8 @@ impl BatchNorm2d {
             eps: 1e-5,
             channels,
             cache: None,
+            batch_mean: Vec::new(),
+            batch_var: Vec::new(),
         }
     }
 
@@ -70,10 +77,11 @@ impl BatchNorm2d {
     pub fn running_var(&self) -> &[f32] {
         &self.running_var
     }
-}
 
-impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// The shared forward body: `out` is completely overwritten; the
+    /// statistics scratch and the x̂/inv_std cache reuse their previous
+    /// allocations, so the evaluation path allocates nothing once warm.
+    fn forward_out(&mut self, input: &Tensor, mode: Mode, out: &mut Tensor) {
         assert_eq!(input.rank(), 4, "BatchNorm2d expects [N, C, H, W] input");
         assert_eq!(
             input.shape()[1],
@@ -86,12 +94,14 @@ impl Layer for BatchNorm2d {
         let plane = h * w;
         let count = (n * plane) as f32;
 
-        let (mean, var) = match mode {
+        self.batch_mean.clear();
+        self.batch_var.clear();
+        match mode {
             Mode::Train => {
-                let mut mean = vec![0.0f32; c];
-                let mut var = vec![0.0f32; c];
+                self.batch_mean.resize(c, 0.0);
+                self.batch_var.resize(c, 0.0);
                 let id = input.data();
-                for (ch, slot) in mean.iter_mut().enumerate() {
+                for (ch, slot) in self.batch_mean.iter_mut().enumerate() {
                     let mut acc = 0.0f64;
                     for item in 0..n {
                         let base = (item * c + ch) * plane;
@@ -101,8 +111,8 @@ impl Layer for BatchNorm2d {
                     }
                     *slot = (acc / count as f64) as f32;
                 }
-                for (ch, slot) in var.iter_mut().enumerate() {
-                    let m = mean[ch] as f64;
+                for (ch, slot) in self.batch_var.iter_mut().enumerate() {
+                    let m = self.batch_mean[ch] as f64;
                     let mut acc = 0.0f64;
                     for item in 0..n {
                         let base = (item * c + ch) * plane;
@@ -114,29 +124,39 @@ impl Layer for BatchNorm2d {
                     *slot = (acc / count as f64) as f32;
                 }
                 for ch in 0..c {
-                    self.running_mean[ch] =
-                        (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
-                    self.running_var[ch] =
-                        (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+                    self.running_mean[ch] = (1.0 - self.momentum) * self.running_mean[ch]
+                        + self.momentum * self.batch_mean[ch];
+                    self.running_var[ch] = (1.0 - self.momentum) * self.running_var[ch]
+                        + self.momentum * self.batch_var[ch];
                 }
-                (mean, var)
             }
-            Mode::Eval => (self.running_mean.clone(), self.running_var.clone()),
-        };
+            Mode::Eval => {
+                self.batch_mean.extend_from_slice(&self.running_mean);
+                self.batch_var.extend_from_slice(&self.running_var);
+            }
+        }
 
-        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-        let mut x_hat = Tensor::zeros(input.shape());
-        let mut out = Tensor::zeros(input.shape());
+        let eps = self.eps;
+        let cache = self.cache.get_or_insert_with(|| BnCache {
+            x_hat: Tensor::zeros(&[0]),
+            inv_std: Vec::new(),
+            mode,
+        });
+        cache.mode = mode;
+        cache.inv_std.clear();
+        cache.inv_std.extend(self.batch_var.iter().map(|&v| 1.0 / (v + eps).sqrt()));
+        cache.x_hat.reset_zeroed(input.shape());
+        out.reset_zeroed(input.shape());
         {
             let id = input.data();
-            let xh = x_hat.data_mut();
+            let xh = cache.x_hat.data_mut();
             let od = out.data_mut();
             let g = self.gamma.value.data();
             let b = self.beta.value.data();
             for item in 0..n {
                 for ch in 0..c {
                     let base = (item * c + ch) * plane;
-                    let (m, is) = (mean[ch], inv_std[ch]);
+                    let (m, is) = (self.batch_mean[ch], cache.inv_std[ch]);
                     for p in 0..plane {
                         let xn = (id[base + p] - m) * is;
                         xh[base + p] = xn;
@@ -145,7 +165,19 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.cache = Some(BnCache { x_hat, inv_std, mode });
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_out(input, mode, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        self.forward_out(input, mode, &mut out);
         out
     }
 

@@ -1,5 +1,6 @@
 //! 2-D convolution layer, lowered to GEMM via im2col.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
 use swim_tensor::conv::{col2im_accumulate, im2col_batch_into, ConvGeometry};
@@ -151,7 +152,9 @@ impl Conv2d {
 
     /// Forward pass with an explicit chunk size (`chunk = 1` is the
     /// per-image lowering; results are bit-identical for every value).
-    fn forward_impl(&mut self, input: &Tensor, chunk: usize) -> Tensor {
+    /// `out` is completely overwritten — the shared body of both the
+    /// fresh-allocation and the arena forward paths.
+    fn forward_impl(&mut self, input: &Tensor, chunk: usize, out: &mut Tensor) {
         let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
         let geom = self.geometry(h, w);
         assert!(geom.is_valid(), "kernel does not fit input {geom:?}");
@@ -160,8 +163,7 @@ impl Conv2d {
         let ck2 = geom.col_cols();
         let nf = self.out_channels;
         let image_len = self.in_channels * h * w;
-        let wmat = self.weight_matrix(|v| v); // [F, CK²]
-        let mut out = Tensor::zeros(&[n, nf, oh, ow]);
+        out.reset_zeroed(&[n, nf, oh, ow]);
 
         let mut i0 = 0;
         while i0 < n {
@@ -179,8 +181,17 @@ impl Conv2d {
             // k-accumulation order, but the output comes back in
             // [F, item, spatial] layout, so writing NCHW output is all
             // contiguous row copies instead of a scalar transpose.)
+            // The [F, C, k, k] weight tensor is already the [F, CK²]
+            // matrix in row-major order, so no reshaped copy is needed.
             self.scratch.gemm.resize(nf * rows, 0.0);
-            matmul_bt_into(wmat.data(), &self.scratch.cols, nf, ck2, rows, &mut self.scratch.gemm);
+            matmul_bt_into(
+                self.weight.value.data(),
+                &self.scratch.cols,
+                nf,
+                ck2,
+                rows,
+                &mut self.scratch.gemm,
+            );
             let od = out.data_mut();
             let bias = self.bias.value.data();
             for (f, yrow) in self.scratch.gemm.chunks_exact(rows).enumerate() {
@@ -195,17 +206,31 @@ impl Conv2d {
             i0 = i1;
         }
         // Cache the activation for the backward passes, reusing the
-        // previous cache's buffer when the shape repeats — on the
-        // fixed-batch eval loop this is a copy, not an allocation.
-        // (Caching must happen in Eval mode too: the sensitivity pass
-        // forwards in `Mode::Eval` and then runs `second_backward`.)
+        // previous cache's capacity even when the batch shape changes —
+        // on the eval loop (including its shorter final batch) this is a
+        // copy, not an allocation. (Caching must happen in Eval mode
+        // too: the sensitivity pass forwards in `Mode::Eval` and then
+        // runs `second_backward`.)
         match &mut self.cached_input {
-            Some(cached) if cached.shape() == input.shape() => {
-                cached.data_mut().copy_from_slice(input.data());
-            }
-            _ => self.cached_input = Some(input.clone()),
+            Some(cached) => cached.copy_from(input),
+            slot => *slot = Some(input.clone()),
         }
-        out
+    }
+
+    /// Validates the input and runs [`Conv2d::forward_impl`] at the
+    /// cap-derived chunk size.
+    fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.rank(), 4, "Conv2d expects [N, C, H, W] input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "Conv2d expected {} input channels, got {}",
+            self.in_channels,
+            input.shape()[1]
+        );
+        let geom = self.geometry(input.shape()[2], input.shape()[3]);
+        let chunk = self.chunk_items(geom.out_h() * geom.out_w(), input.shape()[0]);
+        self.forward_impl(input, chunk, out);
     }
 
     /// Shared chunked backward pass. `square` selects the second-order
@@ -303,17 +328,15 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        assert_eq!(input.rank(), 4, "Conv2d expects [N, C, H, W] input");
-        assert_eq!(
-            input.shape()[1],
-            self.in_channels,
-            "Conv2d expected {} input channels, got {}",
-            self.in_channels,
-            input.shape()[1]
-        );
-        let geom = self.geometry(input.shape()[2], input.shape()[3]);
-        let chunk = self.chunk_items(geom.out_h() * geom.out_w(), input.shape()[0]);
-        self.forward_impl(input, chunk)
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_out(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        self.forward_out(input, &mut out);
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -515,7 +538,8 @@ mod tests {
             let g = Tensor::randn(y.shape(), &mut rng);
 
             let mut per_image = conv.clone();
-            let y1 = per_image.forward_impl(&x, 1);
+            let mut y1 = Tensor::zeros(&[0]);
+            per_image.forward_impl(&x, 1, &mut y1);
             assert_eq!(y.data(), y1.data(), "forward cin={cin} k={k} s={s} p={p}");
 
             let (yr, dxr, dwr, dbr) = per_image_reference(&conv, &x, &g);

@@ -1,5 +1,7 @@
 //! Flatten layer: `[N, ...] -> [N, prod(...)]`.
 
+use super::remember_shape;
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use swim_tensor::Tensor;
@@ -30,8 +32,18 @@ impl Layer for Flatten {
         assert!(input.rank() >= 1, "Flatten expects a batched input");
         let n = input.shape()[0];
         let inner: usize = input.shape()[1..].iter().product();
-        self.input_shape = Some(input.shape().to_vec());
+        remember_shape(&mut self.input_shape, input.shape());
         input.clone().reshaped(&[n, inner])
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        assert!(input.rank() >= 1, "Flatten expects a batched input");
+        let n = input.shape()[0];
+        let inner: usize = input.shape()[1..].iter().product();
+        remember_shape(&mut self.input_shape, input.shape());
+        let mut out = arena.take(&[n, inner]);
+        out.data_mut().copy_from_slice(input.data());
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

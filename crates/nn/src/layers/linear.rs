@@ -1,8 +1,9 @@
 //! Fully connected layer.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
-use swim_tensor::linalg::{matmul, matmul_at, matmul_bt};
+use swim_tensor::linalg::{matmul, matmul_at, matmul_bt_into};
 use swim_tensor::{Prng, Tensor};
 
 /// Fully connected layer `Y = X · Wᵀ + b`.
@@ -75,10 +76,11 @@ impl Linear {
     fn cached(&self) -> &Tensor {
         self.cached_input.as_ref().expect("backward called before forward")
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// The shared forward body: `out` is completely overwritten. Both
+    /// the fresh-allocation and the arena path run exactly this, so
+    /// their results are bit-identical by construction.
+    fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(input.rank(), 2, "Linear expects [N, in] input");
         assert_eq!(
             input.shape()[1],
@@ -87,10 +89,18 @@ impl Layer for Linear {
             self.in_features,
             input.shape()[1]
         );
+        let n = input.shape()[0];
+        out.reset_zeroed(&[n, self.out_features]);
         // y = X · Wᵀ through the fused variant: one packed transpose
         // inside the kernel instead of materializing a Tensor here.
-        let mut out = matmul_bt(input, &self.weight.value);
-        let n = out.shape()[0];
+        matmul_bt_into(
+            input.data(),
+            self.weight.value.data(),
+            n,
+            self.in_features,
+            self.out_features,
+            out.data_mut(),
+        );
         let bias = self.bias.value.data();
         let od = out.data_mut();
         for row in 0..n {
@@ -98,7 +108,26 @@ impl Layer for Linear {
                 od[row * self.out_features + j] += b;
             }
         }
-        self.cached_input = Some(input.clone());
+        // Cache the activation for the backward passes, reusing the
+        // previous cache's buffer when possible — on the fixed-batch
+        // eval loop this is a copy, not an allocation.
+        match &mut self.cached_input {
+            Some(cached) => cached.copy_from(input),
+            slot => *slot = Some(input.clone()),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_out(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        self.forward_out(input, &mut out);
         out
     }
 

@@ -15,6 +15,15 @@ mod relu;
 mod residual;
 mod sequential;
 
+/// Caches an input shape in an `Option<Vec<usize>>` slot, reusing the
+/// previous cache's allocation (shared by the shape-remembering layers:
+/// pooling, flatten).
+fn remember_shape(slot: &mut Option<Vec<usize>>, shape: &[usize]) {
+    let cached = slot.get_or_insert_with(Vec::new);
+    cached.clear();
+    cached.extend_from_slice(shape);
+}
+
 pub use activation::{Smooth, SmoothActivation};
 pub use actquant::ActQuant;
 pub use batchnorm::BatchNorm2d;

@@ -1,5 +1,7 @@
 //! Pooling layers: max, average, and global average.
 
+use super::remember_shape;
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use swim_tensor::Tensor;
@@ -41,17 +43,19 @@ impl MaxPool2d {
         }
         out
     }
-}
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// The shared forward body: `out` is completely overwritten and the
+    /// argmax/shape caches reuse their previous allocations.
+    fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(input.rank(), 4, "MaxPool2d expects [N, C, H, W] input");
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let k = self.window;
         assert!(h >= k && w >= k, "window {k} larger than input {h}x{w}");
         let (oh, ow) = (h / k, w / k);
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        out.reset_zeroed(&[n, c, oh, ow]);
+        let argmax = self.argmax.get_or_insert_with(Vec::new);
+        argmax.clear();
+        argmax.resize(n * c * oh * ow, 0);
         let id = input.data();
         let od = out.data_mut();
         let mut o = 0usize;
@@ -78,8 +82,20 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        self.argmax = Some(argmax);
-        self.input_shape = Some(input.shape().to_vec());
+        remember_shape(&mut self.input_shape, input.shape());
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_out(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        self.forward_out(input, &mut out);
         out
     }
 
@@ -152,17 +168,16 @@ impl AvgPool2d {
         }
         out
     }
-}
 
-impl Layer for AvgPool2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// The shared forward body: `out` is completely overwritten.
+    fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(input.rank(), 4, "AvgPool2d expects [N, C, H, W] input");
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let k = self.window;
         assert!(h >= k && w >= k, "window {k} larger than input {h}x{w}");
         let (oh, ow) = (h / k, w / k);
         let inv = 1.0 / (k * k) as f32;
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        out.reset_zeroed(&[n, c, oh, ow]);
         let id = input.data();
         let od = out.data_mut();
         let mut o = 0usize;
@@ -183,7 +198,20 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        self.input_shape = Some(input.shape().to_vec());
+        remember_shape(&mut self.input_shape, input.shape());
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_out(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        self.forward_out(input, &mut out);
         out
     }
 
@@ -241,14 +269,13 @@ impl GlobalAvgPool {
         }
         out
     }
-}
 
-impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// The shared forward body: `out` is completely overwritten.
+    fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(input.rank(), 4, "GlobalAvgPool expects [N, C, H, W] input");
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let inv = 1.0 / (h * w) as f32;
-        let mut out = Tensor::zeros(&[n, c]);
+        out.reset_zeroed(&[n, c]);
         let od = out.data_mut();
         let id = input.data();
         for item in 0..n {
@@ -257,7 +284,20 @@ impl Layer for GlobalAvgPool {
                 od[item * c + ch] = id[plane..plane + h * w].iter().sum::<f32>() * inv;
             }
         }
-        self.input_shape = Some(input.shape().to_vec());
+        remember_shape(&mut self.input_shape, input.shape());
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_out(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        self.forward_out(input, &mut out);
         out
     }
 

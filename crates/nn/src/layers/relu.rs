@@ -1,5 +1,6 @@
 //! ReLU activation.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use swim_tensor::Tensor;
@@ -24,12 +25,30 @@ impl Relu {
     fn mask(&self) -> &[bool] {
         self.mask.as_deref().expect("backward called before forward")
     }
+
+    /// The shared forward body: `out` is completely overwritten and the
+    /// active-input mask buffer is refilled in place (no allocation once
+    /// both have grown to the activation size).
+    fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.extend(input.data().iter().map(|&x| x > 0.0));
+        out.copy_from(input);
+        out.map_inplace(|x| x.max(0.0));
+    }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
-        input.map(|x| x.max(0.0))
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_out(input, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        let mut out = arena.grab();
+        self.forward_out(input, &mut out);
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -1,5 +1,6 @@
 //! Residual block with skip connection.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::layers::{Relu, Sequential};
 use crate::param::Param;
@@ -44,6 +45,26 @@ impl Layer for Residual {
             short_out.shape()
         );
         self.relu.forward(&(&main_out + &short_out), mode)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        // Both branches draw from the arena; the branch sum happens in
+        // place in the main branch's buffer, so the block holds at most
+        // one extra buffer beyond the sequential ping/pong pair.
+        let mut main_out = self.main.forward_into(input, mode, arena);
+        let short_out = self.shortcut.forward_into(input, mode, arena);
+        assert_eq!(
+            main_out.shape(),
+            short_out.shape(),
+            "residual branch shapes diverge: {:?} vs {:?}",
+            main_out.shape(),
+            short_out.shape()
+        );
+        main_out.add_assign_t(&short_out);
+        arena.recycle(short_out);
+        let out = self.relu.forward_into(&main_out, mode, arena);
+        arena.recycle(main_out);
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

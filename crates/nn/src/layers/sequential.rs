@@ -1,5 +1,6 @@
 //! Sequential composition of layers.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use swim_tensor::Tensor;
@@ -66,6 +67,24 @@ impl Layer for Sequential {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, arena: &mut ActivationArena) -> Tensor {
+        // The ping/pong loop: each layer's output comes from the arena
+        // and its input buffer goes straight back, so a sequential chain
+        // cycles two buffers however deep it is.
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            let mut out = arena.grab();
+            out.copy_from(input);
+            return out;
+        };
+        let mut x = first.forward_into(input, mode, arena);
+        for layer in rest {
+            let y = layer.forward_into(&x, mode, arena);
+            arena.recycle(x);
+            x = y;
         }
         x
     }

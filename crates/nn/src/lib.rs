@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod finite_diff;
 pub mod layer;
 pub mod layers;
@@ -57,6 +58,7 @@ pub mod param;
 pub mod schedule;
 pub mod train;
 
+pub use arena::ActivationArena;
 pub use layer::{Layer, Mode};
 pub use network::Network;
 pub use param::{Param, ParamKind};

@@ -1,5 +1,6 @@
 //! A complete model: layers plus whole-network operations.
 
+use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::layers::Sequential;
 use crate::loss::Loss;
@@ -65,6 +66,18 @@ impl Network {
     /// Forward pass on a batch.
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         self.root.forward(input, mode)
+    }
+
+    /// Forward pass with activations drawn from `arena` — the
+    /// allocation-free path ([`crate::layer::Layer::forward_into`]).
+    /// Recycle the returned tensor into the arena once consumed.
+    pub fn forward_with(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        arena: &mut ActivationArena,
+    ) -> Tensor {
+        self.root.forward_into(input, mode, arena)
     }
 
     /// First-order backward pass (after a forward on the same batch).
@@ -259,6 +272,59 @@ impl Network {
             correct += preds.iter().zip(&labels[start..end]).filter(|(p, t)| p == t).count();
             start = end;
         }
+        correct as f64 / n as f64
+    }
+
+    /// [`Network::accuracy`] with every working buffer (batch slice,
+    /// activations) recycled through `arena` — the Monte Carlo eval
+    /// loop's zero-allocation scoring path. Results are bit-identical to
+    /// [`Network::accuracy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the first dimension of
+    /// `images`, or `batch_size` is zero.
+    pub fn accuracy_with(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+        batch_size: usize,
+        arena: &mut ActivationArena,
+    ) -> f64 {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let n = images.shape()[0];
+        assert_eq!(labels.len(), n, "label count {} != image count {n}", labels.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        let mut start = 0usize;
+        let mut batch = arena.grab();
+        while start < n {
+            let end = (start + batch_size).min(n);
+            images.slice_axis0_into(start, end, &mut batch);
+            let logits = self.forward_with(&batch, Mode::Eval, arena);
+            // Row argmax compared against the label in place — exactly
+            // `Tensor::argmax_rows` (first maximum wins) without the
+            // per-batch index vector.
+            let cols = logits.shape()[1];
+            assert!(cols > 0, "argmax requires at least one column");
+            for (r, &label) in labels[start..end].iter().enumerate() {
+                let row = &logits.data()[r * cols..(r + 1) * cols];
+                let mut best = 0;
+                for (i, &x) in row.iter().enumerate() {
+                    if x > row[best] {
+                        best = i;
+                    }
+                }
+                if best == label {
+                    correct += 1;
+                }
+            }
+            arena.recycle(logits);
+            start = end;
+        }
+        arena.recycle(batch);
         correct as f64 / n as f64
     }
 

@@ -33,8 +33,19 @@ use swim_tensor::Tensor;
 /// # Ok::<(), swim_tensor::TensorError>(())
 /// ```
 pub fn fake_quant(t: &Tensor, bits: u32) -> Tensor {
+    let mut out = Tensor::zeros(&[0]);
+    fake_quant_into(t, bits, &mut out);
+    out
+}
+
+/// [`fake_quant`] into a caller-owned tensor, reusing its allocations.
+///
+/// `out` is completely overwritten (shape and data); after it has grown
+/// to the largest activation seen, the call performs no heap allocation.
+pub fn fake_quant_into(t: &Tensor, bits: u32, out: &mut Tensor) {
     let params = QuantParams::from_tensor(t, bits);
-    t.map(|x| params.dequantize(params.quantize(x)))
+    out.copy_from(t);
+    out.map_inplace(|x| params.dequantize(params.quantize(x)));
 }
 
 /// Unsigned fake quantization for non-negative activations (post-ReLU):
@@ -42,16 +53,26 @@ pub fn fake_quant(t: &Tensor, bits: u32) -> Tensor {
 ///
 /// Negative inputs are clamped to zero, matching ReLU-domain ADC behaviour.
 pub fn fake_quant_unsigned(t: &Tensor, bits: u32) -> Tensor {
+    let mut out = Tensor::zeros(&[0]);
+    fake_quant_unsigned_into(t, bits, &mut out);
+    out
+}
+
+/// [`fake_quant_unsigned`] into a caller-owned tensor, reusing its
+/// allocations. `out` is completely overwritten (shape and data).
+pub fn fake_quant_unsigned_into(t: &Tensor, bits: u32, out: &mut Tensor) {
+    out.copy_from(t);
     let max = t.max().max(0.0);
     if max == 0.0 {
-        return t.map(|x| x.max(0.0));
+        out.map_inplace(|x| x.max(0.0));
+        return;
     }
     let levels = ((1u32 << bits) - 1) as f32;
     let scale = max / levels;
-    t.map(|x| {
+    out.map_inplace(|x| {
         let code = (x.max(0.0) / scale).round().min(levels);
         code * scale
-    })
+    });
 }
 
 /// Fake quantization with externally fixed parameters (used when the
@@ -108,6 +129,23 @@ mod tests {
         let t = Tensor::zeros(&[4]);
         let q = fake_quant_unsigned(&t, 4);
         assert_eq!(q.data(), t.data());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_path() {
+        let mut rng = Prng::seed_from_u64(9);
+        let t = Tensor::randn(&[64], &mut rng);
+        let mut out = Tensor::zeros(&[0]);
+        for bits in [2, 4, 6] {
+            fake_quant_into(&t, bits, &mut out);
+            assert_eq!(out, fake_quant(&t, bits), "signed {bits}-bit");
+            fake_quant_unsigned_into(&t, bits, &mut out);
+            assert_eq!(out, fake_quant_unsigned(&t, bits), "unsigned {bits}-bit");
+        }
+        // All-zero unsigned passthrough via the into path too.
+        let z = Tensor::zeros(&[4]);
+        fake_quant_unsigned_into(&z, 4, &mut out);
+        assert_eq!(out, z);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod params;
 pub mod qtensor;
 pub mod slicing;
 
-pub use fake::{fake_quant, fake_quant_unsigned};
+pub use fake::{fake_quant, fake_quant_into, fake_quant_unsigned, fake_quant_unsigned_into};
 pub use params::QuantParams;
 pub use qtensor::QuantizedTensor;
 pub use slicing::DeviceSlicing;

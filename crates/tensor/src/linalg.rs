@@ -72,7 +72,27 @@ pub fn set_gemm_threads(threads: usize) {
 /// The worker-thread count large products will use.
 pub fn gemm_threads() -> usize {
     match GEMM_THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        0 => detected_parallelism(),
+        n => n,
+    }
+}
+
+/// `available_parallelism`, detected once and cached.
+///
+/// The std call is not free — on Linux it re-reads the cgroup CPU quota
+/// files, allocating in the process — and `gemm_strided_into` consults
+/// the thread count on *every* product, which made each GEMM on the
+/// Monte Carlo eval path pay a handful of heap allocations and syscalls.
+/// The cached value keeps the steady-state eval loop allocation-free
+/// (enforced by `swim-core`'s `tests/alloc_free.rs`).
+fn detected_parallelism() -> usize {
+    static DETECTED: AtomicUsize = AtomicUsize::new(0);
+    match DETECTED.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            DETECTED.store(n, Ordering::Relaxed);
+            n
+        }
         n => n,
     }
 }

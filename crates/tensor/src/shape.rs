@@ -97,6 +97,26 @@ impl Shape {
     pub fn same_as(&self, other: &Shape) -> bool {
         self.0 == other.0
     }
+
+    /// Replaces the extents in place, reusing the existing allocation.
+    ///
+    /// This is the allocation-free counterpart of `Shape::new` used by
+    /// buffer-recycling hot paths (the activation arena): once the
+    /// backing vector has grown to the deepest rank seen, later calls
+    /// perform no heap allocation.
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+    }
+
+    /// Overwrites the extent of one axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn set_dim(&mut self, axis: usize, extent: usize) {
+        self.0[axis] = extent;
+    }
 }
 
 impl From<&[usize]> for Shape {
@@ -175,5 +195,29 @@ mod tests {
         let from_slice: Shape = (&[1usize, 2][..]).into();
         let from_vec: Shape = vec![1usize, 2].into();
         assert!(from_slice.same_as(&from_vec));
+    }
+
+    #[test]
+    fn set_dims_replaces_in_place() {
+        let mut s = Shape::new(&[2, 3, 4]);
+        s.set_dims(&[6, 2]);
+        assert_eq!(s.dims(), &[6, 2]);
+        assert_eq!(s.len(), 12);
+        s.set_dims(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1); // scalar
+    }
+
+    #[test]
+    fn set_dim_overwrites_one_axis() {
+        let mut s = Shape::new(&[5, 7]);
+        s.set_dim(0, 2);
+        assert_eq!(s.dims(), &[2, 7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_dim_checks_axis() {
+        Shape::new(&[2]).set_dim(1, 3);
     }
 }

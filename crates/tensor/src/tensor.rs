@@ -192,6 +192,28 @@ impl Tensor {
         self.reshaped(&[n])
     }
 
+    /// Reshapes this tensor in place to `dims`, zero-filled.
+    ///
+    /// Unlike constructing a fresh [`Tensor::zeros`], both the data and
+    /// the shape vectors reuse their existing capacity, so recycling a
+    /// buffer through shapes no larger than previously seen performs no
+    /// heap allocation. The result is indistinguishable from
+    /// `Tensor::zeros(dims)`.
+    pub fn reset_zeroed(&mut self, dims: &[usize]) {
+        self.shape.set_dims(dims);
+        let len = self.shape.len();
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
+    /// Makes this tensor a copy of `other` (shape and data), reusing the
+    /// existing allocations when capacity suffices.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.shape.set_dims(other.shape());
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     // ------------------------------------------------------- elementwise ops
 
     /// Applies `f` to every element, returning a new tensor.
@@ -428,6 +450,28 @@ impl Tensor {
         Tensor { data, shape: Shape::new(&dims) }
     }
 
+    /// [`Tensor::slice_axis0`] into a caller-owned tensor, reusing its
+    /// allocations — the batching primitive of the allocation-free eval
+    /// loop. `out` is completely overwritten (shape and data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank 0 or `start > end` or `end` exceeds
+    /// the first dimension.
+    pub fn slice_axis0_into(&self, start: usize, end: usize, out: &mut Tensor) {
+        assert!(self.rank() >= 1, "slice_axis0 requires rank >= 1");
+        let n = self.shape.dim(0);
+        assert!(
+            start <= end && end <= n,
+            "slice {start}..{end} out of bounds for axis of size {n}"
+        );
+        let inner: usize = self.shape.dims()[1..].iter().product();
+        out.shape.set_dims(self.shape.dims());
+        out.shape.set_dim(0, end - start);
+        out.data.clear();
+        out.data.extend_from_slice(&self.data[start * inner..end * inner]);
+    }
+
     /// Gathers rows of axis 0 by index into a new tensor.
     ///
     /// # Panics
@@ -544,6 +588,54 @@ mod tests {
     #[test]
     fn from_vec_length_check() {
         assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+    }
+
+    #[test]
+    fn reset_zeroed_matches_fresh_zeros() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        t.reset_zeroed(&[3, 1]);
+        assert_eq!(t, Tensor::zeros(&[3, 1]));
+        // Growing past the old length also zero-fills everything.
+        t.reset_zeroed(&[2, 4]);
+        assert_eq!(t, Tensor::zeros(&[2, 4]));
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_capacity() {
+        let mut t = Tensor::zeros(&[8, 8]);
+        let ptr = t.data().as_ptr();
+        t.reset_zeroed(&[2, 3]);
+        t.reset_zeroed(&[4, 4]);
+        assert_eq!(t.data().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn copy_from_replicates_shape_and_data() {
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        let mut dst = Tensor::zeros(&[10]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn slice_axis0_into_matches_slice_axis0() {
+        let t = Tensor::from_fn(&[5, 2, 3], |i| i as f32);
+        let mut out = Tensor::zeros(&[0]);
+        t.slice_axis0_into(1, 4, &mut out);
+        assert_eq!(out, t.slice_axis0(1, 4));
+        // Reuse with a different window, including an empty one.
+        t.slice_axis0_into(0, 2, &mut out);
+        assert_eq!(out, t.slice_axis0(0, 2));
+        t.slice_axis0_into(5, 5, &mut out);
+        assert_eq!(out.shape(), &[0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_axis0_into_checks_bounds() {
+        let t = Tensor::zeros(&[2, 2]);
+        let mut out = Tensor::zeros(&[0]);
+        t.slice_axis0_into(1, 3, &mut out);
     }
 
     #[test]
