@@ -5,8 +5,14 @@
 //! Run with:
 //!
 //! ```text
-//! cargo bench -p swim-bench --bench kernels [-- <filter> [--quick]]
+//! cargo bench -p swim-bench --bench kernels [-- <filter> [--quick]
+//!     [--json snapshot.json] [--baseline snapshot.json]]
 //! ```
+//!
+//! `--json FILE` writes the measured medians as a JSON snapshot;
+//! `--baseline FILE` compares this run against a snapshot and exits 1
+//! when any shared entry regressed by more than 30% (the committed
+//! `BENCH_sweep.json` is the CI baseline for the `sweep` group).
 //!
 //! Groups:
 //!
@@ -34,6 +40,7 @@ use swim_core::model::QuantizedModel;
 use swim_core::montecarlo::{nwc_sweep, parallel_map, SweepConfig};
 use swim_core::select::{build_ranking, mask_top_fraction, Strategy};
 use swim_data::Dataset;
+use swim_exp::value::{parse_json, Value};
 use swim_nn::finite_diff::hessian_diag_fd;
 use swim_nn::layer::{Layer, Mode};
 use swim_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential};
@@ -52,16 +59,40 @@ struct Harness {
     filter: Option<String>,
     samples_per_entry: usize,
     results: Vec<Sample>,
+    json_out: Option<std::path::PathBuf>,
+    baseline: Option<std::path::PathBuf>,
 }
 
 impl Harness {
     fn new() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let quick = args.iter().any(|a| a == "--quick");
-        // Cargo passes --bench; ignore flags, treat the first bare token
-        // as a substring filter.
-        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
-        Harness { filter, samples_per_entry: if quick { 5 } else { 11 }, results: Vec::new() }
+        let mut args = std::env::args().skip(1);
+        let mut quick = false;
+        let mut filter = None;
+        let mut json_out = None;
+        let mut baseline = None;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--json" => json_out = args.next().map(std::path::PathBuf::from),
+                "--baseline" => baseline = args.next().map(std::path::PathBuf::from),
+                // Cargo passes --bench (and may add others); ignore
+                // unknown flags, treat the first bare token as a
+                // substring filter.
+                a if a.starts_with("--") => {}
+                a => {
+                    if filter.is_none() {
+                        filter = Some(a.to_string());
+                    }
+                }
+            }
+        }
+        Harness {
+            filter,
+            samples_per_entry: if quick { 5 } else { 11 },
+            results: Vec::new(),
+            json_out,
+            baseline,
+        }
     }
 
     fn skip(&self, name: &str) -> bool {
@@ -91,6 +122,76 @@ impl Harness {
 
     fn group(&self, title: &str) {
         println!("\n{title}");
+    }
+
+    /// Writes the measured medians (nanoseconds, keyed by entry name)
+    /// as a JSON snapshot — the format `--baseline` reads back.
+    fn write_snapshot(&self, path: &std::path::Path) {
+        let mut entries = Value::table();
+        for s in &self.results {
+            entries.set(&s.name, Value::Int(s.median.as_nanos() as i64));
+        }
+        let mut root = Value::table();
+        root.set("bench", Value::Str("kernels".into()));
+        root.set("samples_per_entry", Value::Int(self.samples_per_entry as i64));
+        root.set("median_ns", entries);
+        std::fs::write(path, root.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write snapshot {}: {e}", path.display()));
+        println!("\nwrote {} snapshot entries to {}", self.results.len(), path.display());
+    }
+
+    /// Compares this run against a `--json` snapshot: every entry
+    /// measured in both is checked with a generous ±30% threshold.
+    /// Entries present on only one side are reported but never fail
+    /// (filters, `--quick`, and machine-dependent groups measure
+    /// subsets). Returns `false` when any shared entry regressed.
+    fn check_baseline(&self, path: &std::path::Path) -> bool {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        let root = parse_json(&text)
+            .unwrap_or_else(|e| panic!("baseline {} is not valid JSON: {e}", path.display()));
+        let entries = root.get("median_ns").expect("baseline has a median_ns table");
+
+        println!("\nbaseline comparison vs {} (±30% threshold)", path.display());
+        let mut compared = 0usize;
+        let mut regressions = Vec::new();
+        for s in &self.results {
+            let Some(base_ns) = entries.get(&s.name).and_then(Value::as_int) else {
+                println!("  {:<44} (not in baseline — skipped)", s.name);
+                continue;
+            };
+            compared += 1;
+            let ratio = s.median.as_nanos() as f64 / (base_ns as f64).max(1.0);
+            let verdict = if ratio > 1.30 {
+                regressions.push(s.name.clone());
+                "REGRESSED"
+            } else if ratio < 0.70 {
+                "improved (consider refreshing the snapshot)"
+            } else {
+                "ok"
+            };
+            println!("  {:<44} {:>6.2}x of baseline — {verdict}", s.name, ratio);
+        }
+        if let Value::Table(pairs) = entries {
+            for (name, _) in pairs {
+                if !self.results.iter().any(|s| &s.name == name) {
+                    println!("  {name:<44} (in baseline, not measured — skipped)");
+                }
+            }
+        }
+        if regressions.is_empty() {
+            println!("baseline ok: {compared} entries within threshold");
+            true
+        } else {
+            println!(
+                "baseline FAILED: {} of {compared} entries regressed >30%:",
+                regressions.len()
+            );
+            for name in &regressions {
+                println!("  {name}");
+            }
+            false
+        }
     }
 }
 
@@ -232,7 +333,6 @@ fn bench_conv_lowering(h: &mut Harness) {
 /// (the live `nwc_sweep` path) vs the old clone-per-run harness,
 /// reported in runs/sec.
 fn bench_sweep_throughput(h: &mut Harness) {
-    h.group("sweep (Monte Carlo eval throughput, runs/sec)");
     let mut rng = Prng::seed_from_u64(12);
     let mut seq = Sequential::new();
     seq.push(Conv2d::new(1, 4, 3, 1, 1, &mut rng));
@@ -247,34 +347,37 @@ fn bench_sweep_throughput(h: &mut Harness) {
     let mags = model.magnitudes();
     let runs = 8usize;
     let threads = swim_core::montecarlo::num_threads();
+    // Entry names stay thread-count-free so snapshots written on one
+    // machine (`--json BENCH_sweep.json`) still match on another; the
+    // worker count only shows up in the group header.
+    h.group(&format!("sweep (Monte Carlo eval throughput, runs/sec, {threads} workers)"));
     let cfg =
         SweepConfig { fractions: vec![0.0, 0.5, 1.0], runs, threads, eval_batch: 128, seed: 7 };
 
-    let scratch = h.bench(&format!("sweep/8runs_x3fractions/scratch_t{threads}"), || {
+    let scratch = h.bench("sweep/8runs_x3fractions/scratch", || {
         nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg)
     });
     // The pre-scratch harness: clone the network and allocate fresh
     // mask/weight vectors for every run (denominator and ranking
     // computed per sweep, exactly like `nwc_sweep` does).
-    let clone_per_run =
-        h.bench(&format!("sweep/8runs_x3fractions/clone_per_run_t{threads}"), || {
-            let base = Prng::seed_from_u64(cfg.seed);
-            let denom = model.write_verify_all_cost(&mut base.fork(u64::MAX)) as f64;
-            let ranking = build_ranking(Strategy::Swim, &sens, &mags, None);
-            parallel_map(runs, threads, &base, |_, mut run_rng| {
-                let mut network = model.network_clone();
-                cfg.fractions
-                    .iter()
-                    .map(|&fraction| {
-                        let mask = mask_top_fraction(&ranking, fraction);
-                        let (weights, summary) = model.program_weights(Some(&mask), &mut run_rng);
-                        network.set_device_weights(&weights);
-                        let acc = network.accuracy(data.images(), data.labels(), cfg.eval_batch);
-                        (acc, summary.verify_pulses as f64 / denom)
-                    })
-                    .collect::<Vec<_>>()
-            })
-        });
+    let clone_per_run = h.bench("sweep/8runs_x3fractions/clone_per_run", || {
+        let base = Prng::seed_from_u64(cfg.seed);
+        let denom = model.write_verify_all_cost(&mut base.fork(u64::MAX)) as f64;
+        let ranking = build_ranking(Strategy::Swim, &sens, &mags, None);
+        parallel_map(runs, threads, &base, |_, mut run_rng| {
+            let mut network = model.network_clone();
+            cfg.fractions
+                .iter()
+                .map(|&fraction| {
+                    let mask = mask_top_fraction(&ranking, fraction);
+                    let (weights, summary) = model.program_weights(Some(&mask), &mut run_rng);
+                    network.set_device_weights(&weights);
+                    let acc = network.accuracy(data.images(), data.labels(), cfg.eval_batch);
+                    (acc, summary.verify_pulses as f64 / denom)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
     if let (Some(s), Some(c)) = (scratch, clone_per_run) {
         println!(
             "  {:<44} {:.1} runs/s scratch vs {:.1} runs/s clone-per-run ({:.2}x)",
@@ -431,5 +534,26 @@ fn main() {
     by_time.sort_by_key(|s| std::cmp::Reverse(s.median));
     for s in by_time.iter().take(3) {
         println!("  {:<44} {:>12}", s.name, format_duration(s.median));
+    }
+
+    if let Some(path) = h.json_out.clone() {
+        h.write_snapshot(&resolve_from_workspace_root(&path));
+    }
+    if let Some(path) = h.baseline.clone() {
+        if !h.check_baseline(&resolve_from_workspace_root(&path)) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Cargo runs bench binaries with the package directory as cwd; anchor
+/// relative snapshot paths at the workspace root instead, so
+/// `--baseline BENCH_sweep.json` names the committed repo-root file no
+/// matter where cargo was invoked from.
+fn resolve_from_workspace_root(path: &std::path::Path) -> std::path::PathBuf {
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(path)
     }
 }

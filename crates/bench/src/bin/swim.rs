@@ -6,7 +6,7 @@
 //! swim preset <name> [--set key=value]... [flags]
 //! swim diff <a.json> <b.json> [--abs-tol X] [--rel-tol X] [--ignore-spec]
 //! swim report <run.json> [--baseline b.json] [-o report.md]
-//! swim summarize <dir-or-file>... [-o summary.md]
+//! swim summarize <dir-or-file>... [--anchors 0,0.1,1] [-o summary.md]
 //! swim list
 //! swim help
 //! ```
@@ -31,7 +31,7 @@ use swim_exp::{preset, preset_infos};
 use swim_report::diff::{diff_docs, DiffOptions};
 use swim_report::markdown::{render_report, table_markdown};
 use swim_report::schema::ResultsDoc;
-use swim_report::summary::{load_runs, summarize};
+use swim_report::summary::{load_runs, summarize_with, DEFAULT_ANCHORS};
 
 fn usage() {
     println!("usage: swim <command> [args]");
@@ -44,7 +44,7 @@ fn usage() {
     println!("                             exit 1 on drift");
     println!("  report <run.json>          render a results document as a Markdown report");
     println!("  summarize <dir|file>...    aggregate many results documents into one table");
-    println!("  list                       list presets and selectors");
+    println!("  list                       list presets, selectors, and device models");
     println!("  help                       this message");
     println!();
     println!("run/preset flags:");
@@ -65,11 +65,16 @@ fn usage() {
     println!();
     println!("report/summarize flags:");
     println!("  --baseline FILE   annotate per-point deltas against FILE (report only)");
+    println!("  --anchors LIST    summarize at these fractions, e.g. 0,0.05,0.3,1");
+    println!("                    (summarize only; default 0,0.1,1)");
     println!("  -o / --out FILE   write Markdown to FILE instead of stdout");
     println!();
     println!("The results document echoes the spec it ran; `swim run` accepts that");
     println!("echo back, so every result is reproducible from its own output.");
-    println!("Docs: docs/workflow.md, docs/spec-reference.md, docs/results-schema.md.");
+    println!(
+        "Docs: docs/workflow.md, docs/spec-reference.md, docs/results-schema.md, \
+         docs/device-models.md."
+    );
 }
 
 fn fail(message: &str) -> ! {
@@ -143,6 +148,11 @@ fn list() {
     println!("selectors (for [selection] methods / --set methods=...):");
     for selector in swim_core::select::registry() {
         println!("  {:<18} {:<22} {}", selector.key(), selector.name(), selector.describe());
+    }
+    println!();
+    println!("device models (for [device] model / --set device-model=...):");
+    for model in swim_cim::device_model_registry() {
+        println!("  {:<18} {:<22} {}", model.key(), model.name(), model.describe());
     }
     println!();
     println!("spec kinds: sweep, table1, fig2, fig1, calibration, ablation");
@@ -237,12 +247,36 @@ fn cmd_report(raw: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
-/// `swim summarize <dir-or-file>... [-o summary.md]`.
+/// Parses a comma-separated `--anchors` fraction list (e.g.
+/// `0,0.05,0.3,1`). Every anchor must be a fraction in [0, 1].
+fn parse_anchors(text: &str) -> Vec<f64> {
+    let anchors: Vec<f64> = text
+        .split(',')
+        .map(|part| {
+            let part = part.trim();
+            match part.parse::<f64>() {
+                Ok(a) if (0.0..=1.0).contains(&a) => a,
+                Ok(a) => fail(&format!("--anchors: {a} is not a fraction in [0, 1]")),
+                Err(_) => fail(&format!("--anchors: `{part}` is not a number")),
+            }
+        })
+        .collect();
+    if anchors.is_empty() {
+        fail("--anchors expects at least one fraction");
+    }
+    anchors
+}
+
+/// `swim summarize <dir-or-file>... [--anchors 0,0.1,1] [-o summary.md]`.
 fn cmd_summarize(raw: Vec<String>) -> ! {
-    let (positionals, rest) = split_positionals(raw, &[], &["out"]);
+    let (positionals, rest) = split_positionals(raw, &[], &["out", "anchors"]);
     let args = match Args::try_parse_from(rest.into_iter()) {
         Ok(args) => args,
         Err(e) => fail(&e),
+    };
+    let anchors = match args.get("anchors") {
+        Some(text) => parse_anchors(text),
+        None => DEFAULT_ANCHORS.to_vec(),
     };
     if positionals.is_empty() {
         fail("`swim summarize` expects one or more results-document files or directories");
@@ -258,7 +292,7 @@ fn cmd_summarize(raw: Vec<String>) -> ! {
     if runs.is_empty() {
         fail("no results documents found");
     }
-    let table = summarize(&runs);
+    let table = summarize_with(&runs, &anchors);
     if args.get("out").is_some() {
         let mut md = format!("# {}\n\n", table.title());
         md.push_str(&table_markdown(&table));

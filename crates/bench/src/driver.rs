@@ -224,11 +224,19 @@ impl MethodCurves {
     }
 
     /// The in-situ baseline reshaped as sweep points (NWC doubles as
-    /// the fraction axis), for the speed-up queries.
+    /// the fraction axis), for the speed-up queries. The speed-up
+    /// queries only read the mean, so the tail fields are filled with
+    /// it — the in-situ harness does not retain per-run accuracies.
     pub fn insitu_points(&self) -> Vec<SweepPoint> {
         self.insitu
             .iter()
-            .map(|p| SweepPoint { fraction: p.nwc, nwc: p.nwc, accuracy: p.accuracy })
+            .map(|p| SweepPoint {
+                fraction: p.nwc,
+                nwc: p.nwc,
+                accuracy: p.accuracy,
+                accuracy_min: p.accuracy.mean(),
+                accuracy_p05: p.accuracy.mean(),
+            })
             .collect()
     }
 

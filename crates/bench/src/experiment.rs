@@ -19,8 +19,9 @@
 
 use crate::cli::{apply_gemm_flags, print_common_help, Args};
 use crate::driver::{run_methods, DriverConfig, MethodCurves};
-use crate::prep::{prepare, PrepConfig, Prepared, Scenario};
+use crate::prep::{prepare_with_model, PrepConfig, Prepared, Scenario};
 use crate::speedup::nwc_to_reach;
+use swim_cim::model::device_model_by_name;
 use swim_core::montecarlo::SweepPoint;
 use swim_core::report::{fmt_mean_std, Table};
 use swim_core::select::SwimNoTieBreakSelector;
@@ -70,12 +71,22 @@ fn point_doc(p: &SweepPoint) -> CurvePoint {
         nwc: p.nwc,
         accuracy_mean: p.accuracy.mean(),
         accuracy_std: p.accuracy.std(),
+        accuracy_min: p.accuracy_min,
+        accuracy_p05: p.accuracy_p05,
     }
 }
 
-/// One sigma block of a sweep-kind experiment as a typed schema record.
-fn sweep_record(sigma: f64, float_acc: f64, quant_acc: f64, curves: &MethodCurves) -> SweepDoc {
+/// One (device model, sigma) block of a sweep-kind experiment as a
+/// typed schema record.
+fn sweep_record(
+    device_model: &str,
+    sigma: f64,
+    float_acc: f64,
+    quant_acc: f64,
+    curves: &MethodCurves,
+) -> SweepDoc {
     SweepDoc {
+        device_model: device_model.to_string(),
         sigma,
         float_accuracy: float_acc,
         quant_accuracy: quant_acc,
@@ -133,21 +144,47 @@ pub fn run_spec(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ResultsDoc, 
     Ok(doc)
 }
 
-/// Prepares one (scenario, sigma) block and sweeps every configured
-/// method over it.
+/// Prepares one (scenario, device model, sigma) block and sweeps every
+/// configured method over it. `model_name` must already be validated
+/// against the registry (the spec's `validate()` guarantees it).
 fn prepare_and_sweep(
     spec: &ExperimentSpec,
+    model_name: &str,
     sigma: f64,
     opts: &RunOptions,
 ) -> (Prepared, MethodCurves) {
     let scenario = Scenario::from_spec(&spec.scenario);
     let device = spec.device.config_at(sigma);
     let prep_cfg = PrepConfig::from(spec);
-    let mut prepared = prepare(scenario, device, &prep_cfg);
+    let model = device_model_by_name(model_name)
+        .unwrap_or_else(|| panic!("validated spec has unknown device model `{model_name}`"));
+    let mut prepared = prepare_with_model(scenario, device, &prep_cfg, model);
     let cfg = DriverConfig::from_spec(spec, opts.gemm_threads, opts.gemm_block);
     let selectors = spec.selection.selectors();
     let curves = run_methods(&mut prepared, &selectors, &cfg);
     (prepared, curves)
+}
+
+/// The grid of `(device model, sigma)` blocks a grid-kind spec runs,
+/// models outermost (so all sigmas of one model group together in the
+/// output and the results document).
+fn model_sigma_grid(spec: &ExperimentSpec) -> Vec<(String, f64)> {
+    spec.device
+        .models
+        .iter()
+        .flat_map(|m| spec.device.sigmas.iter().map(move |&s| (m.clone(), s)))
+        .collect()
+}
+
+/// The `(model, sigma)` label for a grid block: just the sigma when the
+/// spec runs a single device model (the historical output, preserved
+/// byte-for-byte), the pair otherwise.
+fn block_label(spec: &ExperimentSpec, model_name: &str, sigma: f64) -> String {
+    if spec.device.models.len() == 1 {
+        format!("sigma = {sigma}")
+    } else {
+        format!("model = {model_name}, sigma = {sigma}")
+    }
 }
 
 // ---------------------------------------------------------- Table 1
@@ -168,18 +205,26 @@ fn run_table1(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collecto
          dataset; compare method ordering, gaps, and stds.)\n"
     );
 
-    for &sigma in &spec.device.sigmas {
-        let (prepared, curves) = prepare_and_sweep(spec, sigma, opts);
+    for (model_name, sigma) in model_sigma_grid(spec) {
+        let model_name = model_name.as_str();
+        let label = block_label(spec, model_name, sigma);
+        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
         println!(
-            "\nsigma = {sigma}: float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
+            "\n{label}: float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
             prepared.float_accuracy, prepared.quant_accuracy
         );
-        let table = curves.to_table(&format!("Table 1 block, sigma = {sigma}"));
+        let table = curves.to_table(&format!("Table 1 block, {label}"));
         collector.show(&table);
         if opts.csv {
-            println!("{}", curves.to_csv(&format!("table1_sigma_{sigma}")));
+            let csv_label = if spec.device.models.len() == 1 {
+                format!("table1_sigma_{sigma}")
+            } else {
+                format!("table1_{model_name}_sigma_{sigma}")
+            };
+            println!("{}", curves.to_csv(&csv_label));
         }
         collector.sweeps.push(sweep_record(
+            model_name,
             sigma,
             prepared.float_accuracy,
             prepared.quant_accuracy,
@@ -249,7 +294,8 @@ fn run_fig2(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector)
     println!("paper: {}\n", spec.note);
 
     let sigma = spec.device.sigmas[0];
-    let (prepared, curves) = prepare_and_sweep(spec, sigma, opts);
+    let model_name = spec.device.models[0].as_str();
+    let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
     println!(
         "float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
         prepared.float_accuracy, prepared.quant_accuracy
@@ -261,6 +307,7 @@ fn run_fig2(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector)
         println!("{}", curves.to_csv(&spec.name));
     }
     collector.sweeps.push(sweep_record(
+        model_name,
         sigma,
         prepared.float_accuracy,
         prepared.quant_accuracy,
@@ -304,18 +351,26 @@ fn run_generic_sweep(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut C
         println!("note: {}", spec.note);
     }
     println!();
-    for &sigma in &spec.device.sigmas {
-        let (prepared, curves) = prepare_and_sweep(spec, sigma, opts);
+    for (model_name, sigma) in model_sigma_grid(spec) {
+        let model_name = model_name.as_str();
+        let label = block_label(spec, model_name, sigma);
+        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
         println!(
-            "sigma = {sigma}: float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
+            "{label}: float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
             prepared.float_accuracy, prepared.quant_accuracy
         );
-        let table = curves.to_table(&format!("{} accuracy vs NWC (sigma = {sigma})", spec.name));
+        let table = curves.to_table(&format!("{} accuracy vs NWC ({label})", spec.name));
         collector.show(&table);
         if opts.csv {
-            println!("{}", curves.to_csv(&format!("{}_sigma_{sigma}", spec.name)));
+            let csv_label = if spec.device.models.len() == 1 {
+                format!("{}_sigma_{sigma}", spec.name)
+            } else {
+                format!("{}_{model_name}_sigma_{sigma}", spec.name)
+            };
+            println!("{}", curves.to_csv(&csv_label));
         }
         collector.sweeps.push(sweep_record(
+            model_name,
             sigma,
             prepared.float_accuracy,
             prepared.quant_accuracy,
@@ -338,7 +393,8 @@ fn run_fig1(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector)
     let device = spec.device.config_at(sigma);
     let scenario = Scenario::from_spec(&spec.scenario);
     let prep_cfg = PrepConfig::from(spec);
-    let mut prepared = prepare(scenario, device, &prep_cfg);
+    let model = device_model_by_name(&spec.device.models[0]).expect("validated model");
+    let mut prepared = prepare_with_model(scenario, device, &prep_cfg, model);
 
     eprintln!("[fig1] computing sensitivities...");
     let sens = prepared.model.sensitivities(&SoftmaxCrossEntropy::new(), &prepared.train, 128);
@@ -472,7 +528,8 @@ fn run_ablation(spec: &ExperimentSpec, _opts: &RunOptions, collector: &mut Colle
     let device = spec.device.config_at(sigma);
     let scenario = Scenario::from_spec(&spec.scenario);
     let prep_cfg = PrepConfig::from(spec);
-    let mut prepared = prepare(scenario, device, &prep_cfg);
+    let model = device_model_by_name(&spec.device.models[0]).expect("validated model");
+    let mut prepared = prepare_with_model(scenario, device, &prep_cfg, model);
     let loss = SoftmaxCrossEntropy::new();
     let sens = prepared.model.sensitivities(&loss, &prepared.train, 128);
     let mags = prepared.model.magnitudes();
@@ -703,7 +760,13 @@ mod tests {
         let mut r = Running::new();
         r.push(acc);
         r.push(acc + 1.0);
-        SweepPoint { fraction, nwc: fraction * 0.9, accuracy: r }
+        SweepPoint {
+            fraction,
+            nwc: fraction * 0.9,
+            accuracy: r,
+            accuracy_min: acc,
+            accuracy_p05: acc + 0.05,
+        }
     }
 
     /// The results document must embed a spec echo that parses back to
@@ -720,7 +783,7 @@ mod tests {
 
         let json = doc.to_json();
         let parsed = swim_exp::value::parse_json(&json).unwrap();
-        assert_eq!(parsed.get("swim_results_version").unwrap().as_int(), Some(1));
+        assert_eq!(parsed.get("swim_results_version").unwrap().as_int(), Some(2));
         assert_eq!(parsed.get("kind").unwrap().as_str(), Some("fig2"));
         let echoed = ExperimentSpec::from_value(parsed.get("spec").unwrap()).unwrap();
         assert_eq!(echoed, spec);
@@ -738,11 +801,14 @@ mod tests {
             }],
             insitu: vec![InsituStats { nwc: 0.5, accuracy: acc }],
         };
-        let rec = sweep_record(0.1, 99.0, 98.5, &curves);
+        let rec = sweep_record("rram-gaussian", 0.1, 99.0, 98.5, &curves);
+        assert_eq!(rec.device_model, "rram-gaussian");
         assert_eq!(rec.sigma, 0.1);
         assert_eq!(rec.methods[0].name, "SWIM");
         assert_eq!(rec.methods[0].points.len(), 2);
         assert!(rec.methods[0].points[1].accuracy_mean > 95.0);
+        assert_eq!(rec.methods[0].points[1].accuracy_min, 95.0);
+        assert!((rec.methods[0].points[1].accuracy_p05 - 95.05).abs() < 1e-12);
         assert_eq!(rec.insitu[0].accuracy_mean, 94.0);
     }
 
@@ -767,7 +833,13 @@ mod tests {
                     }],
                     insitu: vec![crate::driver::InsituStats { nwc: 0.4, accuracy: acc }],
                 };
-                collector.sweeps.push(sweep_record(spec.device.sigmas[0], 99.1, 98.6, &curves));
+                collector.sweeps.push(sweep_record(
+                    &spec.device.models[0],
+                    spec.device.sigmas[0],
+                    99.1,
+                    98.6,
+                    &curves,
+                ));
                 if spec.kind == ExperimentKind::Fig1 {
                     collector.correlations =
                         Some(Correlations { magnitude: 0.1, sensitivity: 0.8 });

@@ -5,6 +5,8 @@
 //! dataset, train the corresponding architecture, and report the clean
 //! accuracies the paper quotes alongside each table/figure.
 
+use std::sync::Arc;
+use swim_cim::model::{default_device_model, DeviceModel};
 use swim_cim::DeviceConfig;
 use swim_core::QuantizedModel;
 use swim_data::{synthetic_cifar, synthetic_mnist, synthetic_tiny_imagenet, Dataset};
@@ -159,6 +161,19 @@ fn build_dataset(scenario: &Scenario, samples: usize, seed: u64) -> Dataset {
 /// Prints one progress line per stage so long-running binaries show
 /// life; returns everything an experiment needs.
 pub fn prepare(scenario: Scenario, device: DeviceConfig, cfg: &PrepConfig) -> Prepared {
+    prepare_with_model(scenario, device, cfg, default_device_model())
+}
+
+/// [`prepare`] with an explicit device model from the `swim-cim`
+/// registry instead of the default RRAM Gaussian. Training is
+/// model-independent (the model only enters at programming time), so
+/// every model sees the identical trained network for a given seed.
+pub fn prepare_with_model(
+    scenario: Scenario,
+    device: DeviceConfig,
+    cfg: &PrepConfig,
+    model: Arc<dyn DeviceModel>,
+) -> Prepared {
     let t0 = std::time::Instant::now();
     let data = build_dataset(&scenario, cfg.samples, cfg.seed);
     let (train, test) = data.split(0.8);
@@ -182,7 +197,7 @@ pub fn prepare(scenario: Scenario, device: DeviceConfig, cfg: &PrepConfig) -> Pr
         t0.elapsed()
     );
 
-    let mut model = QuantizedModel::new(net, scenario.weight_bits(), device);
+    let mut model = QuantizedModel::with_model(net, scenario.weight_bits(), device, model);
     let quant_accuracy = 100.0 * model.clean_accuracy(&test, 256);
     eprintln!("[prep] quantized ({}-bit) accuracy {:.2}%", scenario.weight_bits(), quant_accuracy);
 

@@ -25,7 +25,7 @@ use swim_core::montecarlo::SweepPoint;
 /// let mk = |nwc: f64, acc: f64| {
 ///     let mut r = Running::new();
 ///     r.push(acc);
-///     SweepPoint { fraction: nwc, nwc, accuracy: r }
+///     SweepPoint { fraction: nwc, nwc, accuracy: r, accuracy_min: acc, accuracy_p05: acc }
 /// };
 /// let curve = vec![mk(0.0, 90.0), mk(0.5, 95.0), mk(1.0, 96.0)];
 /// assert_eq!(nwc_to_reach(&curve, 95.0), Some(0.5));
@@ -75,7 +75,7 @@ mod tests {
     fn mk(nwc: f64, acc: f64) -> SweepPoint {
         let mut r = Running::new();
         r.push(acc);
-        SweepPoint { fraction: nwc, nwc, accuracy: r }
+        SweepPoint { fraction: nwc, nwc, accuracy: r, accuracy_min: acc, accuracy_p05: acc }
     }
 
     #[test]

@@ -116,3 +116,89 @@ fn run_echo_rerun_diff_is_clean() {
     assert!(report.clean(), "{}", report.render());
     assert_eq!(report.max_delta, 0.0, "echo re-run must be bit-identical");
 }
+
+/// The same reproducibility loop with a non-default device model: the
+/// `[device] model` choice must survive the spec echo, re-select the
+/// same registry entry, and re-run bit-identically.
+#[test]
+fn non_default_model_echo_rerun_diff_is_clean() {
+    let spec = ExperimentSpec::parse_str(
+        "name = \"mram-echo-loop\"\nseed = 12\n\
+         [device]\nmodel = \"mram-stochastic\"\n\
+         [training]\nsamples = 120\nepochs = 1\n\
+         [selection]\nmethods = [\"swim\"]\ninsitu = false\n\
+         [sweep]\nfractions = [0.0, 1.0]\n\
+         [montecarlo]\nruns = 2\nthreads = 1\n",
+    )
+    .unwrap();
+    let opts = RunOptions { gemm_threads: 1, ..Default::default() };
+    let first = run_spec(&spec, &opts).unwrap();
+    assert_eq!(first.sweeps.len(), 1);
+    assert_eq!(first.sweeps[0].device_model, "mram-stochastic");
+
+    let echoed = ResultsDoc::parse_str(&first.to_json()).unwrap().spec;
+    assert_eq!(echoed.device.models, vec!["mram-stochastic".to_string()]);
+    assert_eq!(echoed, spec);
+    let second = run_spec(&echoed, &opts).unwrap();
+
+    let report = diff_docs(&first, &second, &DiffOptions::default());
+    assert!(report.clean(), "{}", report.render());
+    assert_eq!(report.max_delta, 0.0, "echo re-run must be bit-identical");
+
+    // The tail statistics are real data, not placeholders: with 2 runs
+    // the minimum can sit below the mean, and both bound it from below.
+    for p in &first.sweeps[0].methods[0].points {
+        assert!(
+            p.accuracy_min <= p.accuracy_p05 + 1e-12,
+            "min {} p05 {}",
+            p.accuracy_min,
+            p.accuracy_p05
+        );
+        assert!(
+            p.accuracy_p05 <= p.accuracy_mean + 1e-9,
+            "p05 {} mean {}",
+            p.accuracy_p05,
+            p.accuracy_mean
+        );
+    }
+}
+
+/// A device-model grid in one spec produces one sweep block per
+/// (model, sigma) pair — the acceptance shape for `kind = "sweep"`.
+#[test]
+fn model_grid_produces_one_block_per_model_sigma_pair() {
+    let spec = ExperimentSpec::parse_str(
+        "name = \"zoo-grid\"\nseed = 13\n\
+         [device]\nmodel = [\"rram-gaussian\", \"sram-vt\"]\nsigmas = [0.05, 0.1]\n\
+         [training]\nsamples = 120\nepochs = 1\n\
+         [selection]\nmethods = [\"swim\"]\ninsitu = false\n\
+         [sweep]\nfractions = [0.0, 1.0]\n\
+         [montecarlo]\nruns = 1\nthreads = 1\n",
+    )
+    .unwrap();
+    let opts = RunOptions { gemm_threads: 1, ..Default::default() };
+    let doc = run_spec(&spec, &opts).unwrap();
+    assert_eq!(doc.sweeps.len(), 4);
+    let keys: Vec<(String, f64)> =
+        doc.sweeps.iter().map(|s| (s.device_model.clone(), s.sigma)).collect();
+    assert_eq!(
+        keys,
+        vec![
+            ("rram-gaussian".to_string(), 0.05),
+            ("rram-gaussian".to_string(), 0.1),
+            ("sram-vt".to_string(), 0.05),
+            ("sram-vt".to_string(), 0.1),
+        ]
+    );
+    // Same seed, same trained network — the clean accuracies agree
+    // across models at a given sigma, but the noisy curves differ.
+    let rram = doc.sweep_block("rram-gaussian", 0.1).unwrap();
+    let sram = doc.sweep_block("sram-vt", 0.1).unwrap();
+    assert_eq!(rram.float_accuracy, sram.float_accuracy);
+    let differs = rram.methods[0]
+        .points
+        .iter()
+        .zip(&sram.methods[0].points)
+        .any(|(a, b)| a.accuracy_mean != b.accuracy_mean || a.nwc != b.nwc);
+    assert!(differs, "device models must actually change the programmed curves");
+}

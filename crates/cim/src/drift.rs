@@ -35,6 +35,26 @@ impl DriftModel {
         DriftModel { nu_mean: 0.005, nu_std: 0.002, t0: 1.0 }
     }
 
+    /// A FeFET-like preset: polarization retention loss sits between
+    /// RRAM's near-stability and PCM's pronounced structural relaxation,
+    /// with a wider device-to-device spread than RRAM (depolarization
+    /// fields vary strongly with the ferroelectric domain configuration).
+    pub fn fefet() -> Self {
+        DriftModel { nu_mean: 0.02, nu_std: 0.008, t0: 1.0 }
+    }
+
+    /// The drift preset for a device technology, so every
+    /// [`DeviceTech`](crate::device::DeviceTech) has a usable retention
+    /// model.
+    pub fn for_tech(tech: crate::device::DeviceTech) -> Self {
+        use crate::device::DeviceTech;
+        match tech {
+            DeviceTech::Rram => DriftModel::rram(),
+            DeviceTech::Fefet => DriftModel::fefet(),
+            DeviceTech::Pcm => DriftModel::pcm(),
+        }
+    }
+
     /// Samples one device's drift exponent (clamped at 0: conductance
     /// does not spontaneously increase in this model).
     pub fn sample_exponent(&self, rng: &mut Prng) -> f64 {
@@ -92,6 +112,22 @@ mod tests {
     fn pcm_drifts_faster_than_rram() {
         let t = 86_400.0; // one day
         assert!(DriftModel::pcm().mean_factor(t) < DriftModel::rram().mean_factor(t));
+    }
+
+    #[test]
+    fn every_tech_has_a_usable_drift_preset() {
+        let t = 86_400.0; // one day
+        for tech in crate::device::DeviceTech::all() {
+            let m = DriftModel::for_tech(tech);
+            assert!(m.nu_mean > 0.0 && m.nu_std > 0.0 && m.t0 > 0.0, "{tech}: {m:?}");
+            // Usable: decays, but does not annihilate the conductance.
+            let factor = m.mean_factor(t);
+            assert!(factor < 1.0 && factor > 0.1, "{tech}: day factor {factor}");
+        }
+        // FeFET sits between the RRAM and PCM presets.
+        let day = |m: DriftModel| m.mean_factor(t);
+        assert!(day(DriftModel::pcm()) < day(DriftModel::fefet()));
+        assert!(day(DriftModel::fefet()) < day(DriftModel::rram()));
     }
 
     #[test]

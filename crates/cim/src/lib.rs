@@ -50,6 +50,7 @@ pub mod crossbar;
 pub mod device;
 pub mod drift;
 pub mod mapping;
+pub mod model;
 pub mod tiles;
 pub mod variation;
 pub mod writeverify;
@@ -59,6 +60,10 @@ pub use crossbar::{Crossbar, CrossbarConfig};
 pub use device::{DeviceConfig, DeviceTech};
 pub use drift::DriftModel;
 pub use mapping::{ProgramSummary, WeightMapper};
+pub use model::{
+    default_device_model, device_model_by_name, device_model_keys, device_model_registry,
+    DeviceModel, DriftingModel, MramStochastic, RramGaussian, SramVt, DEFAULT_DEVICE_MODEL,
+};
 pub use tiles::TiledMatrix;
 pub use variation::CorrelatedVariation;
 pub use writeverify::{program_once, write_verify, ProgramOutcome};

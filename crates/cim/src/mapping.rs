@@ -8,8 +8,11 @@
 //! counts are accumulated exactly, which is what the paper's
 //! *normalized write cycles* metric is computed from.
 
+use std::fmt;
+use std::sync::Arc;
+
 use crate::device::DeviceConfig;
-use crate::writeverify::{program_once, write_verify};
+use crate::model::{default_device_model, DeviceModel};
 use swim_quant::DeviceSlicing;
 use swim_tensor::Prng;
 
@@ -58,23 +61,54 @@ impl ProgramSummary {
 /// assert_eq!(summary.verified_weights, 1);
 /// assert!((noisy[1] - -7.0).abs() <= mapper.config().level_margin());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Clone)]
 pub struct WeightMapper {
     slicing: DeviceSlicing,
     config: DeviceConfig,
+    model: Arc<dyn DeviceModel>,
+}
+
+impl fmt::Debug for WeightMapper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WeightMapper")
+            .field("slicing", &self.slicing)
+            .field("config", &self.config)
+            .field("model", &self.model.key())
+            .finish()
+    }
+}
+
+impl PartialEq for WeightMapper {
+    fn eq(&self, other: &Self) -> bool {
+        self.slicing == other.slicing
+            && self.config == other.config
+            && self.model.key() == other.model.key()
+    }
 }
 
 impl WeightMapper {
     /// Creates a mapper for `weight_bits`-bit magnitudes on devices of
-    /// `config.device_bits` bits.
+    /// `config.device_bits` bits, programming through the default
+    /// (bit-identical RRAM Gaussian) device model.
     ///
     /// # Panics
     ///
     /// Panics if the bit widths are inconsistent (see
     /// [`DeviceSlicing::new`]).
     pub fn new(weight_bits: u32, config: DeviceConfig) -> Self {
+        Self::with_model(weight_bits, config, default_device_model())
+    }
+
+    /// Creates a mapper programming through an explicit
+    /// [`DeviceModel`] from the zoo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit widths are inconsistent (see
+    /// [`DeviceSlicing::new`]).
+    pub fn with_model(weight_bits: u32, config: DeviceConfig, model: Arc<dyn DeviceModel>) -> Self {
         config.validate();
-        WeightMapper { slicing: DeviceSlicing::new(weight_bits, config.device_bits), config }
+        WeightMapper { slicing: DeviceSlicing::new(weight_bits, config.device_bits), config, model }
     }
 
     /// The bit-slicing in use.
@@ -85,6 +119,11 @@ impl WeightMapper {
     /// The device configuration in use.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
+    }
+
+    /// The device model programming every slice.
+    pub fn model(&self) -> &Arc<dyn DeviceModel> {
+        &self.model
     }
 
     /// Effective std of the weight-code error for a *single uncorrected
@@ -116,9 +155,9 @@ impl WeightMapper {
         for i in 0..self.slicing.num_devices() {
             let level = self.slicing.slice_level(magnitude, i);
             let outcome = if verify {
-                write_verify(level as f64, &self.config, rng)
+                self.model.write_verify(level as f64, &self.config, rng)
             } else {
-                program_once(level as f64, &self.config, rng)
+                self.model.program_once(level as f64, &self.config, rng)
             };
             pulses += outcome.pulses;
             reconstructed += outcome.value * self.slicing.significance(i);
@@ -292,6 +331,35 @@ mod tests {
         let s2 = m.program_into(&codes, Some(&sel), &mut Prng::seed_from_u64(9), &mut buf);
         assert_eq!(fresh, buf);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn default_model_matches_explicit_rram_gaussian() {
+        let codes: Vec<i32> = (0..200).map(|i| (i % 31) - 15).collect();
+        let sel: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        let a = mapper();
+        let b =
+            WeightMapper::with_model(4, DeviceConfig::rram(), Arc::new(crate::model::RramGaussian));
+        assert_eq!(a, b);
+        let (va, sa) = a.program(&codes, Some(&sel), &mut Prng::seed_from_u64(21));
+        let (vb, sb) = b.program(&codes, Some(&sel), &mut Prng::seed_from_u64(21));
+        assert_eq!(va, vb);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn model_choice_changes_programming() {
+        let codes: Vec<i32> = (0..200).map(|i| i % 16).collect();
+        let rram = mapper();
+        let mram = WeightMapper::with_model(
+            4,
+            DeviceConfig::rram(),
+            Arc::new(crate::model::MramStochastic::default()),
+        );
+        assert_ne!(rram, mram);
+        let (va, _) = rram.program(&codes, None, &mut Prng::seed_from_u64(22));
+        let (vb, _) = mram.program(&codes, None, &mut Prng::seed_from_u64(22));
+        assert_ne!(va, vb);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! A trained network bound to the device programming model.
 
+use std::sync::Arc;
+
 use swim_cim::device::DeviceConfig;
 use swim_cim::mapping::{ProgramSummary, WeightMapper};
+use swim_cim::model::{default_device_model, DeviceModel};
 use swim_data::Dataset;
 use swim_nn::loss::Loss;
 use swim_nn::{ActivationArena, Network, ParamKind};
@@ -44,8 +47,25 @@ impl QuantizedModel {
     ///
     /// Panics if the bit widths are inconsistent with the device's
     /// `K`-bit resolution (see [`swim_quant::DeviceSlicing::new`]).
-    pub fn new(mut network: Network, weight_bits: u32, device: DeviceConfig) -> Self {
-        let mapper = WeightMapper::new(weight_bits, device);
+    pub fn new(network: Network, weight_bits: u32, device: DeviceConfig) -> Self {
+        Self::with_model(network, weight_bits, device, default_device_model())
+    }
+
+    /// Like [`QuantizedModel::new`], but programming through an explicit
+    /// [`DeviceModel`] from the zoo instead of the default RRAM Gaussian
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit widths are inconsistent with the device's
+    /// `K`-bit resolution (see [`swim_quant::DeviceSlicing::new`]).
+    pub fn with_model(
+        mut network: Network,
+        weight_bits: u32,
+        device: DeviceConfig,
+        model: Arc<dyn DeviceModel>,
+    ) -> Self {
+        let mapper = WeightMapper::with_model(weight_bits, device, model);
         let mut slots = Vec::new();
         let mut codes = Vec::new();
         let mut offset = 0usize;

@@ -275,6 +275,27 @@ pub struct SweepPoint {
     pub nwc: f64,
     /// Accuracy statistics over the Monte Carlo runs (in percent).
     pub accuracy: Running,
+    /// Worst single run's accuracy (percent) — the tail-risk floor the
+    /// mean hides.
+    pub accuracy_min: f64,
+    /// 5th-percentile accuracy over the runs (percent, linear
+    /// interpolation between sorted ranks).
+    pub accuracy_p05: f64,
+}
+
+/// Linear-interpolated quantile of an ascending-sorted sample, `q` in
+/// `[0, 1]` (0 gives the minimum, 1 the maximum).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is out of range.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
 }
 
 /// Configuration of an accuracy-vs-NWC sweep.
@@ -387,20 +408,30 @@ pub fn nwc_sweep(
         },
     );
 
-    config
-        .fractions
-        .iter()
-        .enumerate()
-        .map(|(fi, &fraction)| {
-            let mut accuracy = Running::new();
-            let mut nwc = Running::new();
-            for run in per_run.chunks_exact(nf) {
-                accuracy.push(run[fi].0);
-                nwc.push(run[fi].1);
-            }
-            SweepPoint { fraction, nwc: nwc.mean(), accuracy }
-        })
-        .collect()
+    // One sort buffer for the tail statistics, allocated once per sweep
+    // (never per run — the alloc_free gate requires the allocation-event
+    // count to be independent of `config.runs`; `sort_unstable_by` does
+    // not allocate).
+    let mut sorted = Vec::with_capacity(config.runs);
+    let mut points = Vec::with_capacity(nf);
+    for (fi, &fraction) in config.fractions.iter().enumerate() {
+        let mut accuracy = Running::new();
+        let mut nwc = Running::new();
+        sorted.clear();
+        for run in per_run.chunks_exact(nf) {
+            accuracy.push(run[fi].0);
+            nwc.push(run[fi].1);
+            sorted.push(run[fi].0);
+        }
+        sorted.sort_unstable_by(f64::total_cmp);
+        let (accuracy_min, accuracy_p05) = if sorted.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (sorted[0], percentile_sorted(&sorted, 0.05))
+        };
+        points.push(SweepPoint { fraction, nwc: nwc.mean(), accuracy, accuracy_min, accuracy_p05 });
+    }
+    points
 }
 
 #[cfg(test)]
@@ -644,6 +675,45 @@ mod tests {
             assert_eq!(point.accuracy.mean(), accuracy.mean(), "fraction {}", point.fraction);
             assert_eq!(point.accuracy.std(), accuracy.std(), "fraction {}", point.fraction);
             assert_eq!(point.nwc, nwc.mean(), "fraction {}", point.fraction);
+            // Tail statistics agree with a by-hand sort of the raw runs.
+            let mut accs: Vec<f64> = per_run.iter().map(|run| run[fi].0).collect();
+            accs.sort_unstable_by(f64::total_cmp);
+            assert_eq!(point.accuracy_min, accs[0], "fraction {}", point.fraction);
+            assert_eq!(
+                point.accuracy_p05,
+                percentile_sorted(&accs, 0.05),
+                "fraction {}",
+                point.fraction
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_between_sorted_ranks() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&s, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&s, 1.0), 5.0);
+        assert_eq!(percentile_sorted(&s, 0.5), 3.0);
+        assert!((percentile_sorted(&s, 0.05) - 1.2).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&[7.0], 0.05), 7.0);
+    }
+
+    #[test]
+    fn sweep_tail_stats_bound_the_mean() {
+        let (mut model, data) = trained();
+        let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let mags = model.magnitudes();
+        let cfg = SweepConfig {
+            fractions: vec![0.0, 0.5, 1.0],
+            runs: 10,
+            threads: 2,
+            eval_batch: 64,
+            seed: 17,
+        };
+        for point in nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg) {
+            assert!(point.accuracy_min <= point.accuracy_p05 + 1e-12, "{point:?}");
+            assert!(point.accuracy_p05 <= point.accuracy.mean() + 1e-9, "{point:?}");
+            assert!(point.accuracy_min >= 0.0 && point.accuracy_p05 <= 100.0, "{point:?}");
         }
     }
 

@@ -11,6 +11,7 @@
 
 use crate::value::{parse_json, parse_loose, parse_toml, Reader, Value};
 use swim_cim::device::{DeviceConfig, DeviceTech};
+use swim_cim::model::{device_model_by_name, device_model_keys, DEFAULT_DEVICE_MODEL};
 use swim_core::algorithm::Alg1Config;
 use swim_core::insitu::InsituConfig;
 use swim_core::montecarlo::SweepConfig;
@@ -150,6 +151,11 @@ impl Default for ScenarioSpec {
 pub struct DeviceSpec {
     /// Technology preset supplying the non-sigma defaults.
     pub tech: DeviceTech,
+    /// Device models to run, by registry key (`swim list` prints them;
+    /// see [`swim_cim::model::device_model_registry`]). Grid kinds
+    /// (`sweep`, `table1`) cross every model with every sigma; the
+    /// single-run kinds require exactly one entry. Must be non-empty.
+    pub models: Vec<String>,
     /// Variation levels to run (Table 1 sweeps several; most artifacts
     /// use one). Must be non-empty.
     pub sigmas: Vec<f64>,
@@ -167,6 +173,7 @@ impl Default for DeviceSpec {
     fn default() -> Self {
         DeviceSpec {
             tech: DeviceTech::Rram,
+            models: vec![DEFAULT_DEVICE_MODEL.to_string()],
             sigmas: vec![0.1],
             verify_margin: None,
             pulse_step: None,
@@ -218,6 +225,7 @@ impl DeviceSpec {
             pulse_step: Some(cfg.pulse_step),
             max_verify_iters: Some(cfg.max_verify_iters),
             device_bits: Some(cfg.device_bits),
+            ..Default::default()
         }
     }
 }
@@ -499,9 +507,32 @@ impl ExperimentSpec {
                 let tech_key = s.string_or("tech", d.tech.key())?;
                 let tech = DeviceTech::parse(&tech_key)
                     .ok_or_else(|| err(format!("unknown device tech `{tech_key}`")))?;
+                // `model` accepts a single name or a grid of names.
+                let models = match s.take("model") {
+                    None => d.models.clone(),
+                    Some(Value::Str(m)) => vec![m.clone()],
+                    Some(Value::Array(items)) => {
+                        let mut out = Vec::new();
+                        for (i, item) in items.iter().enumerate() {
+                            match item {
+                                Value::Str(m) => out.push(m.clone()),
+                                _ => {
+                                    return Err(err(format!(
+                                        "`device.model[{i}]` must be a string"
+                                    )))
+                                }
+                            }
+                        }
+                        out
+                    }
+                    Some(_) => {
+                        return Err(err("`device.model` must be a string or array of strings"))
+                    }
+                };
                 let default_sigmas = [DeviceConfig::for_tech(tech).sigma];
                 let out = DeviceSpec {
                     tech,
+                    models,
                     sigmas: s.f64_list_or("sigmas", &default_sigmas)?,
                     verify_margin: s.f64_opt("verify_margin")?,
                     pulse_step: s.f64_opt("pulse_step")?,
@@ -660,6 +691,39 @@ impl ExperimentSpec {
         }
         if self.device.sigmas.is_empty() {
             return Err(err("`device.sigmas` must not be empty"));
+        }
+        if self.device.models.is_empty() {
+            return Err(err("`device.model` must not be empty"));
+        }
+        for name in &self.device.models {
+            if device_model_by_name(name).is_none() {
+                return Err(err(format!(
+                    "`device.model`: unknown device model `{name}` (valid: {})",
+                    device_model_keys().join(", ")
+                )));
+            }
+        }
+        // Only the grid kinds fan out over a device-model grid; the
+        // single-run artifacts must not echo models they did not run.
+        if !matches!(self.kind, ExperimentKind::Sweep | ExperimentKind::Table1)
+            && self.device.models.len() != 1
+        {
+            return Err(err(format!(
+                "kind `{}` runs a single device model; `device.model` has {} entries \
+                 (use kind = \"sweep\" or \"table1\" for a model grid)",
+                self.kind.key(),
+                self.device.models.len()
+            )));
+        }
+        // The calibration kind measures the reference write-verify loop
+        // directly; its spec echo must not claim another device model.
+        if self.kind == ExperimentKind::Calibration
+            && self.device.models != [DEFAULT_DEVICE_MODEL.to_string()]
+        {
+            return Err(err(format!(
+                "kind `calibration` measures the reference model; `device.model` must be \
+                 `{DEFAULT_DEVICE_MODEL}`"
+            )));
         }
         // These artifacts run exactly one variation level; a silently
         // ignored grid would make the results document's spec echo lie
@@ -820,6 +884,10 @@ impl ExperimentSpec {
         let mut device = Value::table();
         device.set("tech", Value::Str(self.device.tech.key().into()));
         device.set(
+            "model",
+            Value::Array(self.device.models.iter().map(|m| Value::Str(m.clone())).collect()),
+        );
+        device.set(
             "sigmas",
             Value::Array(self.device.sigmas.iter().map(|&s| Value::Float(s)).collect()),
         );
@@ -926,7 +994,11 @@ impl ExperimentSpec {
         // Grid shorthands accept a scalar for a one-point grid.
         if matches!(
             path.as_str(),
-            "device.sigmas" | "sweep.fractions" | "selection.methods" | "ablation.granularities"
+            "device.sigmas"
+                | "device.model"
+                | "sweep.fractions"
+                | "selection.methods"
+                | "ablation.granularities"
         ) && !matches!(value, Value::Array(_))
         {
             value = Value::Array(vec![value]);
@@ -960,6 +1032,9 @@ pub fn resolve_set_path(kind: ExperimentKind, key: &str) -> String {
         "batch" => "training.batch",
         "sigma" | "sigmas" => "device.sigmas",
         "tech" => "device.tech",
+        // `model` alone stays the scenario model (the historical flag);
+        // the device-model grid gets its own shorthand.
+        "device-model" | "device_model" => "device.model",
         "width" => "scenario.width",
         "classes" => "scenario.classes",
         "model" => "scenario.model",
@@ -1071,6 +1146,70 @@ mod tests {
         assert!(spec.apply_set("runs").is_err());
         assert!(spec.apply_set("bogus.key=1").is_err());
         assert!(spec.apply_set("runs=0").is_err(), "validation still applies");
+    }
+
+    #[test]
+    fn device_model_accepts_string_or_grid() {
+        let spec = ExperimentSpec::parse_str("[device]\nmodel = \"mram-stochastic\"\n").unwrap();
+        assert_eq!(spec.device.models, vec!["mram-stochastic"]);
+        let spec = ExperimentSpec::parse_str(
+            "[device]\nmodel = [\"rram-gaussian\", \"sram-vt\"]\nsigmas = [0.1, 0.2]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.device.models, vec!["rram-gaussian", "sram-vt"]);
+        // Defaulted specs carry the reference model.
+        assert_eq!(ExperimentSpec::default().device.models, vec![DEFAULT_DEVICE_MODEL]);
+        // Round trip: written spec re-parses to the same models.
+        let again = ExperimentSpec::parse_str(&spec.to_toml()).unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn unknown_device_model_error_names_path_and_valid_models() {
+        let e = ExperimentSpec::parse_str("[device]\nmodel = \"flux-capacitor\"\n").unwrap_err();
+        assert!(e.0.contains("`device.model`"), "{e}");
+        assert!(e.0.contains("flux-capacitor"), "{e}");
+        for key in device_model_keys() {
+            assert!(e.0.contains(&key), "error must list `{key}`: {e}");
+        }
+        let e = ExperimentSpec::parse_str("[device]\nmodel = [1]\n").unwrap_err();
+        assert!(e.0.contains("device.model[0]"), "{e}");
+    }
+
+    #[test]
+    fn single_run_kinds_reject_model_grids() {
+        for kind in ["fig2", "fig1", "ablation", "calibration"] {
+            let text = format!(
+                "kind = \"{kind}\"\n[device]\nmodel = [\"rram-gaussian\", \"mram-stochastic\"]\n"
+            );
+            let e = ExperimentSpec::parse_str(&text).unwrap_err();
+            assert!(e.0.contains("single device model"), "{kind}: {e}");
+        }
+        // Grid kinds accept it.
+        let spec = ExperimentSpec::parse_str(
+            "kind = \"table1\"\n[device]\nmodel = [\"rram-gaussian\", \"mram-stochastic\"]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.device.models.len(), 2);
+        // Calibration pins the reference model even as a single entry.
+        let e =
+            ExperimentSpec::parse_str("kind = \"calibration\"\n[device]\nmodel = \"sram-vt\"\n")
+                .unwrap_err();
+        assert!(e.0.contains("reference model"), "{e}");
+    }
+
+    #[test]
+    fn device_model_shorthand_applies() {
+        let mut spec = ExperimentSpec::default();
+        spec.apply_set("device-model=sram-vt").unwrap();
+        assert_eq!(spec.device.models, vec!["sram-vt"]);
+        spec.apply_set("device_model=rram-gaussian,mram-stochastic").unwrap();
+        assert_eq!(spec.device.models, vec!["rram-gaussian", "mram-stochastic"]);
+        // Bare `model` still addresses the scenario (historical flag).
+        spec.apply_set("model=convnet-cifar").unwrap();
+        assert_eq!(spec.scenario.model, ScenarioKind::ConvnetCifar);
+        // Unknown models are caught on re-validation.
+        assert!(spec.apply_set("device-model=bogus").is_err());
     }
 
     #[test]

@@ -165,16 +165,19 @@ pub fn diff_docs(a: &ResultsDoc, b: &ResultsDoc, opts: &DiffOptions) -> DiffRepo
     }
 
     // ------------------------------------------------- sweep blocks
+    // Blocks are keyed by (device model, sigma): a model grid produces
+    // several blocks per sigma, and comparing across models would be a
+    // category error, not drift.
     for sa in &a.sweeps {
-        let Some(sb) = b.sweep_at(sa.sigma) else {
+        let Some(sb) = b.sweep_block(&sa.device_model, sa.sigma) else {
             cmp.report.structure.push(DiffEntry::new(
-                format!("sweeps[sigma={}]", sa.sigma),
+                format!("sweeps[{}, sigma={}]", sa.device_model, sa.sigma),
                 "present",
                 "missing",
             ));
             continue;
         };
-        let sp = format!("sweeps[sigma={}]", sa.sigma);
+        let sp = format!("sweeps[{}, sigma={}]", sa.device_model, sa.sigma);
         cmp.number(&format!("{sp}.float_accuracy"), sa.float_accuracy, sb.float_accuracy);
         cmp.number(&format!("{sp}.quant_accuracy"), sa.quant_accuracy, sb.quant_accuracy);
 
@@ -208,6 +211,8 @@ pub fn diff_docs(a: &ResultsDoc, b: &ResultsDoc, opts: &DiffOptions) -> DiffRepo
                 cmp.number(&format!("{pp}: nwc"), pa.nwc, pb.nwc);
                 cmp.number(&format!("{pp}: accuracy_mean"), pa.accuracy_mean, pb.accuracy_mean);
                 cmp.number(&format!("{pp}: accuracy_std"), pa.accuracy_std, pb.accuracy_std);
+                cmp.number(&format!("{pp}: accuracy_min"), pa.accuracy_min, pb.accuracy_min);
+                cmp.number(&format!("{pp}: accuracy_p05"), pa.accuracy_p05, pb.accuracy_p05);
             }
         }
         for mb in &sb.methods {
@@ -236,9 +241,9 @@ pub fn diff_docs(a: &ResultsDoc, b: &ResultsDoc, opts: &DiffOptions) -> DiffRepo
         }
     }
     for sb in &b.sweeps {
-        if a.sweep_at(sb.sigma).is_none() {
+        if a.sweep_block(&sb.device_model, sb.sigma).is_none() {
             cmp.report.structure.push(DiffEntry::new(
-                format!("sweeps[sigma={}]", sb.sigma),
+                format!("sweeps[{}, sigma={}]", sb.device_model, sb.sigma),
                 "missing",
                 "present",
             ));
@@ -369,6 +374,7 @@ mod tests {
         let spec = swim_exp::preset("table1", true).unwrap();
         let mut doc = ResultsDoc::new(spec, 1.0);
         doc.sweeps.push(SweepDoc {
+            device_model: "rram-gaussian".into(),
             sigma: 0.15,
             float_accuracy: 99.0,
             quant_accuracy: 98.5,
@@ -381,12 +387,16 @@ mod tests {
                             nwc: 0.0,
                             accuracy_mean: 90.0,
                             accuracy_std: 1.0,
+                            accuracy_min: 88.0,
+                            accuracy_p05: 88.2,
                         },
                         CurvePoint {
                             fraction: 0.5,
                             nwc: 0.45,
                             accuracy_mean: 97.0,
                             accuracy_std: 0.3,
+                            accuracy_min: 96.2,
+                            accuracy_p05: 96.4,
                         },
                     ],
                 },
@@ -397,6 +407,8 @@ mod tests {
                         nwc: 0.0,
                         accuracy_mean: 90.0,
                         accuracy_std: 1.0,
+                        accuracy_min: 88.0,
+                        accuracy_p05: 88.2,
                     }],
                 },
             ],
@@ -438,6 +450,40 @@ mod tests {
         // A loose tolerance forgives it again.
         let loose = DiffOptions { abs_tol: 1.0, ..Default::default() };
         assert!(diff_docs(&a, &b, &loose).clean());
+    }
+
+    #[test]
+    fn tail_columns_participate_in_drift() {
+        let a = doc();
+        let mut b = doc();
+        b.sweeps[0].methods[0].points[1].accuracy_p05 += 0.5;
+        let report = diff_docs(&a, &b, &DiffOptions::default());
+        assert_eq!(report.drift.len(), 1, "{}", report.render());
+        assert!(report.drift[0].path.contains("accuracy_p05"), "{}", report.drift[0].path);
+    }
+
+    #[test]
+    fn differing_device_model_is_structural() {
+        let a = doc();
+        let mut b = doc();
+        b.sweeps[0].device_model = "mram-stochastic".into();
+        let report = diff_docs(&a, &b, &DiffOptions::default());
+        assert!(!report.clean());
+        assert!(
+            report.structure.iter().any(|e| e.path.contains("rram-gaussian")
+                && e.path.contains("sigma=0.15")
+                && e.left == "present"),
+            "{}",
+            report.render()
+        );
+        assert!(
+            report
+                .structure
+                .iter()
+                .any(|e| e.path.contains("mram-stochastic") && e.left == "missing"),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]

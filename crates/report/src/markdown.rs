@@ -115,6 +115,33 @@ fn sweep_table(sweep: &SweepDoc, baseline: Option<&SweepDoc>) -> String {
     table_markdown(&table)
 }
 
+/// One sigma block's tail-risk Markdown table: worst-case and
+/// 5th-percentile accuracy per method per fraction. The in-situ
+/// baseline retains only mean/std, so it has no row here.
+fn tail_table(sweep: &SweepDoc) -> String {
+    let Some(first) = sweep.methods.first() else {
+        return String::new();
+    };
+    let mut headers: Vec<String> = vec!["Method".into()];
+    for p in &first.points {
+        headers.push(format!("f = {}", p.fraction));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut table = Table::new("", &header_refs);
+    for m in &sweep.methods {
+        let mut row = vec![m.name.clone()];
+        for p in &m.points {
+            row.push(format!("{:.2} / {:.2}", p.accuracy_min, p.accuracy_p05));
+        }
+        while row.len() < headers.len() {
+            row.push("-".into());
+        }
+        row.truncate(headers.len());
+        table.push_row_owned(row);
+    }
+    table_markdown(&table)
+}
+
 /// Whether two in-situ checkpoints describe the same write budget
 /// (within 5% of the larger NWC, with an absolute floor for the
 /// near-zero first checkpoint).
@@ -142,6 +169,7 @@ pub fn render_report(doc: &ResultsDoc, baseline: Option<&ResultsDoc>) -> String 
     summary.push_row_owned(vec!["scenario".into(), spec.scenario.model.key().to_string()]);
     summary.push_row_owned(vec!["width".into(), format!("{}", spec.scenario.width)]);
     summary.push_row_owned(vec!["device tech".into(), spec.device.tech.key().to_string()]);
+    summary.push_row_owned(vec!["device models".into(), spec.device.models.join(", ")]);
     summary.push_row_owned(vec![
         "sigmas".into(),
         spec.device.sigmas.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
@@ -178,14 +206,29 @@ pub fn render_report(doc: &ResultsDoc, baseline: Option<&ResultsDoc>) -> String 
     }
 
     // -------------------------------------------------- sweep blocks
+    // With a device-model grid, sigma alone no longer identifies a
+    // block — suffix the heading with the model so anchors stay unique.
+    let multi_model = {
+        let mut models: Vec<&str> = doc.sweeps.iter().map(|s| s.device_model.as_str()).collect();
+        models.sort_unstable();
+        models.dedup();
+        models.len() > 1
+    };
     for sweep in &doc.sweeps {
-        out.push_str(&format!("## sigma = {}\n\n", sweep.sigma));
+        if multi_model {
+            out.push_str(&format!("## sigma = {} — {}\n\n", sweep.sigma, sweep.device_model));
+        } else {
+            out.push_str(&format!("## sigma = {}\n\n", sweep.sigma));
+        }
         out.push_str(&format!(
             "Float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%.\n\n",
             sweep.float_accuracy, sweep.quant_accuracy
         ));
-        let base_sweep = baseline.and_then(|b| b.sweep_at(sweep.sigma));
+        let base_sweep = baseline.and_then(|b| b.sweep_block(&sweep.device_model, sweep.sigma));
         out.push_str(&sweep_table(sweep, base_sweep));
+        out.push('\n');
+        out.push_str("Tail risk (worst / 5th-percentile accuracy over the Monte Carlo runs):\n\n");
+        out.push_str(&tail_table(sweep));
         out.push('\n');
         out.push_str("Accuracy (%) vs normalized write cycles:\n\n");
         out.push_str("```\n");
@@ -236,14 +279,29 @@ mod tests {
         let spec = swim_exp::preset("table1", true).unwrap();
         let mut doc = ResultsDoc::new(spec, 3.25);
         doc.sweeps.push(SweepDoc {
+            device_model: "rram-gaussian".into(),
             sigma: 0.15,
             float_accuracy: 99.0,
             quant_accuracy: 98.5,
             methods: vec![MethodCurveDoc {
                 name: "SWIM".into(),
                 points: vec![
-                    CurvePoint { fraction: 0.0, nwc: 0.0, accuracy_mean: 90.0, accuracy_std: 1.0 },
-                    CurvePoint { fraction: 1.0, nwc: 1.0, accuracy_mean: 98.0, accuracy_std: 0.2 },
+                    CurvePoint {
+                        fraction: 0.0,
+                        nwc: 0.0,
+                        accuracy_mean: 90.0,
+                        accuracy_std: 1.0,
+                        accuracy_min: 87.5,
+                        accuracy_p05: 87.9,
+                    },
+                    CurvePoint {
+                        fraction: 1.0,
+                        nwc: 1.0,
+                        accuracy_mean: 98.0,
+                        accuracy_std: 0.2,
+                        accuracy_min: 97.4,
+                        accuracy_p05: 97.5,
+                    },
                 ],
             }],
             insitu: vec![
@@ -266,6 +324,9 @@ mod tests {
         assert!(md.contains("## sigma = 0.15"));
         assert!(md.contains("| SWIM | 90.00 ± 1.00 | 98.00 ± 0.20 |"), "{md}");
         assert!(md.contains("| In-situ | 88.00 ± 0.90 | 95.00 ± 0.50 |"), "{md}");
+        assert!(md.contains("Tail risk (worst / 5th-percentile"), "{md}");
+        assert!(md.contains("| SWIM | 87.50 / 87.90 | 97.40 / 97.50 |"), "{md}");
+        assert!(md.contains("| device models | rram-gaussian |"), "{md}");
         assert!(md.contains("### speedups"));
         assert!(md.contains("* SWIM"), "plot legend present");
         assert!(md.contains("wall time 3.25 s"));
@@ -294,10 +355,30 @@ mod tests {
                 nwc: 0.0,
                 accuracy_mean: 89.0,
                 accuracy_std: 0.5,
+                accuracy_min: 88.0,
+                accuracy_p05: 88.1,
             }],
         });
         let md = render_report(&d, None);
         assert!(md.contains("| Short | 89.00 ± 0.50 | - |"), "{md}");
+        assert!(md.contains("| Short | 88.00 / 88.10 | - |"), "{md}");
+    }
+
+    /// A device-model grid suffixes the sigma headings so two blocks at
+    /// the same sigma stay distinguishable; a single-model document
+    /// keeps the historical plain heading.
+    #[test]
+    fn model_grid_suffixes_sigma_headings() {
+        let single = render_report(&doc(), None);
+        assert!(single.contains("## sigma = 0.15\n"), "{single}");
+
+        let mut d = doc();
+        let mut other = d.sweeps[0].clone();
+        other.device_model = "mram-stochastic".into();
+        d.sweeps.push(other);
+        let md = render_report(&d, None);
+        assert!(md.contains("## sigma = 0.15 — rram-gaussian"), "{md}");
+        assert!(md.contains("## sigma = 0.15 — mram-stochastic"), "{md}");
     }
 
     /// An in-situ baseline from a different sweep grid sits at

@@ -25,7 +25,11 @@ use swim_exp::spec::{ExperimentKind, ExperimentSpec};
 use swim_exp::value::{parse_json, Reader, Value};
 
 /// The results-document schema version this crate reads and writes.
-pub const RESULTS_VERSION: i64 = 1;
+///
+/// Version history: 1 = original schema; 2 = `CurvePoint` gained the
+/// tail-risk columns `accuracy_min` / `accuracy_p05` and `SweepDoc`
+/// gained `device_model`.
+pub const RESULTS_VERSION: i64 = 2;
 
 /// A results-document parsing/validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +64,12 @@ pub struct CurvePoint {
     pub accuracy_mean: f64,
     /// Accuracy standard deviation over the Monte Carlo runs (percent).
     pub accuracy_std: f64,
+    /// Worst accuracy over the Monte Carlo runs (percent) — the
+    /// tail-risk floor a deployment would actually ship.
+    pub accuracy_min: f64,
+    /// 5th-percentile accuracy over the Monte Carlo runs (percent),
+    /// linearly interpolated between sorted ranks.
+    pub accuracy_p05: f64,
 }
 
 /// One checkpoint of the in-situ training baseline (no selection
@@ -87,6 +97,9 @@ pub struct MethodCurveDoc {
 /// one device-variation level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepDoc {
+    /// Registry key of the device model the block ran on (e.g.
+    /// `rram-gaussian`).
+    pub device_model: String,
     /// Device variation level the block ran at.
     pub sigma: f64,
     /// Accuracy of the un-quantized trained network (percent).
@@ -165,9 +178,16 @@ impl ResultsDoc {
         self.spec.seed
     }
 
-    /// The sweep block at a given sigma (exact match).
+    /// The first sweep block at a given sigma (exact match). With a
+    /// device-model grid several blocks can share a sigma; use
+    /// [`ResultsDoc::sweep_block`] to pick one by model as well.
     pub fn sweep_at(&self, sigma: f64) -> Option<&SweepDoc> {
         self.sweeps.iter().find(|s| s.sigma == sigma)
+    }
+
+    /// The sweep block for a given (device model, sigma) pair.
+    pub fn sweep_block(&self, device_model: &str, sigma: f64) -> Option<&SweepDoc> {
+        self.sweeps.iter().find(|s| s.device_model == device_model && s.sigma == sigma)
     }
 
     // ----------------------------------------------------- writing
@@ -300,6 +320,7 @@ impl ResultsDoc {
 
 fn sweep_to_value(sweep: &SweepDoc) -> Value {
     let mut v = Value::table();
+    v.set("device_model", Value::Str(sweep.device_model.clone()));
     v.set("sigma", Value::Float(sweep.sigma));
     v.set("float_accuracy", Value::Float(sweep.float_accuracy));
     v.set("quant_accuracy", Value::Float(sweep.quant_accuracy));
@@ -320,6 +341,8 @@ fn sweep_to_value(sweep: &SweepDoc) -> Value {
                             pv.set("nwc", Value::Float(p.nwc));
                             pv.set("accuracy_mean", Value::Float(p.accuracy_mean));
                             pv.set("accuracy_std", Value::Float(p.accuracy_std));
+                            pv.set("accuracy_min", Value::Float(p.accuracy_min));
+                            pv.set("accuracy_p05", Value::Float(p.accuracy_p05));
                             pv
                         })
                         .collect(),
@@ -346,6 +369,7 @@ fn sweep_to_value(sweep: &SweepDoc) -> Value {
 
 fn sweep_from_value(path: &str, value: &Value) -> Result<SweepDoc, SchemaError> {
     let mut r = Reader::new(path, value)?;
+    let device_model = r.string_req("device_model")?;
     let sigma = r.f64_req("sigma")?;
     let float_accuracy = r.f64_req("float_accuracy")?;
     let quant_accuracy = r.f64_req("quant_accuracy")?;
@@ -376,6 +400,8 @@ fn sweep_from_value(path: &str, value: &Value) -> Result<SweepDoc, SchemaError> 
                                 nwc: pr.f64_req("nwc")?,
                                 accuracy_mean: pr.f64_req("accuracy_mean")?,
                                 accuracy_std: pr.f64_req("accuracy_std")?,
+                                accuracy_min: pr.f64_req("accuracy_min")?,
+                                accuracy_p05: pr.f64_req("accuracy_p05")?,
                             };
                             pr.finish()?;
                             Ok(out)
@@ -412,7 +438,7 @@ fn sweep_from_value(path: &str, value: &Value) -> Result<SweepDoc, SchemaError> 
     };
 
     r.finish()?;
-    Ok(SweepDoc { sigma, float_accuracy, quant_accuracy, methods, insitu })
+    Ok(SweepDoc { device_model, sigma, float_accuracy, quant_accuracy, methods, insitu })
 }
 
 // ------------------------------------------------------------- tables
@@ -493,14 +519,29 @@ mod tests {
         table.push_row(&["SWIM", "98.50 ± 0.10"]);
         doc.tables.push(table);
         doc.sweeps.push(SweepDoc {
+            device_model: "rram-gaussian".into(),
             sigma: 0.15,
             float_accuracy: 99.0,
             quant_accuracy: 98.5,
             methods: vec![MethodCurveDoc {
                 name: "SWIM".into(),
                 points: vec![
-                    CurvePoint { fraction: 0.0, nwc: 0.0, accuracy_mean: 90.0, accuracy_std: 1.0 },
-                    CurvePoint { fraction: 1.0, nwc: 1.0, accuracy_mean: 98.0, accuracy_std: 0.2 },
+                    CurvePoint {
+                        fraction: 0.0,
+                        nwc: 0.0,
+                        accuracy_mean: 90.0,
+                        accuracy_std: 1.0,
+                        accuracy_min: 88.0,
+                        accuracy_p05: 88.4,
+                    },
+                    CurvePoint {
+                        fraction: 1.0,
+                        nwc: 1.0,
+                        accuracy_mean: 98.0,
+                        accuracy_std: 0.2,
+                        accuracy_min: 97.5,
+                        accuracy_p05: 97.6,
+                    },
                 ],
             }],
             insitu: vec![InsituPoint { nwc: 0.5, accuracy_mean: 95.0, accuracy_std: 0.4 }],
@@ -516,6 +557,43 @@ mod tests {
         assert_eq!(back.name(), "table1");
         assert_eq!(back.seed(), 1);
         assert_eq!(back.sweep_at(0.15).unwrap().method("SWIM").unwrap().points.len(), 2);
+    }
+
+    #[test]
+    fn sweep_block_keys_on_model_and_sigma() {
+        let mut doc = sample_doc();
+        let mut other = doc.sweeps[0].clone();
+        other.device_model = "mram-stochastic".into();
+        other.float_accuracy = 42.0;
+        doc.sweeps.push(other);
+        let back = ResultsDoc::parse_str(&doc.to_json()).unwrap();
+        assert_eq!(back.sweep_block("rram-gaussian", 0.15).unwrap().float_accuracy, 99.0);
+        assert_eq!(back.sweep_block("mram-stochastic", 0.15).unwrap().float_accuracy, 42.0);
+        assert!(back.sweep_block("sram-vt", 0.15).is_none());
+    }
+
+    #[test]
+    fn rejects_points_missing_tail_columns() {
+        // A version-1 document (no accuracy_min/p05) must fail loudly,
+        // not silently default the tail statistics.
+        let mut root = sample_doc().to_value();
+        let Some(Value::Array(sweeps)) = root.get("sweeps").cloned() else { unreachable!() };
+        let mut sweeps = sweeps;
+        let Some(Value::Array(methods)) = sweeps[0].get("methods").cloned() else { unreachable!() };
+        let mut methods = methods;
+        let Some(Value::Array(points)) = methods[0].get("points").cloned() else { unreachable!() };
+        let pruned: Vec<Value> = points
+            .into_iter()
+            .map(|p| {
+                let Value::Table(entries) = p else { unreachable!() };
+                Value::Table(entries.into_iter().filter(|(k, _)| k != "accuracy_min").collect())
+            })
+            .collect();
+        methods[0].set("points", Value::Array(pruned));
+        sweeps[0].set("methods", Value::Array(methods));
+        root.set("sweeps", Value::Array(sweeps));
+        let e = ResultsDoc::from_value(&root).unwrap_err();
+        assert!(e.0.contains("accuracy_min"), "{e}");
     }
 
     #[test]

@@ -1,75 +1,155 @@
 //! Cross-run aggregation — the engine behind `swim summarize dir/`.
 //!
 //! Flattens any number of results documents into one table with a row
-//! per (run, sigma, method), anchored at the operating points the paper
-//! argues about: no write-verify at all (fraction 0), the headline
-//! NWC ≈ 0.1 point, and full write-verify (fraction 1). That makes
-//! multi-run sweeps — e.g. layer-balanced vs plain SWIM across sigmas —
+//! per (run, device model, sigma, method), anchored at the operating
+//! points the paper argues about: by default no write-verify at all
+//! (fraction 0), the headline NWC ≈ 0.1 point, and full write-verify
+//! (fraction 1). The anchor list is caller-configurable (`swim
+//! summarize --anchors`). That makes multi-run sweeps — e.g.
+//! layer-balanced vs plain SWIM across sigmas, or a device-model grid —
 //! readable at a glance without opening each document.
+//!
+//! Beyond the per-anchor means, two tail-risk columns report the
+//! worst-case and 5th-percentile accuracy at the *headline* anchor (the
+//! anchor nearest fraction 0.1 — SWIM's "10% of the writes" operating
+//! point), the place where a deployment actually cares about the floor.
 
 use crate::schema::{MethodCurveDoc, ResultsDoc};
 use swim_core::report::Table;
 
-/// The fraction anchors summarized as columns.
-const ANCHORS: [f64; 3] = [0.0, 0.1, 1.0];
+/// The default fraction anchors summarized as columns.
+pub const DEFAULT_ANCHORS: [f64; 3] = [0.0, 0.1, 1.0];
 
 /// How far a curve point may sit from an anchor and still fill its
 /// column (half the paper grid's 0.1→0.3 gap).
 const ANCHOR_TOL: f64 = 0.075;
 
-/// The cell for one method at one anchor: the nearest in-tolerance
-/// point's `mean ± std`, or `-` when the grid has no such point.
-fn anchor_cell(method: &MethodCurveDoc, anchor: f64) -> String {
-    let best = method
+/// The nearest in-tolerance point of a method's curve to `anchor`.
+fn anchor_point(method: &MethodCurveDoc, anchor: f64) -> Option<&crate::schema::CurvePoint> {
+    method
         .points
         .iter()
         .map(|p| (p, (p.fraction - anchor).abs()))
         .filter(|(_, d)| *d <= ANCHOR_TOL)
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-    match best {
-        Some((p, _)) => format!("{:.2} ± {:.2}", p.accuracy_mean, p.accuracy_std),
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(p, _)| p)
+}
+
+/// The cell for one method at one anchor: the nearest in-tolerance
+/// point's `mean ± std`, or `-` when the grid has no such point.
+fn anchor_cell(method: &MethodCurveDoc, anchor: f64) -> String {
+    match anchor_point(method, anchor) {
+        Some(p) => format!("{:.2} ± {:.2}", p.accuracy_mean, p.accuracy_std),
         None => "-".to_string(),
     }
 }
 
-/// Aggregates many `(label, document)` pairs into one cross-run table.
-///
-/// Rows are emitted in input order, then sigma order, then the
-/// document's own method order; the in-situ baseline (whose axis is NWC
-/// rather than a selection fraction) contributes its first/last
-/// checkpoints under the fraction-0/fraction-1 columns.
+/// The column header for one anchor. The exact grid endpoints 0 and 1
+/// keep the historical `f=` form; interior anchors are matched with
+/// tolerance and say so (`f≈`).
+fn anchor_header(anchor: f64) -> String {
+    if anchor == 0.0 || anchor == 1.0 {
+        format!("acc @ f={anchor}")
+    } else {
+        format!("acc @ f≈{anchor}")
+    }
+}
+
+/// Index of the headline anchor: the one nearest fraction 0.1 (ties go
+/// to the earlier anchor).
+fn headline_index(anchors: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, a) in anchors.iter().enumerate() {
+        if (a - 0.1).abs() < (anchors[best] - 0.1).abs() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Aggregates many `(label, document)` pairs into one cross-run table
+/// at the default anchors (`f = 0`, `f ≈ 0.1`, `f = 1`).
 pub fn summarize(runs: &[(String, ResultsDoc)]) -> Table {
-    let mut table = Table::new(
-        format!("cross-run summary ({} document(s))", runs.len()),
-        &["run", "scenario", "sigma", "method", "acc @ f=0", "acc @ f≈0.1", "acc @ f=1", "runs"],
-    );
+    summarize_with(runs, &DEFAULT_ANCHORS)
+}
+
+/// Aggregates many `(label, document)` pairs into one cross-run table
+/// with one accuracy column per entry of `anchors`, plus worst-case and
+/// 5th-percentile columns at the headline anchor (nearest 0.1).
+///
+/// Rows are emitted in input order, then the document's own sweep-block
+/// order (device model × sigma), then its method order; the in-situ
+/// baseline (whose axis is NWC rather than a selection fraction)
+/// contributes its first/last checkpoints under the first/last anchor
+/// columns and carries no tail statistics (`-`).
+///
+/// # Panics
+///
+/// Panics if `anchors` is empty; the CLI rejects an empty `--anchors`
+/// list before calling this.
+pub fn summarize_with(runs: &[(String, ResultsDoc)], anchors: &[f64]) -> Table {
+    assert!(!anchors.is_empty(), "summarize_with needs at least one anchor");
+    let headline = headline_index(anchors);
+    let mut headers: Vec<String> =
+        vec!["run".into(), "scenario".into(), "model".into(), "sigma".into(), "method".into()];
+    for &a in anchors {
+        headers.push(anchor_header(a));
+    }
+    headers.push(format!("min @ f≈{}", anchors[headline]));
+    headers.push(format!("p05 @ f≈{}", anchors[headline]));
+    headers.push("runs".into());
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut table =
+        Table::new(format!("cross-run summary ({} document(s))", runs.len()), &header_refs);
     for (label, doc) in runs {
         let scenario = doc.spec.scenario.model.key().to_string();
         let mc_runs = doc.spec.montecarlo.runs.to_string();
         for sweep in &doc.sweeps {
             for method in &sweep.methods {
-                table.push_row_owned(vec![
+                let mut row = vec![
                     label.clone(),
                     scenario.clone(),
+                    sweep.device_model.clone(),
                     format!("{}", sweep.sigma),
                     method.name.clone(),
-                    anchor_cell(method, ANCHORS[0]),
-                    anchor_cell(method, ANCHORS[1]),
-                    anchor_cell(method, ANCHORS[2]),
-                    mc_runs.clone(),
-                ]);
+                ];
+                for &a in anchors {
+                    row.push(anchor_cell(method, a));
+                }
+                match anchor_point(method, anchors[headline]) {
+                    Some(p) => {
+                        row.push(format!("{:.2}", p.accuracy_min));
+                        row.push(format!("{:.2}", p.accuracy_p05));
+                    }
+                    None => {
+                        row.push("-".into());
+                        row.push("-".into());
+                    }
+                }
+                row.push(mc_runs.clone());
+                table.push_row_owned(row);
             }
             if let (Some(first), Some(last)) = (sweep.insitu.first(), sweep.insitu.last()) {
-                table.push_row_owned(vec![
+                let mut row = vec![
                     label.clone(),
                     scenario.clone(),
+                    sweep.device_model.clone(),
                     format!("{}", sweep.sigma),
                     "In-situ".to_string(),
-                    format!("{:.2} ± {:.2}", first.accuracy_mean, first.accuracy_std),
-                    "-".to_string(),
-                    format!("{:.2} ± {:.2}", last.accuracy_mean, last.accuracy_std),
-                    mc_runs.clone(),
-                ]);
+                ];
+                for (i, _) in anchors.iter().enumerate() {
+                    row.push(if i == 0 {
+                        format!("{:.2} ± {:.2}", first.accuracy_mean, first.accuracy_std)
+                    } else if i == anchors.len() - 1 {
+                        format!("{:.2} ± {:.2}", last.accuracy_mean, last.accuracy_std)
+                    } else {
+                        "-".to_string()
+                    });
+                }
+                row.push("-".into());
+                row.push("-".into());
+                row.push(mc_runs.clone());
+                table.push_row_owned(row);
             }
         }
     }
@@ -122,6 +202,7 @@ mod tests {
         let spec = swim_exp::preset("table1", true).unwrap();
         let mut doc = ResultsDoc::new(spec, 1.0);
         doc.sweeps.push(SweepDoc {
+            device_model: "rram-gaussian".into(),
             sigma: 0.15,
             float_accuracy: 99.0,
             quant_accuracy: 98.5,
@@ -135,18 +216,24 @@ mod tests {
                             nwc: 0.0,
                             accuracy_mean: 90.0,
                             accuracy_std: 1.0,
+                            accuracy_min: 87.0,
+                            accuracy_p05: 87.5,
                         },
                         CurvePoint {
                             fraction: 0.1,
                             nwc: 0.09,
                             accuracy_mean: 96.0,
                             accuracy_std: 0.5,
+                            accuracy_min: 94.5,
+                            accuracy_p05: 94.8,
                         },
                         CurvePoint {
                             fraction: 1.0,
                             nwc: 1.0,
                             accuracy_mean: 98.0,
                             accuracy_std: 0.2,
+                            accuracy_min: 97.6,
+                            accuracy_p05: 97.7,
                         },
                     ],
                 })
@@ -168,19 +255,71 @@ mod tests {
         let firsts: Vec<&str> = table.rows().iter().map(|r| r[0].as_str()).collect();
         assert_eq!(firsts, vec!["a", "a", "a", "b", "b"]);
         let cells = &table.rows()[0];
-        assert_eq!(cells[3], "SWIM");
-        assert_eq!(cells[4], "90.00 ± 1.00");
-        assert_eq!(cells[5], "96.00 ± 0.50");
-        assert_eq!(cells[6], "98.00 ± 0.20");
+        assert_eq!(cells[2], "rram-gaussian");
+        assert_eq!(cells[4], "SWIM");
+        assert_eq!(cells[5], "90.00 ± 1.00");
+        assert_eq!(cells[6], "96.00 ± 0.50");
+        assert_eq!(cells[7], "98.00 ± 0.20");
+        // Tail columns sit at the headline (≈0.1) anchor.
+        assert_eq!(cells[8], "94.50");
+        assert_eq!(cells[9], "94.80");
+    }
+
+    #[test]
+    fn insitu_row_has_no_tail_statistics() {
+        let table = summarize(&[("x".to_string(), doc(&["SWIM"]))]);
+        let insitu = table.rows().iter().find(|r| r[4] == "In-situ").unwrap();
+        assert_eq!(insitu[5], "94.00 ± 0.60");
+        assert_eq!(insitu[6], "-");
+        assert_eq!(insitu[7], "94.00 ± 0.60");
+        assert_eq!(insitu[8], "-");
+        assert_eq!(insitu[9], "-");
     }
 
     #[test]
     fn missing_anchor_renders_dash() {
         let mut d = doc(&["SWIM"]);
-        // Drop the ≈0.1 point.
+        // Drop the ≈0.1 point — the mean column AND the tail columns
+        // anchored there all go blank.
         d.sweeps[0].methods[0].points.remove(1);
         let table = summarize(&[("x".to_string(), d)]);
-        assert_eq!(table.rows()[0][5], "-");
+        assert_eq!(table.rows()[0][6], "-");
+        assert_eq!(table.rows()[0][8], "-");
+        assert_eq!(table.rows()[0][9], "-");
+    }
+
+    #[test]
+    fn custom_anchors_reshape_the_columns() {
+        let table = summarize_with(&[("x".to_string(), doc(&["SWIM"]))], &[0.0, 1.0]);
+        assert_eq!(
+            table.headers(),
+            &[
+                "run",
+                "scenario",
+                "model",
+                "sigma",
+                "method",
+                "acc @ f=0",
+                "acc @ f=1",
+                "min @ f≈0",
+                "p05 @ f≈0",
+                "runs"
+            ]
+        );
+        let cells = &table.rows()[0];
+        assert_eq!(cells[5], "90.00 ± 1.00");
+        assert_eq!(cells[6], "98.00 ± 0.20");
+        // Headline anchor is the one nearest 0.1 — here f=0.
+        assert_eq!(cells[7], "87.00");
+        assert_eq!(cells[8], "87.50");
+    }
+
+    #[test]
+    fn headline_anchor_is_nearest_to_one_tenth() {
+        assert_eq!(headline_index(&[0.0, 0.1, 1.0]), 1);
+        assert_eq!(headline_index(&[0.0, 1.0]), 0);
+        assert_eq!(headline_index(&[0.5, 0.2, 0.05]), 2);
+        assert_eq!(headline_index(&[1.0]), 0);
     }
 
     #[test]
