@@ -351,8 +351,14 @@ fn bench_sweep_throughput(h: &mut Harness) {
     // machine (`--json BENCH_sweep.json`) still match on another; the
     // worker count only shows up in the group header.
     h.group(&format!("sweep (Monte Carlo eval throughput, runs/sec, {threads} workers)"));
-    let cfg =
-        SweepConfig { fractions: vec![0.0, 0.5, 1.0], runs, threads, eval_batch: 128, seed: 7 };
+    let cfg = SweepConfig {
+        fractions: vec![0.0, 0.5, 1.0],
+        runs,
+        threads,
+        eval_batch: 128,
+        seed: 7,
+        ..Default::default()
+    };
 
     let scratch = h.bench("sweep/8runs_x3fractions/scratch", || {
         nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg)

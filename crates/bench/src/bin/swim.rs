@@ -4,6 +4,7 @@
 //! ```text
 //! swim run <spec.toml|spec.json|results.json> [--set key=value]... [flags]
 //! swim preset <name> [--set key=value]... [flags]
+//! swim merge <shard.json>... --out merged.json
 //! swim diff <a.json> <b.json> [--abs-tol X] [--rel-tol X] [--ignore-spec]
 //! swim report <run.json> [--baseline b.json] [-o report.md]
 //! swim summarize <dir-or-file>... [--anchors 0,0.1,1] [-o summary.md]
@@ -18,6 +19,12 @@
 //! `--set key=value` overrides, the classic flags (`--runs 25 --quick
 //! --csv`), and `--out FILE` to write the JSON results document.
 //!
+//! Long experiments survive crashes and spread across machines:
+//! `--shard i/n` runs a deterministic seed-range slice (merge the slices
+//! back with `swim merge` — the result is bit-identical to the
+//! unsharded run), and `--checkpoint j.json` journals every completed
+//! block so `--resume j.json` re-enters at the first incomplete one.
+//!
 //! `swim diff` compares two results documents method-by-method and
 //! point-by-point (exit 1 on drift), `swim report` renders one document
 //! as a self-contained Markdown report, and `swim summarize` flattens
@@ -26,6 +33,7 @@
 
 use swim_bench::cli::Args;
 use swim_bench::experiment::{apply_flag_overrides, options_from_args, run_spec};
+use swim_bench::merge::merge_docs;
 use swim_exp::spec::ExperimentSpec;
 use swim_exp::{preset, preset_infos};
 use swim_report::diff::{diff_docs, DiffOptions};
@@ -40,6 +48,8 @@ fn usage() {
     println!("  run <spec.toml|spec.json>  run a declarative experiment spec (also accepts a");
     println!("                             results document: its spec echo is re-run)");
     println!("  preset <name>              run a named paper-artifact preset");
+    println!("  merge <shard.json>...      merge a complete set of shard documents into the");
+    println!("                             document the unsharded run would have produced");
     println!("  diff <a.json> <b.json>     compare two results documents point-by-point;");
     println!("                             exit 1 on drift");
     println!("  report <run.json>          render a results document as a Markdown report");
@@ -57,6 +67,14 @@ fn usage() {
     println!("                    shorthand spec overrides (same as --set)");
     println!("  --gemm-threads N / --gemm-block N / --gemm-min-flops N");
     println!("                    matrix-kernel knobs (never part of the spec)");
+    println!("  --shard I/N       run seed-range shard I of an N-way split (shorthand for");
+    println!("                    --set shard=I/N); reassemble with `swim merge`");
+    println!("  --checkpoint FILE journal every completed (model, sigma) block to FILE");
+    println!("  --resume FILE     resume from a checkpoint journal (validates it against");
+    println!("                    the spec, re-enters at the first incomplete block)");
+    println!();
+    println!("merge flags:");
+    println!("  --out FILE        write the merged document to FILE (required)");
     println!();
     println!("diff flags:");
     println!("  --abs-tol X       absolute tolerance per numeric value (default 1e-9)");
@@ -171,7 +189,10 @@ fn run_with(mut spec: ExperimentSpec, sets: &[String], args: &Args) -> ! {
     if let Err(e) = apply_flag_overrides(&mut spec, args) {
         fail(&e);
     }
-    let opts = options_from_args(&spec, args);
+    let opts = match options_from_args(&spec, args) {
+        Ok(opts) => opts,
+        Err(e) => fail(&e),
+    };
     match run_spec(&spec, &opts) {
         Ok(_) => std::process::exit(0),
         Err(e) => {
@@ -198,9 +219,13 @@ fn cmd_diff(raw: Vec<String>) -> ! {
     if positionals.len() != 2 {
         fail("`swim diff` expects exactly two results-document paths");
     }
+    let tol = |name: &str, default: f64| match args.get_f64(name, default) {
+        Ok(v) => v,
+        Err(e) => fail(&e),
+    };
     let opts = DiffOptions {
-        abs_tol: args.get_f64("abs-tol", DiffOptions::default().abs_tol),
-        rel_tol: args.get_f64("rel-tol", DiffOptions::default().rel_tol),
+        abs_tol: tol("abs-tol", DiffOptions::default().abs_tol),
+        rel_tol: tol("rel-tol", DiffOptions::default().rel_tol),
         ignore_spec: args.has("ignore-spec"),
     };
     let a = load_doc(&positionals[0]);
@@ -217,17 +242,55 @@ fn cmd_diff(raw: Vec<String>) -> ! {
     std::process::exit(if report.clean() { 0 } else { 1 });
 }
 
-/// Writes `text` to `--out` when given, else prints it.
+/// Writes `text` to `--out` when given (atomically — a crash or full
+/// disk never leaves a truncated artifact), else prints it.
 fn emit(args: &Args, text: &str) {
     match args.get("out") {
         Some(path) => {
-            if let Err(e) = std::fs::write(path, text) {
-                fail(&format!("writing {path}: {e}"));
+            if let Err(e) =
+                swim_report::io::write_atomic(std::path::Path::new(path), text.as_bytes())
+            {
+                fail(&e);
             }
             eprintln!("[swim] wrote {path}");
         }
         None => print!("{text}"),
     }
+}
+
+/// `swim merge <shard.json>... --out merged.json` — reassemble the
+/// unsharded results document from a complete set of shard documents.
+fn cmd_merge(raw: Vec<String>) -> ! {
+    let (positionals, rest) = split_positionals(raw, &[], &["out"]);
+    let args = match Args::try_parse_from(rest.into_iter()) {
+        Ok(args) => args,
+        Err(e) => fail(&e),
+    };
+    if positionals.is_empty() {
+        fail("`swim merge` expects one or more shard-document paths");
+    }
+    let shards: Vec<(String, ResultsDoc)> =
+        positionals.iter().map(|p| (p.clone(), load_doc(p))).collect();
+    let doc = match merge_docs(&shards) {
+        Ok(doc) => doc,
+        Err(e) => fail(&e),
+    };
+    match args.get("out") {
+        Some(path) => {
+            if let Err(e) =
+                swim_report::io::write_atomic(std::path::Path::new(path), doc.to_json().as_bytes())
+            {
+                fail(&e);
+            }
+            eprintln!(
+                "[swim] merged {} shard(s) into {path} ({} block(s))",
+                shards.len(),
+                doc.sweeps.len()
+            );
+        }
+        None => print!("{}", doc.to_json()),
+    }
+    std::process::exit(0);
 }
 
 /// `swim report run.json [--baseline b.json] [-o report.md]`.
@@ -384,6 +447,7 @@ fn main() {
             };
             run_with(spec, &sets, &args);
         }
+        "merge" => cmd_merge(raw),
         "diff" => cmd_diff(raw),
         "report" => cmd_report(raw),
         "summarize" => cmd_summarize(raw),

@@ -19,10 +19,10 @@ use std::collections::BTreeMap;
 /// let args = Args::try_parse_from(
 ///     ["--runs", "500", "--seed=7", "--quick"].iter().map(|s| s.to_string()),
 /// ).unwrap();
-/// assert_eq!(args.get_usize("runs", 100), 500);
-/// assert_eq!(args.get_u64("seed", 0), 7); // --flag=value form
+/// assert_eq!(args.get_usize("runs", 100), Ok(500));
+/// assert_eq!(args.get_u64("seed", 0), Ok(7)); // --flag=value form
 /// assert!(args.has("quick"));
-/// assert_eq!(args.get_f64("sigma", 0.1), 0.1);
+/// assert_eq!(args.get_f64("sigma", 0.1), Ok(0.1));
 ///
 /// // Stray positional arguments are rejected, not silently ignored.
 /// let err = Args::try_parse_from(["oops"].iter().map(|s| s.to_string()));
@@ -102,49 +102,34 @@ impl Args {
         self.flags.iter().map(|f| f.as_str())
     }
 
-    /// `--name value` as `usize`, with default.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a clear message if the value does not parse.
-    pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.values
-            .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}")))
-            .unwrap_or(default)
+    /// `--name value` as `usize`, with default. Malformed values are an
+    /// error (the binaries report it and exit 2), not a panic.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+            None => Ok(default),
+        }
     }
 
     /// `--name value` as `u64`, with default.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a clear message if the value does not parse.
-    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
-        self.values
-            .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}")))
-            .unwrap_or(default)
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.values.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+            None => Ok(default),
+        }
     }
 
     /// `--name value` as `f64`, with default.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a clear message if the value does not parse.
-    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
-        self.values
-            .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v}")))
-            .unwrap_or(default)
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.values.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            None => Ok(default),
+        }
     }
 
     /// `--name value` as `f32`, with default.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a clear message if the value does not parse.
-    pub fn get_f32(&self, name: &str, default: f32) -> f32 {
-        self.get_f64(name, default as f64) as f32
+    pub fn get_f32(&self, name: &str, default: f32) -> Result<f32, String> {
+        self.get_f64(name, default as f64).map(|v| v as f32)
     }
 }
 
@@ -197,19 +182,19 @@ pub fn print_common_help(binary: &str, extra: &[(&str, &str)]) {
 /// performance setting — results are bit-identical for every value.
 /// Returns the resolved `(gemm_threads, gemm_block)` pair so callers
 /// building a `DriverConfig` reuse one policy instead of re-deriving it.
-pub fn apply_gemm_flags(args: &Args, mc_threads: usize) -> (usize, usize) {
+pub fn apply_gemm_flags(args: &Args, mc_threads: usize) -> Result<(usize, usize), String> {
     let default_gemm_threads = if mc_threads > 1 { 1 } else { 0 };
-    let gemm_threads = args.get_usize("gemm-threads", default_gemm_threads);
-    let gemm_block = args.get_usize("gemm-block", 0);
+    let gemm_threads = args.get_usize("gemm-threads", default_gemm_threads)?;
+    let gemm_block = args.get_usize("gemm-block", 0)?;
     swim_tensor::linalg::set_gemm_threads(gemm_threads);
     swim_tensor::linalg::set_gemm_block_cols(gemm_block);
     // The resolved default is the documented PARALLEL_MIN_FLOPS
     // threshold — pass it explicitly so the help text, the setting, and
     // the kernel's view of it can never drift apart.
     swim_tensor::linalg::set_gemm_parallel_min_flops(
-        args.get_usize("gemm-min-flops", swim_tensor::linalg::PARALLEL_MIN_FLOPS),
+        args.get_usize("gemm-min-flops", swim_tensor::linalg::PARALLEL_MIN_FLOPS)?,
     );
-    (gemm_threads, gemm_block)
+    Ok((gemm_threads, gemm_block))
 }
 
 #[cfg(test)]
@@ -223,16 +208,16 @@ mod tests {
     #[test]
     fn values_and_flags() {
         let a = parse(&["--runs", "30", "--csv", "--sigma", "0.15"]);
-        assert_eq!(a.get_usize("runs", 1), 30);
+        assert_eq!(a.get_usize("runs", 1), Ok(30));
         assert!(a.has("csv"));
         assert!(!a.has("quick"));
-        assert!((a.get_f64("sigma", 0.0) - 0.15).abs() < 1e-12);
+        assert!((a.get_f64("sigma", 0.0).unwrap() - 0.15).abs() < 1e-12);
     }
 
     #[test]
     fn equals_syntax() {
         let a = parse(&["--runs=30", "--out=results.json", "--quick"]);
-        assert_eq!(a.get_usize("runs", 1), 30);
+        assert_eq!(a.get_usize("runs", 1), Ok(30));
         assert_eq!(a.get("out"), Some("results.json"));
         assert!(a.has("quick"));
         // An explicit empty value is a value, not a flag.
@@ -244,8 +229,8 @@ mod tests {
     #[test]
     fn defaults_apply() {
         let a = parse(&[]);
-        assert_eq!(a.get_usize("runs", 7), 7);
-        assert_eq!(a.get_f32("width", 0.25), 0.25);
+        assert_eq!(a.get_usize("runs", 7), Ok(7));
+        assert_eq!(a.get_f32("width", 0.25), Ok(0.25));
     }
 
     #[test]
@@ -268,9 +253,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expects an integer")]
-    fn bad_integer_panics() {
-        parse(&["--runs", "abc"]).get_usize("runs", 1);
+    fn bad_values_error_instead_of_panicking() {
+        let e = parse(&["--runs", "abc"]).get_usize("runs", 1).unwrap_err();
+        assert!(e.contains("--runs expects an integer"), "{e}");
+        let e = parse(&["--abs-tol", "wide"]).get_f64("abs-tol", 0.0).unwrap_err();
+        assert!(e.contains("--abs-tol expects a number"), "{e}");
     }
 
     #[test]
@@ -284,15 +271,15 @@ mod tests {
     fn gemm_flag_default_matches_advertised_value() {
         // With no flag given, the installed threshold must equal the
         // value the help text advertises.
-        apply_gemm_flags(&parse(&[]), 1);
+        apply_gemm_flags(&parse(&[]), 1).unwrap();
         assert_eq!(
             swim_tensor::linalg::gemm_parallel_min_flops(),
             swim_tensor::linalg::PARALLEL_MIN_FLOPS
         );
         // And an explicit override sticks.
-        apply_gemm_flags(&parse(&["--gemm-min-flops", "1"]), 1);
+        apply_gemm_flags(&parse(&["--gemm-min-flops", "1"]), 1).unwrap();
         assert_eq!(swim_tensor::linalg::gemm_parallel_min_flops(), 1);
         // Restore the default for other tests in this process.
-        apply_gemm_flags(&parse(&[]), 1);
+        apply_gemm_flags(&parse(&[]), 1).unwrap();
     }
 }

@@ -9,7 +9,10 @@
 
 use crate::prep::Prepared;
 use swim_core::insitu::{insitu_training, InsituConfig};
-use swim_core::montecarlo::{nwc_sweep, parallel_map, SweepConfig, SweepPoint};
+use swim_core::montecarlo::{
+    aggregate_sweep_rows, nwc_sweep_outcome, parallel_map, PanicPolicy, RunFault, SweepConfig,
+    SweepPoint,
+};
 use swim_core::report::{fmt_mean_std, Table};
 use swim_core::select::{default_selectors, Selector};
 use swim_nn::loss::SoftmaxCrossEntropy;
@@ -32,6 +35,12 @@ pub struct MethodCurve {
     pub name: String,
     /// The swept points, one per NWC-grid fraction.
     pub points: Vec<SweepPoint>,
+    /// Row-major `runs × fractions` matrix of `(accuracy %, nwc)` pairs
+    /// the points were aggregated from — what a shard document records
+    /// so `swim merge` can rebuild the unsharded statistics bit-exactly.
+    pub raw: Vec<(f64, f64)>,
+    /// Runs that panicked under the isolate policy (global indices).
+    pub faults: Vec<RunFault>,
 }
 
 /// Accuracy-vs-NWC curves for every method, keyed by name.
@@ -41,6 +50,10 @@ pub struct MethodCurves {
     pub methods: Vec<MethodCurve>,
     /// In-situ training baseline (empty when it was not run).
     pub insitu: Vec<InsituStats>,
+    /// Per-run in-situ trajectories — `(nwc, accuracy fraction)` per
+    /// checkpoint, exactly as [`insitu_training`] returned them (the
+    /// mergeable form of `insitu`).
+    pub insitu_raw: Vec<Vec<(f64, f64)>>,
 }
 
 /// Configuration of a full method comparison.
@@ -68,6 +81,12 @@ pub struct DriverConfig {
     pub insitu_lr: f32,
     /// In-situ mini-batch size.
     pub insitu_batch: usize,
+    /// Global index of the first Monte Carlo run — non-zero for a
+    /// seed-range shard, which then reproduces exactly rows
+    /// `run_offset .. run_offset + runs` of the unsharded sweep.
+    pub run_offset: usize,
+    /// What happens when one Monte Carlo run panics.
+    pub on_panic: PanicPolicy,
 }
 
 impl Default for DriverConfig {
@@ -87,6 +106,8 @@ impl Default for DriverConfig {
             // low NWC).
             insitu_lr: 0.005,
             insitu_batch: 32,
+            run_offset: 0,
+            on_panic: PanicPolicy::FailFast,
         }
     }
 }
@@ -100,9 +121,13 @@ impl DriverConfig {
         gemm_threads: usize,
         gemm_block: usize,
     ) -> Self {
+        // A sharded spec covers only its seed range: local run `r` is
+        // global run `run_offset + r`, so the shard fills exactly its
+        // rows of the unsharded Monte Carlo matrix.
+        let (run_start, run_end) = spec.shard_run_range();
         DriverConfig {
             fractions: spec.sweep.fractions.clone(),
-            runs: spec.montecarlo.runs,
+            runs: run_end - run_start,
             threads: spec.threads(),
             gemm_threads,
             gemm_block,
@@ -111,6 +136,8 @@ impl DriverConfig {
             insitu: spec.selection.insitu,
             insitu_lr: spec.insitu.lr,
             insitu_batch: spec.insitu.batch,
+            run_offset: run_start,
+            on_panic: spec.montecarlo.on_panic,
         }
     }
 }
@@ -140,24 +167,29 @@ pub fn run_methods(
         threads: cfg.threads,
         eval_batch: cfg.eval_batch,
         seed: cfg.seed,
+        run_offset: cfg.run_offset,
+        on_panic: cfg.on_panic,
     };
     let mut methods = Vec::new();
     for selector in selectors {
         eprintln!("[driver] sweeping {} ({} runs)...", selector.name(), cfg.runs);
+        let outcome = nwc_sweep_outcome(
+            &prepared.model,
+            selector.as_ref(),
+            &sens,
+            &mags,
+            &prepared.test,
+            &sweep_cfg,
+        );
         methods.push(MethodCurve {
             name: selector.name().to_string(),
-            points: nwc_sweep(
-                &prepared.model,
-                selector.as_ref(),
-                &sens,
-                &mags,
-                &prepared.test,
-                &sweep_cfg,
-            ),
+            points: outcome.points,
+            raw: outcome.raw,
+            faults: outcome.faults,
         });
     }
 
-    let insitu = if cfg.insitu {
+    let insitu_raw = if cfg.insitu {
         eprintln!("[driver] in-situ training baseline ({} runs)...", cfg.runs);
         let record_at = cfg.fractions.clone();
         let insitu_cfg = InsituConfig {
@@ -170,27 +202,70 @@ pub fn run_methods(
         let model = &prepared.model;
         let train = &prepared.train;
         let test = &prepared.test;
-        let per_run: Vec<Vec<swim_core::insitu::InsituPoint>> =
-            parallel_map(cfg.runs, cfg.threads, &base, |_, mut rng| {
-                let mut local = model.clone();
-                insitu_training(&mut local, &loss, train, test, &insitu_cfg, &mut rng)
-            });
-        (0..cfg.fractions.len())
-            .map(|i| {
-                let mut accuracy = Running::new();
-                let mut nwc = Running::new();
-                for run in &per_run {
-                    accuracy.push(100.0 * run[i].accuracy);
-                    nwc.push(run[i].nwc);
-                }
-                InsituStats { nwc: nwc.mean(), accuracy }
-            })
-            .collect()
+        // Fork by *global* run index (the provided fork is local), so a
+        // shard reproduces exactly its rows of the unsharded baseline.
+        parallel_map(cfg.runs, cfg.threads, &base, |r, _| {
+            let mut rng = base.fork((cfg.run_offset + r) as u64);
+            let mut local = model.clone();
+            insitu_training(&mut local, &loss, train, test, &insitu_cfg, &mut rng)
+                .into_iter()
+                .map(|p| (p.nwc, p.accuracy))
+                .collect::<Vec<(f64, f64)>>()
+        })
     } else {
         Vec::new()
     };
+    let insitu = insitu_stats_from_raw(cfg.fractions.len(), &insitu_raw);
 
-    MethodCurves { methods, insitu }
+    MethodCurves { methods, insitu, insitu_raw }
+}
+
+/// Aggregates per-run in-situ trajectories into per-checkpoint
+/// statistics — the exact reduction `run_methods` has always applied,
+/// factored out so `swim merge` reproduces it over concatenated rows.
+pub fn insitu_stats_from_raw(checkpoints: usize, per_run: &[Vec<(f64, f64)>]) -> Vec<InsituStats> {
+    if per_run.is_empty() {
+        return Vec::new();
+    }
+    (0..checkpoints)
+        .map(|i| {
+            let mut accuracy = Running::new();
+            let mut nwc = Running::new();
+            for run in per_run {
+                nwc.push(run[i].0);
+                accuracy.push(100.0 * run[i].1);
+            }
+            InsituStats { nwc: nwc.mean(), accuracy }
+        })
+        .collect()
+}
+
+/// One method's input to [`curves_from_raw`]: display name, the
+/// concatenated `runs × fractions` matrix of `(accuracy %, nwc)` pairs
+/// in global run order, and the faults recorded at global run indices.
+pub type RawMethodRows = (String, Vec<(f64, f64)>, Vec<RunFault>);
+
+/// Rebuilds a [`MethodCurves`] from raw per-run matrices — the merge
+/// path: shard rows concatenated in global run order reproduce the
+/// unsharded aggregation bit-exactly, because the statistics see the
+/// same values pushed in the same order.
+pub fn curves_from_raw(
+    fractions: &[f64],
+    methods: Vec<RawMethodRows>,
+    insitu_raw: Vec<Vec<(f64, f64)>>,
+) -> MethodCurves {
+    let methods = methods
+        .into_iter()
+        .map(|(name, raw, faults)| {
+            // Faulted rows were recorded at their global index; the
+            // concatenated matrix is globally indexed from 0.
+            let skip: Vec<usize> = faults.iter().map(|f| f.run).collect();
+            let points = aggregate_sweep_rows(fractions, &raw, &skip);
+            MethodCurve { name, points, raw, faults }
+        })
+        .collect();
+    let insitu = insitu_stats_from_raw(fractions.len(), &insitu_raw);
+    MethodCurves { methods, insitu, insitu_raw }
 }
 
 /// Runs the paper's four-method comparison (SWIM, magnitude, random,

@@ -28,8 +28,10 @@ use swim_core::select::SwimNoTieBreakSelector;
 use swim_core::sensitivity::{correlation_study, CorrelationConfig};
 use swim_exp::spec::{ExperimentKind, ExperimentSpec};
 use swim_nn::loss::SoftmaxCrossEntropy;
+use swim_report::io::write_atomic;
 use swim_report::schema::{
-    Correlations, CurvePoint, InsituPoint, MethodCurveDoc, ResultsDoc, SweepDoc,
+    BlockKey, Correlations, CurvePoint, FaultDoc, InsituPoint, MethodCurveDoc, RawMethodDoc,
+    RawSweepDoc, ResultsDoc, SweepDoc,
 };
 use swim_tensor::Prng;
 
@@ -44,24 +46,102 @@ pub struct RunOptions {
     pub gemm_threads: usize,
     /// Resolved GEMM block width (from [`apply_gemm_flags`]).
     pub gemm_block: usize,
+    /// Write a checkpoint journal here after every completed block.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Resume from this checkpoint journal (and keep checkpointing to it
+    /// unless `checkpoint` points elsewhere).
+    pub resume: Option<std::path::PathBuf>,
 }
 
 /// Accumulates the typed results alongside the printed output.
-struct Collector {
+pub(crate) struct Collector {
     tables: Vec<Table>,
     sweeps: Vec<SweepDoc>,
     correlations: Option<Correlations>,
+    faults: Vec<FaultDoc>,
+    /// `(model, sigma)` blocks finished so far, in grid order —
+    /// preseeded on `--resume`, journaled after every block.
+    completed: Vec<BlockKey>,
+    /// Checkpoint journal path, when checkpointing is on.
+    journal: Option<std::path::PathBuf>,
+    /// Blocks *this process* finished (excludes resumed ones) — drives
+    /// the kill-mid-sweep test hook.
+    blocks_this_run: usize,
+    /// Suppress terminal output (the `swim merge` replay path).
+    quiet: bool,
 }
 
 impl Collector {
     fn new() -> Self {
-        Collector { tables: Vec::new(), sweeps: Vec::new(), correlations: None }
+        Collector {
+            tables: Vec::new(),
+            sweeps: Vec::new(),
+            correlations: None,
+            faults: Vec::new(),
+            completed: Vec::new(),
+            journal: None,
+            blocks_this_run: 0,
+            quiet: false,
+        }
     }
 
-    /// Prints a table and records it in the results document.
+    pub(crate) fn quiet() -> Self {
+        Collector { quiet: true, ..Collector::new() }
+    }
+
+    /// Prints a table (unless quiet) and records it in the results
+    /// document.
     fn show(&mut self, table: &Table) {
-        println!("{}", table.render());
+        if !self.quiet {
+            println!("{}", table.render());
+        }
         self.tables.push(table.clone());
+    }
+
+    /// Whether a `(model, sigma)` block was already completed (resumed
+    /// from a checkpoint journal).
+    fn block_done(&self, model: &str, sigma: f64) -> bool {
+        self.completed.iter().any(|b| b.device_model == model && b.sigma == sigma)
+    }
+
+    /// Marks a block complete and, when checkpointing, journals the
+    /// whole state so far to the checkpoint path (atomically — a crash
+    /// between blocks never leaves a truncated journal).
+    fn finish_block(
+        &mut self,
+        spec: &ExperimentSpec,
+        model: &str,
+        sigma: f64,
+    ) -> Result<(), String> {
+        self.completed.push(BlockKey { device_model: model.to_string(), sigma });
+        self.blocks_this_run += 1;
+        if let Some(path) = self.journal.clone() {
+            let mut doc = ResultsDoc::new(spec.clone(), 0.0);
+            doc.sweeps = self.sweeps.clone();
+            doc.correlations = self.correlations;
+            doc.tables = self.tables.clone();
+            doc.faults = self.faults.clone();
+            doc.completed = Some(self.completed.clone());
+            write_atomic(&path, doc.to_json().as_bytes())?;
+            if !self.quiet {
+                eprintln!(
+                    "[swim] checkpointed {} block(s) to {}",
+                    self.completed.len(),
+                    path.display()
+                );
+            }
+            // Kill-mid-sweep test hook: die (uncleanly, as far as the
+            // engine is concerned) right after the k-th checkpoint of
+            // this process, so an integration test can resume from a
+            // journal produced by a genuine partial run.
+            if let Ok(k) = std::env::var("SWIM_TEST_ABORT_AFTER_BLOCKS") {
+                if k.parse::<usize>() == Ok(self.blocks_this_run) {
+                    eprintln!("[swim] SWIM_TEST_ABORT_AFTER_BLOCKS={k}: aborting");
+                    std::process::exit(3);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -77,14 +157,32 @@ fn point_doc(p: &SweepPoint) -> CurvePoint {
 }
 
 /// One (device model, sigma) block of a sweep-kind experiment as a
-/// typed schema record.
+/// typed schema record. `with_raw` attaches the per-run matrices (shard
+/// documents and checkpoint journals of sharded runs — the mergeable
+/// form); final unsharded documents omit them.
 fn sweep_record(
     device_model: &str,
     sigma: f64,
     float_acc: f64,
     quant_acc: f64,
     curves: &MethodCurves,
+    with_raw: bool,
 ) -> SweepDoc {
+    let raw = with_raw.then(|| RawSweepDoc {
+        methods: curves
+            .methods
+            .iter()
+            .map(|m| RawMethodDoc {
+                name: m.name.clone(),
+                rows: if m.points.is_empty() {
+                    Vec::new()
+                } else {
+                    m.raw.chunks(m.points.len()).map(|row| row.to_vec()).collect()
+                },
+            })
+            .collect(),
+        insitu_runs: curves.insitu_raw.clone(),
+    });
     SweepDoc {
         device_model: device_model.to_string(),
         sigma,
@@ -107,38 +205,139 @@ fn sweep_record(
                 accuracy_std: p.accuracy.std(),
             })
             .collect(),
+        raw,
+    }
+}
+
+/// Records one finished block in the collector: the typed sweep record
+/// plus any isolated run faults, tagged with the block's coordinates.
+fn record_block(
+    spec: &ExperimentSpec,
+    collector: &mut Collector,
+    model_name: &str,
+    sigma: f64,
+    float_acc: f64,
+    quant_acc: f64,
+    curves: &MethodCurves,
+) {
+    collector.sweeps.push(sweep_record(
+        model_name,
+        sigma,
+        float_acc,
+        quant_acc,
+        curves,
+        spec.run.shard.is_some(),
+    ));
+    for m in &curves.methods {
+        for f in &m.faults {
+            collector.faults.push(FaultDoc {
+                device_model: model_name.to_string(),
+                sigma,
+                method: m.name.clone(),
+                run: f.run,
+                seed: spec.seed,
+                message: f.message.clone(),
+            });
+        }
     }
 }
 
 /// Assembles the typed results document shared by every kind.
-fn results_document(spec: &ExperimentSpec, collector: Collector, wall_time_s: f64) -> ResultsDoc {
+pub(crate) fn results_document(
+    spec: &ExperimentSpec,
+    collector: Collector,
+    wall_time_s: f64,
+) -> ResultsDoc {
     let mut doc = ResultsDoc::new(spec.clone(), wall_time_s);
     doc.sweeps = collector.sweeps;
     doc.correlations = collector.correlations;
     doc.tables = collector.tables;
+    doc.faults = collector.faults;
     doc
+}
+
+/// Preseeds the collector from a checkpoint journal: validates the
+/// journal against the spec about to run, then adopts its completed
+/// blocks wholesale so the engine re-enters at the first incomplete one.
+fn resume_into(
+    collector: &mut Collector,
+    spec: &ExperimentSpec,
+    path: &std::path::Path,
+) -> Result<(), String> {
+    let doc = ResultsDoc::load(path).map_err(|e| e.to_string())?;
+    if doc.spec != *spec {
+        return Err(format!(
+            "{}: checkpoint journal was produced by a different experiment than the one being \
+             resumed (spec echoes differ)",
+            path.display()
+        ));
+    }
+    let Some(completed) = doc.completed else {
+        return Err(format!(
+            "{}: not a checkpoint journal (no `completed` block list — this looks like a \
+             finished results document)",
+            path.display()
+        ));
+    };
+    let grid = model_sigma_grid(spec);
+    for b in &completed {
+        if !grid.iter().any(|(m, s)| *m == b.device_model && *s == b.sigma) {
+            return Err(format!(
+                "{}: checkpointed block ({}, sigma={}) is not in this spec's grid",
+                path.display(),
+                b.device_model,
+                b.sigma
+            ));
+        }
+    }
+    eprintln!(
+        "[swim] resuming from {}: {} of {} block(s) already complete",
+        path.display(),
+        completed.len(),
+        grid.len()
+    );
+    collector.tables = doc.tables;
+    collector.sweeps = doc.sweeps;
+    collector.correlations = doc.correlations;
+    collector.faults = doc.faults;
+    collector.completed = completed;
+    Ok(())
 }
 
 /// Runs a validated spec end to end.
 ///
 /// Prints the artifact's human-readable output, writes the JSON results
-/// document to `opts.out` when set, and returns the typed document.
+/// document to `opts.out` when set (atomically — a crash never leaves a
+/// truncated document), and returns the typed document.
 pub fn run_spec(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ResultsDoc, String> {
     spec.validate().map_err(|e| e.to_string())?;
+    let grid_kind =
+        matches!(spec.kind, ExperimentKind::Table1 | ExperimentKind::Fig2 | ExperimentKind::Sweep);
+    if (opts.checkpoint.is_some() || opts.resume.is_some()) && !grid_kind {
+        return Err(format!(
+            "--checkpoint/--resume apply to block-structured kinds (table1, fig2, sweep), \
+             not `{}`",
+            spec.kind.key()
+        ));
+    }
     let t0 = std::time::Instant::now();
     let mut collector = Collector::new();
+    collector.journal = opts.checkpoint.clone().or_else(|| opts.resume.clone());
+    if let Some(path) = &opts.resume {
+        resume_into(&mut collector, spec, path)?;
+    }
     match spec.kind {
-        ExperimentKind::Table1 => run_table1(spec, opts, &mut collector),
-        ExperimentKind::Fig2 => run_fig2(spec, opts, &mut collector),
-        ExperimentKind::Sweep => run_generic_sweep(spec, opts, &mut collector),
+        ExperimentKind::Table1 => run_table1(spec, opts, &mut collector)?,
+        ExperimentKind::Fig2 => run_fig2(spec, opts, &mut collector)?,
+        ExperimentKind::Sweep => run_generic_sweep(spec, opts, &mut collector)?,
         ExperimentKind::Fig1 => run_fig1(spec, opts, &mut collector),
         ExperimentKind::Calibration => run_calibration(spec, opts, &mut collector),
         ExperimentKind::Ablation => run_ablation(spec, opts, &mut collector),
     }
     let doc = results_document(spec, collector, t0.elapsed().as_secs_f64());
     if let Some(path) = &opts.out {
-        std::fs::write(path, doc.to_json())
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        write_atomic(path, doc.to_json().as_bytes())
+            .map_err(|e| format!("writing results document: {e}"))?;
         eprintln!("[swim] wrote results document to {}", path.display());
     }
     Ok(doc)
@@ -168,7 +367,7 @@ fn prepare_and_sweep(
 /// The grid of `(device model, sigma)` blocks a grid-kind spec runs,
 /// models outermost (so all sigmas of one model group together in the
 /// output and the results document).
-fn model_sigma_grid(spec: &ExperimentSpec) -> Vec<(String, f64)> {
+pub(crate) fn model_sigma_grid(spec: &ExperimentSpec) -> Vec<(String, f64)> {
     spec.device
         .models
         .iter()
@@ -189,9 +388,94 @@ fn block_label(spec: &ExperimentSpec, model_name: &str, sigma: f64) -> String {
 
 // ---------------------------------------------------------- Table 1
 
+/// Emits one finished Table 1 block: the per-method table, the two §4.3
+/// speed-up summaries, and the typed records. Shared between the live
+/// run path and the `swim merge` replay (which passes a quiet collector
+/// and `csv = false`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_table1_block(
+    spec: &ExperimentSpec,
+    csv: bool,
+    collector: &mut Collector,
+    model_name: &str,
+    sigma: f64,
+    float_acc: f64,
+    quant_acc: f64,
+    curves: &MethodCurves,
+) {
+    let label = block_label(spec, model_name, sigma);
+    if !collector.quiet {
+        println!(
+            "\n{label}: float accuracy {float_acc:.2}%, quantized (clean-mapped) accuracy \
+             {quant_acc:.2}%"
+        );
+    }
+    let table = curves.to_table(&format!("Table 1 block, {label}"));
+    collector.show(&table);
+    if csv {
+        let csv_label = if spec.device.models.len() == 1 {
+            format!("table1_sigma_{sigma}")
+        } else {
+            format!("table1_{model_name}_sigma_{sigma}")
+        };
+        println!("{}", curves.to_csv(&csv_label));
+    }
+    record_block(spec, collector, model_name, sigma, float_acc, quant_acc, curves);
+
+    let Some(swim) = curves.curve("SWIM") else { return };
+
+    // §4.3 speed-up summary: NWC needed to come within 0.1 points of
+    // the full write-verify accuracy.
+    let full_wv = swim.last().expect("nonempty sweep").accuracy.mean();
+    let target = full_wv - 0.1;
+    let mut summary = Table::new(
+        format!("write cycles to reach {target:.2}% (full-WV {full_wv:.2}% − 0.1)"),
+        &["method", "NWC needed", "speedup vs full write-verify"],
+    );
+    let insitu_points = curves.insitu_points();
+    let mut rows: Vec<(&str, &[SweepPoint])> =
+        curves.methods.iter().map(|m| (m.name.as_str(), m.points.as_slice())).collect();
+    if !insitu_points.is_empty() {
+        rows.push(("In-situ", &insitu_points));
+    }
+    for (name, pts) in &rows {
+        let (nwc_text, speed_text) = match nwc_to_reach(pts, target) {
+            Some(nwc) if nwc > 0.0 => (format!("{nwc:.2}"), format!("{:.1}x", 1.0 / nwc)),
+            Some(_) => ("0.00".into(), "inf".into()),
+            None => ("not reached ≤ 1.0".into(), "-".into()),
+        };
+        summary.push_row_owned(vec![name.to_string(), nwc_text, speed_text]);
+    }
+    collector.show(&summary);
+
+    // The paper's §4.3 comparison style: the NWC each *baseline*
+    // needs to attain the accuracy SWIM reaches at NWC = 0.1
+    // (paper: magnitude ~0.5, random ~0.9, in-situ ~0.9 → 5x/9x/9x).
+    if let Some(swim_01) = swim.iter().find(|p| (p.fraction - 0.1).abs() < 1e-9) {
+        let target = swim_01.accuracy.mean();
+        let mut equal = Table::new(
+            format!("NWC to attain SWIM@0.1's accuracy ({target:.2}%)"),
+            &["method", "NWC needed", "SWIM speedup"],
+        );
+        for (name, pts) in &rows {
+            let (nwc_text, speed_text) = match nwc_to_reach(pts, target) {
+                Some(nwc) if nwc > 0.0 => (format!("{nwc:.2}"), format!("{:.1}x", nwc / 0.1)),
+                Some(_) => ("0.00".into(), "-".into()),
+                None => ("not reached ≤ 1.0".into(), ">10x".into()),
+            };
+            equal.push_row_owned(vec![name.to_string(), nwc_text, speed_text]);
+        }
+        collector.show(&equal);
+    }
+}
+
 /// The classic `table1` output: per-sigma method tables plus the §4.3
 /// speed-up summaries.
-fn run_table1(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector) {
+fn run_table1(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    collector: &mut Collector,
+) -> Result<(), String> {
     let scenario = Scenario::from_spec(&spec.scenario);
     let scenario_label = match scenario {
         // The seed binary's hardcoded header, preserved byte-for-byte.
@@ -207,113 +491,60 @@ fn run_table1(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collecto
 
     for (model_name, sigma) in model_sigma_grid(spec) {
         let model_name = model_name.as_str();
-        let label = block_label(spec, model_name, sigma);
-        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
-        println!(
-            "\n{label}: float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
-            prepared.float_accuracy, prepared.quant_accuracy
-        );
-        let table = curves.to_table(&format!("Table 1 block, {label}"));
-        collector.show(&table);
-        if opts.csv {
-            let csv_label = if spec.device.models.len() == 1 {
-                format!("table1_sigma_{sigma}")
-            } else {
-                format!("table1_{model_name}_sigma_{sigma}")
-            };
-            println!("{}", curves.to_csv(&csv_label));
+        if collector.block_done(model_name, sigma) {
+            continue;
         }
-        collector.sweeps.push(sweep_record(
+        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
+        emit_table1_block(
+            spec,
+            opts.csv,
+            collector,
             model_name,
             sigma,
             prepared.float_accuracy,
             prepared.quant_accuracy,
             &curves,
-        ));
-
-        let Some(swim) = curves.curve("SWIM") else { continue };
-
-        // §4.3 speed-up summary: NWC needed to come within 0.1 points of
-        // the full write-verify accuracy.
-        let full_wv = swim.last().expect("nonempty sweep").accuracy.mean();
-        let target = full_wv - 0.1;
-        let mut summary = Table::new(
-            format!("write cycles to reach {target:.2}% (full-WV {full_wv:.2}% − 0.1)"),
-            &["method", "NWC needed", "speedup vs full write-verify"],
         );
-        let insitu_points = curves.insitu_points();
-        let mut rows: Vec<(&str, &[SweepPoint])> =
-            curves.methods.iter().map(|m| (m.name.as_str(), m.points.as_slice())).collect();
-        if !insitu_points.is_empty() {
-            rows.push(("In-situ", &insitu_points));
-        }
-        for (name, pts) in &rows {
-            let (nwc_text, speed_text) = match nwc_to_reach(pts, target) {
-                Some(nwc) if nwc > 0.0 => (format!("{nwc:.2}"), format!("{:.1}x", 1.0 / nwc)),
-                Some(_) => ("0.00".into(), "inf".into()),
-                None => ("not reached ≤ 1.0".into(), "-".into()),
-            };
-            summary.push_row_owned(vec![name.to_string(), nwc_text, speed_text]);
-        }
-        collector.show(&summary);
-
-        // The paper's §4.3 comparison style: the NWC each *baseline*
-        // needs to attain the accuracy SWIM reaches at NWC = 0.1
-        // (paper: magnitude ~0.5, random ~0.9, in-situ ~0.9 → 5x/9x/9x).
-        if let Some(swim_01) = swim.iter().find(|p| (p.fraction - 0.1).abs() < 1e-9) {
-            let target = swim_01.accuracy.mean();
-            let mut equal = Table::new(
-                format!("NWC to attain SWIM@0.1's accuracy ({target:.2}%)"),
-                &["method", "NWC needed", "SWIM speedup"],
-            );
-            for (name, pts) in &rows {
-                let (nwc_text, speed_text) = match nwc_to_reach(pts, target) {
-                    Some(nwc) if nwc > 0.0 => (format!("{nwc:.2}"), format!("{:.1}x", nwc / 0.1)),
-                    Some(_) => ("0.00".into(), "-".into()),
-                    None => ("not reached ≤ 1.0".into(), ">10x".into()),
-                };
-                equal.push_row_owned(vec![name.to_string(), nwc_text, speed_text]);
-            }
-            collector.show(&equal);
-        }
+        collector.finish_block(spec, model_name, sigma)?;
     }
 
     println!(
         "paper shape: SWIM reaches full-write-verify accuracy at the lowest NWC at every sigma,\n\
          with the smallest std; magnitude is second; random and in-situ need most cycles."
     );
+    Ok(())
 }
 
 // ------------------------------------------------------------ Fig. 2
 
-/// The classic Fig. 2 panel output: one sweep with the paper's shape
-/// checks.
-fn run_fig2(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector) {
-    let scenario = Scenario::from_spec(&spec.scenario);
-    println!("SWIM reproduction — {}: {}", spec.name, scenario.name());
-    println!("paper: {}\n", spec.note);
-
-    let sigma = spec.device.sigmas[0];
-    let model_name = spec.device.models[0].as_str();
-    let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
-    println!(
-        "float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
-        prepared.float_accuracy, prepared.quant_accuracy
-    );
-
+/// Emits the single Fig. 2 block: the sweep table, the typed records,
+/// and the paper's shape checks. Shared with the `swim merge` replay.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_fig2_block(
+    spec: &ExperimentSpec,
+    csv: bool,
+    collector: &mut Collector,
+    model_name: &str,
+    sigma: f64,
+    float_acc: f64,
+    quant_acc: f64,
+    curves: &MethodCurves,
+) {
+    if !collector.quiet {
+        println!(
+            "float accuracy {float_acc:.2}%, quantized (clean-mapped) accuracy {quant_acc:.2}%"
+        );
+    }
     let table = curves.to_table(&format!("{} accuracy vs NWC", spec.name));
     collector.show(&table);
-    if opts.csv {
+    if csv {
         println!("{}", curves.to_csv(&spec.name));
     }
-    collector.sweeps.push(sweep_record(
-        model_name,
-        sigma,
-        prepared.float_accuracy,
-        prepared.quant_accuracy,
-        &curves,
-    ));
+    record_block(spec, collector, model_name, sigma, float_acc, quant_acc, curves);
 
+    if collector.quiet {
+        return;
+    }
     // The paper's headline comparison: the accuracy retained at NWC = 0.1
     // versus writing-verifying everything.
     let Some(swim) = curves.curve("SWIM") else { return };
@@ -340,11 +571,78 @@ fn run_fig2(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector)
     }
 }
 
+/// The classic Fig. 2 panel output: one sweep with the paper's shape
+/// checks.
+fn run_fig2(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    collector: &mut Collector,
+) -> Result<(), String> {
+    let scenario = Scenario::from_spec(&spec.scenario);
+    println!("SWIM reproduction — {}: {}", spec.name, scenario.name());
+    println!("paper: {}\n", spec.note);
+
+    let sigma = spec.device.sigmas[0];
+    let model_name = spec.device.models[0].as_str();
+    if collector.block_done(model_name, sigma) {
+        return Ok(());
+    }
+    let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
+    emit_fig2_block(
+        spec,
+        opts.csv,
+        collector,
+        model_name,
+        sigma,
+        prepared.float_accuracy,
+        prepared.quant_accuracy,
+        &curves,
+    );
+    collector.finish_block(spec, model_name, sigma)
+}
+
 // ----------------------------------------------------- generic sweep
+
+/// Emits one finished generic-sweep block. Shared with the `swim merge`
+/// replay.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_sweep_block(
+    spec: &ExperimentSpec,
+    csv: bool,
+    collector: &mut Collector,
+    model_name: &str,
+    sigma: f64,
+    float_acc: f64,
+    quant_acc: f64,
+    curves: &MethodCurves,
+) {
+    let label = block_label(spec, model_name, sigma);
+    if !collector.quiet {
+        println!(
+            "{label}: float accuracy {float_acc:.2}%, quantized (clean-mapped) accuracy \
+             {quant_acc:.2}%"
+        );
+    }
+    let table = curves.to_table(&format!("{} accuracy vs NWC ({label})", spec.name));
+    collector.show(&table);
+    if csv {
+        let csv_label = if spec.device.models.len() == 1 {
+            format!("{}_sigma_{sigma}", spec.name)
+        } else {
+            format!("{}_{model_name}_sigma_{sigma}", spec.name)
+        };
+        println!("{}", curves.to_csv(&csv_label));
+    }
+    record_block(spec, collector, model_name, sigma, float_acc, quant_acc, curves);
+}
 
 /// Generic sweep presentation for custom specs: per-sigma method
 /// tables, no paper framing.
-fn run_generic_sweep(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Collector) {
+fn run_generic_sweep(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    collector: &mut Collector,
+) -> Result<(), String> {
     let scenario = Scenario::from_spec(&spec.scenario);
     println!("SWIM experiment — {}: {}", spec.name, scenario.name());
     if !spec.note.is_empty() {
@@ -353,30 +651,23 @@ fn run_generic_sweep(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut C
     println!();
     for (model_name, sigma) in model_sigma_grid(spec) {
         let model_name = model_name.as_str();
-        let label = block_label(spec, model_name, sigma);
-        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
-        println!(
-            "{label}: float accuracy {:.2}%, quantized (clean-mapped) accuracy {:.2}%",
-            prepared.float_accuracy, prepared.quant_accuracy
-        );
-        let table = curves.to_table(&format!("{} accuracy vs NWC ({label})", spec.name));
-        collector.show(&table);
-        if opts.csv {
-            let csv_label = if spec.device.models.len() == 1 {
-                format!("{}_sigma_{sigma}", spec.name)
-            } else {
-                format!("{}_{model_name}_sigma_{sigma}", spec.name)
-            };
-            println!("{}", curves.to_csv(&csv_label));
+        if collector.block_done(model_name, sigma) {
+            continue;
         }
-        collector.sweeps.push(sweep_record(
+        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
+        emit_sweep_block(
+            spec,
+            opts.csv,
+            collector,
             model_name,
             sigma,
             prepared.float_accuracy,
             prepared.quant_accuracy,
             &curves,
-        ));
+        );
+        collector.finish_block(spec, model_name, sigma)?;
     }
+    Ok(())
 }
 
 // ------------------------------------------------------------ Fig. 1
@@ -516,7 +807,7 @@ fn run_calibration(spec: &ExperimentSpec, opts: &RunOptions, collector: &mut Col
 /// comparison, calibration-set-size study.
 fn run_ablation(spec: &ExperimentSpec, _opts: &RunOptions, collector: &mut Collector) {
     use swim_core::algorithm::selective_write_verify;
-    use swim_core::montecarlo::{nwc_sweep, SweepConfig};
+    use swim_core::montecarlo::{nwc_sweep, PanicPolicy, SweepConfig};
     use swim_core::select::{build_ranking, Strategy};
 
     let sigma = spec.device.sigmas[0];
@@ -586,6 +877,8 @@ fn run_ablation(spec: &ExperimentSpec, _opts: &RunOptions, collector: &mut Colle
         threads,
         eval_batch: spec.montecarlo.eval_batch,
         seed,
+        run_offset: 0,
+        on_panic: PanicPolicy::FailFast,
     };
     let with_tb =
         nwc_sweep(&prepared.model, &Strategy::Swim, &sens, &mags, &prepared.test, &sweep_cfg);
@@ -656,6 +949,8 @@ fn run_ablation(spec: &ExperimentSpec, _opts: &RunOptions, collector: &mut Colle
             threads,
             eval_batch: spec.montecarlo.eval_batch,
             seed: seed.wrapping_add(7),
+            run_offset: 0,
+            on_panic: PanicPolicy::FailFast,
         };
         let pts = nwc_sweep(
             &prepared.model,
@@ -682,7 +977,8 @@ fn run_ablation(spec: &ExperimentSpec, _opts: &RunOptions, collector: &mut Colle
 
 /// Flags that configure output or kernels rather than the experiment —
 /// never forwarded into the spec.
-const NON_SPEC_FLAGS: &[&str] = &["gemm-threads", "gemm-block", "gemm-min-flops", "out"];
+const NON_SPEC_FLAGS: &[&str] =
+    &["gemm-threads", "gemm-block", "gemm-min-flops", "out", "checkpoint", "resume"];
 
 /// Boolean flags the wrappers understand; anything else is a typo.
 const KNOWN_BOOL_FLAGS: &[&str] = &["quick", "csv", "full", "help"];
@@ -714,20 +1010,22 @@ pub fn apply_flag_overrides(spec: &mut ExperimentSpec, args: &Args) -> Result<()
 }
 
 /// Resolves output options and installs the GEMM knobs for a spec.
-pub fn options_from_args(spec: &ExperimentSpec, args: &Args) -> RunOptions {
+pub fn options_from_args(spec: &ExperimentSpec, args: &Args) -> Result<RunOptions, String> {
     // Single-run artifacts (no Monte Carlo fan-out during the heavy
     // phases) let the matrix kernels use every core.
     let mc_threads = match spec.kind {
         ExperimentKind::Fig1 | ExperimentKind::Calibration => 1,
         _ => spec.threads(),
     };
-    let (gemm_threads, gemm_block) = apply_gemm_flags(args, mc_threads);
-    RunOptions {
+    let (gemm_threads, gemm_block) = apply_gemm_flags(args, mc_threads)?;
+    Ok(RunOptions {
         csv: args.has("csv") || args.has("full"),
         out: args.get("out").map(std::path::PathBuf::from),
         gemm_threads,
         gemm_block,
-    }
+        checkpoint: args.get("checkpoint").map(std::path::PathBuf::from),
+        resume: args.get("resume").map(std::path::PathBuf::from),
+    })
 }
 
 /// Entry point shared by the seven thin preset binaries: resolve the
@@ -744,7 +1042,13 @@ pub fn preset_bin_main(preset_name: &str, help_binary: &str, extra_help: &[(&str
         eprintln!("error: {e}");
         std::process::exit(2);
     }
-    let opts = options_from_args(&spec, &args);
+    let opts = match options_from_args(&spec, &args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     if let Err(e) = run_spec(&spec, &opts) {
         eprintln!("error: {e}");
         std::process::exit(1);
@@ -783,7 +1087,10 @@ mod tests {
 
         let json = doc.to_json();
         let parsed = swim_exp::value::parse_json(&json).unwrap();
-        assert_eq!(parsed.get("swim_results_version").unwrap().as_int(), Some(2));
+        assert_eq!(
+            parsed.get("swim_results_version").unwrap().as_int(),
+            Some(swim_report::schema::RESULTS_VERSION)
+        );
         assert_eq!(parsed.get("kind").unwrap().as_str(), Some("fig2"));
         let echoed = ExperimentSpec::from_value(parsed.get("spec").unwrap()).unwrap();
         assert_eq!(echoed, spec);
@@ -798,10 +1105,13 @@ mod tests {
             methods: vec![MethodCurve {
                 name: "SWIM".into(),
                 points: vec![mk_point(0.0, 90.0), mk_point(1.0, 95.0)],
+                raw: vec![(90.0, 0.0), (95.0, 0.9)],
+                faults: Vec::new(),
             }],
             insitu: vec![InsituStats { nwc: 0.5, accuracy: acc }],
+            insitu_raw: Vec::new(),
         };
-        let rec = sweep_record("rram-gaussian", 0.1, 99.0, 98.5, &curves);
+        let rec = sweep_record("rram-gaussian", 0.1, 99.0, 98.5, &curves, false);
         assert_eq!(rec.device_model, "rram-gaussian");
         assert_eq!(rec.sigma, 0.1);
         assert_eq!(rec.methods[0].name, "SWIM");
@@ -830,8 +1140,11 @@ mod tests {
                     methods: vec![crate::driver::MethodCurve {
                         name: "SWIM".into(),
                         points: vec![mk_point(0.0, 90.0), mk_point(1.0, 97.5)],
+                        raw: vec![(90.0, 0.0), (97.5, 0.9)],
+                        faults: Vec::new(),
                     }],
                     insitu: vec![crate::driver::InsituStats { nwc: 0.4, accuracy: acc }],
+                    insitu_raw: Vec::new(),
                 };
                 collector.sweeps.push(sweep_record(
                     &spec.device.models[0],
@@ -839,6 +1152,7 @@ mod tests {
                     99.1,
                     98.6,
                     &curves,
+                    spec.run.shard.is_some(),
                 ));
                 if spec.kind == ExperimentKind::Fig1 {
                     collector.correlations =

@@ -35,5 +35,6 @@
 pub mod cli;
 pub mod driver;
 pub mod experiment;
+pub mod merge;
 pub mod prep;
 pub mod speedup;

@@ -21,6 +21,31 @@ fn swim(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_swim")).args(args).output().expect("swim binary runs")
 }
 
+/// A fresh per-test scratch directory under the cargo-managed tmpdir.
+fn tempdir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The tiny two-block spec the crash/shard CLI tests run: two sigmas ×
+/// one model, one Monte Carlo run each, single-threaded.
+const TWO_BLOCK_SPEC: &str = "name = \"crash-loop\"\nkind = \"sweep\"\nseed = 19\n\
+     [device]\nsigmas = [0.05, 0.1]\n\
+     [training]\nsamples = 120\nepochs = 1\n\
+     [selection]\nmethods = [\"swim\"]\ninsitu = false\n\
+     [sweep]\nfractions = [0.0, 1.0]\n\
+     [montecarlo]\nruns = 2\nthreads = 1\n";
+
+/// Reads a results document and zeroes the one field that legitimately
+/// differs between two runs of the same experiment.
+fn load_normalized(path: &std::path::Path) -> ResultsDoc {
+    let mut doc = ResultsDoc::load(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    doc.wall_time_s = 0.0;
+    doc
+}
+
 #[test]
 fn diff_identical_documents_exits_zero() {
     let a = fixture("run_a.json");
@@ -161,6 +186,133 @@ fn non_default_model_echo_rerun_diff_is_clean() {
             p.accuracy_mean
         );
     }
+}
+
+/// Corrupt or truncated results JSON must exit 2 with a clear message —
+/// never a panic — from every subcommand that parses documents.
+#[test]
+fn corrupt_documents_exit_two_without_panicking() {
+    let dir = tempdir("swim-corrupt");
+    let good = fixture("run_a.json");
+    let truncated = dir.join("truncated.json");
+    let text = std::fs::read_to_string(&good).unwrap();
+    std::fs::write(&truncated, &text[..text.len() / 2]).unwrap();
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "{\"swim_results_version\": \"yes\"").unwrap();
+
+    for bad in [&truncated, &garbage] {
+        let bad = bad.display().to_string();
+        for args in [
+            vec!["diff", bad.as_str(), good.as_str()],
+            vec!["diff", good.as_str(), bad.as_str()],
+            vec!["report", bad.as_str()],
+            vec!["merge", bad.as_str()],
+        ] {
+            let out = swim(&args);
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert_eq!(out.status.code(), Some(2), "{args:?}: {stderr}");
+            assert!(stderr.contains("error:"), "{args:?}: {stderr}");
+            assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+        }
+    }
+}
+
+/// The shard → merge → verify loop through the actual binary:
+/// two `--shard` runs merge into a document that diffs clean against
+/// the single-shot run, and the merged bytes are identical modulo wall
+/// time.
+#[test]
+fn shard_merge_cli_loop_matches_single_shot_run() {
+    let dir = tempdir("swim-shard-merge");
+    let spec = dir.join("spec.toml");
+    std::fs::write(&spec, TWO_BLOCK_SPEC).unwrap();
+    let spec = spec.display().to_string();
+    let path = |name: &str| dir.join(name).display().to_string();
+
+    let out = swim(&["run", &spec, "--out", &path("full.json")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for i in 0..2 {
+        let out = swim(&[
+            "run",
+            &spec,
+            "--shard",
+            &format!("{i}/2"),
+            "--out",
+            &path(&format!("s{i}.json")),
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = swim(&["merge", &path("s0.json"), &path("s1.json"), "--out", &path("merged.json")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = swim(&["diff", &path("merged.json"), &path("full.json")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let merged = load_normalized(&dir.join("merged.json"));
+    let full = load_normalized(&dir.join("full.json"));
+    assert_eq!(merged.to_json(), full.to_json(), "merge must be bit-identical");
+
+    // An incomplete partition is a usage error, not a silent half-merge.
+    let out = swim(&["merge", &path("s0.json"), "--out", &path("oops.json")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("incomplete partition"));
+}
+
+/// The crash-tolerance acceptance contract: a run killed mid-sweep
+/// (after its first checkpointed block) resumes from the journal and
+/// produces a document bit-identical to the uninterrupted run.
+#[test]
+fn killed_run_resumes_bit_identically() {
+    let dir = tempdir("swim-kill-resume");
+    let spec = dir.join("spec.toml");
+    std::fs::write(&spec, TWO_BLOCK_SPEC).unwrap();
+    let spec = spec.display().to_string();
+    let path = |name: &str| dir.join(name).display().to_string();
+
+    let out = swim(&["run", &spec, "--out", &path("uninterrupted.json")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Kill the process right after the first of the two blocks hits the
+    // journal — from the engine's point of view this is a hard crash.
+    let out = Command::new(env!("CARGO_BIN_EXE_swim"))
+        .args(["run", &spec, "--checkpoint", &path("journal.json"), "--out", &path("dead.json")])
+        .env("SWIM_TEST_ABORT_AFTER_BLOCKS", "1")
+        .output()
+        .expect("swim binary runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!dir.join("dead.json").exists(), "the killed run must not emit a final document");
+    let journal = load_normalized(&dir.join("journal.json"));
+    assert_eq!(journal.completed.as_deref().map(<[_]>::len), Some(1));
+    assert_eq!(journal.sweeps.len(), 1);
+
+    let out =
+        swim(&["run", &spec, "--resume", &path("journal.json"), "--out", &path("resumed.json")]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("resuming from"), "{stderr}");
+    assert!(stderr.contains("1 of 2 block(s) already complete"), "{stderr}");
+
+    let resumed = load_normalized(&dir.join("resumed.json"));
+    let uninterrupted = load_normalized(&dir.join("uninterrupted.json"));
+    assert_eq!(
+        resumed.to_json(),
+        uninterrupted.to_json(),
+        "killed-then-resumed must be bit-identical to the uninterrupted run"
+    );
+
+    // Resuming a journal against a different experiment is rejected.
+    let other = dir.join("other.toml");
+    std::fs::write(&other, TWO_BLOCK_SPEC.replace("seed = 19", "seed = 20")).unwrap();
+    let out = swim(&[
+        "run",
+        &other.display().to_string(),
+        "--resume",
+        &path("journal.json"),
+        "--out",
+        &path("x.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("different experiment"));
 }
 
 /// A device-model grid in one spec produces one sweep block per

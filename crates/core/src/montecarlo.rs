@@ -178,31 +178,131 @@ pub fn parallel_fill_rows<P, S, I, F>(
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, Prng, &mut [P]) + Sync,
 {
+    let faults = parallel_fill_rows_isolated(
+        runs,
+        row_len,
+        threads,
+        base,
+        0,
+        PanicPolicy::FailFast,
+        out,
+        init,
+        f,
+    );
+    debug_assert!(faults.is_empty(), "fail-fast never returns faults");
+}
+
+/// What the harness does when one Monte Carlo run panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PanicPolicy {
+    /// Propagate the first panic with its run index, aborting the sweep
+    /// (the historical behavior, and the default).
+    #[default]
+    FailFast,
+    /// Record the fault and keep sweeping; statistics then cover the
+    /// surviving runs only and the faults are reported alongside them.
+    Isolate,
+}
+
+impl PanicPolicy {
+    /// Stable spec key (`[montecarlo] on_panic`).
+    pub fn key(self) -> &'static str {
+        match self {
+            PanicPolicy::FailFast => "fail-fast",
+            PanicPolicy::Isolate => "isolate",
+        }
+    }
+
+    /// Parses a spec key back into a policy.
+    pub fn parse(name: &str) -> Option<PanicPolicy> {
+        match name {
+            "fail-fast" => Some(PanicPolicy::FailFast),
+            "isolate" => Some(PanicPolicy::Isolate),
+            _ => None,
+        }
+    }
+}
+
+/// One Monte Carlo run that panicked under [`PanicPolicy::Isolate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFault {
+    /// Global run index — the PRNG fork stream id, so the failure can be
+    /// replayed in isolation regardless of sharding or thread count.
+    pub run: usize,
+    /// Rendered panic payload.
+    pub message: String,
+}
+
+/// [`parallel_fill_rows`] with a global run offset and a panic policy.
+///
+/// Local run `r` (row `r` of `out`) draws from
+/// `base.fork(run_offset + r)` — the stream the same global run would
+/// use in an unsharded sweep — so a seed-range shard fills exactly the
+/// rows `run_offset .. run_offset + runs` of the full matrix,
+/// bit-identically.
+///
+/// Under [`PanicPolicy::Isolate`] a panicking run is recorded (global
+/// index plus rendered payload) instead of aborting; its row keeps
+/// whatever the caller prefilled. The returned faults are sorted by run
+/// index. The happy path allocates nothing for the fault machinery, so
+/// the zero-allocation contract of [`parallel_fill_rows`] is preserved.
+///
+/// # Panics
+///
+/// As [`parallel_fill_rows`]; under [`PanicPolicy::FailFast`] a
+/// panicking run is propagated with its global index and message.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_fill_rows_isolated<P, S, I, F>(
+    runs: usize,
+    row_len: usize,
+    threads: usize,
+    base: &Prng,
+    run_offset: usize,
+    policy: PanicPolicy,
+    out: &mut [P],
+    init: I,
+    f: F,
+) -> Vec<RunFault>
+where
+    P: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Prng, &mut [P]) + Sync,
+{
     assert!(threads > 0, "threads must be positive");
     assert!(row_len > 0, "row_len must be positive");
     assert_eq!(out.len(), runs * row_len, "output matrix size mismatch");
     if runs == 0 {
-        return;
+        return Vec::new();
     }
     let workers = threads.min(runs);
     if workers == 1 {
+        let mut faults = Vec::new();
         let mut state = init();
-        for (r, row) in out.chunks_mut(row_len).enumerate() {
-            std::panic::catch_unwind(AssertUnwindSafe(|| {
+        for (local, row) in out.chunks_mut(row_len).enumerate() {
+            let r = run_offset + local;
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
                 f(&mut state, r, base.fork(r as u64), row)
-            }))
-            .unwrap_or_else(|payload| {
-                panic!("parallel_fill_rows: run {r} panicked: {}", panic_detail(payload.as_ref()))
-            });
+            })) {
+                Ok(()) => {}
+                Err(payload) => {
+                    let message = panic_detail(payload.as_ref());
+                    match policy {
+                        PanicPolicy::FailFast => {
+                            panic!("parallel_fill_rows: run {r} panicked: {message}")
+                        }
+                        PanicPolicy::Isolate => faults.push(RunFault { run: r, message }),
+                    }
+                }
+            }
         }
-        return;
+        return faults;
     }
 
     // Chunks several times smaller than a fair share keep the queue
     // balancing uneven run times without lock traffic per run. Chunk
     // boundaries stay on whole rows.
     let chunk_rows = (runs / (workers * 4)).max(1);
-    let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    let collected: Mutex<Vec<RunFault>> = Mutex::new(Vec::new());
     let abort = AtomicBool::new(false);
 
     let (tx, rx) = mpsc::channel();
@@ -223,22 +323,21 @@ pub fn parallel_fill_rows<P, S, I, F>(
                     let next = queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).recv();
                     let Ok((start_row, slice)) = next else { break };
                     for (offset, row) in slice.chunks_mut(row_len).enumerate() {
-                        let r = start_row + offset;
+                        let r = run_offset + start_row + offset;
                         match std::panic::catch_unwind(AssertUnwindSafe(|| {
                             f(&mut state, r, base.fork(r as u64), row)
                         })) {
                             Ok(()) => {}
                             Err(payload) => {
-                                let mut guard = first_panic
+                                let message = panic_detail(payload.as_ref());
+                                collected
                                     .lock()
-                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-                                // Keep the lowest run index for a stable message.
-                                match &*guard {
-                                    Some((held, _)) if *held <= r => {}
-                                    _ => *guard = Some((r, payload)),
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .push(RunFault { run: r, message });
+                                if policy == PanicPolicy::FailFast {
+                                    abort.store(true, Ordering::Relaxed);
+                                    return;
                                 }
-                                abort.store(true, Ordering::Relaxed);
-                                return;
                             }
                         }
                     }
@@ -249,11 +348,14 @@ pub fn parallel_fill_rows<P, S, I, F>(
 
     drop(queue);
 
-    if let Some((r, payload)) =
-        first_panic.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
-    {
-        panic!("parallel_fill_rows: run {r} panicked: {}", panic_detail(payload.as_ref()));
+    let mut faults = collected.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner());
+    faults.sort_by_key(|f| f.run);
+    if policy == PanicPolicy::FailFast {
+        if let Some(first) = faults.first() {
+            panic!("parallel_fill_rows: run {} panicked: {}", first.run, first.message);
+        }
     }
+    faults
 }
 
 /// Renders a caught panic payload for the rethrown message.
@@ -311,6 +413,13 @@ pub struct SweepConfig {
     pub eval_batch: usize,
     /// Base seed.
     pub seed: u64,
+    /// Global index of the first run: local run `r` draws from
+    /// `base.fork(run_offset + r)`. Non-zero for seed-range shards, which
+    /// therefore reproduce exactly the rows `run_offset .. run_offset +
+    /// runs` of the unsharded sweep's matrix.
+    pub run_offset: usize,
+    /// What happens when one Monte Carlo run panics.
+    pub on_panic: PanicPolicy,
 }
 
 impl Default for SweepConfig {
@@ -321,6 +430,8 @@ impl Default for SweepConfig {
             threads: num_threads(),
             eval_batch: 256,
             seed: 0,
+            run_offset: 0,
+            on_panic: PanicPolicy::FailFast,
         }
     }
 }
@@ -355,6 +466,36 @@ pub fn nwc_sweep(
     eval: &Dataset,
     config: &SweepConfig,
 ) -> Vec<SweepPoint> {
+    nwc_sweep_outcome(model, selector, sensitivities, magnitudes, eval, config).points
+}
+
+/// The complete result of one sweep: the aggregated curve, the raw
+/// per-run matrix it was aggregated from, and any isolated faults.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Aggregated statistics per fraction (what [`nwc_sweep`] returns).
+    pub points: Vec<SweepPoint>,
+    /// Row-major `runs × fractions` matrix of `(accuracy %, measured
+    /// NWC)` exactly as each run produced it — the mergeable form: rows
+    /// from different seed-range shards concatenate into the unsharded
+    /// matrix. Faulted rows stay `(0.0, 0.0)`.
+    pub raw: Vec<(f64, f64)>,
+    /// Runs that panicked under [`PanicPolicy::Isolate`] (global
+    /// indices, sorted). Empty under fail-fast.
+    pub faults: Vec<RunFault>,
+}
+
+/// [`nwc_sweep`] returning the raw per-run matrix and isolated faults
+/// alongside the aggregated points — the building block for seed-range
+/// sharding and `swim merge`.
+pub fn nwc_sweep_outcome(
+    model: &QuantizedModel,
+    selector: &dyn Selector,
+    sensitivities: &[f32],
+    magnitudes: &[f32],
+    eval: &Dataset,
+    config: &SweepConfig,
+) -> SweepOutcome {
     assert_eq!(sensitivities.len(), model.weight_count(), "sensitivities length mismatch");
     assert_eq!(magnitudes.len(), model.weight_count(), "magnitudes length mismatch");
     for &f in &config.fractions {
@@ -362,7 +503,7 @@ pub fn nwc_sweep(
     }
 
     if config.fractions.is_empty() {
-        return Vec::new();
+        return SweepOutcome { points: Vec::new(), raw: Vec::new(), faults: Vec::new() };
     }
 
     let base = Prng::seed_from_u64(config.seed);
@@ -381,11 +522,13 @@ pub fn nwc_sweep(
     // `tests/alloc_free.rs`).
     let nf = config.fractions.len();
     let mut per_run = vec![(0.0f64, 0.0f64); config.runs * nf];
-    parallel_fill_rows(
+    let faults = parallel_fill_rows_isolated(
         config.runs,
         nf,
         config.threads,
         &base,
+        config.run_offset,
+        config.on_panic,
         &mut per_run,
         || EvalScratch::new(model),
         |scratch, _, mut rng, row| {
@@ -408,17 +551,45 @@ pub fn nwc_sweep(
         },
     );
 
+    // Local indices of faulted rows, for the aggregation to skip. Empty
+    // on the happy path (an empty Vec never allocates, so the alloc_free
+    // gate is unaffected); faults arrive sorted by global run index.
+    let skip: Vec<usize> = faults.iter().map(|f| f.run - config.run_offset).collect();
+    let points = aggregate_sweep_rows(&config.fractions, &per_run, &skip);
+    SweepOutcome { points, raw: per_run, faults }
+}
+
+/// Aggregates a row-major `runs × fractions` raw matrix into
+/// [`SweepPoint`]s, pushing surviving rows in row order — exactly the
+/// accumulation the sweep itself performs, so re-aggregating the
+/// concatenated raw matrices of a complete shard partition is
+/// bit-identical to the unsharded sweep. `skip_rows` lists faulted row
+/// indices to leave out, sorted ascending.
+pub fn aggregate_sweep_rows(
+    fractions: &[f64],
+    raw: &[(f64, f64)],
+    skip_rows: &[usize],
+) -> Vec<SweepPoint> {
+    let nf = fractions.len();
+    if nf == 0 {
+        return Vec::new();
+    }
+    assert_eq!(raw.len() % nf, 0, "raw matrix is not whole rows");
+    let runs = raw.len() / nf;
     // One sort buffer for the tail statistics, allocated once per sweep
     // (never per run — the alloc_free gate requires the allocation-event
-    // count to be independent of `config.runs`; `sort_unstable_by` does
+    // count to be independent of the run count; `sort_unstable_by` does
     // not allocate).
-    let mut sorted = Vec::with_capacity(config.runs);
+    let mut sorted = Vec::with_capacity(runs);
     let mut points = Vec::with_capacity(nf);
-    for (fi, &fraction) in config.fractions.iter().enumerate() {
+    for (fi, &fraction) in fractions.iter().enumerate() {
         let mut accuracy = Running::new();
         let mut nwc = Running::new();
         sorted.clear();
-        for run in per_run.chunks_exact(nf) {
+        for (ri, run) in raw.chunks_exact(nf).enumerate() {
+            if skip_rows.binary_search(&ri).is_ok() {
+                continue;
+            }
             accuracy.push(run[fi].0);
             nwc.push(run[fi].1);
             sorted.push(run[fi].0);
@@ -587,6 +758,7 @@ mod tests {
             threads: 4,
             eval_batch: 64,
             seed: 7,
+            ..Default::default()
         };
         let sweep = nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg);
         assert_eq!(sweep.len(), 3);
@@ -618,6 +790,7 @@ mod tests {
                     threads,
                     eval_batch: 32,
                     seed: 11,
+                    ..Default::default()
                 };
                 curves.push(nwc_sweep(&model, &strategy, &sens, &mags, &data, &cfg));
             }
@@ -645,6 +818,7 @@ mod tests {
             threads: 2,
             eval_batch: 32,
             seed: 13,
+            ..Default::default()
         };
         let sweep = nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg);
 
@@ -709,6 +883,7 @@ mod tests {
             threads: 2,
             eval_batch: 64,
             seed: 17,
+            ..Default::default()
         };
         for point in nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &cfg) {
             assert!(point.accuracy_min <= point.accuracy_p05 + 1e-12, "{point:?}");
@@ -773,13 +948,155 @@ mod tests {
         );
     }
 
+    /// A seed-range shard fills exactly the matching rows of the full
+    /// matrix, and re-aggregating the concatenated shard matrices is
+    /// bit-identical to the unsharded sweep — the `swim merge` contract
+    /// at the core level.
+    #[test]
+    fn sharded_outcome_concatenates_to_the_unsharded_sweep() {
+        let (mut model, data) = trained();
+        let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
+        let mags = model.magnitudes();
+        let full_cfg = SweepConfig {
+            fractions: vec![0.0, 0.5, 1.0],
+            runs: 7,
+            threads: 2,
+            eval_batch: 64,
+            seed: 23,
+            ..Default::default()
+        };
+        for strategy in [Strategy::Swim, Strategy::Random] {
+            let full = nwc_sweep_outcome(&model, &strategy, &sens, &mags, &data, &full_cfg);
+            assert_eq!(full.raw.len(), 7 * 3);
+            assert!(full.faults.is_empty());
+
+            let mut merged_raw = Vec::new();
+            for (run_offset, runs) in [(0usize, 3usize), (3, 4)] {
+                let cfg = SweepConfig { runs, run_offset, ..full_cfg.clone() };
+                let shard = nwc_sweep_outcome(&model, &strategy, &sens, &mags, &data, &cfg);
+                assert_eq!(shard.raw.len(), runs * 3);
+                merged_raw.extend_from_slice(&shard.raw);
+            }
+            assert_eq!(merged_raw, full.raw, "{strategy:?}");
+
+            let merged = aggregate_sweep_rows(&full_cfg.fractions, &merged_raw, &[]);
+            for (a, b) in merged.iter().zip(&full.points) {
+                assert_eq!(a.accuracy.mean(), b.accuracy.mean(), "{strategy:?}");
+                assert_eq!(a.accuracy.std(), b.accuracy.std(), "{strategy:?}");
+                assert_eq!(a.nwc, b.nwc, "{strategy:?}");
+                assert_eq!(a.accuracy_min, b.accuracy_min, "{strategy:?}");
+                assert_eq!(a.accuracy_p05, b.accuracy_p05, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_rows_offset_reproduces_the_matching_rows() {
+        let base = Prng::seed_from_u64(31);
+        let fill = |runs: usize, offset: usize| {
+            let mut out = vec![0u64; runs * 2];
+            let faults = parallel_fill_rows_isolated(
+                runs,
+                2,
+                3,
+                &base,
+                offset,
+                PanicPolicy::FailFast,
+                &mut out,
+                || (),
+                |(), r, mut rng, row| {
+                    row[0] = r as u64;
+                    row[1] = rng.next_u64();
+                },
+            );
+            assert!(faults.is_empty());
+            out
+        };
+        let full = fill(10, 0);
+        let shard = fill(4, 3);
+        assert_eq!(&shard[..], &full[6..14]);
+    }
+
+    #[test]
+    fn isolate_records_faults_and_fills_surviving_rows() {
+        let base = Prng::seed_from_u64(32);
+        for threads in [1usize, 4] {
+            let mut out = vec![0.0f64; 8];
+            let faults = parallel_fill_rows_isolated(
+                8,
+                1,
+                threads,
+                &base,
+                10,
+                PanicPolicy::Isolate,
+                &mut out,
+                || (),
+                |(), r, _, row| {
+                    if r == 12 || r == 15 {
+                        panic!("poisoned run {r}");
+                    }
+                    row[0] = r as f64;
+                },
+            );
+            assert_eq!(
+                faults,
+                vec![
+                    RunFault { run: 12, message: "poisoned run 12".to_string() },
+                    RunFault { run: 15, message: "poisoned run 15".to_string() },
+                ],
+                "threads = {threads}"
+            );
+            for (local, &value) in out.iter().enumerate() {
+                let global = 10 + local;
+                if global == 12 || global == 15 {
+                    assert_eq!(value, 0.0, "faulted row must keep the prefill");
+                } else {
+                    assert_eq!(value, global as f64, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_skips_faulted_rows() {
+        let fractions = [0.0, 1.0];
+        // Three runs of two fractions; run 1 is faulted and contributes
+        // nothing.
+        let raw = vec![(10.0, 0.0), (20.0, 1.0), (0.0, 0.0), (0.0, 0.0), (30.0, 0.0), (40.0, 1.0)];
+        let points = aggregate_sweep_rows(&fractions, &raw, &[1]);
+        let mut expect = Running::new();
+        expect.push(10.0);
+        expect.push(30.0);
+        assert_eq!(points[0].accuracy.mean(), expect.mean());
+        assert_eq!(points[0].accuracy.std(), expect.std());
+        assert_eq!(points[0].accuracy.count(), 2);
+        assert_eq!(points[0].accuracy_min, 10.0);
+        assert_eq!(points[1].accuracy_min, 20.0);
+        assert_eq!(points[1].nwc, 1.0);
+    }
+
+    #[test]
+    fn panic_policy_keys_round_trip() {
+        for policy in [PanicPolicy::FailFast, PanicPolicy::Isolate] {
+            assert_eq!(PanicPolicy::parse(policy.key()), Some(policy));
+        }
+        assert_eq!(PanicPolicy::parse("explode"), None);
+        assert_eq!(PanicPolicy::default(), PanicPolicy::FailFast);
+    }
+
     #[test]
     fn random_strategy_varies_across_runs_but_not_seeds() {
         let (mut model, data) = trained();
         let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &data, 32);
         let mags = model.magnitudes();
-        let cfg =
-            SweepConfig { fractions: vec![0.5], runs: 6, threads: 2, eval_batch: 64, seed: 8 };
+        let cfg = SweepConfig {
+            fractions: vec![0.5],
+            runs: 6,
+            threads: 2,
+            eval_batch: 64,
+            seed: 8,
+            ..Default::default()
+        };
         let a = nwc_sweep(&model, &Strategy::Random, &sens, &mags, &data, &cfg);
         let b = nwc_sweep(&model, &Strategy::Random, &sens, &mags, &data, &cfg);
         assert_eq!(a[0].accuracy.mean(), b[0].accuracy.mean());

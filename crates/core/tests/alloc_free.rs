@@ -152,6 +152,8 @@ fn steady_state_sweep_iterations_allocate_nothing() {
         threads: 1,
         eval_batch: 16,
         seed: 5,
+        run_offset: 0,
+        on_panic: swim_core::montecarlo::PanicPolicy::FailFast,
     };
     // Warm sweep (thread-locals, lazy statics).
     let _ = nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &data, &sweep_cfg(2));

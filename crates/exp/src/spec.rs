@@ -14,7 +14,7 @@ use swim_cim::device::{DeviceConfig, DeviceTech};
 use swim_cim::model::{device_model_by_name, device_model_keys, DEFAULT_DEVICE_MODEL};
 use swim_core::algorithm::Alg1Config;
 use swim_core::insitu::InsituConfig;
-use swim_core::montecarlo::SweepConfig;
+use swim_core::montecarlo::{PanicPolicy, SweepConfig};
 use swim_core::select::{selector_by_name, Selector};
 
 /// A spec parsing/validation error.
@@ -306,12 +306,42 @@ pub struct MonteCarloSpec {
     pub threads: usize,
     /// Evaluation batch size.
     pub eval_batch: usize,
+    /// What happens when one run panics: `"fail-fast"` aborts the sweep
+    /// with the run index (the default), `"isolate"` records the fault
+    /// in the results document and keeps sweeping.
+    pub on_panic: PanicPolicy,
 }
 
 impl Default for MonteCarloSpec {
     fn default() -> Self {
-        MonteCarloSpec { runs: 25, threads: 0, eval_batch: 256 }
+        MonteCarloSpec { runs: 25, threads: 0, eval_batch: 256, on_panic: PanicPolicy::FailFast }
     }
+}
+
+/// `[run]`: execution partitioning. Unlike every other section this is
+/// not part of the experiment's mathematical identity — two shards of
+/// one experiment differ only here, and `swim merge` strips it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunSpec {
+    /// Deterministic seed-range shard `(index, count)`, written as
+    /// `"i/n"` in spec files. Shard `i` of `n` covers the global Monte
+    /// Carlo runs `[i·runs/n, (i+1)·runs/n)`; because run `r` always
+    /// draws from the forked stream `r`, the shards of a complete
+    /// partition reproduce exactly the runs of the unsharded sweep.
+    /// `None` runs everything.
+    pub shard: Option<(usize, usize)>,
+}
+
+/// Parses the `"i/n"` shard form.
+fn parse_shard(text: &str) -> Result<(usize, usize), SpecError> {
+    let invalid = || err(format!("`run.shard` must be \"i/n\" with 0 <= i < n (got `{text}`)"));
+    let (i, n) = text.split_once('/').ok_or_else(invalid)?;
+    let index: usize = i.trim().parse().map_err(|_| invalid())?;
+    let count: usize = n.trim().parse().map_err(|_| invalid())?;
+    if count == 0 || index >= count {
+        return Err(invalid());
+    }
+    Ok((index, count))
 }
 
 /// `[insitu]`: on-device training baseline hyper-parameters.
@@ -430,6 +460,8 @@ pub struct ExperimentSpec {
     pub calibration: CalibrationSpec,
     /// Ablation grids.
     pub ablation: AblationSpec,
+    /// Execution partitioning (seed-range sharding).
+    pub run: RunSpec,
 }
 
 impl Default for ExperimentSpec {
@@ -449,6 +481,7 @@ impl Default for ExperimentSpec {
             correlation: CorrelationSpec::default(),
             calibration: CalibrationSpec::default(),
             ablation: AblationSpec::default(),
+            run: RunSpec::default(),
         }
     }
 }
@@ -590,13 +623,37 @@ impl ExperimentSpec {
             Some(v) => {
                 let d = &defaults.montecarlo;
                 let mut s = Reader::new("montecarlo", v)?;
+                let on_panic_key = s.string_or("on_panic", d.on_panic.key())?;
+                let on_panic = PanicPolicy::parse(&on_panic_key).ok_or_else(|| {
+                    err(format!(
+                        "`montecarlo.on_panic` must be \"fail-fast\" or \"isolate\" \
+                         (got `{on_panic_key}`)"
+                    ))
+                })?;
                 let out = MonteCarloSpec {
                     runs: s.usize_or("runs", d.runs)?,
                     threads: s.usize_or("threads", d.threads)?,
                     eval_batch: s.usize_or("eval_batch", d.eval_batch)?,
+                    on_panic,
                 };
                 s.finish()?;
                 out
+            }
+        };
+
+        let run = match r.take("run") {
+            None => defaults.run,
+            Some(v) => {
+                let mut s = Reader::new("run", v)?;
+                let shard = match s.take("shard") {
+                    None => None,
+                    Some(Value::Str(text)) => Some(parse_shard(text)?),
+                    Some(_) => {
+                        return Err(err("`run.shard` must be a string like \"0/4\""));
+                    }
+                };
+                s.finish()?;
+                RunSpec { shard }
             }
         };
 
@@ -672,6 +729,7 @@ impl ExperimentSpec {
             correlation,
             calibration,
             ablation,
+            run,
         };
         spec.validate()?;
         Ok(spec)
@@ -791,6 +849,32 @@ impl ExperimentSpec {
         if self.calibration.devices == 0 {
             return Err(err("`calibration.devices` must be positive"));
         }
+        if let Some((index, count)) = self.run.shard {
+            // parse_shard guarantees index < count for parsed specs;
+            // re-check for programmatic construction.
+            if count == 0 || index >= count {
+                return Err(err(format!(
+                    "`run.shard` index {index} out of range for {count} shards"
+                )));
+            }
+            if !matches!(
+                self.kind,
+                ExperimentKind::Sweep | ExperimentKind::Table1 | ExperimentKind::Fig2
+            ) {
+                return Err(err(format!(
+                    "`run.shard` applies only to the Monte Carlo sweep kinds \
+                     (sweep, table1, fig2), not `{}`",
+                    self.kind.key()
+                )));
+            }
+            if count > self.montecarlo.runs {
+                return Err(err(format!(
+                    "`run.shard`: {count} shards over {} Monte Carlo runs would leave \
+                     empty shards",
+                    self.montecarlo.runs
+                )));
+            }
+        }
         for &p in &self.ablation.granularities {
             if !(p > 0.0 && p <= 1.0) {
                 return Err(err(format!("`ablation.granularities` entry {p} must be in (0, 1]")));
@@ -826,14 +910,31 @@ impl ExperimentSpec {
         }
     }
 
-    /// The [`SweepConfig`] view of this spec.
+    /// The contiguous global Monte Carlo run range this spec covers:
+    /// `[i·runs/n, (i+1)·runs/n)` for shard `i` of `n`, the full
+    /// `[0, runs)` when unsharded. The ranges of a complete shard
+    /// partition tile `[0, runs)` exactly.
+    pub fn shard_run_range(&self) -> (usize, usize) {
+        let runs = self.montecarlo.runs;
+        match self.run.shard {
+            None => (0, runs),
+            Some((i, n)) => (i * runs / n, (i + 1) * runs / n),
+        }
+    }
+
+    /// The [`SweepConfig`] view of this spec. For a sharded spec the
+    /// config covers only the shard's run range, with `run_offset`
+    /// preserving the global PRNG streams.
     pub fn sweep_config(&self) -> SweepConfig {
+        let (start, end) = self.shard_run_range();
         SweepConfig {
             fractions: self.sweep.fractions.clone(),
-            runs: self.montecarlo.runs,
+            runs: end - start,
             threads: self.threads(),
             eval_batch: self.montecarlo.eval_batch,
             seed: self.seed,
+            run_offset: start,
+            on_panic: self.montecarlo.on_panic,
         }
     }
 
@@ -931,7 +1032,17 @@ impl ExperimentSpec {
         montecarlo.set("runs", Value::Int(self.montecarlo.runs as i64));
         montecarlo.set("threads", Value::Int(self.montecarlo.threads as i64));
         montecarlo.set("eval_batch", Value::Int(self.montecarlo.eval_batch as i64));
+        montecarlo.set("on_panic", Value::Str(self.montecarlo.on_panic.key().into()));
         root.set("montecarlo", montecarlo);
+
+        // `[run]` describes how this execution is partitioned, not what
+        // the experiment is; it is only written when a shard is set, so
+        // unsharded spec echoes stay byte-identical across merges.
+        if let Some((i, n)) = self.run.shard {
+            let mut run = Value::table();
+            run.set("shard", Value::Str(format!("{i}/{n}")));
+            root.set("run", run);
+        }
 
         let mut insitu = Value::table();
         insitu.set("lr", f32_value(self.insitu.lr));
@@ -1045,6 +1156,8 @@ pub fn resolve_set_path(kind: ExperimentKind, key: &str) -> String {
         "seed" => "seed",
         "name" => "name",
         "note" => "note",
+        "shard" => "run.shard",
+        "on-panic" | "on_panic" => "montecarlo.on_panic",
         other => other,
     };
     bare.to_string()
@@ -1231,6 +1344,79 @@ mod tests {
         let mut spec = ExperimentSpec::default();
         spec.device.sigmas.clear();
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn shard_parses_validates_and_round_trips() {
+        let spec =
+            ExperimentSpec::parse_str("[run]\nshard = \"1/3\"\n[montecarlo]\nruns = 10\n").unwrap();
+        assert_eq!(spec.run.shard, Some((1, 3)));
+        assert_eq!(spec.shard_run_range(), (3, 6));
+        let again = ExperimentSpec::parse_str(&spec.to_toml()).unwrap();
+        assert_eq!(again, spec);
+        // Unsharded specs do not write a [run] section at all.
+        assert!(!ExperimentSpec::default().to_toml().contains("[run]"));
+        // Bad forms.
+        for bad in ["3/3", "2", "a/b", "1/0", "-1/2"] {
+            let text = format!("[run]\nshard = \"{bad}\"\n");
+            assert!(ExperimentSpec::parse_str(&text).is_err(), "{bad}");
+        }
+        // Only the Monte Carlo sweep kinds shard.
+        let e = ExperimentSpec::parse_str("kind = \"fig1\"\n[run]\nshard = \"0/2\"\n").unwrap_err();
+        assert!(e.0.contains("run.shard"), "{e}");
+        // More shards than runs would leave empty shards.
+        let e = ExperimentSpec::parse_str("[run]\nshard = \"0/30\"\n[montecarlo]\nruns = 10\n")
+            .unwrap_err();
+        assert!(e.0.contains("empty shards"), "{e}");
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_run_budget() {
+        for runs in [1usize, 7, 25, 100] {
+            for n in 1..=runs.min(9) {
+                let mut start = 0;
+                for i in 0..n {
+                    let spec = ExperimentSpec {
+                        run: RunSpec { shard: Some((i, n)) },
+                        montecarlo: MonteCarloSpec { runs, ..Default::default() },
+                        ..Default::default()
+                    };
+                    let (s, e) = spec.shard_run_range();
+                    assert_eq!(s, start, "runs={runs} shard {i}/{n}");
+                    assert!(e >= s);
+                    start = e;
+                }
+                assert_eq!(start, runs, "shards must tile [0, {runs})");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_and_on_panic_shorthands_apply() {
+        let mut spec = ExperimentSpec::default();
+        spec.apply_set("shard=1/2").unwrap();
+        assert_eq!(spec.run.shard, Some((1, 2)));
+        spec.apply_set("on-panic=isolate").unwrap();
+        assert_eq!(spec.montecarlo.on_panic, PanicPolicy::Isolate);
+        assert!(spec.apply_set("on_panic=explode").is_err());
+        // Both settings survive later overrides (write → re-read).
+        spec.apply_set("runs=40").unwrap();
+        assert_eq!(spec.run.shard, Some((1, 2)));
+        assert_eq!(spec.montecarlo.on_panic, PanicPolicy::Isolate);
+    }
+
+    #[test]
+    fn sharded_sweep_config_offsets_runs() {
+        let spec = ExperimentSpec::parse_str(
+            "seed = 5\n[run]\nshard = \"1/2\"\n[montecarlo]\nruns = 25\n",
+        )
+        .unwrap();
+        let cfg = spec.sweep_config();
+        assert_eq!((cfg.run_offset, cfg.runs), (12, 13));
+        assert_eq!(cfg.on_panic, PanicPolicy::FailFast);
+        // The unsharded view covers everything from offset zero.
+        let cfg = ExperimentSpec::default().sweep_config();
+        assert_eq!((cfg.run_offset, cfg.runs), (0, 25));
     }
 
     #[test]

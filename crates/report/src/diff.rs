@@ -265,6 +265,66 @@ pub fn diff_docs(a: &ResultsDoc, b: &ResultsDoc, opts: &DiffOptions) -> DiffRepo
         (None, None) => {}
     }
 
+    // ------------------------------------- partial-document flavor
+    // A shard document, a checkpoint journal, and a final document are
+    // different *shapes*, not different numbers. The raw matrices are
+    // not compared: every statistic derived from them already is.
+    match (&a.shard, &b.shard) {
+        (Some(sa), Some(sb)) if sa != sb => {
+            cmp.report.structure.push(DiffEntry::new(
+                "shard",
+                format!("shard {}/{} (runs {}..{})", sa.index, sa.count, sa.run_start, sa.run_end),
+                format!("shard {}/{} (runs {}..{})", sb.index, sb.count, sb.run_start, sb.run_end),
+            ));
+        }
+        (Some(sa), None) => {
+            cmp.report.structure.push(DiffEntry::new(
+                "shard",
+                format!("partial (shard {}/{})", sa.index, sa.count),
+                "full document",
+            ));
+        }
+        (None, Some(sb)) => {
+            cmp.report.structure.push(DiffEntry::new(
+                "shard",
+                "full document",
+                format!("partial (shard {}/{})", sb.index, sb.count),
+            ));
+        }
+        _ => {}
+    }
+    match (&a.completed, &b.completed) {
+        (Some(ca), Some(cb)) if ca != cb => {
+            cmp.report.structure.push(DiffEntry::new(
+                "completed",
+                format!("{} checkpointed block(s)", ca.len()),
+                format!("{} checkpointed block(s)", cb.len()),
+            ));
+        }
+        (Some(ca), None) => {
+            cmp.report.structure.push(DiffEntry::new(
+                "completed",
+                format!("checkpoint journal ({} block(s))", ca.len()),
+                "final document",
+            ));
+        }
+        (None, Some(cb)) => {
+            cmp.report.structure.push(DiffEntry::new(
+                "completed",
+                "final document",
+                format!("checkpoint journal ({} block(s))", cb.len()),
+            ));
+        }
+        _ => {}
+    }
+    if a.faults != b.faults {
+        cmp.report.structure.push(DiffEntry::new(
+            "faults",
+            format!("{} isolated fault(s)", a.faults.len()),
+            format!("{} isolated fault(s)", b.faults.len()),
+        ));
+    }
+
     // ------------------------------------------------------- tables
     // For kinds whose only results are their tables (calibration,
     // ablation — no sweeps/correlations payload on either side), the
@@ -413,6 +473,7 @@ mod tests {
                 },
             ],
             insitu: vec![InsituPoint { nwc: 0.5, accuracy_mean: 95.0, accuracy_std: 0.4 }],
+            raw: None,
         });
         doc
     }
@@ -559,6 +620,50 @@ mod tests {
             t
         };
         assert!(diff_docs(&a2, &b2, &DiffOptions::default()).clean());
+    }
+
+    #[test]
+    fn partial_document_flavor_is_structural() {
+        use crate::schema::{BlockKey, FaultDoc};
+        let a = doc();
+
+        // Shard vs full.
+        let mut b = doc();
+        b.spec.run.shard = Some((0, 2));
+        let b = ResultsDoc::new(b.spec, 1.0);
+        let report = diff_docs(&a, &b, &DiffOptions { ignore_spec: true, ..Default::default() });
+        assert!(
+            report.structure.iter().any(|e| e.path == "shard" && e.right.contains("0/2")),
+            "{}",
+            report.render()
+        );
+
+        // Checkpoint journal vs final.
+        let mut c = doc();
+        c.completed = Some(vec![BlockKey { device_model: "rram-gaussian".into(), sigma: 0.15 }]);
+        let report = diff_docs(&a, &c, &DiffOptions::default());
+        assert!(
+            report.structure.iter().any(|e| e.path == "completed" && e.left == "final document"),
+            "{}",
+            report.render()
+        );
+
+        // Isolated faults on one side only.
+        let mut d = doc();
+        d.faults.push(FaultDoc {
+            device_model: "rram-gaussian".into(),
+            sigma: 0.15,
+            method: "SWIM".into(),
+            run: 7,
+            seed: 1,
+            message: "boom".into(),
+        });
+        let report = diff_docs(&a, &d, &DiffOptions::default());
+        assert!(
+            report.structure.iter().any(|e| e.path == "faults" && e.right.contains("1")),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]

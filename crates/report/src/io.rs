@@ -1,0 +1,72 @@
+//! Crash-safe file output.
+//!
+//! Every results/report/checkpoint file the tools write goes through
+//! [`write_atomic`]: the bytes land in a `<path>.tmp` sibling, are
+//! fsynced, and the file is renamed into place. A crash mid-write can
+//! leave a stale `.tmp` behind but never a truncated document at the
+//! destination — which is what lets `swim run --resume` trust whatever
+//! checkpoint journal it finds on disk.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: write to `<path>.tmp`, fsync,
+/// rename over `path`. The error message names the path and stage.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), String> {
+    let tmp = tmp_sibling(path);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| format!("{}: create: {e}", tmp.display()))?;
+    file.write_all(contents).map_err(|e| format!("{}: write: {e}", tmp.display()))?;
+    // Flush file contents to stable storage *before* the rename makes
+    // them visible under the final name.
+    file.sync_all().map_err(|e| format!("{}: fsync: {e}", tmp.display()))?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("{} -> {}: rename: {e}", tmp.display(), path.display()))?;
+    // Persist the directory entry too, so the rename itself survives a
+    // crash. Best-effort: directory fsync is not supported everywhere.
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces_without_leaving_tmp() {
+        let dir = std::env::temp_dir().join(format!("swim-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!dir.join("doc.json.tmp").exists(), "tmp sibling left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn errors_name_the_path() {
+        let path = Path::new("/nonexistent-dir-swim/doc.json");
+        let e = write_atomic(path, b"x").unwrap_err();
+        assert!(e.contains("doc.json.tmp"), "{e}");
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod io;
 pub mod markdown;
 pub mod plot;
 pub mod schema;

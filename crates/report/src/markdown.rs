@@ -308,6 +308,7 @@ mod tests {
                 InsituPoint { nwc: 0.0, accuracy_mean: 88.0, accuracy_std: 0.9 },
                 InsituPoint { nwc: 1.0, accuracy_mean: 95.0, accuracy_std: 0.5 },
             ],
+            raw: None,
         });
         let mut t = Table::new("speedups", &["method", "NWC needed"]);
         t.push_row(&["SWIM", "0.10"]);

@@ -28,8 +28,12 @@ use swim_exp::value::{parse_json, Reader, Value};
 ///
 /// Version history: 1 = original schema; 2 = `CurvePoint` gained the
 /// tail-risk columns `accuracy_min` / `accuracy_p05` and `SweepDoc`
-/// gained `device_model`.
-pub const RESULTS_VERSION: i64 = 2;
+/// gained `device_model`; 3 = the partial-document flavor behind
+/// `swim merge` and `swim run --resume` (`shard` provenance, the
+/// `completed` checkpoint block list, per-block `raw` Monte Carlo
+/// matrices in shard documents, the `faults` section for isolated run
+/// panics, and `[montecarlo] on_panic` in the spec echo).
+pub const RESULTS_VERSION: i64 = 3;
 
 /// A results-document parsing/validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +114,9 @@ pub struct SweepDoc {
     pub methods: Vec<MethodCurveDoc>,
     /// In-situ baseline checkpoints (empty when the baseline was off).
     pub insitu: Vec<InsituPoint>,
+    /// Raw per-run matrices, present only in shard documents so
+    /// `swim merge` can rebuild the unsharded statistics bit-exactly.
+    pub raw: Option<RawSweepDoc>,
 }
 
 impl SweepDoc {
@@ -117,6 +124,73 @@ impl SweepDoc {
     pub fn method(&self, name: &str) -> Option<&MethodCurveDoc> {
         self.methods.iter().find(|m| m.name == name)
     }
+}
+
+/// Shard provenance of a partial (seed-range-sharded) document —
+/// denormalized from the spec echo's `[run] shard`, cross-checked on
+/// parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDoc {
+    /// Shard index in `[0, count)`.
+    pub index: usize,
+    /// Total shards in the partition.
+    pub count: usize,
+    /// First global Monte Carlo run this shard covers (also the PRNG
+    /// fork stream of its first run).
+    pub run_start: usize,
+    /// One past the last global run covered.
+    pub run_end: usize,
+}
+
+/// Identifies one completed `(device model, sigma)` block of a
+/// checkpoint journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockKey {
+    /// Device-model registry key.
+    pub device_model: String,
+    /// Device variation level.
+    pub sigma: f64,
+}
+
+/// One Monte Carlo run that panicked under `[montecarlo] on_panic =
+/// "isolate"`; the surviving statistics exclude it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDoc {
+    /// Device-model registry key of the block the run belonged to.
+    pub device_model: String,
+    /// Device variation level of the block.
+    pub sigma: f64,
+    /// Selection method display name.
+    pub method: String,
+    /// Global run index — the PRNG fork stream id, so the failure
+    /// replays in isolation regardless of sharding or thread count.
+    pub run: usize,
+    /// Base seed the run's stream was forked from.
+    pub seed: u64,
+    /// Rendered panic payload.
+    pub message: String,
+}
+
+/// Raw per-run Monte Carlo data of one selection method (present only
+/// in shard documents, where it makes the block mergeable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawMethodDoc {
+    /// Selector display name, matching the aggregated curve's.
+    pub name: String,
+    /// One row per local run, one `(accuracy %, nwc)` pair per sweep
+    /// fraction, exactly as the run produced them.
+    pub rows: Vec<Vec<(f64, f64)>>,
+}
+
+/// Raw per-run data of one sweep block (present only in shard
+/// documents).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RawSweepDoc {
+    /// Per-method raw matrices, in table row order.
+    pub methods: Vec<RawMethodDoc>,
+    /// Per-run in-situ trajectories: one `(nwc, accuracy fraction)`
+    /// pair per checkpoint. Empty when the baseline was off.
+    pub insitu_runs: Vec<Vec<(f64, f64)>>,
 }
 
 /// Fig. 1 correlation summary (present only for `fig1`-kind runs).
@@ -153,14 +227,38 @@ pub struct ResultsDoc {
     pub correlations: Option<Correlations>,
     /// Every table the run printed, in print order.
     pub tables: Vec<Table>,
+    /// Shard provenance — `Some` exactly when the spec echo carries
+    /// `[run] shard`; this is a partial document covering only that
+    /// seed range.
+    pub shard: Option<ShardDoc>,
+    /// Checkpoint-journal flavor: the `(model, sigma)` blocks already
+    /// completed, in grid order. `None` for final documents.
+    pub completed: Option<Vec<BlockKey>>,
+    /// Runs that panicked under the isolate policy (empty otherwise;
+    /// omitted from the JSON when empty).
+    pub faults: Vec<FaultDoc>,
     /// Wall-clock duration of the run in seconds.
     pub wall_time_s: f64,
 }
 
 impl ResultsDoc {
-    /// An empty document shell for `spec` (no sweeps/tables yet).
+    /// An empty document shell for `spec` (no sweeps/tables yet). The
+    /// shard provenance is derived from the spec echo.
     pub fn new(spec: ExperimentSpec, wall_time_s: f64) -> Self {
-        ResultsDoc { spec, sweeps: Vec::new(), correlations: None, tables: Vec::new(), wall_time_s }
+        let shard = spec.run.shard.map(|(index, count)| {
+            let (run_start, run_end) = spec.shard_run_range();
+            ShardDoc { index, count, run_start, run_end }
+        });
+        ResultsDoc {
+            spec,
+            sweeps: Vec::new(),
+            correlations: None,
+            tables: Vec::new(),
+            shard,
+            completed: None,
+            faults: Vec::new(),
+            wall_time_s,
+        }
     }
 
     /// The experiment's display name (from the spec echo).
@@ -201,6 +299,30 @@ impl ResultsDoc {
         doc.set("kind", Value::Str(self.spec.kind.key().to_string()));
         doc.set("seed", Value::Int(self.spec.seed as i64));
         doc.set("spec", self.spec.to_value());
+        if let Some(s) = &self.shard {
+            let mut sv = Value::table();
+            sv.set("index", Value::Int(s.index as i64));
+            sv.set("count", Value::Int(s.count as i64));
+            sv.set("run_start", Value::Int(s.run_start as i64));
+            sv.set("run_end", Value::Int(s.run_end as i64));
+            doc.set("shard", sv);
+        }
+        if let Some(completed) = &self.completed {
+            doc.set(
+                "completed",
+                Value::Array(
+                    completed
+                        .iter()
+                        .map(|b| {
+                            let mut bv = Value::table();
+                            bv.set("device_model", Value::Str(b.device_model.clone()));
+                            bv.set("sigma", Value::Float(b.sigma));
+                            bv
+                        })
+                        .collect(),
+                ),
+            );
+        }
         if !self.sweeps.is_empty() {
             doc.set("sweeps", Value::Array(self.sweeps.iter().map(sweep_to_value).collect()));
         }
@@ -209,6 +331,26 @@ impl ResultsDoc {
             cv.set("magnitude", Value::Float(c.magnitude));
             cv.set("sensitivity", Value::Float(c.sensitivity));
             doc.set("correlations", cv);
+        }
+        if !self.faults.is_empty() {
+            doc.set(
+                "faults",
+                Value::Array(
+                    self.faults
+                        .iter()
+                        .map(|f| {
+                            let mut fv = Value::table();
+                            fv.set("device_model", Value::Str(f.device_model.clone()));
+                            fv.set("sigma", Value::Float(f.sigma));
+                            fv.set("method", Value::Str(f.method.clone()));
+                            fv.set("run", Value::Int(f.run as i64));
+                            fv.set("seed", Value::Int(f.seed as i64));
+                            fv.set("message", Value::Str(f.message.clone()));
+                            fv
+                        })
+                        .collect(),
+                ),
+            );
         }
         doc.set("tables", Value::Array(self.tables.iter().map(table_to_value).collect()));
         doc.set("wall_time_s", Value::Float(self.wall_time_s));
@@ -274,6 +416,54 @@ impl ResultsDoc {
             )));
         }
 
+        let shard = match r.take("shard") {
+            None => None,
+            Some(v) => {
+                let mut s = Reader::new("shard", v)?;
+                let out = ShardDoc {
+                    index: s.u64_req("index")? as usize,
+                    count: s.u64_req("count")? as usize,
+                    run_start: s.u64_req("run_start")? as usize,
+                    run_end: s.u64_req("run_end")? as usize,
+                };
+                s.finish()?;
+                Some(out)
+            }
+        };
+        // Like `name`/`kind`/`seed`, `shard` is a denormalized copy of
+        // the spec echo's `[run] shard`; the two must agree exactly.
+        let expected_shard = spec.run.shard.map(|(index, count)| {
+            let (run_start, run_end) = spec.shard_run_range();
+            ShardDoc { index, count, run_start, run_end }
+        });
+        if shard != expected_shard {
+            return Err(err(format!(
+                "document `shard` ({shard:?}) contradicts its spec echo ({expected_shard:?})"
+            )));
+        }
+
+        let completed = match r.take("completed") {
+            None => None,
+            Some(v) => {
+                let items = v.as_array().ok_or_else(|| err("`completed` must be an array"))?;
+                let blocks = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        let bpath = format!("completed[{i}]");
+                        let mut b = Reader::new(&bpath, item)?;
+                        let out = BlockKey {
+                            device_model: b.string_req("device_model")?,
+                            sigma: b.f64_req("sigma")?,
+                        };
+                        b.finish()?;
+                        Ok(out)
+                    })
+                    .collect::<Result<Vec<_>, SchemaError>>()?;
+                Some(blocks)
+            }
+        };
+
         let sweeps = match r.take("sweeps") {
             None => Vec::new(),
             Some(v) => {
@@ -283,6 +473,31 @@ impl ResultsDoc {
                     .enumerate()
                     .map(|(i, item)| sweep_from_value(&format!("sweeps[{i}]"), item))
                     .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+
+        let faults = match r.take("faults") {
+            None => Vec::new(),
+            Some(v) => {
+                let items = v.as_array().ok_or_else(|| err("`faults` must be an array"))?;
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        let fpath = format!("faults[{i}]");
+                        let mut f = Reader::new(&fpath, item)?;
+                        let out = FaultDoc {
+                            device_model: f.string_req("device_model")?,
+                            sigma: f.f64_req("sigma")?,
+                            method: f.string_req("method")?,
+                            run: f.u64_req("run")? as usize,
+                            seed: f.u64_req("seed")?,
+                            message: f.string_req("message")?,
+                        };
+                        f.finish()?;
+                        Ok(out)
+                    })
+                    .collect::<Result<Vec<_>, SchemaError>>()?
             }
         };
 
@@ -312,7 +527,7 @@ impl ResultsDoc {
         let wall_time_s = r.f64_req("wall_time_s")?;
         r.finish()?;
 
-        Ok(ResultsDoc { spec, sweeps, correlations, tables, wall_time_s })
+        Ok(ResultsDoc { spec, sweeps, correlations, tables, shard, completed, faults, wall_time_s })
     }
 }
 
@@ -364,7 +579,94 @@ fn sweep_to_value(sweep: &SweepDoc) -> Value {
         })
         .collect();
     v.set("insitu", Value::Array(insitu));
+    if let Some(raw) = &sweep.raw {
+        v.set("raw", raw_to_value(raw));
+    }
     v
+}
+
+fn pair_to_value(p: (f64, f64)) -> Value {
+    Value::Array(vec![Value::Float(p.0), Value::Float(p.1)])
+}
+
+fn pairs_to_value(pairs: &[(f64, f64)]) -> Value {
+    Value::Array(pairs.iter().map(|&p| pair_to_value(p)).collect())
+}
+
+fn raw_to_value(raw: &RawSweepDoc) -> Value {
+    let mut v = Value::table();
+    let methods = raw
+        .methods
+        .iter()
+        .map(|m| {
+            let mut mv = Value::table();
+            mv.set("name", Value::Str(m.name.clone()));
+            mv.set("rows", Value::Array(m.rows.iter().map(|row| pairs_to_value(row)).collect()));
+            mv
+        })
+        .collect();
+    v.set("methods", Value::Array(methods));
+    v.set(
+        "insitu_runs",
+        Value::Array(raw.insitu_runs.iter().map(|run| pairs_to_value(run)).collect()),
+    );
+    v
+}
+
+fn pair_from_value(path: &str, value: &Value) -> Result<(f64, f64), SchemaError> {
+    let items = value
+        .as_array()
+        .filter(|items| items.len() == 2)
+        .ok_or_else(|| err(format!("`{path}` must be a 2-element number array")))?;
+    let a = items[0].as_float().ok_or_else(|| err(format!("`{path}[0]` must be a number")))?;
+    let b = items[1].as_float().ok_or_else(|| err(format!("`{path}[1]` must be a number")))?;
+    Ok((a, b))
+}
+
+fn pairs_from_value(path: &str, value: &Value) -> Result<Vec<(f64, f64)>, SchemaError> {
+    let items = value.as_array().ok_or_else(|| err(format!("`{path}` must be an array")))?;
+    items.iter().enumerate().map(|(i, p)| pair_from_value(&format!("{path}[{i}]"), p)).collect()
+}
+
+fn raw_from_value(path: &str, value: &Value) -> Result<RawSweepDoc, SchemaError> {
+    let mut r = Reader::new(path, value)?;
+    let methods = {
+        let v = r.require("methods")?;
+        let items =
+            v.as_array().ok_or_else(|| err(format!("`{path}.methods` must be an array")))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let mpath = format!("{path}.methods[{i}]");
+                let mut m = Reader::new(&mpath, item)?;
+                let name = m.string_req("name")?;
+                let rows = {
+                    let v = m.require("rows")?;
+                    let rows = v
+                        .as_array()
+                        .ok_or_else(|| err(format!("`{mpath}.rows` must be an array")))?;
+                    rows.iter()
+                        .enumerate()
+                        .map(|(j, row)| pairs_from_value(&format!("{mpath}.rows[{j}]"), row))
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+                m.finish()?;
+                Ok(RawMethodDoc { name, rows })
+            })
+            .collect::<Result<Vec<_>, SchemaError>>()?
+    };
+    let insitu_runs = {
+        let v = r.require("insitu_runs")?;
+        let runs =
+            v.as_array().ok_or_else(|| err(format!("`{path}.insitu_runs` must be an array")))?;
+        runs.iter()
+            .enumerate()
+            .map(|(i, run)| pairs_from_value(&format!("{path}.insitu_runs[{i}]"), run))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    r.finish()?;
+    Ok(RawSweepDoc { methods, insitu_runs })
 }
 
 fn sweep_from_value(path: &str, value: &Value) -> Result<SweepDoc, SchemaError> {
@@ -437,8 +739,13 @@ fn sweep_from_value(path: &str, value: &Value) -> Result<SweepDoc, SchemaError> 
         }
     };
 
+    let raw = match r.take("raw") {
+        None => None,
+        Some(v) => Some(raw_from_value(&format!("{path}.raw"), v)?),
+    };
+
     r.finish()?;
-    Ok(SweepDoc { device_model, sigma, float_accuracy, quant_accuracy, methods, insitu })
+    Ok(SweepDoc { device_model, sigma, float_accuracy, quant_accuracy, methods, insitu, raw })
 }
 
 // ------------------------------------------------------------- tables
@@ -545,6 +852,35 @@ mod tests {
                 ],
             }],
             insitu: vec![InsituPoint { nwc: 0.5, accuracy_mean: 95.0, accuracy_std: 0.4 }],
+            raw: None,
+        });
+        doc
+    }
+
+    /// A shard-flavored document: `[run] shard` in the spec echo, shard
+    /// provenance, a checkpoint `completed` list, raw matrices, and an
+    /// isolated fault.
+    fn shard_doc() -> ResultsDoc {
+        let mut spec = swim_exp::preset("table1", true).unwrap();
+        spec.run.shard = Some((1, 2));
+        let mut doc = ResultsDoc::new(spec, 1.25);
+        let mut sweep = sample_doc().sweeps[0].clone();
+        sweep.raw = Some(RawSweepDoc {
+            methods: vec![RawMethodDoc {
+                name: "SWIM".into(),
+                rows: vec![vec![(90.0, 0.0), (98.0, 1.0)], vec![(91.5, 0.0), (97.25, 1.0)]],
+            }],
+            insitu_runs: vec![vec![(0.5, 0.95)]],
+        });
+        doc.sweeps.push(sweep);
+        doc.completed = Some(vec![BlockKey { device_model: "rram-gaussian".into(), sigma: 0.15 }]);
+        doc.faults.push(FaultDoc {
+            device_model: "rram-gaussian".into(),
+            sigma: 0.15,
+            method: "SWIM".into(),
+            run: 3,
+            seed: 1,
+            message: "boom".into(),
         });
         doc
     }
@@ -649,6 +985,70 @@ mod tests {
         root.set("tables", Value::Array(tv));
         let e = ResultsDoc::from_value(&root).unwrap_err();
         assert!(e.0.contains("has 1 cells, table has 2 columns"), "{e}");
+    }
+
+    #[test]
+    fn shard_document_round_trips() {
+        let doc = shard_doc();
+        let runs = doc.spec.montecarlo.runs;
+        assert_eq!(
+            doc.shard,
+            Some(ShardDoc { index: 1, count: 2, run_start: runs / 2, run_end: runs })
+        );
+        let back = ResultsDoc::parse_str(&doc.to_json()).unwrap();
+        assert_eq!(back, doc);
+        let raw = back.sweeps[0].raw.as_ref().unwrap();
+        assert_eq!(raw.methods[0].rows[1][1], (97.25, 1.0));
+        assert_eq!(raw.insitu_runs[0][0], (0.5, 0.95));
+        assert_eq!(back.completed.as_ref().unwrap().len(), 1);
+        assert_eq!(back.faults[0].run, 3);
+    }
+
+    #[test]
+    fn rejects_shard_contradicting_spec_echo() {
+        // Tamper with the denormalized shard block only; the spec echo
+        // still says shard 1/2.
+        let mut root = shard_doc().to_value();
+        let mut sv = root.get("shard").unwrap().clone();
+        sv.set("index", Value::Int(0));
+        sv.set("run_start", Value::Int(0));
+        sv.set("run_end", Value::Int(1500));
+        root.set("shard", sv);
+        let e = ResultsDoc::from_value(&root).unwrap_err();
+        assert!(e.0.contains("contradicts its spec echo"), "{e}");
+    }
+
+    #[test]
+    fn rejects_shard_block_missing_from_sharded_spec() {
+        let Value::Table(entries) = shard_doc().to_value() else { unreachable!() };
+        let pruned: Vec<(String, Value)> =
+            entries.into_iter().filter(|(k, _)| k != "shard").collect();
+        let e = ResultsDoc::from_value(&Value::Table(pruned)).unwrap_err();
+        assert!(e.0.contains("contradicts its spec echo"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_raw_pairs() {
+        let mut root = shard_doc().to_value();
+        root.set_path(
+            "sweeps",
+            Value::Array({
+                let Some(Value::Array(sweeps)) = root.get("sweeps").cloned() else {
+                    unreachable!()
+                };
+                let mut sweeps = sweeps;
+                let mut raw = sweeps[0].get("raw").unwrap().clone();
+                raw.set(
+                    "insitu_runs",
+                    Value::Array(vec![Value::Array(vec![Value::Array(vec![Value::Float(1.0)])])]),
+                );
+                sweeps[0].set("raw", raw);
+                sweeps
+            }),
+        )
+        .unwrap();
+        let e = ResultsDoc::from_value(&root).unwrap_err();
+        assert!(e.0.contains("2-element number array"), "{e}");
     }
 
     #[test]

@@ -103,7 +103,12 @@ pub fn summarize_with(runs: &[(String, ResultsDoc)], anchors: &[f64]) -> Table {
         Table::new(format!("cross-run summary ({} document(s))", runs.len()), &header_refs);
     for (label, doc) in runs {
         let scenario = doc.spec.scenario.model.key().to_string();
-        let mc_runs = doc.spec.montecarlo.runs.to_string();
+        // A shard document's rows aggregate only its own seed range;
+        // say so instead of quoting the full-run budget.
+        let mc_runs = match &doc.shard {
+            Some(s) => format!("{}..{} (shard {}/{})", s.run_start, s.run_end, s.index, s.count),
+            None => doc.spec.montecarlo.runs.to_string(),
+        };
         for sweep in &doc.sweeps {
             for method in &sweep.methods {
                 let mut row = vec![
@@ -239,6 +244,7 @@ mod tests {
                 })
                 .collect(),
             insitu: vec![InsituPoint { nwc: 0.5, accuracy_mean: 94.0, accuracy_std: 0.6 }],
+            raw: None,
         });
         doc
     }
@@ -320,6 +326,20 @@ mod tests {
         assert_eq!(headline_index(&[0.0, 1.0]), 0);
         assert_eq!(headline_index(&[0.5, 0.2, 0.05]), 2);
         assert_eq!(headline_index(&[1.0]), 0);
+    }
+
+    #[test]
+    fn shard_documents_annotate_the_runs_column() {
+        let mut d = doc(&["SWIM"]);
+        d.spec.run.shard = Some((0, 2));
+        let shard = crate::schema::ResultsDoc::new(d.spec.clone(), 1.0);
+        let mut d = doc(&["SWIM"]);
+        d.spec = shard.spec.clone();
+        d.shard = shard.shard;
+        let table = summarize(&[("x".to_string(), d.clone())]);
+        let runs_col = table.headers().len() - 1;
+        let (lo, hi) = d.spec.shard_run_range();
+        assert_eq!(table.rows()[0][runs_col], format!("{lo}..{hi} (shard 0/2)"));
     }
 
     #[test]

@@ -20,6 +20,27 @@ fn load(name: &str) -> ResultsDoc {
     ResultsDoc::load(&fixture(name)).unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
+/// Regenerates the JSON fixtures after a schema version bump: parse the
+/// old document leniently (version check overridden), then re-serialize
+/// through the current schema so the bytes are canonical. Run with
+/// `cargo test -p swim-report --test golden -- --ignored regenerate`
+/// and commit the result.
+#[test]
+#[ignore = "rewrites tests/fixtures; run explicitly after a version bump"]
+fn regenerate_fixtures() {
+    use swim_exp::value::{parse_json, Value};
+    for name in ["run_a.json", "run_b_perturbed.json"] {
+        let path = fixture(name);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut root = parse_json(&text).unwrap();
+        root.set("swim_results_version", Value::Int(swim_report::schema::RESULTS_VERSION));
+        let doc = ResultsDoc::from_value(&root).unwrap_or_else(|e| panic!("{name}: {e}"));
+        std::fs::write(&path, doc.to_json()).unwrap();
+    }
+    let a = load("run_a.json");
+    std::fs::write(fixture("report_a.md"), render_report(&a, None)).unwrap();
+}
+
 #[test]
 fn fixtures_parse_through_the_typed_schema() {
     let a = load("run_a.json");

@@ -159,8 +159,14 @@ fn end_to_end_determinism() {
         let (mut model, train, test) = trained_lenet(0.15);
         let sens = model.sensitivities(&SoftmaxCrossEntropy::new(), &train, 128);
         let mags = model.magnitudes();
-        let cfg =
-            SweepConfig { fractions: vec![0.2], runs: 4, threads: 3, eval_batch: 128, seed: 99 };
+        let cfg = SweepConfig {
+            fractions: vec![0.2],
+            runs: 4,
+            threads: 3,
+            eval_batch: 128,
+            seed: 99,
+            ..Default::default()
+        };
         nwc_sweep(&model, &Strategy::Swim, &sens, &mags, &test, &cfg)[0].accuracy.mean()
     };
     assert_eq!(run(), run());
