@@ -9,10 +9,12 @@
 //!     [--json snapshot.json] [--baseline snapshot.json]]
 //! ```
 //!
-//! `--json FILE` writes the measured medians as a JSON snapshot;
-//! `--baseline FILE` compares this run against a snapshot and exits 1
-//! when any shared entry regressed by more than 30% (the committed
-//! `BENCH_sweep.json` is the CI baseline for the `sweep` group).
+//! `<filter>` is a comma-separated any-of substring list over entry
+//! names (e.g. `sweep,gemm_transposed`). `--json FILE` writes the
+//! measured medians as a JSON snapshot; `--baseline FILE` compares this
+//! run against a snapshot and exits 1 when any shared entry regressed
+//! by more than 30% (the committed `BENCH_sweep.json` is the CI
+//! baseline for the `sweep` and `gemm_transposed` groups).
 //!
 //! Groups:
 //!
@@ -56,7 +58,7 @@ struct Sample {
 }
 
 struct Harness {
-    filter: Option<String>,
+    filter: Option<Vec<String>>,
     samples_per_entry: usize,
     results: Vec<Sample>,
     json_out: Option<std::path::PathBuf>,
@@ -77,11 +79,12 @@ impl Harness {
                 "--baseline" => baseline = args.next().map(std::path::PathBuf::from),
                 // Cargo passes --bench (and may add others); ignore
                 // unknown flags, treat the first bare token as a
-                // substring filter.
+                // comma-separated any-of substring filter (e.g.
+                // `sweep,gemm_transposed`).
                 a if a.starts_with("--") => {}
                 a => {
                     if filter.is_none() {
-                        filter = Some(a.to_string());
+                        filter = Some(a.split(',').map(str::to_string).collect());
                     }
                 }
             }
@@ -96,7 +99,7 @@ impl Harness {
     }
 
     fn skip(&self, name: &str) -> bool {
-        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+        self.filter.as_deref().is_some_and(|needles| !needles.iter().any(|f| name.contains(f)))
     }
 
     /// Times `f`, returning the median of the sample runs (robust to

@@ -7,7 +7,9 @@
 //! swim merge <shard.json>... --out merged.json
 //! swim diff <a.json> <b.json> [--abs-tol X] [--rel-tol X] [--ignore-spec]
 //! swim report <run.json> [--baseline b.json] [-o report.md]
+//! swim plot <run.json> [-o plots.txt]
 //! swim summarize <dir-or-file>... [--anchors 0,0.1,1] [-o summary.md]
+//! swim serve [--addr 127.0.0.1:7878] [--workers N] [--queue-cap N]
 //! swim list
 //! swim help
 //! ```
@@ -27,9 +29,14 @@
 //!
 //! `swim diff` compares two results documents method-by-method and
 //! point-by-point (exit 1 on drift), `swim report` renders one document
-//! as a self-contained Markdown report, and `swim summarize` flattens
-//! many documents into one cross-run table. See `docs/workflow.md` for
-//! the full loop.
+//! as a self-contained Markdown report, `swim plot` draws just the
+//! per-block ASCII curves, and `swim summarize` flattens many documents
+//! into one cross-run table. See `docs/workflow.md` for the full loop.
+//!
+//! `swim serve` runs the experiment service: an HTTP endpoint that
+//! accepts spec submissions, schedules their (model, sigma) blocks on a
+//! shared worker pool, caches trained models across jobs, and serves
+//! the same results documents `swim run` writes. See `docs/serve.md`.
 
 use swim_bench::cli::Args;
 use swim_bench::experiment::{apply_flag_overrides, options_from_args, run_spec};
@@ -37,7 +44,7 @@ use swim_bench::merge::merge_docs;
 use swim_exp::spec::ExperimentSpec;
 use swim_exp::{preset, preset_infos};
 use swim_report::diff::{diff_docs, DiffOptions};
-use swim_report::markdown::{render_report, table_markdown};
+use swim_report::markdown::{render_report, sweep_plot, table_markdown};
 use swim_report::schema::ResultsDoc;
 use swim_report::summary::{load_runs, summarize_with, DEFAULT_ANCHORS};
 
@@ -53,7 +60,11 @@ fn usage() {
     println!("  diff <a.json> <b.json>     compare two results documents point-by-point;");
     println!("                             exit 1 on drift");
     println!("  report <run.json>          render a results document as a Markdown report");
+    println!("  plot <run.json>            draw each block's accuracy-vs-NWC curves as an");
+    println!("                             ASCII plot (the report's figures, stand-alone)");
     println!("  summarize <dir|file>...    aggregate many results documents into one table");
+    println!("  serve                      run the HTTP experiment service (job queue,");
+    println!("                             shared worker pool, prepared-model cache)");
     println!("  list                       list presets, selectors, and device models");
     println!("  help                       this message");
     println!();
@@ -81,11 +92,16 @@ fn usage() {
     println!("  --rel-tol X       relative tolerance (default 0)");
     println!("  --ignore-spec     compare curves across different experiments");
     println!();
-    println!("report/summarize flags:");
+    println!("report/plot/summarize flags:");
     println!("  --baseline FILE   annotate per-point deltas against FILE (report only)");
     println!("  --anchors LIST    summarize at these fractions, e.g. 0,0.05,0.3,1");
     println!("                    (summarize only; default 0,0.1,1)");
-    println!("  -o / --out FILE   write Markdown to FILE instead of stdout");
+    println!("  -o / --out FILE   write the output to FILE instead of stdout");
+    println!();
+    println!("serve flags:");
+    println!("  --addr HOST:PORT  listen address (default 127.0.0.1:7878)");
+    println!("  --workers N       pool workers (default 0 = one per CPU core)");
+    println!("  --queue-cap N     pending-job cap before 429 (default 16)");
     println!();
     println!("The results document echoes the spec it ran; `swim run` accepts that");
     println!("echo back, so every result is reproducible from its own output.");
@@ -310,6 +326,43 @@ fn cmd_report(raw: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// `swim plot run.json [-o plots.txt]` — each block's accuracy-vs-NWC
+/// curves as a terminal ASCII plot, without the rest of the report.
+fn cmd_plot(raw: Vec<String>) -> ! {
+    let (positionals, rest) = split_positionals(raw, &[], &["out"]);
+    let args = match Args::try_parse_from(rest.into_iter()) {
+        Ok(args) => args,
+        Err(e) => fail(&e),
+    };
+    if positionals.len() != 1 {
+        fail("`swim plot` expects exactly one results-document path");
+    }
+    let doc = load_doc(&positionals[0]);
+    if doc.sweeps.is_empty() {
+        fail(&format!(
+            "{} has no (model, sigma) blocks to plot (kind `{}`)",
+            positionals[0],
+            doc.spec.kind.key()
+        ));
+    }
+    let mut text = String::new();
+    for sweep in &doc.sweeps {
+        text.push_str(&format!(
+            "{} — {} @ sigma {}  (float {:.2}% / quantized {:.2}%)\n",
+            doc.name(),
+            sweep.device_model,
+            sweep.sigma,
+            sweep.float_accuracy,
+            sweep.quant_accuracy
+        ));
+        text.push_str("accuracy (%) vs normalized write count\n");
+        text.push_str(&sweep_plot(sweep));
+        text.push('\n');
+    }
+    emit(&args, &text);
+    std::process::exit(0);
+}
+
 /// Parses a comma-separated `--anchors` fraction list (e.g.
 /// `0,0.05,0.3,1`). Every anchor must be a fraction in [0, 1].
 fn parse_anchors(text: &str) -> Vec<f64> {
@@ -450,7 +503,25 @@ fn main() {
         "merge" => cmd_merge(raw),
         "diff" => cmd_diff(raw),
         "report" => cmd_report(raw),
+        "plot" => cmd_plot(raw),
         "summarize" => cmd_summarize(raw),
+        "serve" => {
+            let (positionals, rest) = split_positionals(
+                raw,
+                &[],
+                &["addr", "workers", "queue-cap", "gemm-threads", "gemm-block", "gemm-min-flops"],
+            );
+            if !positionals.is_empty() {
+                fail("`swim serve` takes flags only (see `swim help`)");
+            }
+            let args = match Args::try_parse_from(rest.into_iter()) {
+                Ok(args) => args,
+                Err(e) => fail(&e),
+            };
+            if let Err(e) = swim_bench::service::serve_main(&args) {
+                fail(&e);
+            }
+        }
         other => {
             usage();
             fail(&format!("unknown command `{other}`"));

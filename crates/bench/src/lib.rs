@@ -27,8 +27,9 @@
 //! This library provides the pieces everything shares: a tiny flag
 //! parser ([`cli`]), dataset/model preparation with training ([`prep`]),
 //! the accuracy-target → NWC speed-up arithmetic ([`speedup`]), the
-//! selector-driven method-sweep driver ([`driver`]), and the spec-driven
-//! experiment engine ([`experiment`]).
+//! selector-driven method-sweep driver ([`driver`]), the spec-driven
+//! experiment engine ([`experiment`]), and the `swim serve` engine with
+//! its prepared-model cache ([`service`]).
 
 #![warn(missing_docs)]
 
@@ -37,4 +38,5 @@ pub mod driver;
 pub mod experiment;
 pub mod merge;
 pub mod prep;
+pub mod service;
 pub mod speedup;

@@ -16,6 +16,11 @@ use swim_nn::train::{fit, TrainConfig};
 use swim_nn::Network;
 
 /// A trained, quantized, device-bound experiment setup.
+///
+/// `Clone` is deliberate: the serve path caches one `Prepared` per
+/// preparation fingerprint and hands each job block its own copy
+/// (the sweep driver mutates the model's arena state in place).
+#[derive(Clone)]
 pub struct Prepared {
     /// The quantized model bound to the device configuration.
     pub model: QuantizedModel,

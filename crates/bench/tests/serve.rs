@@ -1,0 +1,148 @@
+//! End-to-end test of the experiment service on the real engine: the
+//! document served over `GET /jobs/{id}/result` must be byte-identical
+//! to what `swim run` writes for the same spec (modulo `wall_time_s`),
+//! and resubmitting a spec must hit the prepared-model cache instead of
+//! training again — visible in both `/metrics` and the per-block job
+//! provenance.
+//!
+//! The requests go through [`Server::handle`] directly (the routing,
+//! scheduling, and assembly layers); the raw-socket path is covered by
+//! the serve crate's parser tests and the CI smoke.
+
+use std::sync::Arc;
+
+use swim_bench::cli::Args;
+use swim_bench::experiment::{options_from_args, run_spec};
+use swim_bench::service::ServiceEngine;
+use swim_exp::spec::ExperimentSpec;
+use swim_exp::value::{parse_json, Value};
+use swim_report::schema::ResultsDoc;
+use swim_serve::{Request, Response, Server, ServerConfig};
+
+/// Two (model, sigma) blocks on a tiny training/Monte Carlo budget —
+/// enough to exercise scheduling, assembly order, and the cache without
+/// making the test slow.
+const SPEC: &str = r#"
+name = "serve-e2e"
+kind = "sweep"
+seed = 11
+
+[scenario]
+model = "lenet-mnist"
+
+[device]
+tech = "rram"
+sigmas = [0.1, 0.15]
+
+[training]
+samples = 300
+epochs = 1
+
+[selection]
+methods = ["swim", "magnitude"]
+insitu = false
+
+[sweep]
+fractions = [0.0, 1.0]
+
+[montecarlo]
+runs = 2
+"#;
+
+fn request(method: &str, path: &str, body: &[u8]) -> Request {
+    Request { method: method.into(), path: path.into(), body: body.to_vec() }
+}
+
+fn body_json(response: &Response) -> Value {
+    let text = std::str::from_utf8(&response.body).expect("utf-8 body");
+    parse_json(text).unwrap_or_else(|e| panic!("body is not JSON ({e}): {text}"))
+}
+
+fn field<'a>(value: &'a Value, key: &str) -> &'a Value {
+    value.get(key).unwrap_or_else(|| panic!("missing `{key}` in {}", value.to_json()))
+}
+
+/// Polls the job until it reaches a terminal state, returning the final
+/// status body.
+fn wait_terminal(server: &Arc<Server>, id: &str) -> Value {
+    for _ in 0..1200 {
+        let response = server.handle(&request("GET", &format!("/jobs/{id}"), b""));
+        assert_eq!(response.status, 200);
+        let status = body_json(&response);
+        match field(&status, "state").as_str() {
+            Some("done") | Some("failed") | Some("cancelled") => return status,
+            _ => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    }
+    panic!("job {id} did not finish");
+}
+
+/// The document with its wall time zeroed — the one field that may
+/// legitimately differ between the served and CLI paths.
+fn normalized(doc_json: &str) -> String {
+    let mut doc = ResultsDoc::parse_str(doc_json).expect("valid results document");
+    doc.wall_time_s = 0.0;
+    doc.to_json()
+}
+
+#[test]
+fn served_document_matches_run_and_resubmission_hits_the_cache() {
+    let spec = ExperimentSpec::parse_str(SPEC).expect("test spec parses");
+
+    // The reference: the exact document `swim run` would emit.
+    let args = Args::try_parse_from(std::iter::empty::<String>()).expect("empty args");
+    let opts = options_from_args(&spec, &args).expect("run options");
+    let reference = run_spec(&spec, &opts).expect("reference run");
+
+    let engine = Arc::new(ServiceEngine::new(opts.gemm_threads, opts.gemm_block));
+    let server = Server::new(engine, ServerConfig { workers: 2, ..ServerConfig::default() });
+
+    // First submission: every block is a cache miss (trains).
+    let created = server.handle(&request("POST", "/jobs", SPEC.as_bytes()));
+    assert_eq!(created.status, 201, "{}", String::from_utf8_lossy(&created.body));
+    let id = field(&body_json(&created), "id").as_str().expect("job id").to_string();
+    let status = wait_terminal(&server, &id);
+    assert_eq!(field(&status, "state").as_str(), Some("done"), "{}", status.to_json());
+    let blocks = field(&status, "blocks").as_array().expect("blocks array");
+    assert_eq!(blocks.len(), 2);
+    for block in blocks {
+        assert_eq!(field(block, "cache_hit").as_bool(), Some(false), "{}", block.to_json());
+    }
+
+    let served = server.handle(&request("GET", &format!("/jobs/{id}/result"), b""));
+    assert_eq!(served.status, 200);
+    let served_doc = String::from_utf8(served.body).expect("utf-8 document");
+    assert_eq!(
+        normalized(&served_doc),
+        normalized(&reference.to_json()),
+        "served document differs from `swim run` beyond wall_time_s"
+    );
+
+    // Resubmission: the same spec prefix — every block must reuse the
+    // cached preparation (no training) and still produce the identical
+    // document.
+    let resubmitted = server.handle(&request("POST", "/jobs", SPEC.as_bytes()));
+    assert_eq!(resubmitted.status, 201);
+    let id2 = field(&body_json(&resubmitted), "id").as_str().expect("job id").to_string();
+    assert_ne!(id, id2);
+    let status2 = wait_terminal(&server, &id2);
+    assert_eq!(field(&status2, "state").as_str(), Some("done"), "{}", status2.to_json());
+    for block in field(&status2, "blocks").as_array().expect("blocks array") {
+        assert_eq!(field(block, "cache_hit").as_bool(), Some(true), "{}", block.to_json());
+    }
+    assert_eq!(field(&status2, "cache_hits").as_int(), Some(2));
+
+    let served2 = server.handle(&request("GET", &format!("/jobs/{id2}/result"), b""));
+    assert_eq!(served2.status, 200);
+    let served_doc2 = String::from_utf8(served2.body).expect("utf-8 document");
+    assert_eq!(normalized(&served_doc2), normalized(&served_doc));
+
+    // The cache traffic is visible in /metrics: 2 misses (first job),
+    // 2 hits (resubmission).
+    let metrics = server.handle(&request("GET", "/metrics", b""));
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8(metrics.body).expect("utf-8 metrics");
+    assert!(text.contains("swim_prep_cache_hits_total 2"), "{text}");
+    assert!(text.contains("swim_prep_cache_misses_total 2"), "{text}");
+    assert!(text.contains("swim_jobs_done_total 2"), "{text}");
+}

@@ -58,12 +58,14 @@ pub mod algorithm;
 pub mod insitu;
 pub mod model;
 pub mod montecarlo;
+pub mod pool;
 pub mod report;
 pub mod select;
 pub mod sensitivity;
 
 pub use algorithm::{selective_write_verify, Alg1Config, Alg1Outcome};
 pub use model::QuantizedModel;
+pub use pool::{CancelToken, WorkerPool};
 pub use select::{
     build_ranking, mask_top_fraction, registry, selector_by_name, SelectionInputs, Selector,
     Strategy,

@@ -1090,6 +1090,71 @@ impl ExperimentSpec {
         self.to_value().to_json()
     }
 
+    // ------------------------------------------------- fingerprint
+
+    /// The canonical *preparation prefix* of this spec for one
+    /// `(device model, sigma)` block: exactly the inputs that determine
+    /// the trained, quantized, device-bound model — scenario, training
+    /// budget, seed, the resolved device configuration at `sigma`, and
+    /// the device-model name. Everything downstream (selection methods,
+    /// sweep grid, Monte Carlo budget, sharding) is deliberately
+    /// excluded: two specs that differ only there share preparation
+    /// work, which is what the service's prepared-model cache exploits.
+    ///
+    /// The prefix is a [`Value`] tree with a fixed key order, so its
+    /// JSON form is canonical: equal preparation inputs ⇒ byte-equal
+    /// JSON ⇒ equal [`ExperimentSpec::prep_fingerprint`].
+    pub fn prep_prefix(&self, device_model: &str, sigma: f64) -> Value {
+        let mut root = Value::table();
+        root.set("seed", Value::Int(self.seed as i64));
+
+        let mut scenario = Value::table();
+        scenario.set("model", Value::Str(self.scenario.model.key().into()));
+        scenario.set("width", f32_value(self.scenario.width));
+        scenario.set("classes", Value::Int(self.scenario.classes as i64));
+        root.set("scenario", scenario);
+
+        let mut training = Value::table();
+        training.set("samples", Value::Int(self.training.samples as i64));
+        training.set("epochs", Value::Int(self.training.epochs as i64));
+        training.set("lr", f32_value(self.training.lr));
+        training.set("batch", Value::Int(self.training.batch as i64));
+        root.set("training", training);
+
+        // Serialize the *resolved* DeviceConfig (via the round-tripping
+        // DeviceSpec::from_config), not the raw spec fields: two specs
+        // whose overrides resolve to the same device land on the same
+        // prefix, and preset-equivalent overrides collapse to the preset.
+        let resolved = DeviceSpec::from_config(&self.device.config_at(sigma));
+        let mut device = Value::table();
+        device.set("model", Value::Str(device_model.into()));
+        device.set("tech", Value::Str(resolved.tech.key().into()));
+        device.set("sigma", Value::Float(sigma));
+        if let Some(m) = resolved.verify_margin {
+            device.set("verify_margin", Value::Float(m));
+        }
+        if let Some(p) = resolved.pulse_step {
+            device.set("pulse_step", Value::Float(p));
+        }
+        if let Some(i) = resolved.max_verify_iters {
+            device.set("max_verify_iters", Value::Int(i as i64));
+        }
+        if let Some(b) = resolved.device_bits {
+            device.set("device_bits", Value::Int(b as i64));
+        }
+        root.set("device", device);
+        root
+    }
+
+    /// FNV-1a hash of the canonical JSON of
+    /// [`ExperimentSpec::prep_prefix`], as a fixed-width hex string —
+    /// the prepared-model cache key, also echoed in job provenance so a
+    /// cache hit is attributable.
+    pub fn prep_fingerprint(&self, device_model: &str, sigma: f64) -> String {
+        let json = self.prep_prefix(device_model, sigma).to_json();
+        format!("{:016x}", fnv1a_64(json.as_bytes()))
+    }
+
     /// Applies a `--set key=value` override on top of this spec.
     ///
     /// Bare keys resolve through a shorthand table (`runs` →
@@ -1125,6 +1190,17 @@ impl ExperimentSpec {
 /// document shows `0.05`, not the widened `f64` bits.
 fn f32_value(v: f32) -> Value {
     Value::Float(v.to_string().parse().expect("f32 display is a valid f64"))
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms;
+/// collision resistance at cache-key scale is ample.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Maps a bare `--set` / CLI flag name onto its spec path. Dotted names
@@ -1417,6 +1493,49 @@ mod tests {
         // The unsharded view covers everything from offset zero.
         let cfg = ExperimentSpec::default().sweep_config();
         assert_eq!((cfg.run_offset, cfg.runs), (0, 25));
+    }
+
+    #[test]
+    fn prep_fingerprint_ignores_the_sweep_suffix() {
+        let base = ExperimentSpec::default();
+        let fp = base.prep_fingerprint("rram-gaussian", 0.1);
+        assert_eq!(fp.len(), 16, "fixed-width hex");
+
+        // Changing only post-preparation fields keeps the fingerprint.
+        let mut suffix = base.clone();
+        suffix.apply_set("runs=7").unwrap();
+        suffix.apply_set("fractions=0.0,0.5").unwrap();
+        suffix.apply_set("methods=magnitude").unwrap();
+        suffix.apply_set("name=renamed").unwrap();
+        assert_eq!(suffix.prep_fingerprint("rram-gaussian", 0.1), fp);
+
+        // Changing any preparation input moves it.
+        let mut seed = base.clone();
+        seed.apply_set("seed=2").unwrap();
+        assert_ne!(seed.prep_fingerprint("rram-gaussian", 0.1), fp);
+        let mut train = base.clone();
+        train.apply_set("epochs=3").unwrap();
+        assert_ne!(train.prep_fingerprint("rram-gaussian", 0.1), fp);
+        assert_ne!(base.prep_fingerprint("rram-gaussian", 0.2), fp, "sigma is in the prefix");
+        assert_ne!(base.prep_fingerprint("sram-vt", 0.1), fp, "device model is in the prefix");
+    }
+
+    #[test]
+    fn prep_fingerprint_collapses_preset_equivalent_overrides() {
+        // Spelling the RRAM preset out as explicit overrides must land
+        // on the preset's own fingerprint: the resolved DeviceConfig is
+        // what is hashed, not the spec's surface syntax.
+        let preset = ExperimentSpec::default();
+        let cfg = preset.device.config_at(0.1);
+        let mut explicit = ExperimentSpec::default();
+        explicit.device.verify_margin = Some(cfg.verify_margin);
+        explicit.device.pulse_step = Some(cfg.pulse_step);
+        explicit.device.max_verify_iters = Some(cfg.max_verify_iters);
+        explicit.device.device_bits = Some(cfg.device_bits);
+        assert_eq!(
+            explicit.prep_fingerprint("rram-gaussian", 0.1),
+            preset.prep_fingerprint("rram-gaussian", 0.1)
+        );
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod schema;
 pub mod summary;
 
 pub use diff::{diff_docs, DiffOptions, DiffReport};
-pub use markdown::render_report;
+pub use markdown::{render_report, sweep_plot};
 pub use schema::{ResultsDoc, SchemaError, RESULTS_VERSION};
 pub use summary::summarize;

@@ -35,8 +35,9 @@ pub fn table_markdown(table: &Table) -> String {
 }
 
 /// Renders one sigma block's method curves as `(nwc, accuracy)` series
-/// for the ASCII plot.
-fn sweep_plot(sweep: &SweepDoc) -> String {
+/// for the ASCII plot. Public so `swim plot` can render the same
+/// figure straight to a terminal without building the whole report.
+pub fn sweep_plot(sweep: &SweepDoc) -> String {
     let mut owned: Vec<(String, Vec<(f64, f64)>)> = sweep
         .methods
         .iter()

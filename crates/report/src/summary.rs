@@ -13,6 +13,9 @@
 //! worst-case and 5th-percentile accuracy at the *headline* anchor (the
 //! anchor nearest fraction 0.1 — SWIM's "10% of the writes" operating
 //! point), the place where a deployment actually cares about the floor.
+//! A grid-independent `AUC` column (normalized area under the
+//! accuracy-vs-fraction curve) keeps rows comparable when a run used a
+//! non-paper fraction grid that misses every anchor.
 
 use crate::schema::{MethodCurveDoc, ResultsDoc};
 use swim_core::report::Table;
@@ -55,6 +58,25 @@ fn anchor_header(anchor: f64) -> String {
     }
 }
 
+/// Normalized area under a method's accuracy-vs-fraction curve:
+/// trapezoidal `∫ accuracy df` divided by the fraction span, i.e. the
+/// curve's mean accuracy over the swept range. Unlike the anchor
+/// columns this needs no grid point near any particular fraction, so
+/// it stays meaningful on non-paper grids (`--set fractions=...`)
+/// where every anchor cell would read `-`. Returns `None` for curves
+/// with fewer than two distinct fractions (no area to integrate).
+fn curve_auc(method: &MethodCurveDoc) -> Option<f64> {
+    let mut pts: Vec<(f64, f64)> =
+        method.points.iter().map(|p| (p.fraction, p.accuracy_mean)).collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let span = pts.last()?.0 - pts.first()?.0;
+    if span <= 0.0 {
+        return None;
+    }
+    let area: f64 = pts.windows(2).map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0).sum();
+    Some(area / span)
+}
+
 /// Index of the headline anchor: the one nearest fraction 0.1 (ties go
 /// to the earlier anchor).
 fn headline_index(anchors: &[f64]) -> usize {
@@ -75,7 +97,8 @@ pub fn summarize(runs: &[(String, ResultsDoc)]) -> Table {
 
 /// Aggregates many `(label, document)` pairs into one cross-run table
 /// with one accuracy column per entry of `anchors`, plus worst-case and
-/// 5th-percentile columns at the headline anchor (nearest 0.1).
+/// 5th-percentile columns at the headline anchor (nearest 0.1) and the
+/// grid-independent normalized curve AUC.
 ///
 /// Rows are emitted in input order, then the document's own sweep-block
 /// order (device model × sigma), then its method order; the in-situ
@@ -97,6 +120,7 @@ pub fn summarize_with(runs: &[(String, ResultsDoc)], anchors: &[f64]) -> Table {
     }
     headers.push(format!("min @ f≈{}", anchors[headline]));
     headers.push(format!("p05 @ f≈{}", anchors[headline]));
+    headers.push("AUC".into());
     headers.push("runs".into());
     let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
     let mut table =
@@ -131,6 +155,10 @@ pub fn summarize_with(runs: &[(String, ResultsDoc)], anchors: &[f64]) -> Table {
                         row.push("-".into());
                     }
                 }
+                row.push(match curve_auc(method) {
+                    Some(auc) => format!("{auc:.2}"),
+                    None => "-".into(),
+                });
                 row.push(mc_runs.clone());
                 table.push_row_owned(row);
             }
@@ -151,6 +179,9 @@ pub fn summarize_with(runs: &[(String, ResultsDoc)], anchors: &[f64]) -> Table {
                         "-".to_string()
                     });
                 }
+                // The in-situ axis is NWC, not a selection fraction, so
+                // neither the tail columns nor the fraction-AUC apply.
+                row.push("-".into());
                 row.push("-".into());
                 row.push("-".into());
                 row.push(mc_runs.clone());
@@ -269,6 +300,8 @@ mod tests {
         // Tail columns sit at the headline (≈0.1) anchor.
         assert_eq!(cells[8], "94.50");
         assert_eq!(cells[9], "94.80");
+        // Trapezoid over (0, 90), (0.1, 96), (1, 98): 9.3 + 87.3 = 96.6.
+        assert_eq!(cells[10], "96.60");
     }
 
     #[test]
@@ -280,6 +313,7 @@ mod tests {
         assert_eq!(insitu[7], "94.00 ± 0.60");
         assert_eq!(insitu[8], "-");
         assert_eq!(insitu[9], "-");
+        assert_eq!(insitu[10], "-");
     }
 
     #[test]
@@ -292,6 +326,17 @@ mod tests {
         assert_eq!(table.rows()[0][6], "-");
         assert_eq!(table.rows()[0][8], "-");
         assert_eq!(table.rows()[0][9], "-");
+        // The AUC column survives the missing anchor — that's its job:
+        // trapezoid over the remaining (0, 90), (1, 98) grid.
+        assert_eq!(table.rows()[0][10], "94.00");
+    }
+
+    #[test]
+    fn auc_needs_a_fraction_span() {
+        let mut d = doc(&["SWIM"]);
+        d.sweeps[0].methods[0].points.truncate(1);
+        let table = summarize(&[("x".to_string(), d)]);
+        assert_eq!(table.rows()[0][10], "-");
     }
 
     #[test]
@@ -309,6 +354,7 @@ mod tests {
                 "acc @ f=1",
                 "min @ f≈0",
                 "p05 @ f≈0",
+                "AUC",
                 "runs"
             ]
         );

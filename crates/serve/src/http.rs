@@ -1,0 +1,321 @@
+//! A hand-rolled HTTP/1.1 subset — exactly what the job API needs and
+//! nothing more, in the workspace's zero-dependency style.
+//!
+//! Supported: one request per connection (`Connection: close` on every
+//! response), `GET`/`POST`/`DELETE`, header parsing limited to the one
+//! header the server acts on (`Content-Length`), bodies read to exactly
+//! that length under a configurable cap. Unsupported on purpose:
+//! keep-alive, chunked transfer, continuation lines, TLS.
+//!
+//! The parser is strict where sloppiness would be ambiguous (malformed
+//! request line, non-numeric `Content-Length`, missing header
+//! terminator) and returns typed errors that the server maps onto 400 /
+//! 413 responses.
+
+use std::io::{Read, Write};
+
+/// Cap on the request line + headers; beyond this the peer is not
+/// speaking our dialect.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, target path, raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token as received (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Origin-form target, e.g. `/jobs/job-1/result`.
+    pub path: String,
+    /// Exactly `Content-Length` bytes (empty when the header is absent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically broken request (truncated, bad request line,
+    /// malformed header) — answer 400.
+    Malformed(String),
+    /// `Content-Length` exceeds the server's body cap — answer 413.
+    BodyTooLarge {
+        /// The length the client declared.
+        declared: usize,
+        /// The server's cap.
+        cap: usize,
+    },
+    /// Transport failure mid-read; nothing sensible can be answered.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::BodyTooLarge { declared, cap } => {
+                write!(f, "body of {declared} bytes exceeds the {cap}-byte cap")
+            }
+            HttpError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+/// Index just past the `\r\n\r\n` header terminator, if present.
+fn header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reads one request from `stream`, enforcing [`MAX_HEADER_BYTES`] and
+/// the `max_body` cap.
+pub fn read_request(stream: &mut dyn Read, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_len = loop {
+        if let Some(end) = header_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "header section exceeds {MAX_HEADER_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk).map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "truncated request: connection closed before the header terminator".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_len - 4])
+        .map_err(|_| HttpError::Malformed("header section is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}` (want `METHOD PATH HTTP/1.x`)"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported protocol `{version}`")));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("malformed header line `{line}`")))?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                HttpError::Malformed(format!("bad Content-Length `{}`", value.trim()))
+            })?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge { declared: content_length, cap: max_body });
+    }
+
+    let mut body = buf[head_len..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed(format!(
+                "truncated body: got {} of {content_length} bytes",
+                body.len()
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length); // ignore pipelined bytes: we close anyway
+
+    Ok(Request { method: method.to_string(), path: path.to_string(), body })
+}
+
+/// A response ready to serialize: status, content type, body, extras
+/// (e.g. `Retry-After`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Additional headers, written verbatim.
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes status line, headers, and body onto `out`.
+    pub fn write_to(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        write!(out, "content-type: {}\r\n", self.content_type)?;
+        write!(out, "content-length: {}\r\n", self.body.len())?;
+        out.write_all(b"connection: close\r\n")?;
+        for (name, value) in &self.extra_headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        read_request(&mut std::io::Cursor::new(bytes.to_vec()), max_body)
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\nhost: x\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_exact_content_length() {
+        let req =
+            parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{}!?extra", 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{}!?", "body stops at Content-Length");
+    }
+
+    #[test]
+    fn body_split_across_reads_is_reassembled() {
+        // A reader that yields one byte at a time exercises the
+        // incremental paths of both the header scan and the body fill.
+        struct Trickle(Vec<u8>, usize);
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let raw = b"POST /jobs HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world".to_vec();
+        let req = read_request(&mut Trickle(raw, 0), 1024).unwrap();
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn truncated_request_line_is_malformed() {
+        // Connection closes before the header terminator ever arrives.
+        let err = parse(b"GET /jo", 1024).unwrap_err();
+        match err {
+            HttpError::Malformed(msg) => assert!(msg.contains("truncated request"), "{msg}"),
+            other => panic!("want Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_request_line_shapes_are_malformed() {
+        for raw in [
+            "GET\r\n\r\n",                                    // no path
+            "GET /x HTTP/1.1 extra\r\n\r\n",                  // four tokens
+            " /x HTTP/1.1\r\n\r\n",                           // empty method
+            "GET /x SPDY/3\r\n\r\n",                          // wrong protocol
+            "GET /x HTTP/1.1\r\nno-colon\r\n\r\n",            // broken header
+            "GET /x HTTP/1.1\r\ncontent-length: ten\r\n\r\n", // non-numeric length
+        ] {
+            assert!(
+                matches!(parse(raw.as_bytes(), 1024), Err(HttpError::Malformed(_))),
+                "{raw:?} must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_reading_it() {
+        // The declared length alone trips the cap: the server must not
+        // buffer a body it already knows it will refuse.
+        let err = parse(b"POST /jobs HTTP/1.1\r\ncontent-length: 999\r\n\r\n", 100).unwrap_err();
+        assert_eq!(err, HttpError::BodyTooLarge { declared: 999, cap: 100 });
+        // At the cap exactly is still fine.
+        let raw = b"POST /jobs HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc";
+        assert_eq!(parse(raw, 3).unwrap().body, b"abc");
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let err = parse(b"POST /jobs HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc", 1024).unwrap_err();
+        match err {
+            HttpError::Malformed(msg) => assert!(msg.contains("truncated body"), "{msg}"),
+            other => panic!("want Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_header_section_is_rejected() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(vec![b'a'; MAX_HEADER_BYTES + 8]);
+        assert!(matches!(parse(&raw, 1024), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_serialization_includes_extras() {
+        let mut out = Vec::new();
+        Response::json(429, "{\"error\":\"full\"}".into())
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.contains("content-length: 16\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"full\"}"), "{text}");
+    }
+}
