@@ -14,7 +14,7 @@
 //! measured medians as a JSON snapshot; `--baseline FILE` compares this
 //! run against a snapshot and exits 1 when any shared entry regressed
 //! by more than 30% (the committed `BENCH_sweep.json` is the CI
-//! baseline for the `sweep` and `gemm_transposed` groups).
+//! baseline for the `sweep`, `gemm_transposed`, and `simd` groups).
 //!
 //! Groups:
 //!
@@ -30,6 +30,8 @@
 //! * `end_to_end` — one Monte Carlo programming unit;
 //! * `sweep` — Monte Carlo sweep throughput (runs/sec), per-worker
 //!   scratch reuse vs the old clone-per-run harness;
+//! * `simd` — GEMM 256³ and the elementwise kernels per SIMD backend
+//!   this host supports, with vector-vs-scalar speedups;
 //! * `thread_threshold` — serial vs 2-thread crossover around
 //!   `PARALLEL_MIN_FLOPS` (tune with `--gemm-min-flops`).
 
@@ -398,6 +400,60 @@ fn bench_sweep_throughput(h: &mut Harness) {
     }
 }
 
+/// The SIMD dispatch layer: GEMM 256³ and the elementwise kernels under
+/// every backend the host supports, reporting vector speedup over the
+/// scalar reference. Backend-named entries that a host cannot measure
+/// are skipped by the baseline comparison, so one committed snapshot
+/// works across heterogeneous machines.
+fn bench_simd(h: &mut Harness) {
+    use swim_tensor::simd::{self, Backend};
+    h.group("simd (per-backend kernels vs the scalar reference)");
+    let mut rng = Prng::seed_from_u64(21);
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    let mut gemm_times = Vec::new();
+    for backend in simd::available_backends() {
+        let t = h.bench(&format!("simd/gemm_256x256x256/{backend}"), || {
+            simd::with_backend(backend, || matmul_with_threads(&a, &b, 1)).unwrap()
+        });
+        if let Some(t) = t {
+            gemm_times.push((backend, t));
+        }
+    }
+    if let Some(&(_, scalar)) = gemm_times.iter().find(|(b, _)| *b == Backend::Scalar) {
+        for &(backend, t) in &gemm_times {
+            if backend != Backend::Scalar {
+                println!(
+                    "  {:<44} {:.2}x vs scalar",
+                    format!("simd/gemm_256x256x256/{backend}_speedup"),
+                    scalar.as_secs_f64() / t.as_secs_f64().max(1e-12)
+                );
+            }
+        }
+    }
+
+    // Elementwise layer on a quarter-million elements: batchnorm writes
+    // into separate output buffers and fake-quant is idempotent after
+    // the warm-up pass, so both repeat with identical per-call cost.
+    let n = 1usize << 18;
+    let input: Vec<f32> = (0..n).map(|_| rng.normal(0.0, 2.0) as f32).collect();
+    let mut x_hat = vec![0.0f32; n];
+    let mut out = vec![0.0f32; n];
+    let mut quant = input.clone();
+    for backend in simd::available_backends() {
+        h.bench(&format!("simd/batchnorm_262k/{backend}"), || {
+            simd::with_backend(backend, || {
+                simd::batchnorm_normalize(&input, 0.1, 1.9, 1.2, -0.3, &mut x_hat, &mut out)
+            })
+            .unwrap()
+        });
+        h.bench(&format!("simd/fake_quant_262k/{backend}"), || {
+            simd::with_backend(backend, || simd::fake_quant_signed_inplace(&mut quant, 0.05, 127.0))
+                .unwrap()
+        });
+    }
+}
+
 /// Where the threaded GEMM path starts paying: serial vs 2-thread wall
 /// time around the `PARALLEL_MIN_FLOPS` default. On a single-core host
 /// the 2-thread entries only measure spawn overhead — run this on a
@@ -536,6 +592,7 @@ fn main() {
     bench_selection(&mut h);
     bench_end_to_end(&mut h);
     bench_sweep_throughput(&mut h);
+    bench_simd(&mut h);
     bench_thread_threshold(&mut h);
 
     println!("\n{} entries measured; slowest:", h.results.len());

@@ -78,6 +78,9 @@ fn usage() {
     println!("                    shorthand spec overrides (same as --set)");
     println!("  --gemm-threads N / --gemm-block N / --gemm-min-flops N");
     println!("                    matrix-kernel knobs (never part of the spec)");
+    println!("  --simd BACKEND    pin the SIMD kernel backend (scalar, avx2, avx512, neon;");
+    println!("                    shorthand for --set simd=BACKEND — recorded in the spec");
+    println!("                    echo; `swim list` shows this host's backends)");
     println!("  --shard I/N       run seed-range shard I of an N-way split (shorthand for");
     println!("                    --set shard=I/N); reassemble with `swim merge`");
     println!("  --checkpoint FILE journal every completed (model, sigma) block to FILE");
@@ -187,6 +190,28 @@ fn list() {
     println!("device models (for [device] model / --set device-model=...):");
     for model in swim_cim::device_model_registry() {
         println!("  {:<18} {:<22} {}", model.key(), model.name(), model.describe());
+    }
+    println!();
+    println!("SIMD backends (for [run] simd / --simd / SWIM_SIMD; see docs/simd.md):");
+    use swim_tensor::simd;
+    for backend in simd::Backend::ALL {
+        let mut notes = Vec::new();
+        if backend == simd::detected_backend() {
+            notes.push("detected");
+        }
+        if backend == simd::backend() {
+            notes.push("active");
+        }
+        let status = if backend.is_supported() {
+            if notes.is_empty() {
+                "available".to_string()
+            } else {
+                notes.join(", ")
+            }
+        } else {
+            "unsupported on this host".to_string()
+        };
+        println!("  {:<18} {}", backend.name(), status);
     }
     println!();
     println!("spec kinds: sweep, table1, fig2, fig1, calibration, ablation");

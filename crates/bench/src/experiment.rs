@@ -33,6 +33,7 @@ use swim_report::schema::{
     BlockKey, Correlations, CurvePoint, FaultDoc, InsituPoint, MethodCurveDoc, RawMethodDoc,
     RawSweepDoc, ResultsDoc, SweepDoc,
 };
+use swim_tensor::simd;
 use swim_tensor::Prng;
 
 /// Output options orthogonal to the experiment description.
@@ -51,6 +52,11 @@ pub struct RunOptions {
     /// Resume from this checkpoint journal (and keep checkpointing to it
     /// unless `checkpoint` points elsewhere).
     pub resume: Option<std::path::PathBuf>,
+    /// Refuse a spec whose `run.simd` differs from the process's active
+    /// SIMD backend instead of switching to it — for long-lived hosts
+    /// that assume one backend for the process lifetime (the `swim
+    /// serve` engine applies the same check via its `validate` hook).
+    pub pin_backend: bool,
 }
 
 /// Accumulates the typed results alongside the printed output.
@@ -272,6 +278,18 @@ fn resume_into(
             path.display()
         ));
     }
+    let active = simd::backend().name();
+    if doc.simd != active {
+        return Err(format!(
+            "{}: checkpoint journal was produced under SIMD backend `{}` but this process \
+             dispatches through `{active}`; re-run with SWIM_SIMD={} (or `--simd {}`) to resume \
+             it bit-identically",
+            path.display(),
+            doc.simd,
+            doc.simd,
+            doc.simd
+        ));
+    }
     let Some(completed) = doc.completed else {
         return Err(format!(
             "{}: not a checkpoint journal (no `completed` block list — this looks like a \
@@ -311,6 +329,15 @@ fn resume_into(
 /// truncated document), and returns the typed document.
 pub fn run_spec(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ResultsDoc, String> {
     spec.validate().map_err(|e| e.to_string())?;
+    if let Some(requested) = &spec.run.simd {
+        if opts.pin_backend {
+            check_backend_pinned(spec)?;
+        } else {
+            let backend =
+                simd::Backend::parse(requested).expect("validated spec has a known SIMD backend");
+            simd::set_backend(backend).map_err(|e| format!("run.simd: {e}"))?;
+        }
+    }
     let grid_kind =
         matches!(spec.kind, ExperimentKind::Table1 | ExperimentKind::Fig2 | ExperimentKind::Sweep);
     if (opts.checkpoint.is_some() || opts.resume.is_some()) && !grid_kind {
@@ -341,6 +368,28 @@ pub fn run_spec(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ResultsDoc, 
         eprintln!("[swim] wrote results document to {}", path.display());
     }
     Ok(doc)
+}
+
+/// Errors when a validated spec pins a `run.simd` backend other than the
+/// one this process already dispatches through.
+///
+/// Used where switching backends mid-process is off the table: `run_spec`
+/// with [`RunOptions::pin_backend`], and the `swim serve` engine, whose
+/// prepared-model cache and worker pool assume one backend for the
+/// process lifetime.
+pub(crate) fn check_backend_pinned(spec: &ExperimentSpec) -> Result<(), String> {
+    if let Some(requested) = &spec.run.simd {
+        let backend =
+            simd::Backend::parse(requested).expect("validated spec has a known SIMD backend");
+        if simd::backend() != backend {
+            return Err(format!(
+                "spec pins `run.simd = \"{requested}\"` but this process dispatches through \
+                 `{}`; restart it with SWIM_SIMD={requested} to honor the spec",
+                simd::backend().name()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Prepares one (scenario, device model, sigma) block and sweeps every
@@ -1025,6 +1074,7 @@ pub fn options_from_args(spec: &ExperimentSpec, args: &Args) -> Result<RunOption
         gemm_block,
         checkpoint: args.get("checkpoint").map(std::path::PathBuf::from),
         resume: args.get("resume").map(std::path::PathBuf::from),
+        pin_backend: false,
     })
 }
 

@@ -93,6 +93,19 @@ pub fn merge_docs(shards: &[ShardInput]) -> Result<ResultsDoc, String> {
             ));
         }
     }
+    // Elementwise kernels are bit-identical across SIMD backends but the
+    // GEMM accumulation order is not; shards mixed across backends would
+    // merge into a document no single-shot run could produce.
+    let simd = &ordered[0].1.simd;
+    for (label, doc) in &ordered {
+        if doc.simd != *simd {
+            return Err(format!(
+                "{label}: shard ran under SIMD backend `{}` but {} ran under `{simd}` — \
+                 re-run the shards under one backend (SWIM_SIMD={simd}) before merging",
+                doc.simd, ordered[0].0
+            ));
+        }
+    }
     if !matches!(spec.kind, ExperimentKind::Table1 | ExperimentKind::Fig2 | ExperimentKind::Sweep) {
         return Err(format!(
             "`swim merge` applies to block-structured kinds (table1, fig2, sweep), not `{}`",
@@ -155,7 +168,12 @@ pub fn merge_docs(shards: &[ShardInput]) -> Result<ResultsDoc, String> {
         }
     }
     let wall_time: f64 = ordered.iter().map(|(_, d)| d.wall_time_s).sum();
-    Ok(results_document(&spec, collector, wall_time))
+    let mut doc = results_document(&spec, collector, wall_time);
+    // The merge itself computes nothing numeric — the document's
+    // provenance is the backend the *shards* ran under, not whatever
+    // this process happens to dispatch through.
+    doc.simd = simd.clone();
+    Ok(doc)
 }
 
 /// The shard's sweep record for one `(model, sigma)` block, or an error

@@ -8,6 +8,7 @@
 //! counts are accumulated exactly, which is what the paper's
 //! *normalized write cycles* metric is computed from.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
@@ -15,6 +16,19 @@ use crate::device::DeviceConfig;
 use crate::model::{default_device_model, DeviceModel};
 use swim_quant::DeviceSlicing;
 use swim_tensor::Prng;
+
+/// Unverified weights are programmed in runs of at most this many weights
+/// through [`DeviceModel::program_once_bulk`], so the SIMD-friendly batch
+/// stays small enough to live in cache.
+const BULK_RUN_WEIGHTS: usize = 256;
+
+thread_local! {
+    /// Reused (slice-level targets, programmed conductances) staging
+    /// buffers for the bulk programming path — per worker thread, so the
+    /// Monte Carlo harness stays allocation-free in steady state.
+    static BULK_BUFFERS: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// Aggregate result of programming a weight tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,14 +156,8 @@ impl WeightMapper {
     /// the collect-then-reconstruct formulation) — this is the innermost
     /// loop of every Monte Carlo run.
     pub fn program_weight(&self, code: i32, verify: bool, rng: &mut Prng) -> (f64, u64) {
-        let max_code = (1i64 << self.slicing.weight_bits()) - 1;
-        assert!(
-            (code as i64).abs() <= max_code,
-            "code {code} does not fit in {} bits",
-            self.slicing.weight_bits()
-        );
+        let magnitude = self.checked_magnitude(code);
         let sign = if code < 0 { -1.0 } else { 1.0 };
-        let magnitude = code.unsigned_abs();
         let mut pulses = 0u64;
         let mut reconstructed = 0.0f64;
         for i in 0..self.slicing.num_devices() {
@@ -211,18 +219,90 @@ impl WeightMapper {
             ProgramSummary { total_weights: codes.len() as u64, ..Default::default() };
         out.clear();
         out.reserve(codes.len());
-        for (i, &code) in codes.iter().enumerate() {
-            let verify = selection.map(|s| s[i]).unwrap_or(false);
-            let (value, pulses) = self.program_weight(code, verify, rng);
-            if verify {
-                summary.verify_pulses += pulses;
-                summary.verified_weights += 1;
-            } else {
-                summary.bulk_pulses += pulses;
+        // Maximal runs of unverified weights go through the model's bulk
+        // path (bit-identical to weight-at-a-time programming, same RNG
+        // stream); each verified weight flushes the pending run first so
+        // draw order is preserved exactly.
+        BULK_BUFFERS.with(|buffers| {
+            let (targets, values) = &mut *buffers.borrow_mut();
+            let mut run_start = 0usize;
+            for (i, &code) in codes.iter().enumerate() {
+                if selection.map(|s| s[i]).unwrap_or(false) {
+                    self.flush_bulk_run(
+                        &codes[run_start..i],
+                        targets,
+                        values,
+                        rng,
+                        out,
+                        &mut summary,
+                    );
+                    run_start = i + 1;
+                    let (value, pulses) = self.program_weight(code, true, rng);
+                    summary.verify_pulses += pulses;
+                    summary.verified_weights += 1;
+                    out.push(value);
+                } else if i + 1 - run_start == BULK_RUN_WEIGHTS {
+                    self.flush_bulk_run(
+                        &codes[run_start..=i],
+                        targets,
+                        values,
+                        rng,
+                        out,
+                        &mut summary,
+                    );
+                    run_start = i + 1;
+                }
             }
-            out.push(value);
-        }
+            self.flush_bulk_run(&codes[run_start..], targets, values, rng, out, &mut summary);
+        });
         summary
+    }
+
+    /// Programs one run of unverified weights through the model's bulk
+    /// path: slice levels are laid out weight-major/device-minor (the
+    /// exact order the per-weight loop would draw in), and each weight is
+    /// reconstructed with the same per-device summation order as
+    /// [`WeightMapper::program_weight`].
+    fn flush_bulk_run(
+        &self,
+        codes: &[i32],
+        targets: &mut Vec<f64>,
+        values: &mut Vec<f64>,
+        rng: &mut Prng,
+        out: &mut Vec<f64>,
+        summary: &mut ProgramSummary,
+    ) {
+        if codes.is_empty() {
+            return;
+        }
+        let devices = self.slicing.num_devices();
+        targets.clear();
+        for &code in codes {
+            let magnitude = self.checked_magnitude(code);
+            for d in 0..devices {
+                targets.push(self.slicing.slice_level(magnitude, d) as f64);
+            }
+        }
+        values.clear();
+        summary.bulk_pulses += self.model.program_once_bulk(targets, &self.config, rng, values);
+        for (w, &code) in codes.iter().enumerate() {
+            let sign = if code < 0 { -1.0 } else { 1.0 };
+            let mut reconstructed = 0.0f64;
+            for d in 0..devices {
+                reconstructed += values[w * devices + d] * self.slicing.significance(d);
+            }
+            out.push(sign * reconstructed);
+        }
+    }
+
+    fn checked_magnitude(&self, code: i32) -> u32 {
+        let max_code = (1i64 << self.slicing.weight_bits()) - 1;
+        assert!(
+            (code as i64).abs() <= max_code,
+            "code {code} does not fit in {} bits",
+            self.slicing.weight_bits()
+        );
+        code.unsigned_abs()
     }
 
     /// Pulses needed to write-verify *all* `codes` — the NWC = 1.0
@@ -331,6 +411,46 @@ mod tests {
         let s2 = m.program_into(&codes, Some(&sel), &mut Prng::seed_from_u64(9), &mut buf);
         assert_eq!(fresh, buf);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn bulk_runs_are_bit_identical_to_the_per_weight_loop() {
+        // Lengths straddle the BULK_RUN_WEIGHTS cap; the mixed selection
+        // forces mid-stream flushes.
+        let m = mapper();
+        for (len, sel) in [
+            (0usize, None),
+            (1, None),
+            (300, None),
+            (700, None),
+            (700, Some((0..700).map(|i| i % 7 == 0).collect::<Vec<bool>>())),
+        ] {
+            let codes: Vec<i32> = (0..len as i32).map(|i| (i % 31) - 15).collect();
+            let mut bulk_rng = Prng::seed_from_u64(77);
+            let mut ref_rng = Prng::seed_from_u64(77);
+            let mut bulk = Vec::new();
+            let summary = m.program_into(&codes, sel.as_deref(), &mut bulk_rng, &mut bulk);
+            let mut reference = Vec::new();
+            let mut ref_summary =
+                ProgramSummary { total_weights: codes.len() as u64, ..Default::default() };
+            for (i, &code) in codes.iter().enumerate() {
+                let verify = sel.as_deref().map(|s| s[i]).unwrap_or(false);
+                let (value, pulses) = m.program_weight(code, verify, &mut ref_rng);
+                if verify {
+                    ref_summary.verify_pulses += pulses;
+                    ref_summary.verified_weights += 1;
+                } else {
+                    ref_summary.bulk_pulses += pulses;
+                }
+                reference.push(value);
+            }
+            for (a, b) in bulk.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len {len}");
+            }
+            assert_eq!(bulk.len(), reference.len(), "len {len}");
+            assert_eq!(summary, ref_summary, "len {len}");
+            assert_eq!(bulk_rng.next_u64(), ref_rng.next_u64(), "len {len}: stream diverged");
+        }
     }
 
     #[test]

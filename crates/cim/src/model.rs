@@ -20,6 +20,7 @@ use std::sync::Arc;
 use crate::device::DeviceConfig;
 use crate::drift::DriftModel;
 use crate::writeverify::{program_once, write_verify, ProgramOutcome};
+use swim_tensor::simd;
 use swim_tensor::Prng;
 
 /// A pluggable device programming-noise model.
@@ -54,6 +55,34 @@ pub trait DeviceModel: Send + Sync {
     /// sits within `cfg.level_margin()` of `target` (or the iteration
     /// budget runs out), accounting every pulse.
     fn write_verify(&self, target: f64, cfg: &DeviceConfig, rng: &mut Prng) -> ProgramOutcome;
+
+    /// Programs a batch of device levels without verification, appending
+    /// one conductance per target to `values` and returning the total
+    /// pulse count.
+    ///
+    /// Must be **bit-identical** to calling [`program_once`] once per
+    /// target in order, including RNG stream consumption — the default
+    /// implementation does exactly that. Models whose single-shot noise
+    /// is a pure `target + sigma·z` transform may override it to draw
+    /// the unit normals first and apply the affine map through the SIMD
+    /// layer (see [`RramGaussian`]).
+    ///
+    /// [`program_once`]: DeviceModel::program_once
+    fn program_once_bulk(
+        &self,
+        targets: &[f64],
+        cfg: &DeviceConfig,
+        rng: &mut Prng,
+        values: &mut Vec<f64>,
+    ) -> u64 {
+        let mut pulses = 0u64;
+        for &target in targets {
+            let outcome = self.program_once(target, cfg, rng);
+            values.push(outcome.value);
+            pulses += outcome.pulses;
+        }
+        pulses
+    }
 }
 
 /// The reference model: level-proportional Gaussian programming noise
@@ -84,6 +113,24 @@ impl DeviceModel for RramGaussian {
 
     fn write_verify(&self, target: f64, cfg: &DeviceConfig, rng: &mut Prng) -> ProgramOutcome {
         write_verify(target, cfg, rng)
+    }
+
+    fn program_once_bulk(
+        &self,
+        targets: &[f64],
+        cfg: &DeviceConfig,
+        rng: &mut Prng,
+        values: &mut Vec<f64>,
+    ) -> u64 {
+        cfg.validate();
+        // `normal(target, sigma)` is exactly `target + sigma * z` with
+        // `z = normal(0, 1)`, so drawing the unit normals first (same
+        // stream, same order) and applying the affine map through the
+        // SIMD layer stays bit-identical to the per-device path.
+        let start = values.len();
+        values.extend(targets.iter().map(|_| rng.normal(0.0, 1.0)));
+        simd::scale_add_f64(targets, cfg.level_sigma(), &mut values[start..]);
+        targets.len() as u64
     }
 }
 
@@ -387,6 +434,34 @@ mod tests {
             );
             // And the RNG streams stayed in lockstep.
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bulk_programming_is_bit_identical_to_per_device() {
+        let cfg = DeviceConfig::rram();
+        let mut targets = Vec::new();
+        let mut rng = Prng::seed_from_u64(31);
+        for _ in 0..257 {
+            targets.push(rng.uniform_range(0.0, cfg.full_scale()));
+        }
+        for model in device_model_registry() {
+            for len in [0usize, 1, 7, 64, 257] {
+                let mut a = Prng::seed_from_u64(13);
+                let mut b = Prng::seed_from_u64(13);
+                let mut values = Vec::new();
+                let pulses = model.program_once_bulk(&targets[..len], &cfg, &mut a, &mut values);
+                let mut ref_pulses = 0u64;
+                for (&target, &got) in targets[..len].iter().zip(&values) {
+                    let outcome = model.program_once(target, &cfg, &mut b);
+                    assert_eq!(got.to_bits(), outcome.value.to_bits(), "{} len {len}", model.key());
+                    ref_pulses += outcome.pulses;
+                }
+                assert_eq!(values.len(), len);
+                assert_eq!(pulses, ref_pulses, "{} len {len}", model.key());
+                // And the RNG streams stayed in lockstep.
+                assert_eq!(a.next_u64(), b.next_u64(), "{} len {len}", model.key());
+            }
         }
     }
 

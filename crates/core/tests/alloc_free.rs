@@ -119,23 +119,38 @@ fn steady_state_sweep_iterations_allocate_nothing() {
     // take the minimum over a few windows — any window observing zero
     // proves the iteration itself is allocation-free, without making
     // the gate flaky.
+    //
+    // The gate runs once per SIMD backend the host supports: each
+    // backend has its own kernel bodies and lane-remainder paths, and
+    // any of them could plausibly stage through a fresh buffer.
     let mut measured = 0.0;
-    let mut leaked = u64::MAX;
-    for attempt in 0..5u64 {
-        let before = alloc_events();
-        for run in 0..10 {
-            measured += iteration(&mut scratch, 3 + attempt * 10 + run);
-        }
-        let after = alloc_events();
-        leaked = leaked.min(after - before);
-        if leaked == 0 {
-            break;
-        }
+    let mut next_run = 2u64;
+    for backend in swim_tensor::simd::available_backends() {
+        swim_tensor::simd::with_backend(backend, || {
+            // Re-warm under this backend before measuring.
+            next_run += 1;
+            warm += iteration(&mut scratch, next_run);
+            let mut leaked = u64::MAX;
+            for _attempt in 0..5u64 {
+                let before = alloc_events();
+                for _ in 0..10 {
+                    next_run += 1;
+                    measured += iteration(&mut scratch, next_run);
+                }
+                let after = alloc_events();
+                leaked = leaked.min(after - before);
+                if leaked == 0 {
+                    break;
+                }
+            }
+            assert_eq!(
+                leaked, 0,
+                "backend {backend}: steady-state sweep iterations performed {leaked} heap \
+                 allocations (expected zero)"
+            );
+        })
+        .expect("available backend");
     }
-    assert_eq!(
-        leaked, 0,
-        "steady-state sweep iterations performed {leaked} heap allocations (expected zero)"
-    );
     // The accuracies are real numbers, not optimized away.
     assert!(warm > 0.0 && measured > 0.0);
 

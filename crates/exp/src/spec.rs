@@ -321,7 +321,7 @@ impl Default for MonteCarloSpec {
 /// `[run]`: execution partitioning. Unlike every other section this is
 /// not part of the experiment's mathematical identity — two shards of
 /// one experiment differ only here, and `swim merge` strips it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunSpec {
     /// Deterministic seed-range shard `(index, count)`, written as
     /// `"i/n"` in spec files. Shard `i` of `n` covers the global Monte
@@ -330,6 +330,12 @@ pub struct RunSpec {
     /// partition reproduce exactly the runs of the unsharded sweep.
     /// `None` runs everything.
     pub shard: Option<(usize, usize)>,
+    /// SIMD backend to pin the run to (`scalar`, `avx2`, `avx512`,
+    /// `neon`). `None` uses the ambient dispatch (the `SWIM_SIMD`
+    /// environment override, else runtime feature detection). The
+    /// backend actually used is recorded in the results document's
+    /// top-level `simd` field either way.
+    pub simd: Option<String>,
 }
 
 /// Parses the `"i/n"` shard form.
@@ -652,8 +658,15 @@ impl ExperimentSpec {
                         return Err(err("`run.shard` must be a string like \"0/4\""));
                     }
                 };
+                let simd = match s.take("simd") {
+                    None => None,
+                    Some(Value::Str(text)) => Some(text.clone()),
+                    Some(_) => {
+                        return Err(err("`run.simd` must be a string like \"scalar\""));
+                    }
+                };
                 s.finish()?;
-                RunSpec { shard }
+                RunSpec { shard, simd }
             }
         };
 
@@ -875,6 +888,13 @@ impl ExperimentSpec {
                 )));
             }
         }
+        if let Some(simd) = &self.run.simd {
+            if swim_tensor::simd::Backend::parse(simd).is_none() {
+                return Err(err(format!(
+                    "`run.simd` must be one of scalar, avx2, avx512, neon (got `{simd}`)"
+                )));
+            }
+        }
         for &p in &self.ablation.granularities {
             if !(p > 0.0 && p <= 1.0) {
                 return Err(err(format!("`ablation.granularities` entry {p} must be in (0, 1]")));
@@ -1036,11 +1056,16 @@ impl ExperimentSpec {
         root.set("montecarlo", montecarlo);
 
         // `[run]` describes how this execution is partitioned, not what
-        // the experiment is; it is only written when a shard is set, so
-        // unsharded spec echoes stay byte-identical across merges.
-        if let Some((i, n)) = self.run.shard {
+        // the experiment is; it is only written when one of its keys is
+        // set, so default spec echoes stay byte-identical across merges.
+        if self.run.shard.is_some() || self.run.simd.is_some() {
             let mut run = Value::table();
-            run.set("shard", Value::Str(format!("{i}/{n}")));
+            if let Some((i, n)) = self.run.shard {
+                run.set("shard", Value::Str(format!("{i}/{n}")));
+            }
+            if let Some(simd) = &self.run.simd {
+                run.set("simd", Value::Str(simd.clone()));
+            }
             root.set("run", run);
         }
 
@@ -1107,6 +1132,10 @@ impl ExperimentSpec {
     pub fn prep_prefix(&self, device_model: &str, sigma: f64) -> Value {
         let mut root = Value::table();
         root.set("seed", Value::Int(self.seed as i64));
+        // Training runs through the GEMM kernels, whose accumulation
+        // order differs per SIMD backend — a prepared model is only
+        // reusable under the backend that built it.
+        root.set("simd", Value::Str(swim_tensor::simd::backend().name().into()));
 
         let mut scenario = Value::table();
         scenario.set("model", Value::Str(self.scenario.model.key().into()));
@@ -1233,6 +1262,7 @@ pub fn resolve_set_path(kind: ExperimentKind, key: &str) -> String {
         "name" => "name",
         "note" => "note",
         "shard" => "run.shard",
+        "simd" => "run.simd",
         "on-panic" | "on_panic" => "montecarlo.on_panic",
         other => other,
     };
@@ -1447,13 +1477,39 @@ mod tests {
     }
 
     #[test]
+    fn simd_parses_validates_and_round_trips() {
+        let spec = ExperimentSpec::parse_str("[run]\nsimd = \"scalar\"\n").unwrap();
+        assert_eq!(spec.run.simd.as_deref(), Some("scalar"));
+        let again = ExperimentSpec::parse_str(&spec.to_toml()).unwrap();
+        assert_eq!(again, spec);
+        // Every backend name is accepted by validation — pinning a
+        // backend the host lacks fails at run time, not parse time, so
+        // one spec file works across heterogeneous machines.
+        for name in ["scalar", "avx2", "avx512", "neon"] {
+            let text = format!("[run]\nsimd = \"{name}\"\n");
+            assert!(ExperimentSpec::parse_str(&text).is_ok(), "{name}");
+        }
+        let e = ExperimentSpec::parse_str("[run]\nsimd = \"sse9\"\n").unwrap_err();
+        assert!(e.0.contains("run.simd"), "{e}");
+        let e = ExperimentSpec::parse_str("[run]\nsimd = 2\n").unwrap_err();
+        assert!(e.0.contains("run.simd"), "{e}");
+        // The shorthand resolves to the dotted path.
+        let mut spec = ExperimentSpec::default();
+        spec.apply_set("simd=avx2").unwrap();
+        assert_eq!(spec.run.simd.as_deref(), Some("avx2"));
+        assert!(spec.to_toml().contains("[run]"));
+        // Unset means "whatever the process detects" and writes nothing.
+        assert!(!ExperimentSpec::default().to_toml().contains("simd"));
+    }
+
+    #[test]
     fn shard_ranges_tile_the_run_budget() {
         for runs in [1usize, 7, 25, 100] {
             for n in 1..=runs.min(9) {
                 let mut start = 0;
                 for i in 0..n {
                     let spec = ExperimentSpec {
-                        run: RunSpec { shard: Some((i, n)) },
+                        run: RunSpec { shard: Some((i, n)), ..Default::default() },
                         montecarlo: MonteCarloSpec { runs, ..Default::default() },
                         ..Default::default()
                     };

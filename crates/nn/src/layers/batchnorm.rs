@@ -3,6 +3,7 @@
 use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
+use swim_tensor::simd;
 use swim_tensor::Tensor;
 
 /// Per-channel batch normalization over `[N, C, H, W]` activations.
@@ -157,11 +158,15 @@ impl BatchNorm2d {
                 for ch in 0..c {
                     let base = (item * c + ch) * plane;
                     let (m, is) = (self.batch_mean[ch], cache.inv_std[ch]);
-                    for p in 0..plane {
-                        let xn = (id[base + p] - m) * is;
-                        xh[base + p] = xn;
-                        od[base + p] = g[ch] * xn + b[ch];
-                    }
+                    simd::batchnorm_normalize(
+                        &id[base..base + plane],
+                        m,
+                        is,
+                        g[ch],
+                        b[ch],
+                        &mut xh[base..base + plane],
+                        &mut od[base..base + plane],
+                    );
                 }
             }
         }

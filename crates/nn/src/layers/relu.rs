@@ -3,6 +3,7 @@
 use crate::arena::ActivationArena;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
+use swim_tensor::simd;
 use swim_tensor::Tensor;
 
 /// Rectified linear unit, `y = max(x, 0)`.
@@ -32,9 +33,8 @@ impl Relu {
     fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
         let mask = self.mask.get_or_insert_with(Vec::new);
         mask.clear();
-        mask.extend(input.data().iter().map(|&x| x > 0.0));
         out.copy_from(input);
-        out.map_inplace(|x| x.max(0.0));
+        simd::relu_forward_inplace(out.data_mut(), mask);
     }
 }
 
@@ -55,11 +55,7 @@ impl Layer for Relu {
         let mask = self.mask();
         assert_eq!(mask.len(), grad_output.len(), "gradient does not match cached input");
         let mut out = grad_output.clone();
-        for (g, &m) in out.data_mut().iter_mut().zip(mask) {
-            if !m {
-                *g = 0.0;
-            }
-        }
+        simd::relu_apply_mask(out.data_mut(), mask);
         out
     }
 
@@ -67,11 +63,7 @@ impl Layer for Relu {
         let mask = self.mask();
         assert_eq!(mask.len(), hess_output.len(), "hessian does not match cached input");
         let mut out = hess_output.clone();
-        for (h, &m) in out.data_mut().iter_mut().zip(mask) {
-            if !m {
-                *h = 0.0;
-            }
-        }
+        simd::relu_apply_mask(out.data_mut(), mask);
         out
     }
 

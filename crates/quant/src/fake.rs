@@ -8,6 +8,7 @@
 //! inference time.
 
 use crate::params::QuantParams;
+use swim_tensor::simd;
 use swim_tensor::Tensor;
 
 /// Symmetric signed fake quantization: `dequantize(quantize(x))` with
@@ -45,7 +46,10 @@ pub fn fake_quant(t: &Tensor, bits: u32) -> Tensor {
 pub fn fake_quant_into(t: &Tensor, bits: u32, out: &mut Tensor) {
     let params = QuantParams::from_tensor(t, bits);
     out.copy_from(t);
-    out.map_inplace(|x| params.dequantize(params.quantize(x)));
+    // The SIMD kernel is the float-domain equivalent of
+    // `params.dequantize(params.quantize(x))` (bit-identical on every
+    // backend; `max_code <= 65535` keeps the float clamp exact).
+    simd::fake_quant_signed_inplace(out.data_mut(), params.scale(), params.max_code() as f32);
 }
 
 /// Unsigned fake quantization for non-negative activations (post-ReLU):
@@ -69,10 +73,7 @@ pub fn fake_quant_unsigned_into(t: &Tensor, bits: u32, out: &mut Tensor) {
     }
     let levels = ((1u32 << bits) - 1) as f32;
     let scale = max / levels;
-    out.map_inplace(|x| {
-        let code = (x.max(0.0) / scale).round().min(levels);
-        code * scale
-    });
+    simd::fake_quant_unsigned_inplace(out.data_mut(), scale, levels);
 }
 
 /// Fake quantization with externally fixed parameters (used when the

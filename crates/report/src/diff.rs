@@ -164,6 +164,13 @@ pub fn diff_docs(a: &ResultsDoc, b: &ResultsDoc, opts: &DiffOptions) -> DiffRepo
         diff_values("spec", &a.spec.to_value(), &b.spec.to_value(), &mut cmp.report.spec);
     }
 
+    // Different SIMD backends are a different provenance, not drift —
+    // GEMM results are only tolerance-equal across backends, so any
+    // numeric deltas below should be read in that light.
+    if a.simd != b.simd {
+        cmp.report.structure.push(DiffEntry::new("simd", a.simd.clone(), b.simd.clone()));
+    }
+
     // ------------------------------------------------- sweep blocks
     // Blocks are keyed by (device model, sigma): a model grid produces
     // several blocks per sigma, and comparing across models would be a

@@ -32,8 +32,10 @@ use swim_exp::value::{parse_json, Reader, Value};
 /// `swim merge` and `swim run --resume` (`shard` provenance, the
 /// `completed` checkpoint block list, per-block `raw` Monte Carlo
 /// matrices in shard documents, the `faults` section for isolated run
-/// panics, and `[montecarlo] on_panic` in the spec echo).
-pub const RESULTS_VERSION: i64 = 3;
+/// panics, and `[montecarlo] on_panic` in the spec echo); 4 = the
+/// top-level `simd` backend provenance field and `[run] simd` in the
+/// spec echo.
+pub const RESULTS_VERSION: i64 = 4;
 
 /// A results-document parsing/validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -237,6 +239,11 @@ pub struct ResultsDoc {
     /// Runs that panicked under the isolate policy (empty otherwise;
     /// omitted from the JSON when empty).
     pub faults: Vec<FaultDoc>,
+    /// SIMD backend the run's kernels dispatched through (`scalar`,
+    /// `avx2`, `avx512`, or `neon`) — elementwise results are
+    /// bit-identical across backends, GEMM is tolerance-equal, so this
+    /// records which flavor produced the bytes.
+    pub simd: String,
     /// Wall-clock duration of the run in seconds.
     pub wall_time_s: f64,
 }
@@ -257,6 +264,7 @@ impl ResultsDoc {
             shard,
             completed: None,
             faults: Vec::new(),
+            simd: swim_tensor::simd::backend().name().to_string(),
             wall_time_s,
         }
     }
@@ -298,6 +306,7 @@ impl ResultsDoc {
         doc.set("name", Value::Str(self.spec.name.clone()));
         doc.set("kind", Value::Str(self.spec.kind.key().to_string()));
         doc.set("seed", Value::Int(self.spec.seed as i64));
+        doc.set("simd", Value::Str(self.simd.clone()));
         doc.set("spec", self.spec.to_value());
         if let Some(s) = &self.shard {
             let mut sv = Value::table();
@@ -400,6 +409,10 @@ impl ResultsDoc {
         let kind = ExperimentKind::parse(&kind_key)
             .ok_or_else(|| err(format!("unknown kind `{kind_key}`")))?;
         let seed = r.u64_req("seed")?;
+        let simd = r.string_req("simd")?;
+        if swim_tensor::simd::Backend::parse(&simd).is_none() {
+            return Err(err(format!("unknown SIMD backend `{simd}`")));
+        }
 
         let spec = ExperimentSpec::from_value(r.require("spec")?)
             .map_err(|e| err(format!("spec echo: {}", e.0)))?;
@@ -414,6 +427,16 @@ impl ResultsDoc {
                 spec.kind.key(),
                 spec.seed
             )));
+        }
+        // A spec echo that pinned `[run] simd` must agree with the
+        // backend the document says it ran on.
+        if let Some(requested) = &spec.run.simd {
+            if *requested != simd {
+                return Err(err(format!(
+                    "document `simd` (`{simd}`) contradicts its spec echo's `run.simd` \
+                     (`{requested}`)"
+                )));
+            }
         }
 
         let shard = match r.take("shard") {
@@ -527,7 +550,17 @@ impl ResultsDoc {
         let wall_time_s = r.f64_req("wall_time_s")?;
         r.finish()?;
 
-        Ok(ResultsDoc { spec, sweeps, correlations, tables, shard, completed, faults, wall_time_s })
+        Ok(ResultsDoc {
+            spec,
+            sweeps,
+            correlations,
+            tables,
+            shard,
+            completed,
+            faults,
+            simd,
+            wall_time_s,
+        })
     }
 }
 

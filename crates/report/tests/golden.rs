@@ -34,6 +34,11 @@ fn regenerate_fixtures() {
         let text = std::fs::read_to_string(&path).unwrap();
         let mut root = parse_json(&text).unwrap();
         root.set("swim_results_version", Value::Int(swim_report::schema::RESULTS_VERSION));
+        // Pre-v4 documents predate SIMD provenance; everything committed
+        // before the field existed was computed by the scalar kernels.
+        if root.get("simd").is_none() {
+            root.set("simd", Value::Str("scalar".into()));
+        }
         let doc = ResultsDoc::from_value(&root).unwrap_or_else(|e| panic!("{name}: {e}"));
         std::fs::write(&path, doc.to_json()).unwrap();
     }

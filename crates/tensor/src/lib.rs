@@ -18,6 +18,10 @@
 //!   on an external generator whose stream may change between versions.
 //! * [`stats`] — `f64`-accumulated summary statistics and the Pearson
 //!   correlation used by the Fig. 1 sensitivity-correlation experiment.
+//! * [`simd`] — the portable-SIMD kernel layer (AVX2/AVX-512/NEON with a
+//!   scalar reference, selected once at startup via runtime feature
+//!   detection, overridable via `SWIM_SIMD`) that the GEMM microkernel
+//!   and the workspace's elementwise hot paths dispatch through.
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@ pub mod error;
 pub mod linalg;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod stats;
 pub mod tensor;
 

@@ -21,20 +21,27 @@
 //! per-element summation order, and the threaded path assigns each thread
 //! a disjoint row range computed identically to the serial path. Results
 //! are therefore **bit-identical** across block sizes and `--threads`
-//! settings, which the Monte Carlo harness relies on for reproducibility.
+//! settings *within one SIMD backend*, which the Monte Carlo harness
+//! relies on for reproducibility.
 //!
-//! Relative to [`matmul_reference`] (the un-fused `i-k-j` loop) the
-//! blocked kernel is *tolerance-identical*: on targets with hardware FMA
-//! each multiply-accumulate fuses with a single rounding, so outputs can
-//! differ from the two-rounding reference by ~1 ulp per `k` step (the
-//! fused result is the more accurate one). On targets without FMA the
-//! kernels are bit-identical. See the private `mac` helper.
+//! The microkernel dispatches on [`crate::simd::backend`]: the scalar
+//! backend runs the portable tile below (the reference), while the
+//! AVX2/AVX-512/NEON backends run hand-vectorized tiles that fuse each
+//! multiply-accumulate (single rounding per `k` step). A vector backend
+//! therefore drifts from the scalar reference by ~1 ulp per `k` step —
+//! pinned to [`crate::simd::GEMM_DRIFT_TOL`] by
+//! `tests/simd_vs_scalar.rs` — but stays fully deterministic on a given
+//! backend. Relative to [`matmul_reference`] (the un-fused `i-k-j`
+//! loop) the scalar blocked kernel is bit-identical on builds without
+//! hardware FMA and ulp-tolerance-identical otherwise; see the private
+//! `mac` helper.
 //!
 //! Accumulation is in `f32` (matching the precision a CiM accelerator's
 //! digital periphery would use). Non-finite inputs propagate per IEEE-754:
 //! unlike the pre-workspace kernel, `0.0` entries are *not* skipped, so
 //! `0.0 × NaN` and `0.0 × ∞` contribute `NaN` as true GEMM requires.
 
+use crate::simd::{self, Backend};
 use crate::tensor::Tensor;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -227,21 +234,18 @@ fn pack_a_panel(a: &[f32], strides: Strides, k: usize, row0: usize, rows: usize,
     }
 }
 
-/// One multiply-accumulate step.
+/// One multiply-accumulate step of the scalar reference kernel.
 ///
-/// On targets with hardware FMA the multiply and add fuse into a single
-/// instruction with a single rounding — about twice the throughput and
-/// slightly *more* accurate than the separate `acc + a·b` the reference
-/// kernel performs (each partial product skips one rounding). The
-/// `cfg!` is a compile-time constant, so targets without FMA keep the
-/// plain two-instruction form rather than a libm software fallback.
+/// Deliberately the unfused two-rounding form, *never* `mul_add`: the
+/// scalar backend is the pinned reference whose bytes must not depend
+/// on build flags or the build host's CPU, and `mul_add` would fuse (one
+/// rounding) exactly when the target has hardware FMA. The vector
+/// backends opt into fusion explicitly via FMA intrinsics, which is
+/// where their (pinned, bounded) drift against this reference comes
+/// from — see `simd::GEMM_DRIFT_TOL` and `docs/simd.md`.
 #[inline(always)]
 fn mac(acc: f32, a: f32, b: f32) -> f32 {
-    if cfg!(target_feature = "fma") {
-        a.mul_add(b, acc)
-    } else {
-        acc + a * b
-    }
+    acc + a * b
 }
 
 /// Computes one `4 × NR` register tile: `acc[r][c] = Σ_p a_r[p] ·
@@ -292,11 +296,328 @@ fn microkernel_1(k: usize, a0: &[f32], panel: &[f32]) -> [f32; NR] {
     acc
 }
 
+/// Hand-vectorized x86-64 microkernels (AVX2+FMA and AVX-512F).
+///
+/// Same contract as the scalar tiles: every output column accumulates
+/// in strictly increasing `k` order from `0.0`, so each backend is
+/// deterministic across block sizes and thread counts. The FMA fuses
+/// the multiply-accumulate into one rounding, which is where the
+/// (pinned) drift against the scalar reference comes from.
+#[cfg(target_arch = "x86_64")]
+mod kernels_x86 {
+    use super::NR;
+    use core::arch::x86_64::*;
+
+    /// 4×[`NR`] tile over two 16-column half-panels: 8 `ymm`
+    /// accumulators, two panel loads and four broadcasts per `k` step.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA must be available; `a0..a3` must each hold `k` readable
+    /// elements and `panel` at least `k * NR`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn microkernel_4_avx2(
+        k: usize,
+        a0: &[f32],
+        a1: &[f32],
+        a2: &[f32],
+        a3: &[f32],
+        panel: &[f32],
+        out: &mut [[f32; NR]; 4],
+    ) {
+        debug_assert!(panel.len() >= k * NR);
+        unsafe {
+            let pp = panel.as_ptr();
+            for half in 0..2 {
+                let off = half * 16;
+                let (mut c00, mut c01) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+                let (mut c10, mut c11) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+                let (mut c20, mut c21) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+                let (mut c30, mut c31) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+                for p in 0..k {
+                    let bp = pp.add(p * NR + off);
+                    let b0 = _mm256_loadu_ps(bp);
+                    let b1 = _mm256_loadu_ps(bp.add(8));
+                    let a = _mm256_set1_ps(*a0.get_unchecked(p));
+                    c00 = _mm256_fmadd_ps(a, b0, c00);
+                    c01 = _mm256_fmadd_ps(a, b1, c01);
+                    let a = _mm256_set1_ps(*a1.get_unchecked(p));
+                    c10 = _mm256_fmadd_ps(a, b0, c10);
+                    c11 = _mm256_fmadd_ps(a, b1, c11);
+                    let a = _mm256_set1_ps(*a2.get_unchecked(p));
+                    c20 = _mm256_fmadd_ps(a, b0, c20);
+                    c21 = _mm256_fmadd_ps(a, b1, c21);
+                    let a = _mm256_set1_ps(*a3.get_unchecked(p));
+                    c30 = _mm256_fmadd_ps(a, b0, c30);
+                    c31 = _mm256_fmadd_ps(a, b1, c31);
+                }
+                _mm256_storeu_ps(out[0].as_mut_ptr().add(off), c00);
+                _mm256_storeu_ps(out[0].as_mut_ptr().add(off + 8), c01);
+                _mm256_storeu_ps(out[1].as_mut_ptr().add(off), c10);
+                _mm256_storeu_ps(out[1].as_mut_ptr().add(off + 8), c11);
+                _mm256_storeu_ps(out[2].as_mut_ptr().add(off), c20);
+                _mm256_storeu_ps(out[2].as_mut_ptr().add(off + 8), c21);
+                _mm256_storeu_ps(out[3].as_mut_ptr().add(off), c30);
+                _mm256_storeu_ps(out[3].as_mut_ptr().add(off + 8), c31);
+            }
+        }
+    }
+
+    /// Single-row AVX2 tile: 4 `ymm` accumulators cover the full panel.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA must be available; `a0` must hold `k` readable elements
+    /// and `panel` at least `k * NR`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn microkernel_1_avx2(k: usize, a0: &[f32], panel: &[f32], out: &mut [f32; NR]) {
+        debug_assert!(panel.len() >= k * NR);
+        unsafe {
+            let pp = panel.as_ptr();
+            let mut c0 = _mm256_setzero_ps();
+            let mut c1 = _mm256_setzero_ps();
+            let mut c2 = _mm256_setzero_ps();
+            let mut c3 = _mm256_setzero_ps();
+            for p in 0..k {
+                let bp = pp.add(p * NR);
+                let a = _mm256_set1_ps(*a0.get_unchecked(p));
+                c0 = _mm256_fmadd_ps(a, _mm256_loadu_ps(bp), c0);
+                c1 = _mm256_fmadd_ps(a, _mm256_loadu_ps(bp.add(8)), c1);
+                c2 = _mm256_fmadd_ps(a, _mm256_loadu_ps(bp.add(16)), c2);
+                c3 = _mm256_fmadd_ps(a, _mm256_loadu_ps(bp.add(24)), c3);
+            }
+            _mm256_storeu_ps(out.as_mut_ptr(), c0);
+            _mm256_storeu_ps(out.as_mut_ptr().add(8), c1);
+            _mm256_storeu_ps(out.as_mut_ptr().add(16), c2);
+            _mm256_storeu_ps(out.as_mut_ptr().add(24), c3);
+        }
+    }
+
+    /// 4×[`NR`] AVX-512F tile: the full 32-column panel in one pass,
+    /// 8 `zmm` accumulators.
+    ///
+    /// # Safety
+    ///
+    /// AVX-512F must be available; `a0..a3` must each hold `k` readable
+    /// elements and `panel` at least `k * NR`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn microkernel_4_avx512(
+        k: usize,
+        a0: &[f32],
+        a1: &[f32],
+        a2: &[f32],
+        a3: &[f32],
+        panel: &[f32],
+        out: &mut [[f32; NR]; 4],
+    ) {
+        debug_assert!(panel.len() >= k * NR);
+        unsafe {
+            let pp = panel.as_ptr();
+            let (mut c00, mut c01) = (_mm512_setzero_ps(), _mm512_setzero_ps());
+            let (mut c10, mut c11) = (_mm512_setzero_ps(), _mm512_setzero_ps());
+            let (mut c20, mut c21) = (_mm512_setzero_ps(), _mm512_setzero_ps());
+            let (mut c30, mut c31) = (_mm512_setzero_ps(), _mm512_setzero_ps());
+            for p in 0..k {
+                let bp = pp.add(p * NR);
+                let b0 = _mm512_loadu_ps(bp);
+                let b1 = _mm512_loadu_ps(bp.add(16));
+                let a = _mm512_set1_ps(*a0.get_unchecked(p));
+                c00 = _mm512_fmadd_ps(a, b0, c00);
+                c01 = _mm512_fmadd_ps(a, b1, c01);
+                let a = _mm512_set1_ps(*a1.get_unchecked(p));
+                c10 = _mm512_fmadd_ps(a, b0, c10);
+                c11 = _mm512_fmadd_ps(a, b1, c11);
+                let a = _mm512_set1_ps(*a2.get_unchecked(p));
+                c20 = _mm512_fmadd_ps(a, b0, c20);
+                c21 = _mm512_fmadd_ps(a, b1, c21);
+                let a = _mm512_set1_ps(*a3.get_unchecked(p));
+                c30 = _mm512_fmadd_ps(a, b0, c30);
+                c31 = _mm512_fmadd_ps(a, b1, c31);
+            }
+            _mm512_storeu_ps(out[0].as_mut_ptr(), c00);
+            _mm512_storeu_ps(out[0].as_mut_ptr().add(16), c01);
+            _mm512_storeu_ps(out[1].as_mut_ptr(), c10);
+            _mm512_storeu_ps(out[1].as_mut_ptr().add(16), c11);
+            _mm512_storeu_ps(out[2].as_mut_ptr(), c20);
+            _mm512_storeu_ps(out[2].as_mut_ptr().add(16), c21);
+            _mm512_storeu_ps(out[3].as_mut_ptr(), c30);
+            _mm512_storeu_ps(out[3].as_mut_ptr().add(16), c31);
+        }
+    }
+
+    /// Single-row AVX-512F tile: 2 `zmm` accumulators.
+    ///
+    /// # Safety
+    ///
+    /// AVX-512F must be available; `a0` must hold `k` readable elements
+    /// and `panel` at least `k * NR`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn microkernel_1_avx512(k: usize, a0: &[f32], panel: &[f32], out: &mut [f32; NR]) {
+        debug_assert!(panel.len() >= k * NR);
+        unsafe {
+            let pp = panel.as_ptr();
+            let mut c0 = _mm512_setzero_ps();
+            let mut c1 = _mm512_setzero_ps();
+            for p in 0..k {
+                let bp = pp.add(p * NR);
+                let a = _mm512_set1_ps(*a0.get_unchecked(p));
+                c0 = _mm512_fmadd_ps(a, _mm512_loadu_ps(bp), c0);
+                c1 = _mm512_fmadd_ps(a, _mm512_loadu_ps(bp.add(16)), c1);
+            }
+            _mm512_storeu_ps(out.as_mut_ptr(), c0);
+            _mm512_storeu_ps(out.as_mut_ptr().add(16), c1);
+        }
+    }
+}
+
+/// Hand-vectorized AArch64 NEON microkernels; same contract as
+/// [`kernels_x86`].
+#[cfg(target_arch = "aarch64")]
+mod kernels_neon {
+    use super::NR;
+    use core::arch::aarch64::*;
+
+    /// 4×[`NR`] tile over four 8-column quarter-panels: 8 `q`
+    /// accumulators each pass, FMLA-by-scalar per row.
+    ///
+    /// # Safety
+    ///
+    /// `a0..a3` must each hold `k` readable elements and `panel` at
+    /// least `k * NR`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn microkernel_4_neon(
+        k: usize,
+        a0: &[f32],
+        a1: &[f32],
+        a2: &[f32],
+        a3: &[f32],
+        panel: &[f32],
+        out: &mut [[f32; NR]; 4],
+    ) {
+        debug_assert!(panel.len() >= k * NR);
+        unsafe {
+            let pp = panel.as_ptr();
+            for quarter in 0..4 {
+                let off = quarter * 8;
+                let (mut c00, mut c01) = (vdupq_n_f32(0.0), vdupq_n_f32(0.0));
+                let (mut c10, mut c11) = (vdupq_n_f32(0.0), vdupq_n_f32(0.0));
+                let (mut c20, mut c21) = (vdupq_n_f32(0.0), vdupq_n_f32(0.0));
+                let (mut c30, mut c31) = (vdupq_n_f32(0.0), vdupq_n_f32(0.0));
+                for p in 0..k {
+                    let bp = pp.add(p * NR + off);
+                    let b0 = vld1q_f32(bp);
+                    let b1 = vld1q_f32(bp.add(4));
+                    let a = *a0.get_unchecked(p);
+                    c00 = vfmaq_n_f32(c00, b0, a);
+                    c01 = vfmaq_n_f32(c01, b1, a);
+                    let a = *a1.get_unchecked(p);
+                    c10 = vfmaq_n_f32(c10, b0, a);
+                    c11 = vfmaq_n_f32(c11, b1, a);
+                    let a = *a2.get_unchecked(p);
+                    c20 = vfmaq_n_f32(c20, b0, a);
+                    c21 = vfmaq_n_f32(c21, b1, a);
+                    let a = *a3.get_unchecked(p);
+                    c30 = vfmaq_n_f32(c30, b0, a);
+                    c31 = vfmaq_n_f32(c31, b1, a);
+                }
+                vst1q_f32(out[0].as_mut_ptr().add(off), c00);
+                vst1q_f32(out[0].as_mut_ptr().add(off + 4), c01);
+                vst1q_f32(out[1].as_mut_ptr().add(off), c10);
+                vst1q_f32(out[1].as_mut_ptr().add(off + 4), c11);
+                vst1q_f32(out[2].as_mut_ptr().add(off), c20);
+                vst1q_f32(out[2].as_mut_ptr().add(off + 4), c21);
+                vst1q_f32(out[3].as_mut_ptr().add(off), c30);
+                vst1q_f32(out[3].as_mut_ptr().add(off + 4), c31);
+            }
+        }
+    }
+
+    /// Single-row NEON tile: 8 `q` accumulators cover the full panel.
+    ///
+    /// # Safety
+    ///
+    /// `a0` must hold `k` readable elements and `panel` at least
+    /// `k * NR`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn microkernel_1_neon(k: usize, a0: &[f32], panel: &[f32], out: &mut [f32; NR]) {
+        debug_assert!(panel.len() >= k * NR);
+        unsafe {
+            let pp = panel.as_ptr();
+            let mut acc = [vdupq_n_f32(0.0); 8];
+            for p in 0..k {
+                let bp = pp.add(p * NR);
+                let a = *a0.get_unchecked(p);
+                for (q, c) in acc.iter_mut().enumerate() {
+                    *c = vfmaq_n_f32(*c, vld1q_f32(bp.add(q * 4)), a);
+                }
+            }
+            for (q, c) in acc.iter().enumerate() {
+                vst1q_f32(out.as_mut_ptr().add(q * 4), *c);
+            }
+        }
+    }
+}
+
+/// One 4-row tile through the backend selected for this product.
+///
+/// The vector kernels are gated by [`crate::simd::backend`], which only
+/// returns a backend that passed runtime feature detection, so the
+/// `unsafe` calls are sound; slice preconditions are the same as the
+/// scalar tile's.
+#[inline(always)]
+#[allow(unused_variables)]
+#[allow(clippy::too_many_arguments)]
+fn tile_4(
+    backend: Backend,
+    k: usize,
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    panel: &[f32],
+    acc: &mut [[f32; NR]; 4],
+) {
+    match backend {
+        Backend::Scalar => *acc = microkernel_4(k, a0, a1, a2, a3, panel),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { kernels_x86::microkernel_4_avx2(k, a0, a1, a2, a3, panel, acc) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => unsafe {
+            kernels_x86::microkernel_4_avx512(k, a0, a1, a2, a3, panel, acc)
+        },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { kernels_neon::microkernel_4_neon(k, a0, a1, a2, a3, panel, acc) },
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("active SIMD backend unsupported on this architecture"),
+    }
+}
+
+/// Single-row counterpart of [`tile_4`].
+#[inline(always)]
+#[allow(unused_variables)]
+fn tile_1(backend: Backend, k: usize, a0: &[f32], panel: &[f32], acc: &mut [f32; NR]) {
+    match backend {
+        Backend::Scalar => *acc = microkernel_1(k, a0, panel),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { kernels_x86::microkernel_1_avx2(k, a0, panel, acc) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 => unsafe { kernels_x86::microkernel_1_avx512(k, a0, panel, acc) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => unsafe { kernels_neon::microkernel_1_neon(k, a0, panel, acc) },
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("active SIMD backend unsupported on this architecture"),
+    }
+}
+
 /// Computes rows `[row0, row0 + out.len()/n)` of `C = A·B` into `out`,
 /// reading the packed panels of `B` and contiguous A rows (`row_stride`
 /// apart). Strided left operands are packed before this runs (see
-/// [`gemm_strided_into`]).
+/// [`gemm_strided_into`]). The backend is resolved once per product and
+/// passed down so one GEMM never mixes microkernel implementations,
+/// even if a concurrent test scope flips the process-global selection.
+#[allow(clippy::too_many_arguments)]
 fn gemm_rows(
+    backend: Backend,
     a: &[f32],
     row_stride: usize,
     packed_b: &[f32],
@@ -321,7 +642,8 @@ fn gemm_rows(
                 (&a[base..base + k], &a[base + s..], &a[base + 2 * s..], &a[base + 3 * s..]);
             for panel in panel0..panel1 {
                 let pan = &packed_b[panel * k * NR..(panel + 1) * k * NR];
-                let acc = microkernel_4(k, a0, a1, a2, a3, pan);
+                let mut acc = [[0.0f32; NR]; MR];
+                tile_4(backend, k, a0, a1, a2, a3, pan, &mut acc);
                 let j0 = panel * NR;
                 let width = NR.min(n - j0);
                 for (t, tile) in acc.iter().enumerate() {
@@ -336,7 +658,8 @@ fn gemm_rows(
             let a0 = &a[base..base + k];
             for panel in panel0..panel1 {
                 let pan = &packed_b[panel * k * NR..(panel + 1) * k * NR];
-                let acc = microkernel_1(k, a0, pan);
+                let mut acc = [0.0f32; NR];
+                tile_1(backend, k, a0, pan, &mut acc);
                 let j0 = panel * NR;
                 let width = NR.min(n - j0);
                 out[r * n + j0..r * n + j0 + width].copy_from_slice(&acc[..width]);
@@ -398,6 +721,7 @@ fn gemm_strided_into(
     PACKED_B.with(|cell| {
         let mut packed = cell.borrow_mut();
         pack_panels(b, b_strides, k, n, &mut packed);
+        let backend = simd::backend();
         let resolved = if threads == 0 { gemm_threads() } else { threads };
         let workers = if m.saturating_mul(n).saturating_mul(k) < gemm_parallel_min_flops() {
             1
@@ -405,7 +729,7 @@ fn gemm_strided_into(
             resolved.min(m).max(1)
         };
         if workers == 1 {
-            gemm_rows(a, a_strides.row, &packed, k, n, 0, out);
+            gemm_rows(backend, a, a_strides.row, &packed, k, n, 0, out);
         } else {
             // Disjoint row chunks; each worker runs the identical serial
             // routine on its range, so the split cannot affect values.
@@ -414,7 +738,16 @@ fn gemm_strided_into(
             std::thread::scope(|scope| {
                 for (ci, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
                     scope.spawn(move || {
-                        gemm_rows(a, a_strides.row, packed_ref, k, n, ci * chunk_rows, out_chunk);
+                        gemm_rows(
+                            backend,
+                            a,
+                            a_strides.row,
+                            packed_ref,
+                            k,
+                            n,
+                            ci * chunk_rows,
+                            out_chunk,
+                        );
                     });
                 }
             });
@@ -665,27 +998,33 @@ mod tests {
     }
 
     /// The blocked kernel must match the reference `i-k-j` loop on
-    /// awkward (non-multiple-of-tile) shapes: bit-identical without
-    /// hardware FMA, within ulp-level tolerance with it (the fused
-    /// multiply-add skips one rounding per `k` step; see the `mac` helper).
+    /// awkward (non-multiple-of-tile) shapes. On the scalar backend it
+    /// is bit-identical on *every* build (the `mac` helper never fuses,
+    /// so build flags cannot change its rounding); on the vector
+    /// backends it drifts only within the pinned
+    /// [`simd::GEMM_DRIFT_TOL`] (the fused multiply-add skips one
+    /// rounding per `k` step).
     #[test]
     fn blocked_kernel_matches_reference() {
         let mut rng = Prng::seed_from_u64(11);
         for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (33, 17, 29), (64, 64, 64), (13, 128, 47)] {
             let a = Tensor::randn(&[m, k], &mut rng);
             let b = Tensor::randn(&[k, n], &mut rng);
-            let blocked = matmul(&a, &b);
             let reference = matmul_reference(&a, &b);
-            if cfg!(target_feature = "fma") {
-                assert!(blocked.allclose(&reference, 1e-4), "shape {m}x{k}x{n}");
-            } else {
-                assert_eq!(blocked.data(), reference.data(), "shape {m}x{k}x{n}");
+            let scalar = simd::with_backend(simd::Backend::Scalar, || matmul(&a, &b)).unwrap();
+            assert_eq!(scalar.data(), reference.data(), "shape {m}x{k}x{n}");
+            for backend in simd::available_backends() {
+                let blocked = simd::with_backend(backend, || matmul(&a, &b)).unwrap();
+                assert!(
+                    blocked.allclose(&reference, simd::GEMM_DRIFT_TOL),
+                    "shape {m}x{k}x{n}, backend {backend}"
+                );
             }
         }
     }
 
-    /// Thread count must not change a single bit of the result, even on
-    /// products large enough to take the parallel path.
+    /// Thread count must not change a single bit of the result on any
+    /// backend, even on products large enough to take the parallel path.
     #[test]
     fn threaded_kernel_bit_identical_across_thread_counts() {
         let mut rng = Prng::seed_from_u64(12);
@@ -693,12 +1032,21 @@ mod tests {
         let a = Tensor::randn(&[192, 96], &mut rng);
         let b = Tensor::randn(&[96, 256], &mut rng);
         const { assert!(192 * 96 * 256 >= PARALLEL_MIN_FLOPS) };
-        let serial = matmul_with_threads(&a, &b, 1);
-        for threads in [2, 3, 8] {
-            let parallel = matmul_with_threads(&a, &b, threads);
-            assert_eq!(serial.data(), parallel.data(), "threads = {threads}");
+        for backend in simd::available_backends() {
+            simd::with_backend(backend, || {
+                let serial = matmul_with_threads(&a, &b, 1);
+                for threads in [2, 3, 8] {
+                    let parallel = matmul_with_threads(&a, &b, threads);
+                    assert_eq!(
+                        serial.data(),
+                        parallel.data(),
+                        "threads = {threads}, backend {backend}"
+                    );
+                }
+                assert!(serial.allclose(&matmul_reference(&a, &b), 1e-3));
+            })
+            .unwrap();
         }
-        assert!(serial.allclose(&matmul_reference(&a, &b), 1e-3));
     }
 
     /// Block size is a pure performance knob: any setting gives the same

@@ -18,8 +18,12 @@ fn convnet_learns_synthetic_cifar() {
 fn resnet18_learns_synthetic_cifar() {
     let data = synthetic_cifar(600, 32);
     let (train, test) = data.split(0.8);
+    // 6 epochs, not 4: the margin must hold on every SIMD backend (the
+    // suite runs forced-scalar in CI), and backend rounding differences
+    // compound chaotically through training — at 4 epochs this run sat
+    // just past the threshold on some backends and under it on others.
     let mut net = ResNet18Config::reduced(0.0625).build(3);
-    let cfg = TrainConfig { epochs: 4, batch_size: 32, lr: 0.05, ..Default::default() };
+    let cfg = TrainConfig { epochs: 6, batch_size: 32, lr: 0.05, ..Default::default() };
     fit(&mut net, &SoftmaxCrossEntropy::new(), train.images(), train.labels(), &cfg);
     let acc = net.accuracy(test.images(), test.labels(), 64);
     assert!(acc > 0.3, "ResNet-18 should beat chance clearly, got {acc}");
