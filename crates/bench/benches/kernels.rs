@@ -14,7 +14,8 @@
 //! measured medians as a JSON snapshot; `--baseline FILE` compares this
 //! run against a snapshot and exits 1 when any shared entry regressed
 //! by more than 30% (the committed `BENCH_sweep.json` is the CI
-//! baseline for the `sweep`, `gemm_transposed`, and `simd` groups).
+//! baseline for the `sweep`, `gemm_transposed`, `simd`, and `autotune`
+//! groups).
 //!
 //! Groups:
 //!
@@ -33,7 +34,10 @@
 //! * `simd` — GEMM 256³ and the elementwise kernels per SIMD backend
 //!   this host supports, with vector-vs-scalar speedups;
 //! * `thread_threshold` — serial vs 2-thread crossover around
-//!   `PARALLEL_MIN_FLOPS` (tune with `--gemm-min-flops`).
+//!   `PARALLEL_MIN_FLOPS` (tune with `SWIM_TUNE_MIN_FLOPS`);
+//! * `autotune` — the hand-tuned default GEMM plan vs the shape-keyed
+//!   autotuned plan (`SWIM_TUNE=on`), asserting the tuner never loses
+//!   more than the 30% bench guard and never changes result bytes.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -139,6 +143,16 @@ impl Harness {
         let mut root = Value::table();
         root.set("bench", Value::Str("kernels".into()));
         root.set("samples_per_entry", Value::Int(self.samples_per_entry as i64));
+        // Provenance: absolute medians are only comparable on the host
+        // that produced them, so the snapshot records where it was
+        // measured (the baseline check ignores this field).
+        root.set(
+            "note",
+            Value::Str(format!(
+                "built-in defaults measured single-threaded on host {}",
+                swim_tensor::tune::host_fingerprint()
+            )),
+        );
         root.set("median_ns", entries);
         std::fs::write(path, root.to_json() + "\n")
             .unwrap_or_else(|e| panic!("cannot write snapshot {}: {e}", path.display()));
@@ -457,7 +471,7 @@ fn bench_simd(h: &mut Harness) {
 /// Where the threaded GEMM path starts paying: serial vs 2-thread wall
 /// time around the `PARALLEL_MIN_FLOPS` default. On a single-core host
 /// the 2-thread entries only measure spawn overhead — run this on a
-/// multi-core machine to tune `--gemm-min-flops`.
+/// multi-core machine to tune `SWIM_TUNE_MIN_FLOPS`.
 fn bench_thread_threshold(h: &mut Harness) {
     h.group("thread_threshold (serial vs 2 threads around PARALLEL_MIN_FLOPS)");
     let mut rng = Prng::seed_from_u64(13);
@@ -484,6 +498,60 @@ fn bench_thread_threshold(h: &mut Harness) {
                 s.as_secs_f64() / t.as_secs_f64().max(1e-12)
             );
         }
+    }
+}
+
+/// The autotune acceptance guard: on the canonical 256³ shape the
+/// shape-keyed tuned plan must not lose to the hand-tuned heuristic by
+/// more than the bench's 30% margin, and it must leave the result
+/// bytes untouched — the two halves of the "timing-only" contract. The
+/// one-time candidate sweep runs outside the measured region, matching
+/// how a real run amortizes it across the whole sweep.
+fn bench_autotune(h: &mut Harness) {
+    use swim_tensor::tune::{self, KernelTuning, TuneMode};
+    h.group("autotune (hand-tuned heuristic vs shape-keyed tuned plan)");
+    let mut rng = Prng::seed_from_u64(17);
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+
+    let prior = tune::current();
+    tune::install(&KernelTuning { mode: TuneMode::Off, ..prior.clone() });
+    let hand = h.bench("autotune/gemm_256x256x256/hand_tuned", || matmul_with_threads(&a, &b, 1));
+    let reference = matmul_with_threads(&a, &b, 1);
+
+    tune::clear_winners();
+    tune::install(&KernelTuning { mode: TuneMode::On, ..prior.clone() });
+    black_box(matmul_with_threads(&a, &b, 1)); // pay the candidate sweep here
+    let tuned = h.bench("autotune/gemm_256x256x256/tuned", || matmul_with_threads(&a, &b, 1));
+    assert_eq!(
+        matmul_with_threads(&a, &b, 1).data(),
+        reference.data(),
+        "autotuned plan changed the result bytes"
+    );
+    for record in tune::choice_records() {
+        println!(
+            "  {:<44} {} ({})",
+            format!("autotune/{}", record.key),
+            record.config,
+            record.source
+        );
+    }
+    tune::clear_winners();
+    tune::install(&prior);
+
+    if let (Some(hand), Some(tuned)) = (hand, tuned) {
+        println!(
+            "  {:<44} tuned {:.2}x vs hand-tuned",
+            "autotune/gemm_256x256x256/speedup",
+            hand.as_secs_f64() / tuned.as_secs_f64().max(1e-12)
+        );
+        assert!(
+            tuned.as_secs_f64() <= hand.as_secs_f64() * 1.30,
+            "autotuned GEMM regressed more than 30% vs the hand-tuned default \
+             ({:?} vs {:?})",
+            tuned,
+            hand
+        );
     }
 }
 
@@ -594,6 +662,7 @@ fn main() {
     bench_sweep_throughput(&mut h);
     bench_simd(&mut h);
     bench_thread_threshold(&mut h);
+    bench_autotune(&mut h);
 
     println!("\n{} entries measured; slowest:", h.results.len());
     let mut by_time: Vec<&Sample> = h.results.iter().collect();

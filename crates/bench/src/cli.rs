@@ -137,7 +137,7 @@ impl Args {
 ///
 /// The printed `--gemm-min-flops` default is the *resolved* threshold
 /// ([`swim_tensor::linalg::PARALLEL_MIN_FLOPS`]), the same value
-/// [`apply_gemm_flags`] installs when the flag is absent.
+/// [`tuning_from_flags`] resolves when nothing pins the knob.
 pub fn common_help_text(binary: &str, extra: &[(&str, &str)]) -> String {
     let mut out = String::new();
     let mut line = |s: String| {
@@ -147,10 +147,16 @@ pub fn common_help_text(binary: &str, extra: &[(&str, &str)]) -> String {
     line(format!("usage: cargo run --release -p swim-bench --bin {binary} [flags]"));
     line("  --runs N      Monte Carlo runs (default varies; paper used 3000)".into());
     line("  --threads N   Monte Carlo worker threads (default: all cores)".into());
+    line("  --tune MODE   shape-keyed kernel autotuning: off (default) or on;".into());
+    line("                timing-only — result bytes are identical either way".into());
+    line("  --tune-cache DIR  persist tuned winners on disk, keyed by host".into());
+    line("                fingerprint (see docs/autotune.md)".into());
     line("  --gemm-threads N  threads inside each matrix product (default: 1 when".into());
     line("                the Monte Carlo level is already parallel, else all cores)".into());
-    line("  --gemm-block N    GEMM cache-block width in columns (default: auto)".into());
-    line("  --gemm-min-flops N  multiply count above which a product goes".into());
+    line("  --gemm-block N    [deprecated: use [tune] / SWIM_TUNE_BLOCK] GEMM".into());
+    line("                cache-block width in columns (default: auto)".into());
+    line("  --gemm-min-flops N  [deprecated: use [tune] / SWIM_TUNE_MIN_FLOPS]".into());
+    line("                multiply count above which a product goes".into());
     line(format!(
         "                multithreaded (default {} = 2^22; 1 = always)",
         swim_tensor::linalg::PARALLEL_MIN_FLOPS
@@ -171,30 +177,61 @@ pub fn print_common_help(binary: &str, extra: &[(&str, &str)]) {
     print!("{}", common_help_text(binary, extra));
 }
 
-/// Applies the `--gemm-threads` / `--gemm-block` / `--gemm-min-flops`
-/// knobs to the tensor kernels.
+/// Resolves the kernel-tuning configuration from the environment and
+/// the command line — the env and CLI layers of the precedence chain
+/// (spec `[tune]` > CLI flags > environment > built-in default; the
+/// spec layer is overlaid by the experiment engine, which `install`s
+/// the result once per run).
 ///
-/// The two parallelism levels compete for the same cores: when the Monte
-/// Carlo harness already fans `mc_threads` workers out, nested GEMM
-/// threading oversubscribes, so the default keeps each product serial in
-/// that case and lets GEMM use every core otherwise (single-run phases
-/// like training and sensitivity analysis). Either knob is a pure
-/// performance setting — results are bit-identical for every value.
-/// Returns the resolved `(gemm_threads, gemm_block)` pair so callers
-/// building a `DriverConfig` reuse one policy instead of re-deriving it.
+/// The two parallelism levels compete for the same cores: when the
+/// Monte Carlo harness already fans `mc_threads` workers out, nested
+/// GEMM threading oversubscribes, so the default keeps each product
+/// serial in that case and lets GEMM use every core otherwise
+/// (single-run phases like training and sensitivity analysis). Every
+/// knob here is a pure performance setting — results are bit-identical
+/// for every value.
+///
+/// `--gemm-block` and `--gemm-min-flops` are deprecated aliases for
+/// the corresponding [`swim_tensor::tune::KernelTuning`] pins and warn on stderr (still
+/// honored — scripts keep working).
+pub fn tuning_from_flags(
+    args: &Args,
+    mc_threads: usize,
+) -> Result<swim_tensor::tune::KernelTuning, String> {
+    use swim_tensor::tune::TuneMode;
+    let mut t = swim_tensor::tune::KernelTuning::from_env();
+    t.gemm_threads = args.get_usize("gemm-threads", if mc_threads > 1 { 1 } else { 0 })?;
+    if args.get("gemm-block").is_some() {
+        eprintln!(
+            "[swim] --gemm-block is deprecated (still honored); use `--set tune.gemm_block=N`, \
+             the spec's [tune] section, or SWIM_TUNE_BLOCK"
+        );
+        t.gemm_block_cols = args.get_usize("gemm-block", 0)?;
+    }
+    if args.get("gemm-min-flops").is_some() {
+        eprintln!(
+            "[swim] --gemm-min-flops is deprecated (still honored); use \
+             `--set tune.gemm_min_flops=N`, the spec's [tune] section, or SWIM_TUNE_MIN_FLOPS"
+        );
+        t.gemm_min_flops = args.get_usize("gemm-min-flops", 0)?;
+    }
+    if let Some(mode) = args.get("tune") {
+        t.mode = TuneMode::parse(mode)
+            .ok_or_else(|| format!("--tune expects `off` or `on`, got `{mode}`"))?;
+    }
+    if let Some(dir) = args.get("tune-cache") {
+        t.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    Ok(t)
+}
+
+/// Resolves and installs the env/CLI tuning layers, returning the
+/// resolved `(gemm_threads, gemm_block)` pair — the legacy entry point
+/// for callers with no spec layer (`swim serve`, the kernel benches).
 pub fn apply_gemm_flags(args: &Args, mc_threads: usize) -> Result<(usize, usize), String> {
-    let default_gemm_threads = if mc_threads > 1 { 1 } else { 0 };
-    let gemm_threads = args.get_usize("gemm-threads", default_gemm_threads)?;
-    let gemm_block = args.get_usize("gemm-block", 0)?;
-    swim_tensor::linalg::set_gemm_threads(gemm_threads);
-    swim_tensor::linalg::set_gemm_block_cols(gemm_block);
-    // The resolved default is the documented PARALLEL_MIN_FLOPS
-    // threshold — pass it explicitly so the help text, the setting, and
-    // the kernel's view of it can never drift apart.
-    swim_tensor::linalg::set_gemm_parallel_min_flops(
-        args.get_usize("gemm-min-flops", swim_tensor::linalg::PARALLEL_MIN_FLOPS)?,
-    );
-    Ok((gemm_threads, gemm_block))
+    let t = tuning_from_flags(args, mc_threads)?;
+    swim_tensor::tune::install(&t);
+    Ok((t.gemm_threads, t.gemm_block_cols))
 }
 
 #[cfg(test)]
@@ -265,6 +302,33 @@ mod tests {
         let help = common_help_text("table1", &[]);
         let expect = format!("default {} = 2^22", swim_tensor::linalg::PARALLEL_MIN_FLOPS);
         assert!(help.contains(&expect), "help says: {help}");
+    }
+
+    #[test]
+    fn tuning_flags_resolve_into_kernel_tuning() {
+        use swim_tensor::tune::TuneMode;
+        let args = parse(&[
+            "--tune",
+            "on",
+            "--tune-cache",
+            "/tmp/swim-tune-test",
+            "--gemm-block",
+            "128",
+            "--gemm-threads",
+            "3",
+        ]);
+        let t = tuning_from_flags(&args, 1).unwrap();
+        assert_eq!(t.mode, TuneMode::On);
+        assert_eq!(t.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/swim-tune-test")));
+        assert_eq!(t.gemm_block_cols, 128, "deprecated alias still honored");
+        assert_eq!(t.gemm_threads, 3);
+        // Defaults: serial GEMM under a parallel Monte Carlo level,
+        // every core otherwise.
+        assert_eq!(tuning_from_flags(&parse(&[]), 8).unwrap().gemm_threads, 1);
+        assert_eq!(tuning_from_flags(&parse(&[]), 1).unwrap().gemm_threads, 0);
+        // A misspelled mode errors instead of silently tuning.
+        let e = tuning_from_flags(&parse(&["--tune", "fast"]), 1).unwrap_err();
+        assert!(e.contains("--tune"), "{e}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! calls [`run_spec`] — so `cargo run --bin table1` and
 //! `swim preset table1` run the identical experiment.
 
-use crate::cli::{apply_gemm_flags, print_common_help, Args};
+use crate::cli::{print_common_help, tuning_from_flags, Args};
 use crate::driver::{run_methods, DriverConfig, MethodCurves};
 use crate::prep::{prepare_with_model, PrepConfig, Prepared, Scenario};
 use crate::speedup::nwc_to_reach;
@@ -34,6 +34,7 @@ use swim_report::schema::{
     RawSweepDoc, ResultsDoc, SweepDoc,
 };
 use swim_tensor::simd;
+use swim_tensor::tune;
 use swim_tensor::Prng;
 
 /// Output options orthogonal to the experiment description.
@@ -43,19 +44,20 @@ pub struct RunOptions {
     pub csv: bool,
     /// Write the JSON results document here.
     pub out: Option<std::path::PathBuf>,
-    /// Resolved GEMM thread count (from [`apply_gemm_flags`]).
-    pub gemm_threads: usize,
-    /// Resolved GEMM block width (from [`apply_gemm_flags`]).
-    pub gemm_block: usize,
+    /// The env/CLI kernel-tuning layers (from [`tuning_from_flags`]).
+    /// [`run_spec`] overlays the spec's `[tune]` section on top and
+    /// installs the result — timing-only, never affects result bytes.
+    pub tuning: tune::KernelTuning,
     /// Write a checkpoint journal here after every completed block.
     pub checkpoint: Option<std::path::PathBuf>,
     /// Resume from this checkpoint journal (and keep checkpointing to it
     /// unless `checkpoint` points elsewhere).
     pub resume: Option<std::path::PathBuf>,
-    /// Refuse a spec whose `run.simd` differs from the process's active
-    /// SIMD backend instead of switching to it — for long-lived hosts
-    /// that assume one backend for the process lifetime (the `swim
-    /// serve` engine applies the same check via its `validate` hook).
+    /// Refuse a spec whose `run.simd` or `[tune]` pins differ from the
+    /// process's active configuration instead of switching to it — for
+    /// long-lived hosts that assume one configuration for the process
+    /// lifetime (the `swim serve` engine applies the same checks via
+    /// its `validate` hook).
     pub pin_backend: bool,
 }
 
@@ -338,6 +340,15 @@ pub fn run_spec(spec: &ExperimentSpec, opts: &RunOptions) -> Result<ResultsDoc, 
             simd::set_backend(backend).map_err(|e| format!("run.simd: {e}"))?;
         }
     }
+    // Kernel tuning: overlay the spec's `[tune]` section on the env/CLI
+    // layers and install once for the whole run (pinned hosts instead
+    // verify the spec agrees with what is already installed). Timing
+    // only — result bytes are identical under every configuration.
+    if opts.pin_backend {
+        check_tuning_pinned(spec)?;
+    } else {
+        tune::install(&tuning_with_spec(&opts.tuning, spec));
+    }
     let grid_kind =
         matches!(spec.kind, ExperimentKind::Table1 | ExperimentKind::Fig2 | ExperimentKind::Sweep);
     if (opts.checkpoint.is_some() || opts.resume.is_some()) && !grid_kind {
@@ -392,6 +403,70 @@ pub(crate) fn check_backend_pinned(spec: &ExperimentSpec) -> Result<(), String> 
     Ok(())
 }
 
+/// The spec's `[tune]` section overlaid on the env/CLI tuning layers —
+/// the top of the precedence chain (spec > flags > environment >
+/// default). Unset spec keys fall through to `base`.
+pub(crate) fn tuning_with_spec(
+    base: &tune::KernelTuning,
+    spec: &ExperimentSpec,
+) -> tune::KernelTuning {
+    let mut t = base.clone();
+    if let Some(mode) = &spec.tune.mode {
+        t.mode = tune::TuneMode::parse(mode).expect("validated spec has a known tune mode");
+    }
+    if let Some(b) = spec.tune.gemm_block {
+        t.gemm_block_cols = b;
+    }
+    if let Some(f) = spec.tune.gemm_min_flops {
+        t.gemm_min_flops = f;
+    }
+    if let Some(c) = spec.tune.im2col_cap {
+        t.im2col_cap_elems = c;
+    }
+    t
+}
+
+/// Errors when a validated spec's `[tune]` section contradicts the
+/// tuning configuration this process already installed.
+///
+/// The pinned-host counterpart of [`tuning_with_spec`]: where switching
+/// configuration mid-process is off the table (`run_spec` with
+/// [`RunOptions::pin_backend`], the `swim serve` engine), a spec that
+/// *agrees* with the installed state passes and one that pins anything
+/// else is rejected rather than switched to. Tuning never changes
+/// result bytes, but the results document records the installed
+/// configuration, and a served document must not claim a `[tune]`
+/// section the process ignored.
+pub(crate) fn check_tuning_pinned(spec: &ExperimentSpec) -> Result<(), String> {
+    let active = tune::current();
+    if let Some(mode) = &spec.tune.mode {
+        let requested = tune::TuneMode::parse(mode).expect("validated spec has a known tune mode");
+        if requested != active.mode {
+            return Err(format!(
+                "spec pins `tune.mode = \"{mode}\"` but this process runs with tuning `{}`; \
+                 restart it with SWIM_TUNE={mode} (or `--tune {mode}`) to honor the spec",
+                active.mode.name()
+            ));
+        }
+    }
+    let pins = [
+        ("gemm_block", spec.tune.gemm_block, active.gemm_block_cols, "SWIM_TUNE_BLOCK"),
+        ("gemm_min_flops", spec.tune.gemm_min_flops, active.gemm_min_flops, "SWIM_TUNE_MIN_FLOPS"),
+        ("im2col_cap", spec.tune.im2col_cap, active.im2col_cap_elems, "SWIM_TUNE_IM2COL"),
+    ];
+    for (key, requested, installed, env) in pins {
+        if let Some(requested) = requested {
+            if requested != installed {
+                return Err(format!(
+                    "spec pins `tune.{key} = {requested}` but this process runs with {installed}; \
+                     restart it with {env}={requested} to honor the spec"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Prepares one (scenario, device model, sigma) block and sweeps every
 /// configured method over it. `model_name` must already be validated
 /// against the registry (the spec's `validate()` guarantees it).
@@ -399,7 +474,6 @@ fn prepare_and_sweep(
     spec: &ExperimentSpec,
     model_name: &str,
     sigma: f64,
-    opts: &RunOptions,
 ) -> (Prepared, MethodCurves) {
     let scenario = Scenario::from_spec(&spec.scenario);
     let device = spec.device.config_at(sigma);
@@ -407,7 +481,11 @@ fn prepare_and_sweep(
     let model = device_model_by_name(model_name)
         .unwrap_or_else(|| panic!("validated spec has unknown device model `{model_name}`"));
     let mut prepared = prepare_with_model(scenario, device, &prep_cfg, model);
-    let cfg = DriverConfig::from_spec(spec, opts.gemm_threads, opts.gemm_block);
+    // `run_spec` already installed the fully resolved tuning (spec >
+    // flags > env); the driver config reads it back so every layer sees
+    // one policy.
+    let t = tune::current();
+    let cfg = DriverConfig::from_spec(spec, t.gemm_threads, t.gemm_block_cols);
     let selectors = spec.selection.selectors();
     let curves = run_methods(&mut prepared, &selectors, &cfg);
     (prepared, curves)
@@ -543,7 +621,7 @@ fn run_table1(
         if collector.block_done(model_name, sigma) {
             continue;
         }
-        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
+        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma);
         emit_table1_block(
             spec,
             opts.csv,
@@ -636,7 +714,7 @@ fn run_fig2(
     if collector.block_done(model_name, sigma) {
         return Ok(());
     }
-    let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
+    let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma);
     emit_fig2_block(
         spec,
         opts.csv,
@@ -703,7 +781,7 @@ fn run_generic_sweep(
         if collector.block_done(model_name, sigma) {
             continue;
         }
-        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma, opts);
+        let (prepared, curves) = prepare_and_sweep(spec, model_name, sigma);
         emit_sweep_block(
             spec,
             opts.csv,
@@ -1026,8 +1104,16 @@ fn run_ablation(spec: &ExperimentSpec, _opts: &RunOptions, collector: &mut Colle
 
 /// Flags that configure output or kernels rather than the experiment —
 /// never forwarded into the spec.
-const NON_SPEC_FLAGS: &[&str] =
-    &["gemm-threads", "gemm-block", "gemm-min-flops", "out", "checkpoint", "resume"];
+const NON_SPEC_FLAGS: &[&str] = &[
+    "gemm-threads",
+    "gemm-block",
+    "gemm-min-flops",
+    "tune",
+    "tune-cache",
+    "out",
+    "checkpoint",
+    "resume",
+];
 
 /// Boolean flags the wrappers understand; anything else is a typo.
 const KNOWN_BOOL_FLAGS: &[&str] = &["quick", "csv", "full", "help"];
@@ -1058,7 +1144,8 @@ pub fn apply_flag_overrides(spec: &mut ExperimentSpec, args: &Args) -> Result<()
     Ok(())
 }
 
-/// Resolves output options and installs the GEMM knobs for a spec.
+/// Resolves output options and the env/CLI tuning layers for a spec
+/// (the spec's own `[tune]` section is overlaid later, by [`run_spec`]).
 pub fn options_from_args(spec: &ExperimentSpec, args: &Args) -> Result<RunOptions, String> {
     // Single-run artifacts (no Monte Carlo fan-out during the heavy
     // phases) let the matrix kernels use every core.
@@ -1066,12 +1153,10 @@ pub fn options_from_args(spec: &ExperimentSpec, args: &Args) -> Result<RunOption
         ExperimentKind::Fig1 | ExperimentKind::Calibration => 1,
         _ => spec.threads(),
     };
-    let (gemm_threads, gemm_block) = apply_gemm_flags(args, mc_threads)?;
     Ok(RunOptions {
         csv: args.has("csv") || args.has("full"),
         out: args.get("out").map(std::path::PathBuf::from),
-        gemm_threads,
-        gemm_block,
+        tuning: tuning_from_flags(args, mc_threads)?,
         checkpoint: args.get("checkpoint").map(std::path::PathBuf::from),
         resume: args.get("resume").map(std::path::PathBuf::from),
         pin_backend: false,

@@ -173,6 +173,16 @@ pub fn merge_docs(shards: &[ShardInput]) -> Result<ResultsDoc, String> {
     // provenance is the backend the *shards* ran under, not whatever
     // this process happens to dispatch through.
     doc.simd = simd.clone();
+    // Same for kernel tuning, except that tuning is timing-only, so
+    // shards tuned differently still merge bit-exactly; when they do
+    // disagree, no single configuration describes the document and the
+    // merged block falls back to the default (off, nothing pinned).
+    let tuning = &ordered[0].1.tuning;
+    doc.tuning = if ordered.iter().all(|(_, d)| d.tuning == *tuning) {
+        tuning.clone()
+    } else {
+        Default::default()
+    };
     Ok(doc)
 }
 

@@ -40,8 +40,8 @@ use swim_serve::{serve_forever, Server, ServerConfig};
 use crate::cli::{apply_gemm_flags, Args};
 use crate::driver::{run_methods, DriverConfig, MethodCurves};
 use crate::experiment::{
-    check_backend_pinned, emit_fig2_block, emit_sweep_block, emit_table1_block, model_sigma_grid,
-    results_document, Collector,
+    check_backend_pinned, check_tuning_pinned, emit_fig2_block, emit_sweep_block,
+    emit_table1_block, model_sigma_grid, results_document, Collector,
 };
 use crate::prep::{prepare_with_model, PrepConfig, Prepared, Scenario};
 
@@ -126,9 +126,11 @@ impl JobEngine for ServiceEngine {
             );
         }
         // The prepared-model cache and worker pool assume one SIMD
-        // backend for the process lifetime, so a spec pinning a
-        // different one is rejected rather than switched to.
+        // backend and one kernel-tuning configuration for the process
+        // lifetime, so a spec pinning a different one is rejected
+        // rather than switched to.
         check_backend_pinned(spec)?;
+        check_tuning_pinned(spec)?;
         Ok(())
     }
 
@@ -242,10 +244,12 @@ pub fn serve_main(args: &Args) -> Result<(), String> {
     if queue_cap == 0 {
         return Err("--queue-cap must be positive".into());
     }
-    // GEMM policy for the whole process: blocks compute serially (see
-    // ServiceEngine::run_block), so per-GEMM threading defaults to 1 —
-    // the pool already saturates the machine. The knobs are pure
-    // performance settings; results are bit-identical for every value.
+    // Kernel-tuning policy for the whole process (installed once —
+    // `validate` rejects specs that pin anything else): blocks compute
+    // serially (see ServiceEngine::run_block), so per-GEMM threading
+    // defaults to 1 — the pool already saturates the machine. The knobs
+    // are pure performance settings; results are bit-identical for
+    // every value.
     let (gemm_threads, gemm_block) = apply_gemm_flags(args, 2)?;
 
     let engine = Arc::new(ServiceEngine::new(gemm_threads, gemm_block));

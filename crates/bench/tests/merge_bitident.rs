@@ -29,7 +29,10 @@ fn tiny_spec() -> ExperimentSpec {
 fn run_shard(shard: Option<(usize, usize)>) -> ResultsDoc {
     let mut spec = tiny_spec();
     spec.run.shard = shard;
-    let opts = RunOptions { gemm_threads: 1, ..Default::default() };
+    let opts = RunOptions {
+        tuning: swim_tensor::tune::KernelTuning { gemm_threads: 1, ..Default::default() },
+        ..Default::default()
+    };
     let mut doc = run_spec(&spec, &opts).unwrap();
     doc.wall_time_s = 0.0;
     doc

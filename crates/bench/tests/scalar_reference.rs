@@ -31,7 +31,10 @@ fn rerun_reproduces(path: &std::path::Path) {
     let committed = std::fs::read_to_string(path).unwrap();
     let doc = ResultsDoc::parse_str(&committed).unwrap();
     assert_eq!(doc.simd, "scalar", "{}: golden fixtures are scalar artifacts", path.display());
-    let opts = RunOptions { gemm_threads: 1, ..Default::default() };
+    let opts = RunOptions {
+        tuning: swim_tensor::tune::KernelTuning { gemm_threads: 1, ..Default::default() },
+        ..Default::default()
+    };
     let mut rerun = with_backend(Backend::Scalar, || run_spec(&doc.spec, &opts))
         .expect("scalar backend is always supported")
         .expect("fixture spec echo runs");

@@ -94,7 +94,8 @@ fn served_document_matches_run_and_resubmission_hits_the_cache() {
     let opts = options_from_args(&spec, &args).expect("run options");
     let reference = run_spec(&spec, &opts).expect("reference run");
 
-    let engine = Arc::new(ServiceEngine::new(opts.gemm_threads, opts.gemm_block));
+    let engine =
+        Arc::new(ServiceEngine::new(opts.tuning.gemm_threads, opts.tuning.gemm_block_cols));
     let server = Server::new(engine, ServerConfig { workers: 2, ..ServerConfig::default() });
 
     // First submission: every block is a cache miss (trains).

@@ -129,7 +129,10 @@ fn run_echo_rerun_diff_is_clean() {
          [montecarlo]\nruns = 1\nthreads = 1\n",
     )
     .unwrap();
-    let opts = RunOptions { gemm_threads: 1, ..Default::default() };
+    let opts = RunOptions {
+        tuning: swim_tensor::tune::KernelTuning { gemm_threads: 1, ..Default::default() },
+        ..Default::default()
+    };
     let first = run_spec(&spec, &opts).unwrap();
 
     // The echo is what `swim run first.json` would extract.
@@ -156,7 +159,10 @@ fn non_default_model_echo_rerun_diff_is_clean() {
          [montecarlo]\nruns = 2\nthreads = 1\n",
     )
     .unwrap();
-    let opts = RunOptions { gemm_threads: 1, ..Default::default() };
+    let opts = RunOptions {
+        tuning: swim_tensor::tune::KernelTuning { gemm_threads: 1, ..Default::default() },
+        ..Default::default()
+    };
     let first = run_spec(&spec, &opts).unwrap();
     assert_eq!(first.sweeps.len(), 1);
     assert_eq!(first.sweeps[0].device_model, "mram-stochastic");
@@ -328,7 +334,10 @@ fn model_grid_produces_one_block_per_model_sigma_pair() {
          [montecarlo]\nruns = 1\nthreads = 1\n",
     )
     .unwrap();
-    let opts = RunOptions { gemm_threads: 1, ..Default::default() };
+    let opts = RunOptions {
+        tuning: swim_tensor::tune::KernelTuning { gemm_threads: 1, ..Default::default() },
+        ..Default::default()
+    };
     let doc = run_spec(&spec, &opts).unwrap();
     assert_eq!(doc.sweeps.len(), 4);
     let keys: Vec<(String, f64)> =

@@ -5,17 +5,21 @@ use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
 use swim_tensor::conv::{col2im_accumulate, im2col_batch_into, ConvGeometry};
 use swim_tensor::linalg::{matmul_at_into, matmul_bt_into, matmul_into};
-use swim_tensor::{Prng, Tensor};
+use swim_tensor::{tune, Prng, Tensor};
 
-/// Cap, in `f32` elements, on the batched im2col scratch of one layer.
+/// Default cap, in `f32` elements, on the batched im2col scratch of one
+/// layer (re-exported from the tuning layer; override per run via
+/// [`tune::KernelTuning::im2col_cap_elems`]).
 ///
 /// A whole batch is lowered through a single `[N·outH·outW, C·k²]` patch
 /// matrix when it fits; larger batches are processed in item chunks so
 /// the scratch stays within ~16 MiB however wide the model is. The chunk
 /// split is invisible in the results: every pass is bit-identical for
 /// any chunk size (each item's rows are computed independently, and the
-/// parameter-gradient accumulation is per-item either way).
-pub const IM2COL_CAP_ELEMS: usize = 1 << 22;
+/// parameter-gradient accumulation is per-item either way) — which is
+/// exactly why the chunk is safe to autotune per shape under
+/// `tune.mode = on`.
+pub const IM2COL_CAP_ELEMS: usize = tune::DEFAULT_IM2COL_CAP_ELEMS;
 
 /// Reusable lowering buffers owned by one `Conv2d` layer.
 ///
@@ -138,7 +142,9 @@ impl Conv2d {
     }
 
     /// Items per lowering chunk for a given output spatial size: as many
-    /// as fit the [`IM2COL_CAP_ELEMS`] scratch cap, at least one.
+    /// as fit the installed im2col scratch cap
+    /// ([`tune::im2col_cap_elems`], default [`IM2COL_CAP_ELEMS`]), at
+    /// least one.
     ///
     /// Sized by the *largest* per-item buffer — the `CK²`-wide patch
     /// matrix or the `F`-wide GEMM/delta buffers — so a channel-expanding
@@ -147,7 +153,7 @@ impl Conv2d {
     fn chunk_items(&self, spatial: usize, n: usize) -> usize {
         let widest = (self.in_channels * self.kernel * self.kernel).max(self.out_channels);
         let per_item = spatial * widest;
-        (IM2COL_CAP_ELEMS / per_item.max(1)).clamp(1, n.max(1))
+        (tune::im2col_cap_elems() / per_item.max(1)).clamp(1, n.max(1))
     }
 
     /// Forward pass with an explicit chunk size (`chunk = 1` is the
@@ -218,7 +224,10 @@ impl Conv2d {
     }
 
     /// Validates the input and runs [`Conv2d::forward_impl`] at the
-    /// cap-derived chunk size.
+    /// cap-derived chunk size — or, under `tune.mode = on`, at the
+    /// shape-keyed autotuned chunk (the candidates only move work
+    /// between identical per-item computations, so every choice is
+    /// bit-identical; see [`tune::resolve_custom`]).
     fn forward_out(&mut self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(input.rank(), 4, "Conv2d expects [N, C, H, W] input");
         assert_eq!(
@@ -229,7 +238,27 @@ impl Conv2d {
             input.shape()[1]
         );
         let geom = self.geometry(input.shape()[2], input.shape()[3]);
-        let chunk = self.chunk_items(geom.out_h() * geom.out_w(), input.shape()[0]);
+        let n = input.shape()[0];
+        let spatial = geom.out_h() * geom.out_w();
+        let default_chunk = self.chunk_items(spatial, n);
+        let chunk = if tune::mode() == tune::TuneMode::On && n > 1 {
+            let widest = (self.in_channels * self.kernel * self.kernel).max(self.out_channels);
+            let mut candidates =
+                vec![default_chunk, 1, (default_chunk / 2).max(1), (default_chunk * 2).min(n), n];
+            candidates.retain(|&c| c >= 1 && c <= n);
+            candidates.sort_unstable();
+            candidates.dedup();
+            let mut bench_out = Tensor::zeros(&[0]);
+            tune::resolve_custom(
+                "im2col",
+                [spatial, widest, n, 0],
+                default_chunk,
+                &candidates,
+                |c| self.forward_impl(input, c, &mut bench_out),
+            )
+        } else {
+            default_chunk
+        };
         self.forward_impl(input, chunk, out);
     }
 

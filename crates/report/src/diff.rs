@@ -37,13 +37,17 @@ pub struct DiffOptions {
     /// Skip the spec-echo comparison (deliberate cross-experiment
     /// diffs).
     pub ignore_spec: bool,
+    /// Skip the kernel-tuning provenance comparison (deliberate
+    /// autotuned-vs-default comparisons; tuning is timing-only, so the
+    /// numeric payload must still agree).
+    pub ignore_tuning: bool,
 }
 
 impl Default for DiffOptions {
     fn default() -> Self {
         // Bit-identical reproduction is the product contract, so the
         // default tolerance only forgives float-formatting noise.
-        DiffOptions { abs_tol: 1e-9, rel_tol: 0.0, ignore_spec: false }
+        DiffOptions { abs_tol: 1e-9, rel_tol: 0.0, ignore_spec: false, ignore_tuning: false }
     }
 }
 
@@ -169,6 +173,19 @@ pub fn diff_docs(a: &ResultsDoc, b: &ResultsDoc, opts: &DiffOptions) -> DiffRepo
     // numeric deltas below should be read in that light.
     if a.simd != b.simd {
         cmp.report.structure.push(DiffEntry::new("simd", a.simd.clone(), b.simd.clone()));
+    }
+
+    // Different tuning configs are likewise provenance, not drift:
+    // tuning is timing-only, so two runs that differ *only* here must
+    // still produce identical payloads — but the config drift itself
+    // is worth flagging structurally (suppressible for deliberate
+    // autotuned-vs-default comparisons).
+    if !opts.ignore_tuning && a.tuning != b.tuning {
+        cmp.report.structure.push(DiffEntry::new(
+            "tuning",
+            render_tuning(&a.tuning),
+            render_tuning(&b.tuning),
+        ));
     }
 
     // ------------------------------------------------- sweep blocks
@@ -391,6 +408,24 @@ pub fn diff_docs(a: &ResultsDoc, b: &ResultsDoc, opts: &DiffOptions) -> DiffRepo
     }
 
     cmp.report
+}
+
+/// One-line summary of a tuning block for the structural diff entry.
+fn render_tuning(t: &crate::schema::TuningDoc) -> String {
+    let mut out = format!("mode={}", t.mode);
+    for (name, v) in [
+        ("block", t.gemm_block_cols),
+        ("min_flops", t.gemm_min_flops),
+        ("im2col", t.im2col_cap_elems),
+    ] {
+        if v != 0 {
+            out.push_str(&format!(" {name}={v}"));
+        }
+    }
+    if !t.choices.is_empty() {
+        out.push_str(&format!(" ({} choice(s))", t.choices.len()));
+    }
+    out
 }
 
 /// Recursively records differing leaves of two [`Value`] trees.
@@ -671,6 +706,34 @@ mod tests {
             "{}",
             report.render()
         );
+    }
+
+    /// A tuning-config difference is structural (never drift — tuning
+    /// is timing-only) and suppressible with `--ignore-tuning` so the
+    /// autotune byte-identity check can compare the payloads alone.
+    #[test]
+    fn tuning_difference_is_structural_and_suppressible() {
+        use crate::schema::{TuningChoiceDoc, TuningDoc};
+        let a = doc();
+        let mut b = doc();
+        b.tuning = TuningDoc {
+            mode: "on".into(),
+            choices: vec![TuningChoiceDoc {
+                key: "gemm-mm:256x256x256:scalar:t1".into(),
+                config: "block=128 workers=1".into(),
+                source: "autotune".into(),
+            }],
+            ..TuningDoc::default()
+        };
+        let report = diff_docs(&a, &b, &DiffOptions::default());
+        assert!(!report.clean());
+        assert!(report.drift.is_empty(), "{}", report.render());
+        let entry = report.structure.iter().find(|e| e.path == "tuning").unwrap();
+        assert_eq!(entry.left, "mode=off");
+        assert!(entry.right.contains("mode=on") && entry.right.contains("1 choice"), "{entry:?}");
+
+        let opts = DiffOptions { ignore_tuning: true, ..Default::default() };
+        assert!(diff_docs(&a, &b, &opts).clean());
     }
 
     #[test]

@@ -34,8 +34,10 @@ use swim_exp::value::{parse_json, Reader, Value};
 /// matrices in shard documents, the `faults` section for isolated run
 /// panics, and `[montecarlo] on_panic` in the spec echo); 4 = the
 /// top-level `simd` backend provenance field and `[run] simd` in the
-/// spec echo.
-pub const RESULTS_VERSION: i64 = 4;
+/// spec echo; 5 = the top-level `tuning` kernel-autotuning provenance
+/// block (requested pins plus every shape-keyed choice the tuner made)
+/// and the `[tune]` section in the spec echo.
+pub const RESULTS_VERSION: i64 = 5;
 
 /// A results-document parsing/validation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -195,6 +197,77 @@ pub struct RawSweepDoc {
     pub insitu_runs: Vec<Vec<(f64, f64)>>,
 }
 
+/// One shape-keyed kernel-config decision recorded by the autotuner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuningChoiceDoc {
+    /// Rendered tune key (kernel, shape, SIMD backend, thread count).
+    pub key: String,
+    /// Rendered winning config (e.g. `block=128 workers=1`).
+    pub config: String,
+    /// Where the winner came from (`autotune` or `disk-cache`).
+    pub source: String,
+}
+
+/// Kernel-tuning provenance: the *requested* tuning configuration
+/// (mode and pins exactly as resolved from spec/CLI/env — `0` means
+/// "auto", never a host-resolved value, so documents stay byte-stable
+/// across hosts) plus every shape-keyed choice the tuner made during
+/// the run. Tuning is timing-only — it can never change result bytes —
+/// so this block is attribution, not part of the numeric payload;
+/// `swim diff` reports tuning differences structurally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuningDoc {
+    /// Tuning mode the run executed under (`off` or `on`).
+    pub mode: String,
+    /// Requested GEMM block-width pin (`0` = heuristic / autotuned).
+    pub gemm_block_cols: usize,
+    /// Requested threading-threshold pin in multiplies (`0` = default).
+    pub gemm_min_flops: usize,
+    /// Requested im2col scratch-cap pin in elements (`0` = default).
+    pub im2col_cap_elems: usize,
+    /// The tuner's shape-keyed decisions, sorted by key. Empty when
+    /// the mode is `off`.
+    pub choices: Vec<TuningChoiceDoc>,
+}
+
+impl TuningDoc {
+    /// Captures the process-installed tuning config and (when tuning
+    /// is on) the winner cache as it stands.
+    pub fn capture() -> TuningDoc {
+        use swim_tensor::tune;
+        let t = tune::current();
+        let choices = if t.mode == tune::TuneMode::On {
+            tune::choice_records()
+                .into_iter()
+                .map(|r| TuningChoiceDoc { key: r.key, config: r.config, source: r.source })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        TuningDoc {
+            mode: t.mode.name().to_string(),
+            gemm_block_cols: t.gemm_block_cols,
+            gemm_min_flops: t.gemm_min_flops,
+            im2col_cap_elems: t.im2col_cap_elems,
+            choices,
+        }
+    }
+}
+
+impl Default for TuningDoc {
+    /// The forced-default configuration: tuning off, nothing pinned,
+    /// no choices.
+    fn default() -> Self {
+        TuningDoc {
+            mode: swim_tensor::tune::TuneMode::Off.name().to_string(),
+            gemm_block_cols: 0,
+            gemm_min_flops: 0,
+            im2col_cap_elems: 0,
+            choices: Vec::new(),
+        }
+    }
+}
+
 /// Fig. 1 correlation summary (present only for `fig1`-kind runs).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Correlations {
@@ -244,6 +317,9 @@ pub struct ResultsDoc {
     /// bit-identical across backends, GEMM is tolerance-equal, so this
     /// records which flavor produced the bytes.
     pub simd: String,
+    /// Kernel-tuning provenance: requested mode/pins plus the tuner's
+    /// shape-keyed choices. Timing-only — never affects result bytes.
+    pub tuning: TuningDoc,
     /// Wall-clock duration of the run in seconds.
     pub wall_time_s: f64,
 }
@@ -265,6 +341,7 @@ impl ResultsDoc {
             completed: None,
             faults: Vec::new(),
             simd: swim_tensor::simd::backend().name().to_string(),
+            tuning: TuningDoc::capture(),
             wall_time_s,
         }
     }
@@ -307,6 +384,7 @@ impl ResultsDoc {
         doc.set("kind", Value::Str(self.spec.kind.key().to_string()));
         doc.set("seed", Value::Int(self.spec.seed as i64));
         doc.set("simd", Value::Str(self.simd.clone()));
+        doc.set("tuning", tuning_to_value(&self.tuning));
         doc.set("spec", self.spec.to_value());
         if let Some(s) = &self.shard {
             let mut sv = Value::table();
@@ -414,6 +492,8 @@ impl ResultsDoc {
             return Err(err(format!("unknown SIMD backend `{simd}`")));
         }
 
+        let tuning = tuning_from_value("tuning", r.require("tuning")?)?;
+
         let spec = ExperimentSpec::from_value(r.require("spec")?)
             .map_err(|e| err(format!("spec echo: {}", e.0)))?;
         // The top-level copies are denormalized convenience; a document
@@ -436,6 +516,32 @@ impl ResultsDoc {
                     "document `simd` (`{simd}`) contradicts its spec echo's `run.simd` \
                      (`{requested}`)"
                 )));
+            }
+        }
+        // Likewise, `tuning` is denormalized from the spec echo's
+        // `[tune]` section wherever the spec pinned a value.
+        if let Some(mode) = &spec.tune.mode {
+            if *mode != tuning.mode {
+                return Err(err(format!(
+                    "document `tuning.mode` (`{}`) contradicts its spec echo's `tune.mode` \
+                     (`{mode}`)",
+                    tuning.mode
+                )));
+            }
+        }
+        let tune_pins = [
+            ("gemm_block", spec.tune.gemm_block, tuning.gemm_block_cols, "gemm_block_cols"),
+            ("gemm_min_flops", spec.tune.gemm_min_flops, tuning.gemm_min_flops, "gemm_min_flops"),
+            ("im2col_cap", spec.tune.im2col_cap, tuning.im2col_cap_elems, "im2col_cap_elems"),
+        ];
+        for (spec_key, requested, recorded, doc_key) in tune_pins {
+            if let Some(requested) = requested {
+                if requested != recorded {
+                    return Err(err(format!(
+                        "document `tuning.{doc_key}` ({recorded}) contradicts its spec echo's \
+                         `tune.{spec_key}` ({requested})"
+                    )));
+                }
             }
         }
 
@@ -559,9 +665,78 @@ impl ResultsDoc {
             completed,
             faults,
             simd,
+            tuning,
             wall_time_s,
         })
     }
+}
+
+// ------------------------------------------------------------- tuning
+
+fn tuning_to_value(tuning: &TuningDoc) -> Value {
+    let mut v = Value::table();
+    v.set("mode", Value::Str(tuning.mode.clone()));
+    v.set("gemm_block_cols", Value::Int(tuning.gemm_block_cols as i64));
+    v.set("gemm_min_flops", Value::Int(tuning.gemm_min_flops as i64));
+    v.set("im2col_cap_elems", Value::Int(tuning.im2col_cap_elems as i64));
+    v.set(
+        "choices",
+        Value::Array(
+            tuning
+                .choices
+                .iter()
+                .map(|c| {
+                    let mut cv = Value::table();
+                    cv.set("key", Value::Str(c.key.clone()));
+                    cv.set("config", Value::Str(c.config.clone()));
+                    cv.set("source", Value::Str(c.source.clone()));
+                    cv
+                })
+                .collect(),
+        ),
+    );
+    v
+}
+
+fn tuning_from_value(path: &str, value: &Value) -> Result<TuningDoc, SchemaError> {
+    let mut r = Reader::new(path, value)?;
+    let mode = r.string_req("mode")?;
+    if swim_tensor::tune::TuneMode::parse(&mode).is_none() {
+        return Err(err(format!("unknown tuning mode `{mode}` in `{path}.mode`")));
+    }
+    let gemm_block_cols = r.u64_req("gemm_block_cols")? as usize;
+    let gemm_min_flops = r.u64_req("gemm_min_flops")? as usize;
+    let im2col_cap_elems = r.u64_req("im2col_cap_elems")? as usize;
+    let choices = {
+        let v = r.require("choices")?;
+        let items =
+            v.as_array().ok_or_else(|| err(format!("`{path}.choices` must be an array")))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let cpath = format!("{path}.choices[{i}]");
+                let mut c = Reader::new(&cpath, item)?;
+                let out = TuningChoiceDoc {
+                    key: c.string_req("key")?,
+                    config: c.string_req("config")?,
+                    source: c.string_req("source")?,
+                };
+                c.finish()?;
+                Ok(out)
+            })
+            .collect::<Result<Vec<_>, SchemaError>>()?
+    };
+    r.finish()?;
+    // Tuning off means no decisions were made; a document claiming
+    // otherwise is corrupt.
+    if mode == swim_tensor::tune::TuneMode::Off.name() && !choices.is_empty() {
+        return Err(err(format!(
+            "`{path}` has mode `off` but records {} tuner choice(s)",
+            choices.len()
+        )));
+    }
+    Ok(TuningDoc { mode, gemm_block_cols, gemm_min_flops, im2col_cap_elems, choices })
 }
 
 // ------------------------------------------------------- sweep blocks
@@ -1082,6 +1257,73 @@ mod tests {
         .unwrap();
         let e = ResultsDoc::from_value(&root).unwrap_err();
         assert!(e.0.contains("2-element number array"), "{e}");
+    }
+
+    #[test]
+    fn tuning_block_round_trips() {
+        let mut doc = sample_doc();
+        doc.tuning = TuningDoc {
+            mode: "on".into(),
+            gemm_block_cols: 0,
+            gemm_min_flops: 0,
+            im2col_cap_elems: 1 << 20,
+            choices: vec![TuningChoiceDoc {
+                key: "gemm-mm:256x256x256:scalar:t1".into(),
+                config: "block=128 workers=1".into(),
+                source: "autotune".into(),
+            }],
+        };
+        let back = ResultsDoc::parse_str(&doc.to_json()).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.tuning.choices[0].source, "autotune");
+    }
+
+    #[test]
+    fn rejects_tuning_irregularities() {
+        // Unknown mode.
+        let mut doc = sample_doc();
+        doc.tuning.mode = "sometimes".into();
+        let e = ResultsDoc::parse_str(&doc.to_json()).unwrap_err();
+        assert!(e.0.contains("unknown tuning mode `sometimes`"), "{e}");
+
+        // Choices recorded under mode off.
+        let mut doc = sample_doc();
+        doc.tuning.choices.push(TuningChoiceDoc {
+            key: "gemm-mm:8x8x8:scalar:t1".into(),
+            config: "block=32 workers=1".into(),
+            source: "autotune".into(),
+        });
+        let e = ResultsDoc::parse_str(&doc.to_json()).unwrap_err();
+        assert!(e.0.contains("mode `off` but records 1 tuner choice"), "{e}");
+
+        // Missing block entirely (a v4-shaped document).
+        let Value::Table(entries) = sample_doc().to_value() else { unreachable!() };
+        let pruned: Vec<(String, Value)> =
+            entries.into_iter().filter(|(k, _)| k != "tuning").collect();
+        let e = ResultsDoc::from_value(&Value::Table(pruned)).unwrap_err();
+        assert!(e.0.contains("missing key `tuning`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_tuning_contradicting_spec_echo() {
+        // The spec echo pins `tune.mode = "on"`, the document header
+        // says the run executed with tuning off.
+        let mut doc = sample_doc();
+        doc.spec.tune.mode = Some("on".into());
+        doc.tuning.mode = "on".into();
+        let good = ResultsDoc::parse_str(&doc.to_json()).unwrap();
+        assert_eq!(good.tuning.mode, "on");
+
+        doc.tuning.mode = "off".into();
+        let e = ResultsDoc::parse_str(&doc.to_json()).unwrap_err();
+        assert!(e.0.contains("contradicts its spec echo's `tune.mode`"), "{e}");
+
+        // A pinned knob must match, too.
+        let mut doc = sample_doc();
+        doc.spec.tune.gemm_block = Some(256);
+        doc.tuning.gemm_block_cols = 128;
+        let e = ResultsDoc::parse_str(&doc.to_json()).unwrap_err();
+        assert!(e.0.contains("contradicts its spec echo's `tune.gemm_block`"), "{e}");
     }
 
     #[test]

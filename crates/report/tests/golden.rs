@@ -39,6 +39,18 @@ fn regenerate_fixtures() {
         if root.get("simd").is_none() {
             root.set("simd", Value::Str("scalar".into()));
         }
+        // Pre-v5 documents predate kernel-tuning provenance; everything
+        // committed before the block existed ran with tuning off and
+        // nothing pinned.
+        if root.get("tuning").is_none() {
+            let mut tv = Value::table();
+            tv.set("mode", Value::Str("off".into()));
+            tv.set("gemm_block_cols", Value::Int(0));
+            tv.set("gemm_min_flops", Value::Int(0));
+            tv.set("im2col_cap_elems", Value::Int(0));
+            tv.set("choices", Value::Array(Vec::new()));
+            root.set("tuning", tv);
+        }
         let doc = ResultsDoc::from_value(&root).unwrap_or_else(|e| panic!("{name}: {e}"));
         std::fs::write(&path, doc.to_json()).unwrap();
     }

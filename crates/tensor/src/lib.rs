@@ -22,6 +22,11 @@
 //!   scalar reference, selected once at startup via runtime feature
 //!   detection, overridable via `SWIM_SIMD`) that the GEMM microkernel
 //!   and the workspace's elementwise hot paths dispatch through.
+//! * [`tune`] — the unified [`tune::KernelTuning`] configuration and the
+//!   shape-keyed autotuner behind every kernel performance knob (GEMM
+//!   threads/blocking/threading threshold, conv im2col chunk cap), with
+//!   an optional host-fingerprinted on-disk winner cache. Timing-only by
+//!   contract: tuning never changes result bytes.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@ pub mod shape;
 pub mod simd;
 pub mod stats;
 pub mod tensor;
+pub mod tune;
 
 pub use error::TensorError;
 pub use rng::Prng;

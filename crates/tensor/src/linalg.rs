@@ -43,7 +43,7 @@
 
 use crate::simd::{self, Backend};
 use crate::tensor::Tensor;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::tune::{self, GemmKind, GemmPlan};
 
 /// Rows per microkernel register tile.
 pub const MR: usize = 4;
@@ -51,99 +51,67 @@ pub const MR: usize = 4;
 pub const NR: usize = 32;
 /// Default minimum multiply count (`m·n·k`) before the row-panel
 /// threaded path engages; below it, thread-spawn overhead dominates.
-/// Override at runtime with [`set_gemm_parallel_min_flops`].
+/// Override at runtime via [`crate::tune::KernelTuning`] (or the
+/// [`set_gemm_parallel_min_flops`] compatibility alias).
 ///
 /// The default was chosen by measuring the spawn+join cost of the scoped
 /// worker threads (~15–40 µs per spawn on the benchmarked hosts) against
 /// the kernel's single-core throughput (several GFLOP/s): at `2²²`
 /// multiplies a serial product runs ≈1 ms, so the fixed threading cost
-/// stays in the low single-digit percents.
+/// stays in the low single-digit percents. Re-measured 2026-08 (see
+/// `BENCH_sweep.json`'s `autotune` group and `docs/autotune.md`): still
+/// the best fixed threshold on the measured hosts, and under
+/// `tune.mode = on` the autotuner refines the serial/threaded decision
+/// per shape anyway.
 pub const PARALLEL_MIN_FLOPS: usize = 1 << 22;
-
-/// Worker threads for large GEMMs; 0 = auto (`available_parallelism`).
-static GEMM_THREADS: AtomicUsize = AtomicUsize::new(0);
-/// Column-block width for packing; 0 = auto (sized to keep the packed
-/// panel within a few hundred KiB).
-static GEMM_BLOCK_COLS: AtomicUsize = AtomicUsize::new(0);
-/// Threading threshold override; 0 = the [`PARALLEL_MIN_FLOPS`] default.
-static GEMM_MIN_FLOPS: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the worker-thread count for large matrix products.
 ///
-/// `0` restores the default (one thread per available core). The setting
-/// is process-global; results are bit-identical for every value.
+/// Deprecated alias for installing a [`crate::tune::KernelTuning`] with
+/// `gemm_threads` set; kept so pre-tune callers keep compiling. `0`
+/// restores the default (one thread per available core). The setting is
+/// process-global; results are bit-identical for every value.
 pub fn set_gemm_threads(threads: usize) {
-    GEMM_THREADS.store(threads, Ordering::Relaxed);
+    tune::pin_gemm_threads(threads);
 }
 
 /// The worker-thread count large products will use.
 pub fn gemm_threads() -> usize {
-    match GEMM_THREADS.load(Ordering::Relaxed) {
-        0 => detected_parallelism(),
-        n => n,
-    }
-}
-
-/// `available_parallelism`, detected once and cached.
-///
-/// The std call is not free — on Linux it re-reads the cgroup CPU quota
-/// files, allocating in the process — and `gemm_strided_into` consults
-/// the thread count on *every* product, which made each GEMM on the
-/// Monte Carlo eval path pay a handful of heap allocations and syscalls.
-/// The cached value keeps the steady-state eval loop allocation-free
-/// (enforced by `swim-core`'s `tests/alloc_free.rs`).
-fn detected_parallelism() -> usize {
-    static DETECTED: AtomicUsize = AtomicUsize::new(0);
-    match DETECTED.load(Ordering::Relaxed) {
-        0 => {
-            let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            DETECTED.store(n, Ordering::Relaxed);
-            n
-        }
-        n => n,
-    }
+    tune::gemm_threads()
 }
 
 /// Sets the cache-blocking width (columns per packed panel group).
 ///
+/// Deprecated alias for [`crate::tune::KernelTuning::gemm_block_cols`].
 /// `0` restores the automatic choice. Rounded up to a multiple of
 /// [`NR`]; purely a performance knob — results are bit-identical for
 /// every value.
 pub fn set_gemm_block_cols(cols: usize) {
-    GEMM_BLOCK_COLS.store(cols, Ordering::Relaxed);
+    tune::pin_gemm_block_cols(cols);
 }
 
 /// Sets the minimum multiply count (`m·n·k`) above which products go
 /// multithreaded.
 ///
+/// Deprecated alias for [`crate::tune::KernelTuning::gemm_min_flops`].
 /// `0` restores the [`PARALLEL_MIN_FLOPS`] default; `1` makes every
 /// product eligible. Like the other knobs this is process-global and
 /// purely a performance setting — results are bit-identical for every
 /// value.
 pub fn set_gemm_parallel_min_flops(flops: usize) {
-    GEMM_MIN_FLOPS.store(flops, Ordering::Relaxed);
+    tune::pin_gemm_min_flops(flops);
 }
 
 /// The threading threshold large products currently use.
 pub fn gemm_parallel_min_flops() -> usize {
-    match GEMM_MIN_FLOPS.load(Ordering::Relaxed) {
-        0 => PARALLEL_MIN_FLOPS,
-        n => n,
-    }
+    tune::gemm_min_flops()
 }
 
-/// The effective column-block width for an `m×k · k×n` product.
+/// The effective column-block width for an `m×k · k×n` product under
+/// the pinned/heuristic path (shape-keyed autotuned products may pick a
+/// different width; see [`crate::tune::gemm_plan`]).
 pub fn gemm_block_cols(k: usize, n: usize) -> usize {
-    let requested = GEMM_BLOCK_COLS.load(Ordering::Relaxed);
-    let cols = if requested == 0 {
-        // Keep the active packed block near 128 KiB so it stays cache
-        // resident while a row panel sweeps it.
-        let budget = (128 * 1024) / (4 * k.max(1));
-        budget.clamp(NR, 4096)
-    } else {
-        requested
-    };
-    cols.next_multiple_of(NR).min(n.next_multiple_of(NR).max(NR))
+    tune::gemm_block_cols(k, n)
 }
 
 /// Strided view of a rank-2 operand: logical element `(i, j)` lives at
@@ -623,12 +591,12 @@ fn gemm_rows(
     packed_b: &[f32],
     k: usize,
     n: usize,
+    block_cols: usize,
     row0: usize,
     out: &mut [f32],
 ) {
     let rows = out.len().checked_div(n).unwrap_or(0);
     let panels = n.div_ceil(NR);
-    let block_cols = gemm_block_cols(k, n);
     let panels_per_block = (block_cols / NR).max(1);
     let s = row_stride;
 
@@ -683,8 +651,14 @@ thread_local! {
 /// Shared kernel: `C = A·B` for logical `a: m×k`, `b: k×n` (each read
 /// through its strides), with an explicit thread count (`0` = the global
 /// setting), written into `out` (`m·n`, fully overwritten).
+///
+/// The execution plan — worker count and block width, both byte-neutral —
+/// is resolved once per product through [`crate::tune::gemm_plan`]
+/// (pin/heuristic, or the shape-keyed autotune cache when tuning is on)
+/// and passed down, so one GEMM never mixes configs mid-flight.
 #[allow(clippy::too_many_arguments)]
 fn gemm_strided_into(
+    kind: GemmKind,
     a: &[f32],
     a_strides: Strides,
     b: &[f32],
@@ -703,6 +677,26 @@ fn gemm_strided_into(
         out.fill(0.0); // all-zero by definition; nothing to accumulate
         return;
     }
+    let plan = tune::gemm_plan(kind, m, k, n, threads);
+    gemm_with_plan(a, a_strides, b, b_strides, m, k, n, plan, out);
+}
+
+/// [`gemm_strided_into`] below the plan resolution: executes one product
+/// under an explicit, already-chosen [`GemmPlan`]. Also the entry the
+/// autotuner's timing loop uses — candidates are forced here directly,
+/// so tuning a shape can never recurse back into the tuner.
+#[allow(clippy::too_many_arguments)]
+fn gemm_with_plan(
+    a: &[f32],
+    a_strides: Strides,
+    b: &[f32],
+    b_strides: Strides,
+    m: usize,
+    k: usize,
+    n: usize,
+    plan: GemmPlan,
+    out: &mut [f32],
+) {
     // A strided (transposed) left operand is panel-packed once, on the
     // calling thread, into the reused thread-local scratch — the row
     // sweep and any worker threads then read contiguous rows, so the
@@ -715,21 +709,17 @@ fn gemm_strided_into(
             buf.clear();
             buf.resize(m * k, 0.0);
             pack_a_panel(a, a_strides, k, 0, m, &mut buf);
-            gemm_strided_into(&buf, Strides::contiguous(k), b, b_strides, m, k, n, threads, out);
+            gemm_with_plan(&buf, Strides::contiguous(k), b, b_strides, m, k, n, plan, out);
         });
     }
     PACKED_B.with(|cell| {
         let mut packed = cell.borrow_mut();
         pack_panels(b, b_strides, k, n, &mut packed);
         let backend = simd::backend();
-        let resolved = if threads == 0 { gemm_threads() } else { threads };
-        let workers = if m.saturating_mul(n).saturating_mul(k) < gemm_parallel_min_flops() {
-            1
-        } else {
-            resolved.min(m).max(1)
-        };
+        let block_cols = plan.block_cols.max(NR);
+        let workers = plan.workers.min(m).max(1);
         if workers == 1 {
-            gemm_rows(backend, a, a_strides.row, &packed, k, n, 0, out);
+            gemm_rows(backend, a, a_strides.row, &packed, k, n, block_cols, 0, out);
         } else {
             // Disjoint row chunks; each worker runs the identical serial
             // routine on its range, so the split cannot affect values.
@@ -745,6 +735,7 @@ fn gemm_strided_into(
                             packed_ref,
                             k,
                             n,
+                            block_cols,
                             ci * chunk_rows,
                             out_chunk,
                         );
@@ -753,6 +744,25 @@ fn gemm_strided_into(
             });
         }
     });
+}
+
+/// Contiguous `C = A·B` under a forced [`GemmPlan`] — the autotuner's
+/// timing-loop entry (bypasses plan resolution entirely).
+pub(crate) fn gemm_forced(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    plan: GemmPlan,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), m * n, "gemm output buffer must hold m·n elements");
+    if m == 0 || n == 0 || k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    gemm_with_plan(a, Strides::contiguous(k), b, Strides::contiguous(n), m, k, n, plan, out);
 }
 
 /// `C = A·B` on raw row-major slices, written into `out`.
@@ -767,7 +777,18 @@ fn gemm_strided_into(
 pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     assert_eq!(a.len(), m * k, "matmul_into: left operand length");
     assert_eq!(b.len(), k * n, "matmul_into: right operand length");
-    gemm_strided_into(a, Strides::contiguous(k), b, Strides::contiguous(n), m, k, n, 0, out);
+    gemm_strided_into(
+        GemmKind::MM,
+        a,
+        Strides::contiguous(k),
+        b,
+        Strides::contiguous(n),
+        m,
+        k,
+        n,
+        0,
+        out,
+    );
 }
 
 /// `C = Aᵀ·B` on raw slices (`a` stored row-major as `k×m`), written into
@@ -779,7 +800,18 @@ pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut
 pub fn matmul_at_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     assert_eq!(a.len(), k * m, "matmul_at_into: left operand length");
     assert_eq!(b.len(), k * n, "matmul_at_into: right operand length");
-    gemm_strided_into(a, Strides::transposed(m), b, Strides::contiguous(n), m, k, n, 0, out);
+    gemm_strided_into(
+        GemmKind::AT,
+        a,
+        Strides::transposed(m),
+        b,
+        Strides::contiguous(n),
+        m,
+        k,
+        n,
+        0,
+        out,
+    );
 }
 
 /// `C = A·Bᵀ` on raw slices (`b` stored row-major as `n×k`), written into
@@ -791,7 +823,18 @@ pub fn matmul_at_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &
 pub fn matmul_bt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     assert_eq!(a.len(), m * k, "matmul_bt_into: left operand length");
     assert_eq!(b.len(), n * k, "matmul_bt_into: right operand length");
-    gemm_strided_into(a, Strides::contiguous(k), b, Strides::transposed(k), m, k, n, 0, out);
+    gemm_strided_into(
+        GemmKind::BT,
+        a,
+        Strides::contiguous(k),
+        b,
+        Strides::transposed(k),
+        m,
+        k,
+        n,
+        0,
+        out,
+    );
 }
 
 /// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
@@ -904,6 +947,7 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb}");
     let mut out = vec![0.0f32; m * n];
     gemm_strided_into(
+        GemmKind::MM,
         a.data(),
         Strides::contiguous(k),
         b.data(),
